@@ -1,0 +1,58 @@
+#ifndef AGORA_BENCH_BENCH_COMMON_H_
+#define AGORA_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/timer.h"
+#include "engine/database.h"
+#include "tpch/tpch.h"
+
+namespace agora {
+namespace bench {
+
+/// Prints the experiment banner: which paper claim this binary
+/// reproduces and what shape to expect. Called from each bench main.
+inline void PrintClaim(const char* experiment, const char* claim,
+                       const char* expectation) {
+  std::printf("==========================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("Expected shape: %s\n", expectation);
+  std::printf("==========================================================\n");
+}
+
+/// Returns a process-cached TPC-H database at `scale_factor` (scaled by
+/// 1000 for map keys). Databases are generated once and shared across
+/// benchmark cases in the same binary.
+inline Database* GetTpchDatabase(double scale_factor) {
+  static std::map<int, std::unique_ptr<Database>>* cache =
+      new std::map<int, std::unique_ptr<Database>>();
+  int key = static_cast<int>(scale_factor * 100000);
+  auto it = cache->find(key);
+  if (it != cache->end()) return it->second.get();
+  auto db = std::make_unique<Database>();
+  TpchOptions options;
+  options.scale_factor = scale_factor;
+  Status s = GenerateTpch(options, &db->catalog());
+  AGORA_CHECK(s.ok()) << s.ToString();
+  Database* raw = db.get();
+  cache->emplace(key, std::move(db));
+  return raw;
+}
+
+/// Runs `sql` against `db`, aborting the benchmark run on error.
+inline QueryResult MustExecute(Database* db, const std::string& sql) {
+  auto result = db->Execute(sql);
+  AGORA_CHECK(result.ok()) << sql << " -> " << result.status().ToString();
+  return std::move(*result);
+}
+
+}  // namespace bench
+}  // namespace agora
+
+#endif  // AGORA_BENCH_BENCH_COMMON_H_

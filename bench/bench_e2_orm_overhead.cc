@@ -1,0 +1,169 @@
+// E2 — ORM overhead: the N+1 lazy-loading pattern costs an order of
+// magnitude more than one set-oriented join, and the cost lives in the
+// access layer, not the DBMS.
+//
+// Paper quote (SIGMOD'25 panel, §3.3.1): "many performance problems are
+// due to the ORM and never arise at the DBMS".
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "orm/orm.h"
+
+namespace agora {
+namespace {
+
+/// A cached database + ORM session with `n` customers x 5 orders.
+struct OrmFixture {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<OrmSession> session;
+};
+
+OrmFixture* GetFixture(int64_t n_customers) {
+  static std::map<int64_t, std::unique_ptr<OrmFixture>>* cache =
+      new std::map<int64_t, std::unique_ptr<OrmFixture>>();
+  auto it = cache->find(n_customers);
+  if (it != cache->end()) return it->second.get();
+
+  auto fixture = std::make_unique<OrmFixture>();
+  fixture->db = std::make_unique<Database>();
+  Database* db = fixture->db.get();
+  bench::MustExecute(db,
+                     "CREATE TABLE customers (id BIGINT, name VARCHAR)");
+  bench::MustExecute(
+      db, "CREATE TABLE orders (id BIGINT, customer_id BIGINT, "
+          "amount DOUBLE)");
+  // Bulk-insert with multi-row statements for fast setup.
+  std::string sql;
+  for (int64_t c = 1; c <= n_customers; ++c) {
+    if (sql.empty()) sql = "INSERT INTO customers VALUES ";
+    sql += "(" + std::to_string(c) + ", 'c" + std::to_string(c) + "'),";
+    if (c % 500 == 0 || c == n_customers) {
+      sql.back() = ' ';
+      bench::MustExecute(db, sql);
+      sql.clear();
+    }
+  }
+  int64_t order_id = 0;
+  for (int64_t c = 1; c <= n_customers; ++c) {
+    if (sql.empty()) sql = "INSERT INTO orders VALUES ";
+    for (int o = 0; o < 5; ++o) {
+      sql += "(" + std::to_string(++order_id) + ", " + std::to_string(c) +
+             ", " + std::to_string(10 * c + o) + ".5),";
+    }
+    if (c % 100 == 0 || c == n_customers) {
+      sql.back() = ' ';
+      bench::MustExecute(db, sql);
+      sql.clear();
+    }
+  }
+  // Point lookups are what an ORM issues; index the hot columns.
+  bench::MustExecute(db, "CREATE INDEX c_id ON customers (id)");
+  bench::MustExecute(db, "CREATE INDEX o_cust ON orders (customer_id)");
+
+  fixture->session = std::make_unique<OrmSession>(db);
+  ModelDef customers;
+  customers.table = "customers";
+  customers.has_many.push_back({"orders", "orders", "customer_id"});
+  fixture->session->RegisterModel(customers);
+  ModelDef orders;
+  orders.table = "orders";
+  fixture->session->RegisterModel(orders);
+
+  OrmFixture* raw = fixture.get();
+  cache->emplace(n_customers, std::move(fixture));
+  return raw;
+}
+
+/// ORM lazy path: fetch all customers, then touch each one's orders —
+/// 1 + N statements.
+void BM_OrmLazyNPlusOne(benchmark::State& state) {
+  OrmFixture* fixture = GetFixture(state.range(0));
+  OrmSession* session = fixture->session.get();
+  double total = 0;
+  for (auto _ : state) {
+    session->ResetStatementCount();
+    auto customers = session->All("customers");
+    AGORA_CHECK(customers.ok());
+    total = 0;
+    for (const Entity& customer : *customers) {
+      auto orders = session->Related(customer, "orders");
+      AGORA_CHECK(orders.ok());
+      for (const Entity& order : *orders) {
+        total += order.Get("amount").AsDouble();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["statements"] =
+      static_cast<double>(fixture->session->statements_issued());
+  state.SetLabel("lazy ORM (N+1)");
+}
+
+/// ORM eager path: one join statement, grouped client-side.
+void BM_OrmEagerJoin(benchmark::State& state) {
+  OrmFixture* fixture = GetFixture(state.range(0));
+  OrmSession* session = fixture->session.get();
+  double total = 0;
+  for (auto _ : state) {
+    session->ResetStatementCount();
+    auto grouped = session->EagerLoadChildren("customers", "orders");
+    AGORA_CHECK(grouped.ok());
+    total = 0;
+    for (const auto& [key, orders] : *grouped) {
+      for (const Entity& order : orders) {
+        total += order.Get("amount").AsDouble();
+      }
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.counters["statements"] =
+      static_cast<double>(fixture->session->statements_issued());
+  state.SetLabel("eager ORM (1 stmt)");
+}
+
+/// What the DBMS does when asked properly: one aggregate query.
+void BM_RawSqlAggregate(benchmark::State& state) {
+  OrmFixture* fixture = GetFixture(state.range(0));
+  Database* db = fixture->db.get();
+  for (auto _ : state) {
+    QueryResult result = bench::MustExecute(
+        db, "SELECT SUM(amount) FROM orders");
+    benchmark::DoNotOptimize(result.num_rows());
+  }
+  state.counters["statements"] = 1;
+  state.SetLabel("set-oriented SQL");
+}
+
+BENCHMARK(BM_OrmLazyNPlusOne)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OrmEagerJoin)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RawSqlAggregate)
+    ->Arg(100)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace agora
+
+int main(int argc, char** argv) {
+  agora::bench::PrintClaim(
+      "E2: ORM overhead (the N+1 anti-pattern)",
+      "\"many performance problems are due to the ORM and never arise at "
+      "the DBMS\" (panel §3.3.1)",
+      "lazy ORM issues 1+N statements and is >=10x slower than the single "
+      "eager join at N>=500; the gap grows linearly with N while the DBMS "
+      "answers the set-oriented form in one statement");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,235 @@
+// E4 — declarativeness and physical/logical independence: the same SQL
+// text runs orders of magnitude faster as optimizer rules come on, and
+// physical design changes (sorting, zone maps, indexes) change the plan,
+// never the query.
+//
+// Paper quotes (SIGMOD'25 panel): core principles of lasting value are
+// "independence between physical and logical" and "declarativeness".
+
+#include "bench/bench_common.h"
+#include "common/rng.h"
+
+namespace agora {
+namespace {
+
+using bench::MustExecute;
+
+// Q5 with explicit JOIN ... ON syntax so that disabling predicate
+// pushdown still leaves join conditions at the joins (the all-cross-joins
+// plan would not terminate at TPC-H sizes — which is itself the point,
+// measured separately on a small dataset below).
+std::string Q5ExplicitJoins() {
+  return R"(
+    SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM customer
+      JOIN orders ON c_custkey = o_custkey
+      JOIN lineitem ON l_orderkey = o_orderkey
+      JOIN supplier ON l_suppkey = s_suppkey
+      JOIN nation ON s_nationkey = n_nationkey
+      JOIN region ON n_regionkey = r_regionkey
+    WHERE r_name = 'ASIA' AND c_nationkey = s_nationkey
+      AND o_orderdate >= DATE '1994-01-01'
+      AND o_orderdate < DATE '1995-01-01'
+    GROUP BY n_name ORDER BY revenue DESC
+  )";
+}
+
+constexpr double kSf = 0.02;
+
+/// A database with the given optimizer configuration sharing one
+/// generated TPC-H dataset (tables are shared_ptr-registered into each).
+Database* GetConfiguredDb(int config) {
+  static std::map<int, std::unique_ptr<Database>>* cache =
+      new std::map<int, std::unique_ptr<Database>>();
+  auto it = cache->find(config);
+  if (it != cache->end()) return it->second.get();
+
+  DatabaseOptions options;
+  switch (config) {
+    case 0:  // full optimizer
+      break;
+    case 1:  // no predicate pushdown
+      options.optimizer.enable_predicate_pushdown = false;
+      options.optimizer.enable_zone_maps = false;  // depends on pushdown
+      break;
+    case 2:  // no join reordering
+      options.optimizer.enable_join_reorder = false;
+      break;
+    case 3:  // no projection pruning
+      options.optimizer.enable_projection_pruning = false;
+      break;
+    case 4:  // no zone maps
+      options.optimizer.enable_zone_maps = false;
+      options.physical.enable_zone_maps = false;
+      break;
+    default:
+      break;
+  }
+  auto db = std::make_unique<Database>(options);
+  Database* source = bench::GetTpchDatabase(kSf);
+  for (const std::string& name : source->catalog().TableNames()) {
+    auto table = source->catalog().GetTable(name);
+    AGORA_CHECK(table.ok());
+    AGORA_CHECK(db->catalog().RegisterTable(*table).ok());
+  }
+  // Warm-up: pay one-time costs (table statistics, zone-map builds)
+  // outside the timed region so single-iteration cases stay comparable.
+  bench::MustExecute(db.get(), Q5ExplicitJoins());
+  Database* raw = db.get();
+  cache->emplace(config, std::move(db));
+  return raw;
+}
+
+const char* ConfigName(int config) {
+  switch (config) {
+    case 0:
+      return "full optimizer";
+    case 1:
+      return "no pushdown";
+    case 2:
+      return "no join reorder";
+    case 3:
+      return "no projection pruning";
+    case 4:
+      return "no zone maps";
+    default:
+      return "?";
+  }
+}
+
+void BM_OptimizerAblation(benchmark::State& state) {
+  Database* db = GetConfiguredDb(static_cast<int>(state.range(0)));
+  std::string sql = Q5ExplicitJoins();
+  for (auto _ : state) {
+    QueryResult result = MustExecute(db, sql);
+    benchmark::DoNotOptimize(result.num_rows());
+  }
+  state.SetLabel(ConfigName(static_cast<int>(state.range(0))));
+}
+
+BENCHMARK(BM_OptimizerAblation)
+    ->DenseRange(0, 4)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+/// The fully naive plan (everything off, nested loops) on a dataset small
+/// enough for cross products to terminate: the same SQL, syntactic order.
+void BM_FullyNaiveVsOptimized(benchmark::State& state) {
+  bool optimized = state.range(0) == 1;
+  static std::unique_ptr<Database> naive_db, fast_db;
+  auto load = [](Database* db) {
+    bench::MustExecute(db, "CREATE TABLE f (id BIGINT, d1 BIGINT, "
+                           "d2 BIGINT, val DOUBLE)");
+    bench::MustExecute(db, "CREATE TABLE dim1 (id BIGINT, tag VARCHAR)");
+    bench::MustExecute(db, "CREATE TABLE dim2 (id BIGINT, tag VARCHAR)");
+    Rng rng(3);
+    std::string sql;
+    for (int i = 0; i < 2000; ++i) {
+      if (sql.empty()) sql = "INSERT INTO f VALUES ";
+      sql += "(" + std::to_string(i) + ", " +
+             std::to_string(rng.Uniform(0, 49)) + ", " +
+             std::to_string(rng.Uniform(0, 49)) + ", 1.5),";
+      if (i % 500 == 499) {
+        sql.back() = ' ';
+        bench::MustExecute(db, sql);
+        sql.clear();
+      }
+    }
+    for (int i = 0; i < 50; ++i) {
+      bench::MustExecute(db, "INSERT INTO dim1 VALUES (" +
+                                 std::to_string(i) + ", 't" +
+                                 std::to_string(i % 5) + "')");
+      bench::MustExecute(db, "INSERT INTO dim2 VALUES (" +
+                                 std::to_string(i) + ", 'u" +
+                                 std::to_string(i % 5) + "')");
+    }
+  };
+  if (naive_db == nullptr) {
+    DatabaseOptions off;
+    off.optimizer = OptimizerOptions::AllDisabled();
+    off.physical.enable_hash_join = false;
+    off.physical.enable_zone_maps = false;
+    off.physical.enable_index_scan = false;
+    naive_db = std::make_unique<Database>(off);
+    load(naive_db.get());
+    fast_db = std::make_unique<Database>();
+    load(fast_db.get());
+  }
+  Database* db = optimized ? fast_db.get() : naive_db.get();
+  const std::string sql =
+      "SELECT COUNT(*), SUM(f.val) FROM f, dim1, dim2 "
+      "WHERE f.d1 = dim1.id AND f.d2 = dim2.id AND dim1.tag = 't1'";
+  for (auto _ : state) {
+    QueryResult result = MustExecute(db, sql);
+    benchmark::DoNotOptimize(result.num_rows());
+  }
+  state.SetLabel(optimized ? "optimized (same SQL)" : "naive syntactic plan");
+}
+
+BENCHMARK(BM_FullyNaiveVsOptimized)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+/// Physical data independence: Q6 against lineitem as loaded vs the same
+/// rows physically sorted by l_shipdate (zone maps then skip most
+/// blocks). The query text is untouched.
+void BM_PhysicalLayout(benchmark::State& state) {
+  bool sorted = state.range(0) == 1;
+  static std::unique_ptr<Database> sorted_db;
+  Database* base = bench::GetTpchDatabase(kSf);
+  if (sorted && sorted_db == nullptr) {
+    sorted_db = std::make_unique<Database>();
+    for (const std::string& name : base->catalog().TableNames()) {
+      auto table = base->catalog().GetTable(name);
+      AGORA_CHECK(table.ok());
+      if (name == "lineitem") {
+        size_t shipdate = *(*table)->schema().FindField("l_shipdate");
+        auto clustered = (*table)->SortedCopy("lineitem", shipdate);
+        clustered->BuildZoneMaps();
+        AGORA_CHECK(sorted_db->catalog().RegisterTable(clustered).ok());
+      } else {
+        AGORA_CHECK(sorted_db->catalog().RegisterTable(*table).ok());
+      }
+    }
+  }
+  Database* db = sorted ? sorted_db.get() : base;
+  std::string sql = TpchQ6();
+  ExecStats last;
+  for (auto _ : state) {
+    QueryResult result = MustExecute(db, sql);
+    last = result.stats();
+    benchmark::DoNotOptimize(result.num_rows());
+  }
+  state.counters["blocks_read"] = static_cast<double>(last.blocks_read);
+  state.counters["blocks_skipped"] =
+      static_cast<double>(last.blocks_skipped);
+  state.SetLabel(sorted ? "clustered by shipdate (zonemap skips)"
+                        : "unsorted layout");
+}
+
+BENCHMARK(BM_PhysicalLayout)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+}  // namespace
+}  // namespace agora
+
+int main(int argc, char** argv) {
+  agora::bench::PrintClaim(
+      "E4: declarativeness + physical/logical independence",
+      "core database principles hold lasting value: \"independence "
+      "between physical and logical\" and \"declarativeness\" (panel "
+      "§3.3.1/§3.3.2)",
+      "the same SQL speeds up as rules come on (pushdown and reorder "
+      "matter most; fully-naive nested-loop plans are ~100x slower), and "
+      "re-clustering the table accelerates Q6 via zone-map block skipping "
+      "without touching the query");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E5 — query-optimization principles applied to an AI data-prep pipeline:
+// ordering stages by cost/selectivity and materializing shared prefixes
+// significantly cuts total cost.
+//
+// Paper quote (SIGMOD'25 panel, §3.3.1): "The CTO of Alibaba Cloud
+// demonstrated this by applying query optimization principles to rebuild
+// their pipeline for training QWEN 3, significantly reducing costs."
+
+#include <map>
+
+#include "bench/bench_common.h"
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
+
+namespace agora {
+namespace {
+
+const std::vector<PipelineDoc>& GetCorpus(size_t n) {
+  static std::map<size_t, std::vector<PipelineDoc>>* cache =
+      new std::map<size_t, std::vector<PipelineDoc>>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    // Harsh web-crawl mix: only ~30% of documents are worth keeping, as
+    // in real pretraining-data curation.
+    it = cache->emplace(n, MakeSyntheticCorpus(n, 7, 0.3)).first;
+  }
+  return it->second;
+}
+
+/// The "as-written" pipeline: expensive stages first (the order a
+/// non-database engineer might write it in: dedup everything first, then
+/// clean).
+Pipeline MakeNaivePipeline() {
+  Pipeline pipe;
+  pipe.AddStage(std::make_shared<NearDedupFilter>(32, 4));
+  pipe.AddStage(std::make_shared<QualityFilter>());
+  pipe.AddStage(std::make_shared<ExactDedupFilter>());
+  pipe.AddStage(std::make_shared<AsciiLanguageFilter>());
+  pipe.AddStage(std::make_shared<LengthFilter>(10, 100000));
+  pipe.AddStage(std::make_shared<PiiScrubTransform>());
+  pipe.AddStage(std::make_shared<TokenizeCostTransform>(4));
+  return pipe;
+}
+
+// Args: {corpus size, 0 = naive order | 1 = optimizer-reordered}.
+void BM_PipelineOrder(benchmark::State& state) {
+  const auto& corpus = GetCorpus(static_cast<size_t>(state.range(0)));
+  bool optimize = state.range(1) == 1;
+  Pipeline pipe = MakeNaivePipeline();
+  if (optimize) {
+    PipelineOptimizer optimizer;
+    pipe = optimizer.Optimize(pipe, corpus);
+  }
+  PipelineRunStats stats;
+  size_t survivors = 0;
+  for (auto _ : state) {
+    auto out = pipe.Run(corpus, &stats);
+    survivors = out.size();
+    benchmark::DoNotOptimize(survivors);
+  }
+  // Work spent in the reorderable filter section (the terminal
+  // transforms run on the same survivor set under any order).
+  uint64_t filter_work = 0;
+  for (size_t i = 0; i < stats.stages.size(); ++i) {
+    if (pipe.stages()[i]->is_filter()) filter_work += stats.stages[i].work_units;
+  }
+  state.counters["work_units"] = static_cast<double>(stats.total_work);
+  state.counters["filter_work"] = static_cast<double>(filter_work);
+  state.counters["survivors"] = static_cast<double>(survivors);
+  state.SetLabel(optimize ? "optimized order (" + pipe.ToString() + ")"
+                          : "naive order");
+}
+
+BENCHMARK(BM_PipelineOrder)
+    ->ArgsProduct({{20000, 50000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+/// Two downstream pipelines (e.g. a pretraining corpus and an eval
+/// corpus) share the cleaning prefix; materializing it once avoids
+/// recomputation — the other half of the Alibaba story.
+void BM_SharedPrefix(benchmark::State& state) {
+  const auto& corpus = GetCorpus(static_cast<size_t>(state.range(0)));
+  bool share = state.range(1) == 1;
+
+  auto length = std::make_shared<LengthFilter>(10, 100000);
+  auto lang = std::make_shared<AsciiLanguageFilter>();
+  auto quality = std::make_shared<QualityFilter>();
+  auto dedup = std::make_shared<ExactDedupFilter>();
+
+  Pipeline train;
+  train.AddStage(length);
+  train.AddStage(lang);
+  train.AddStage(quality);
+  train.AddStage(dedup);
+  train.AddStage(std::make_shared<NearDedupFilter>());
+  train.AddStage(std::make_shared<TokenizeCostTransform>());
+
+  Pipeline eval;
+  eval.AddStage(length);
+  eval.AddStage(lang);
+  eval.AddStage(quality);
+  eval.AddStage(dedup);
+  eval.AddStage(std::make_shared<PiiScrubTransform>());
+  eval.AddStage(std::make_shared<TokenizeCostTransform>(4));
+
+  uint64_t saved = 0, total = 0;
+  for (auto _ : state) {
+    if (share) {
+      auto results = RunWithSharedPrefixes({&train, &eval}, corpus, &saved,
+                                           &total);
+      benchmark::DoNotOptimize(results.size());
+    } else {
+      PipelineRunStats s1, s2;
+      auto r1 = train.Run(corpus, &s1);
+      auto r2 = eval.Run(corpus, &s2);
+      total = s1.total_work + s2.total_work;
+      saved = 0;
+      benchmark::DoNotOptimize(r1.size() + r2.size());
+    }
+  }
+  state.counters["work_units"] = static_cast<double>(total);
+  state.counters["work_saved"] = static_cast<double>(saved);
+  state.SetLabel(share ? "shared prefix materialized"
+                       : "independent runs");
+}
+
+BENCHMARK(BM_SharedPrefix)
+    ->ArgsProduct({{20000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond)
+    ->MinTime(0.05);
+
+}  // namespace
+}  // namespace agora
+
+int main(int argc, char** argv) {
+  agora::bench::PrintClaim(
+      "E5: query-optimization principles on an LLM data-prep pipeline",
+      "\"applying query optimization principles to rebuild their pipeline "
+      "for training QWEN 3, significantly reducing costs\" (panel "
+      "§3.3.1, Alibaba anecdote)",
+      "rank-ordering filters (cheap+selective first) cuts total work "
+      "units substantially at identical outputs; materializing the shared "
+      "cleaning prefix across two downstream pipelines saves its full "
+      "recomputation");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Provenance example: compute an aggregate report with lineage capture,
+// then audit one suspicious output by tracing it back to the exact base
+// rows that produced it.
+
+#include <cstdio>
+
+#include "lineage/lineage.h"
+#include "storage/table.h"
+
+int main() {
+  using namespace agora;
+
+  // A tiny "content moderation" scenario: sources post items; we report
+  // items per source and want to audit where a count came from.
+  auto sources = std::make_shared<Table>(
+      "sources", Schema({{"id", TypeId::kInt64, false},
+                         {"name", TypeId::kString, false},
+                         {"trusted", TypeId::kBool, false}}));
+  (void)sources->AppendRow({Value::Int64(1), Value::String("wire_service"),
+                            Value::Bool(true)});
+  (void)sources->AppendRow({Value::Int64(2), Value::String("blog_farm"),
+                            Value::Bool(false)});
+  (void)sources->AppendRow({Value::Int64(3), Value::String("press_office"),
+                            Value::Bool(true)});
+
+  auto items = std::make_shared<Table>(
+      "items", Schema({{"id", TypeId::kInt64, false},
+                       {"source_id", TypeId::kInt64, false},
+                       {"engagement", TypeId::kDouble, false}}));
+  int64_t id = 0;
+  for (int s = 1; s <= 3; ++s) {
+    int posts = s == 2 ? 9 : 3;  // the blog farm floods
+    for (int p = 0; p < posts; ++p) {
+      (void)items->AppendRow({Value::Int64(++id), Value::Int64(s),
+                              Value::Double(10.0 * s + p)});
+    }
+  }
+
+  // Pipeline with lineage capture: scan -> join -> group by source name.
+  auto s_rel = LineageScan(*sources, nullptr, /*capture=*/true);
+  auto i_rel = LineageScan(*items, nullptr, true);
+  auto joined = LineageJoin(*s_rel, *i_rel, /*sources.id*/ 0,
+                            /*items.source_id*/ 1, true);
+
+  AggregateSpec count;
+  count.func = AggFunc::kCountStar;
+  count.result_type = TypeId::kInt64;
+  count.name = "posts";
+  AggregateSpec engagement;
+  engagement.func = AggFunc::kSum;
+  engagement.arg = MakeColumnRef(5, TypeId::kDouble, "engagement");
+  engagement.result_type = TypeId::kDouble;
+  engagement.name = "total_engagement";
+  auto report = LineageAggregate(*joined, {/*name*/ 1},
+                                 {count, engagement}, true);
+
+  std::printf("source          posts  engagement\n");
+  size_t suspicious = 0;
+  for (size_t r = 0; r < report->num_rows(); ++r) {
+    int64_t posts = report->data.column(1).GetInt64(r);
+    std::printf("%-15s %5lld  %10.1f\n",
+                report->data.column(0).GetString(r).c_str(),
+                static_cast<long long>(posts),
+                report->data.column(2).GetDouble(r));
+    if (posts > 5) suspicious = r;
+  }
+
+  // Audit: which exact base rows produced the outlier?
+  std::printf("\nAuditing the outlier row via backward lineage:\n");
+  auto item_rows = TraceRow(*report, suspicious, "items");
+  auto source_rows = TraceRow(*report, suspicious, "sources");
+  std::printf("  contributing sources rows: ");
+  for (const LineageRef& ref : *source_rows) {
+    std::printf("%lld ", static_cast<long long>(ref.row));
+  }
+  std::printf("\n  contributing items rows:   ");
+  for (const LineageRef& ref : *item_rows) {
+    std::printf("%lld ", static_cast<long long>(ref.row));
+  }
+  std::printf(
+      "\n  -> every number in the report is attributable to exact base "
+      "rows; no trust required.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Interactive SQL shell over an in-memory AgoraDB instance — the "just
+// let me type SQL" experience. Reads one statement per line from stdin.
+//
+//   ./build/examples/sql_shell
+//   agora> CREATE TABLE t (a BIGINT, b VARCHAR);
+//   agora> INSERT INTO t VALUES (1, 'x'), (2, 'y');
+//   agora> SELECT * FROM t;
+//
+// Meta commands: \tables  \timing  \q
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/timer.h"
+#include "engine/database.h"
+#include "tpch/tpch.h"
+
+int main(int argc, char** argv) {
+  agora::Database db;
+
+  // `sql_shell --tpch` preloads a small TPC-H dataset to play with.
+  if (argc > 1 && std::string(argv[1]) == "--tpch") {
+    agora::TpchOptions options;
+    options.scale_factor = 0.01;
+    std::printf("loading TPC-H at SF %.2f ...\n", options.scale_factor);
+    agora::Status s = agora::GenerateTpch(options, &db.catalog());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  bool timing = false;
+  bool interactive = true;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf("agora> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    // Trim whitespace.
+    size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t");
+    std::string input = line.substr(begin, end - begin + 1);
+
+    if (input == "\\q" || input == "exit" || input == "quit") break;
+    if (input == "\\timing") {
+      timing = !timing;
+      std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+    if (input == "\\tables") {
+      for (const std::string& name : db.catalog().TableNames()) {
+        auto table = db.catalog().GetTable(name);
+        std::printf("%-16s %8zu rows   (%s)\n", name.c_str(),
+                    (*table)->num_rows(),
+                    (*table)->schema().ToString().c_str());
+      }
+      continue;
+    }
+
+    agora::Timer timer;
+    auto result = db.Execute(input);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (result->num_columns() > 0) {
+      std::printf("%s", result->ToString(40).c_str());
+    }
+    if (timing) {
+      std::printf("(%.2f ms)\n", timer.ElapsedMillis());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,99 @@
+#ifndef AGORA_COMMON_ARENA_H_
+#define AGORA_COMMON_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace agora {
+
+/// Bump-pointer allocator for short-lived, same-lifetime allocations on
+/// query hot paths (string payloads in chunks, hash-table rows). All memory
+/// is released at once on destruction or `Reset()`; individual allocations
+/// are never freed.
+class Arena {
+ public:
+  static constexpr size_t kDefaultBlockSize = 64 * 1024;
+
+  explicit Arena(size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `size` bytes aligned to `align` (power of two).
+  void* Allocate(size_t size, size_t align = alignof(std::max_align_t)) {
+    size_t current = reinterpret_cast<uintptr_t>(ptr_);
+    size_t aligned = (current + align - 1) & ~(align - 1);
+    size_t padding = aligned - current;
+    if (ptr_ == nullptr || padding + size > remaining_) {
+      NewBlock(size + align);
+      current = reinterpret_cast<uintptr_t>(ptr_);
+      aligned = (current + align - 1) & ~(align - 1);
+      padding = aligned - current;
+    }
+    ptr_ += padding + size;
+    remaining_ -= padding + size;
+    allocated_bytes_ += size;
+    return reinterpret_cast<void*>(aligned);
+  }
+
+  /// Copies `data` into the arena and returns a view of the copy.
+  std::string_view CopyString(std::string_view data) {
+    if (data.empty()) return {};
+    char* dst = static_cast<char*>(Allocate(data.size(), 1));
+    std::memcpy(dst, data.data(), data.size());
+    return {dst, data.size()};
+  }
+
+  /// Allocates an uninitialized array of `n` objects of trivial type T.
+  template <typename T>
+  T* AllocateArray(size_t n) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "Arena never runs destructors");
+    return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  /// Drops all blocks; invalidates every pointer previously returned.
+  void Reset() {
+    blocks_.clear();
+    ptr_ = nullptr;
+    remaining_ = 0;
+    allocated_bytes_ = 0;
+  }
+
+  /// Total bytes handed out since construction/Reset (not block overhead).
+  size_t allocated_bytes() const { return allocated_bytes_; }
+  /// Total bytes reserved from the system.
+  size_t reserved_bytes() const {
+    size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    size_t size;
+  };
+
+  void NewBlock(size_t min_size) {
+    size_t size = min_size > block_size_ ? min_size : block_size_;
+    blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    ptr_ = blocks_.back().data.get();
+    remaining_ = size;
+  }
+
+  size_t block_size_;
+  std::vector<Block> blocks_;
+  char* ptr_ = nullptr;
+  size_t remaining_ = 0;
+  size_t allocated_bytes_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_ARENA_H_

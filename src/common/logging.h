@@ -1,0 +1,68 @@
+#ifndef AGORA_COMMON_LOGGING_H_
+#define AGORA_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace agora {
+
+/// Severity levels for the minimal logging facility.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level; messages below it are dropped.
+/// Defaults to kWarn so library internals stay quiet in benchmarks.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+/// Swallows a streamed expression when a log statement is compiled out.
+struct NullStream {
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace agora
+
+#define AGORA_LOG(level)                                                  \
+  ::agora::internal::LogMessage(::agora::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+/// Internal invariant check: aborts with a message when `cond` is false.
+/// Used only for programmer errors, never for user input validation.
+#define AGORA_CHECK(cond)                                       \
+  if (!(cond))                                                  \
+  ::agora::internal::LogMessage(::agora::LogLevel::kFatal,      \
+                                __FILE__, __LINE__)             \
+      << "Check failed: " #cond " "
+
+#define AGORA_DCHECK(cond) AGORA_CHECK(cond)
+
+#endif  // AGORA_COMMON_LOGGING_H_

@@ -1,0 +1,75 @@
+#ifndef AGORA_COMMON_RESULT_H_
+#define AGORA_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace agora {
+
+/// Holds either a value of type `T` or a non-OK `Status` (Arrow's
+/// `Result<T>` idiom). Accessing the value of an errored result aborts;
+/// callers must check `ok()` first or use AGORA_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value; intentional for ergonomic returns.
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. Must be non-OK.
+  Result(Status status) : data_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(data_).ok()) std::abort();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// Returns OK if a value is present, else the stored error.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::get<T>(std::move(data_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace agora
+
+#define AGORA_CONCAT_IMPL_(a, b) a##b
+#define AGORA_CONCAT_(a, b) AGORA_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define AGORA_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  AGORA_ASSIGN_OR_RETURN_IMPL_(                                   \
+      AGORA_CONCAT_(_agora_result_, __LINE__), lhs, rexpr)
+
+#define AGORA_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // AGORA_COMMON_RESULT_H_

@@ -1,0 +1,121 @@
+#ifndef AGORA_COMMON_RNG_H_
+#define AGORA_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace agora {
+
+/// Deterministic xorshift128+ PRNG. Used everywhere instead of <random> so
+/// data generators produce identical datasets across platforms and runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    // SplitMix64 seeding to avoid weak states.
+    uint64_t z = seed + 0x9e3779b97f4a7c15ULL;
+    auto next = [&z]() {
+      z += 0x9e3779b97f4a7c15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    AGORA_DCHECK(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+    return lo + static_cast<int64_t>(Next() % range);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller.
+  double Gaussian() {
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    if (u1 < 1e-12) u1 = 1e-12;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  /// Random lowercase ASCII string of length in [min_len, max_len].
+  std::string NextString(int min_len, int max_len) {
+    int len = static_cast<int>(Uniform(min_len, max_len));
+    std::string out(static_cast<size_t>(len), 'a');
+    for (char& c : out) c = static_cast<char>('a' + Uniform(0, 25));
+    return out;
+  }
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+};
+
+/// Zipf-distributed generator over {0, ..., n-1} with exponent `theta`.
+/// Precomputes the CDF once; used for skewed OLTP key access (E6).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42)
+      : rng_(seed), cdf_(n) {
+    AGORA_CHECK(n > 0);
+    double sum = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+      cdf_[i] = sum;
+    }
+    for (uint64_t i = 0; i < n; ++i) cdf_[i] /= sum;
+  }
+
+  /// Next sample; rank 0 is the hottest key.
+  uint64_t Next() {
+    double u = rng_.NextDouble();
+    // Binary search the CDF.
+    size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_RNG_H_

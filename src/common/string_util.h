@@ -1,0 +1,46 @@
+#ifndef AGORA_COMMON_STRING_UTIL_H_
+#define AGORA_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agora {
+
+/// Splits `s` on `delim`; empty fields are preserved.
+std::vector<std::string> SplitString(std::string_view s, char delim);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimString(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// ASCII uppercase copy.
+std::string ToUpper(std::string_view s);
+
+/// Joins `parts` with `sep`.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        std::string_view sep);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// True if `s` ends with `suffix` (case-sensitive).
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// SQL LIKE pattern match: '%' matches any run, '_' matches one char.
+bool LikeMatch(std::string_view value, std::string_view pattern);
+
+/// Formats a double with `digits` fractional digits (no locale).
+std::string FormatDouble(double v, int digits = 3);
+
+/// Formats `n` with thousands separators, e.g. 1234567 -> "1,234,567".
+std::string FormatCount(int64_t n);
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_STRING_UTIL_H_

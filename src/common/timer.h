@@ -1,0 +1,35 @@
+#ifndef AGORA_COMMON_TIMER_H_
+#define AGORA_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace agora {
+
+/// Monotonic wall-clock stopwatch used by benchmarks and the resource
+/// accountant.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_TIMER_H_

@@ -1,0 +1,349 @@
+#include "engine/database.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "storage/csv.h"
+
+namespace agora {
+
+Value QueryResult::GetByName(size_t row, const std::string& column) const {
+  auto idx = schema_.FindField(column);
+  AGORA_CHECK(idx.has_value()) << "no column named '" << column << "'";
+  return Get(row, *idx);
+}
+
+std::string QueryResult::ToString(size_t max_rows) const {
+  // Compute column widths over header + visible rows.
+  size_t cols = schema_.num_fields();
+  size_t rows = std::min(num_rows(), max_rows);
+  std::vector<size_t> width(cols);
+  std::vector<std::vector<std::string>> cells(rows);
+  for (size_t c = 0; c < cols; ++c) {
+    width[c] = schema_.field(c).name.size();
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r].resize(cols);
+    for (size_t c = 0; c < cols; ++c) {
+      cells[r][c] = data_.column(c).GetValue(r).ToString();
+      width[c] = std::max(width[c], cells[r][c].size());
+    }
+  }
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+  std::string out;
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += " | ";
+    out += pad(schema_.field(c).name, width[c]);
+  }
+  out += '\n';
+  for (size_t c = 0; c < cols; ++c) {
+    if (c > 0) out += "-+-";
+    out += std::string(width[c], '-');
+  }
+  out += '\n';
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c > 0) out += " | ";
+      out += pad(cells[r][c], width[c]);
+    }
+    out += '\n';
+  }
+  if (num_rows() > max_rows) {
+    out += "... (" + std::to_string(num_rows() - max_rows) + " more rows)\n";
+  }
+  out += "(" + std::to_string(num_rows()) + " rows)\n";
+  return out;
+}
+
+Database::Database(DatabaseOptions options)
+    : options_(options), optimizer_(options.optimizer) {}
+
+Result<QueryResult> Database::Execute(const std::string& sql) {
+  AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  ++statements_executed_;
+  if (auto* select = std::get_if<SelectStatement>(&stmt.node)) {
+    return ExecuteSelect(*select, stmt.explain);
+  }
+  if (auto* create = std::get_if<CreateTableStatement>(&stmt.node)) {
+    return ExecuteCreateTable(*create);
+  }
+  if (auto* drop = std::get_if<DropTableStatement>(&stmt.node)) {
+    return ExecuteDropTable(*drop);
+  }
+  if (auto* insert = std::get_if<InsertStatement>(&stmt.node)) {
+    return ExecuteInsert(*insert);
+  }
+  if (auto* index = std::get_if<CreateIndexStatement>(&stmt.node)) {
+    return ExecuteCreateIndex(*index);
+  }
+  if (auto* update = std::get_if<UpdateStatement>(&stmt.node)) {
+    return ExecuteUpdate(*update);
+  }
+  if (auto* del = std::get_if<DeleteStatement>(&stmt.node)) {
+    return ExecuteDelete(*del);
+  }
+  if (auto* copy = std::get_if<CopyStatement>(&stmt.node)) {
+    return ExecuteCopy(*copy);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<std::string> Database::Explain(const std::string& sql) {
+  AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
+  auto* select = std::get_if<SelectStatement>(&stmt.node);
+  if (select == nullptr) {
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
+  AGORA_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanSelect(*select));
+  return plan->TreeString();
+}
+
+Result<LogicalOpPtr> Database::PlanSelect(const SelectStatement& select) {
+  Binder binder(catalog_);
+  AGORA_ASSIGN_OR_RETURN(LogicalOpPtr plan, binder.BindSelect(select));
+  return optimizer_.Optimize(std::move(plan));
+}
+
+Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
+  ExecContext context;
+  AGORA_ASSIGN_OR_RETURN(
+      PhysicalOpPtr root,
+      CreatePhysicalPlan(plan, &context, options_.physical));
+  AGORA_ASSIGN_OR_RETURN(Chunk data, CollectAll(root.get()));
+  // Accumulate into the database-wide counters.
+  const ExecStats& s = context.stats;
+  cumulative_stats_.rows_scanned += s.rows_scanned;
+  cumulative_stats_.blocks_read += s.blocks_read;
+  cumulative_stats_.blocks_skipped += s.blocks_skipped;
+  cumulative_stats_.rows_joined += s.rows_joined;
+  cumulative_stats_.probe_calls += s.probe_calls;
+  cumulative_stats_.rows_aggregated += s.rows_aggregated;
+  cumulative_stats_.rows_sorted += s.rows_sorted;
+  cumulative_stats_.bytes_materialized += s.bytes_materialized;
+  cumulative_stats_.chunks_emitted += s.chunks_emitted;
+  return QueryResult(plan->schema(), std::move(data), context.stats);
+}
+
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
+                                            bool explain) {
+  AGORA_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanSelect(select));
+  if (explain) {
+    Schema schema({Field{"plan", TypeId::kString, false}});
+    Chunk data(schema);
+    data.AppendRow({Value::String(plan->TreeString())});
+    return QueryResult(std::move(schema), std::move(data), ExecStats{});
+  }
+  return ExecutePlan(plan);
+}
+
+Result<QueryResult> Database::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  if (stmt.if_not_exists && catalog_.HasTable(stmt.table)) {
+    return QueryResult();
+  }
+  std::vector<Field> fields;
+  for (const ColumnDef& def : stmt.columns) {
+    fields.push_back(Field{def.name, def.type, true});
+  }
+  AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                         catalog_.CreateTable(stmt.table,
+                                              Schema(std::move(fields))));
+  (void)table;
+  return QueryResult();
+}
+
+Result<QueryResult> Database::ExecuteDropTable(
+    const DropTableStatement& stmt) {
+  Status status = catalog_.DropTable(stmt.table);
+  if (!status.ok() && !(stmt.if_exists &&
+                        status.code() == StatusCode::kNotFound)) {
+    return status;
+  }
+  return QueryResult();
+}
+
+Result<QueryResult> Database::ExecuteInsert(const InsertStatement& stmt) {
+  AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                         catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+
+  // Resolve the target column order.
+  std::vector<size_t> target_cols;
+  if (stmt.columns.empty()) {
+    for (size_t i = 0; i < schema.num_fields(); ++i) target_cols.push_back(i);
+  } else {
+    for (const std::string& name : stmt.columns) {
+      AGORA_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(name));
+      target_cols.push_back(idx);
+    }
+  }
+
+  Binder binder(catalog_);
+  Schema empty;
+  for (const auto& row_exprs : stmt.rows) {
+    if (row_exprs.size() != target_cols.size()) {
+      return Status::InvalidArgument(
+          "INSERT row has " + std::to_string(row_exprs.size()) +
+          " values, expected " + std::to_string(target_cols.size()));
+    }
+    std::vector<Value> row(schema.num_fields());  // default NULL
+    for (size_t i = 0; i < row_exprs.size(); ++i) {
+      AGORA_ASSIGN_OR_RETURN(ExprPtr bound,
+                             binder.BindScalarExpr(row_exprs[i], empty));
+      if (!bound->IsConstant()) {
+        return Status::InvalidArgument(
+            "INSERT values must be constant expressions");
+      }
+      AGORA_ASSIGN_OR_RETURN(Value v, bound->EvaluateScalar());
+      TypeId want = schema.field(target_cols[i]).type;
+      if (!v.is_null() && v.type() != want) {
+        AGORA_ASSIGN_OR_RETURN(v, v.CastTo(want));
+      }
+      row[target_cols[i]] = std::move(v);
+    }
+    AGORA_RETURN_IF_ERROR(table->AppendRow(row));
+  }
+  return QueryResult();
+}
+
+namespace {
+
+/// One-row result reporting how many rows a DML statement touched.
+QueryResult RowsAffected(int64_t n) {
+  Schema schema({Field{"rows_affected", TypeId::kInt64, false}});
+  Chunk data(schema);
+  data.AppendRow({Value::Int64(n)});
+  return QueryResult(std::move(schema), std::move(data), ExecStats{});
+}
+
+/// Binds `where` against `table`'s schema and evaluates it, returning a
+/// row-selection bitmap (nullptr where -> all true).
+Result<std::vector<uint8_t>> EvaluateWhereBitmap(const Catalog& catalog,
+                                                 const Table& table,
+                                                 const ParsedExprPtr& where) {
+  std::vector<uint8_t> bitmap(table.num_rows(), 1);
+  if (where == nullptr) return bitmap;
+  Binder binder(catalog);
+  AGORA_ASSIGN_OR_RETURN(ExprPtr pred,
+                         binder.BindScalarExpr(where, table.schema()));
+  if (pred->result_type() != TypeId::kBool) {
+    return Status::TypeError("WHERE clause must be BOOLEAN");
+  }
+  for (size_t start = 0; start < table.num_rows(); start += kChunkSize) {
+    Chunk chunk = table.GetChunk(start, kChunkSize);
+    ColumnVector mask;
+    AGORA_RETURN_IF_ERROR(pred->Evaluate(chunk, &mask));
+    for (size_t i = 0; i < mask.size(); ++i) {
+      bitmap[start + i] = (!mask.IsNull(i) && mask.GetBool(i)) ? 1 : 0;
+    }
+  }
+  return bitmap;
+}
+
+}  // namespace
+
+Result<QueryResult> Database::ExecuteUpdate(const UpdateStatement& stmt) {
+  AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                         catalog_.GetTable(stmt.table));
+  const Schema& schema = table->schema();
+  Binder binder(catalog_);
+  // Resolve assignment targets and bind their value expressions against
+  // the (pre-update) row.
+  std::vector<size_t> target_cols;
+  std::vector<ExprPtr> value_exprs;
+  for (const auto& [column, parsed] : stmt.assignments) {
+    AGORA_ASSIGN_OR_RETURN(size_t idx, schema.FieldIndex(column));
+    AGORA_ASSIGN_OR_RETURN(ExprPtr bound,
+                           binder.BindScalarExpr(parsed, schema));
+    target_cols.push_back(idx);
+    value_exprs.push_back(std::move(bound));
+  }
+  AGORA_ASSIGN_OR_RETURN(std::vector<uint8_t> bitmap,
+                         EvaluateWhereBitmap(catalog_, *table, stmt.where));
+
+  int64_t affected = 0;
+  for (size_t start = 0; start < bitmap.size(); start += kChunkSize) {
+    size_t count = std::min(kChunkSize, bitmap.size() - start);
+    bool any = false;
+    for (size_t i = 0; i < count; ++i) {
+      if (bitmap[start + i] != 0) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) continue;
+    // New values are computed from the pre-update chunk, so multiple
+    // assignments see consistent inputs (standard SQL semantics).
+    Chunk chunk = table->GetChunk(start, count);
+    std::vector<ColumnVector> new_values(value_exprs.size());
+    for (size_t a = 0; a < value_exprs.size(); ++a) {
+      AGORA_RETURN_IF_ERROR(value_exprs[a]->Evaluate(chunk, &new_values[a]));
+    }
+    for (size_t i = 0; i < count; ++i) {
+      if (bitmap[start + i] == 0) continue;
+      for (size_t a = 0; a < target_cols.size(); ++a) {
+        AGORA_RETURN_IF_ERROR(table->SetCell(start + i, target_cols[a],
+                                             new_values[a].GetValue(i)));
+      }
+      ++affected;
+    }
+  }
+  return RowsAffected(affected);
+}
+
+Result<QueryResult> Database::ExecuteDelete(const DeleteStatement& stmt) {
+  AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                         catalog_.GetTable(stmt.table));
+  AGORA_ASSIGN_OR_RETURN(std::vector<uint8_t> bitmap,
+                         EvaluateWhereBitmap(catalog_, *table, stmt.where));
+  std::vector<uint32_t> keep;
+  keep.reserve(bitmap.size());
+  for (size_t i = 0; i < bitmap.size(); ++i) {
+    if (bitmap[i] == 0) keep.push_back(static_cast<uint32_t>(i));
+  }
+  int64_t affected =
+      static_cast<int64_t>(bitmap.size()) - static_cast<int64_t>(keep.size());
+  AGORA_RETURN_IF_ERROR(table->RetainRows(keep));
+  return RowsAffected(affected);
+}
+
+Result<QueryResult> Database::ExecuteCopy(const CopyStatement& stmt) {
+  if (stmt.is_from) {
+    AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                           catalog_.GetTable(stmt.table));
+    AGORA_ASSIGN_OR_RETURN(
+        std::shared_ptr<Table> imported,
+        ReadCsvFile(stmt.path, stmt.table, table->schema()));
+    int64_t rows = static_cast<int64_t>(imported->num_rows());
+    for (size_t start = 0; start < imported->num_rows();
+         start += kChunkSize) {
+      AGORA_RETURN_IF_ERROR(
+          table->AppendChunk(imported->GetChunk(start, kChunkSize)));
+    }
+    return RowsAffected(rows);
+  }
+  AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                         catalog_.GetTable(stmt.table));
+  std::ofstream out(stmt.path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + stmt.path + "' for writing");
+  }
+  AGORA_RETURN_IF_ERROR(WriteCsv(*table, out));
+  return RowsAffected(static_cast<int64_t>(table->num_rows()));
+}
+
+Result<QueryResult> Database::ExecuteCreateIndex(
+    const CreateIndexStatement& stmt) {
+  AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
+                         catalog_.GetTable(stmt.table));
+  AGORA_ASSIGN_OR_RETURN(size_t column,
+                         table->schema().FieldIndex(stmt.column));
+  AGORA_RETURN_IF_ERROR(table->BuildHashIndex(stmt.index, column));
+  return QueryResult();
+}
+
+}  // namespace agora

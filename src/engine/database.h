@@ -1,0 +1,119 @@
+#ifndef AGORA_ENGINE_DATABASE_H_
+#define AGORA_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "exec/physical_op.h"
+#include "exec/physical_planner.h"
+#include "optimizer/optimizer.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace agora {
+
+/// Tunables for a Database instance. The optimizer/physical switches exist
+/// so benchmarks can ablate individual techniques (experiment E4).
+struct DatabaseOptions {
+  OptimizerOptions optimizer;
+  PhysicalPlannerOptions physical;
+};
+
+/// A fully materialized query result: schema + rows + the execution
+/// statistics gathered while producing it.
+class QueryResult {
+ public:
+  QueryResult() = default;
+  QueryResult(Schema schema, Chunk data, ExecStats stats)
+      : schema_(std::move(schema)),
+        data_(std::move(data)),
+        stats_(stats) {}
+
+  const Schema& schema() const { return schema_; }
+  const Chunk& data() const { return data_; }
+  const ExecStats& stats() const { return stats_; }
+
+  size_t num_rows() const { return data_.num_rows(); }
+  size_t num_columns() const { return schema_.num_fields(); }
+
+  /// Value at (row, col); boxes the cell.
+  Value Get(size_t row, size_t col) const {
+    return data_.column(col).GetValue(row);
+  }
+  /// Value by column name; aborts if the name is unknown (test helper).
+  Value GetByName(size_t row, const std::string& column) const;
+
+  /// ASCII table rendering (header + up to `max_rows` rows).
+  std::string ToString(size_t max_rows = 25) const;
+
+ private:
+  Schema schema_;
+  Chunk data_;
+  ExecStats stats_;
+};
+
+/// The embedded AgoraDB engine: catalog + SQL front end + optimizer +
+/// vectorized executor behind a two-call API:
+///
+///   agora::Database db;
+///   db.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)");
+///   auto result = db.Execute("SELECT a, COUNT(*) FROM t GROUP BY a");
+///
+/// Not thread-safe; wrap with external synchronization or use one
+/// Database per thread. (The txn module provides the concurrent MVCC
+/// key-value store.)
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+
+  /// Parses and runs one statement. DDL/DML return an empty result;
+  /// EXPLAIN returns the plan as a one-column result.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Returns the optimized logical plan text for a SELECT.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Binds + optimizes a SELECT into a logical plan (benchmark hook).
+  Result<LogicalOpPtr> PlanSelect(const SelectStatement& select);
+
+  /// Executes a pre-built logical plan (benchmark hook for hand-written
+  /// plans and ablations).
+  Result<QueryResult> ExecutePlan(const LogicalOpPtr& plan);
+
+  /// Number of statements executed since construction (the ORM experiment
+  /// counts round trips with this).
+  int64_t statements_executed() const { return statements_executed_; }
+
+  /// Cumulative execution stats across all statements.
+  const ExecStats& cumulative_stats() const { return cumulative_stats_; }
+  void ResetCumulativeStats() { cumulative_stats_.Reset(); }
+
+  Optimizer& optimizer() { return optimizer_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  Result<QueryResult> ExecuteSelect(const SelectStatement& select,
+                                    bool explain);
+  Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
+  Result<QueryResult> ExecuteDropTable(const DropTableStatement& stmt);
+  Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);
+  Result<QueryResult> ExecuteCreateIndex(const CreateIndexStatement& stmt);
+  Result<QueryResult> ExecuteUpdate(const UpdateStatement& stmt);
+  Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
+  Result<QueryResult> ExecuteCopy(const CopyStatement& stmt);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  Optimizer optimizer_;
+  int64_t statements_executed_ = 0;
+  ExecStats cumulative_stats_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_ENGINE_DATABASE_H_

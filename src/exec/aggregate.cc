@@ -1,0 +1,205 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agora {
+
+PhysicalHashAggregate::PhysicalHashAggregate(
+    PhysicalOpPtr child, std::vector<ExprPtr> group_by,
+    std::vector<AggregateSpec> aggregates, Schema schema,
+    ExecContext* context)
+    : PhysicalOperator(std::move(schema), context),
+      child_(std::move(child)),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {}
+
+Status PhysicalHashAggregate::Open() {
+  groups_.clear();
+  ordered_groups_.clear();
+  next_group_ = 0;
+  AGORA_RETURN_IF_ERROR(child_->Open());
+  bool done = false;
+  while (!done) {
+    Chunk input;
+    AGORA_RETURN_IF_ERROR(child_->Next(&input, &done));
+    if (input.num_rows() > 0) {
+      AGORA_RETURN_IF_ERROR(Accumulate(input));
+    }
+  }
+  // Scalar aggregation always yields one group.
+  if (group_by_.empty() && groups_.empty()) {
+    GroupState& g = groups_[""];
+    g.aggs.resize(aggregates_.size());
+    ordered_groups_.push_back(&g);
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::Accumulate(const Chunk& input) {
+  size_t rows = input.num_rows();
+  context_->stats.rows_aggregated += static_cast<int64_t>(rows);
+
+  // Evaluate group keys and aggregate arguments once per chunk.
+  std::vector<ColumnVector> key_cols(group_by_.size());
+  for (size_t g = 0; g < group_by_.size(); ++g) {
+    AGORA_RETURN_IF_ERROR(group_by_[g]->Evaluate(input, &key_cols[g]));
+  }
+  std::vector<ColumnVector> arg_cols(aggregates_.size());
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (aggregates_[a].arg != nullptr) {
+      AGORA_RETURN_IF_ERROR(
+          aggregates_[a].arg->Evaluate(input, &arg_cols[a]));
+    }
+  }
+
+  std::string key;
+  for (size_t r = 0; r < rows; ++r) {
+    key.clear();
+    for (const ColumnVector& col : key_cols) {
+      AppendKeyBytes(col, r, &key);
+    }
+    auto [it, inserted] = groups_.try_emplace(key);
+    GroupState& group = it->second;
+    if (inserted) {
+      group.keys.reserve(key_cols.size());
+      for (const ColumnVector& col : key_cols) {
+        group.keys.push_back(col.GetValue(r));
+      }
+      group.aggs.resize(aggregates_.size());
+      ordered_groups_.push_back(&group);
+    }
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const AggregateSpec& spec = aggregates_[a];
+      AggState& state = group.aggs[a];
+      if (spec.func == AggFunc::kCountStar) {
+        state.count++;
+        continue;
+      }
+      const ColumnVector& arg = arg_cols[a];
+      if (arg.IsNull(r)) continue;  // SQL: aggregates ignore NULL inputs
+      if (spec.distinct) {
+        std::string dkey;
+        AppendKeyBytes(arg, r, &dkey);
+        if (!state.distinct_seen.insert(std::move(dkey)).second) continue;
+      }
+      state.has_value = true;
+      switch (spec.func) {
+        case AggFunc::kCount:
+          state.count++;
+          break;
+        case AggFunc::kSum:
+        case AggFunc::kAvg:
+          state.count++;
+          if (arg.type() == TypeId::kDouble) {
+            state.sum_d += arg.GetDouble(r);
+          } else {
+            state.sum_i += arg.GetInt64(r);
+            state.sum_d += static_cast<double>(arg.GetInt64(r));
+          }
+          break;
+        case AggFunc::kStddev:
+        case AggFunc::kVariance: {
+          double v = arg.GetNumeric(r);
+          state.count++;
+          state.sum_d += v;
+          state.sum_sq += v * v;
+          break;
+        }
+        case AggFunc::kMin: {
+          Value v = arg.GetValue(r);
+          if (state.count == 0 || v.Compare(state.min_max) < 0) {
+            state.min_max = std::move(v);
+          }
+          state.count++;
+          break;
+        }
+        case AggFunc::kMax: {
+          Value v = arg.GetValue(r);
+          if (state.count == 0 || v.Compare(state.min_max) > 0) {
+            state.min_max = std::move(v);
+          }
+          state.count++;
+          break;
+        }
+        case AggFunc::kCountStar:
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void PhysicalHashAggregate::FinalizeInto(Chunk* out,
+                                         const GroupState& group) const {
+  size_t col = 0;
+  for (const Value& key : group.keys) {
+    out->column(col++).AppendValue(key);
+  }
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    const AggregateSpec& spec = aggregates_[a];
+    const AggState& state = group.aggs[a];
+    ColumnVector& target = out->column(col++);
+    switch (spec.func) {
+      case AggFunc::kCountStar:
+      case AggFunc::kCount:
+        target.AppendInt64(state.count);
+        break;
+      case AggFunc::kSum:
+        if (!state.has_value) {
+          target.AppendNull();
+        } else if (spec.result_type == TypeId::kDouble) {
+          target.AppendDouble(state.sum_d);
+        } else {
+          target.AppendInt64(state.sum_i);
+        }
+        break;
+      case AggFunc::kAvg:
+        if (!state.has_value) {
+          target.AppendNull();
+        } else {
+          target.AppendDouble(state.sum_d /
+                              static_cast<double>(state.count));
+        }
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax:
+        if (!state.has_value) {
+          target.AppendNull();
+        } else {
+          target.AppendValue(state.min_max);
+        }
+        break;
+      case AggFunc::kStddev:
+      case AggFunc::kVariance: {
+        if (state.count < 2) {
+          target.AppendNull();
+          break;
+        }
+        double n = static_cast<double>(state.count);
+        double mean = state.sum_d / n;
+        double variance =
+            std::max(0.0, (state.sum_sq - n * mean * mean) / (n - 1.0));
+        target.AppendDouble(spec.func == AggFunc::kVariance
+                                ? variance
+                                : std::sqrt(variance));
+        break;
+      }
+    }
+  }
+}
+
+Status PhysicalHashAggregate::Next(Chunk* chunk, bool* done) {
+  Chunk out(schema_);
+  size_t emitted = 0;
+  while (next_group_ < ordered_groups_.size() && emitted < kChunkSize) {
+    FinalizeInto(&out, *ordered_groups_[next_group_++]);
+    ++emitted;
+  }
+  context_->stats.bytes_materialized += static_cast<int64_t>(out.MemoryBytes());
+  *chunk = std::move(out);
+  *done = next_group_ >= ordered_groups_.size();
+  return Status::OK();
+}
+
+}  // namespace agora

@@ -1,0 +1,58 @@
+#ifndef AGORA_EXEC_AGGREGATE_H_
+#define AGORA_EXEC_AGGREGATE_H_
+
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+
+namespace agora {
+
+/// Blocking hash aggregation. Consumes the whole child in Open(), then
+/// streams result groups. Output schema: [group keys..., aggregates...].
+/// With no group keys, emits exactly one row (SQL scalar-aggregate rule).
+class PhysicalHashAggregate : public PhysicalOperator {
+ public:
+  PhysicalHashAggregate(PhysicalOpPtr child, std::vector<ExprPtr> group_by,
+                        std::vector<AggregateSpec> aggregates, Schema schema,
+                        ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "HashAggregate"; }
+
+ private:
+  struct AggState {
+    int64_t count = 0;       // COUNT / AVG / STDDEV denominator
+    double sum_d = 0;        // SUM/AVG accumulator (double path)
+    double sum_sq = 0;       // STDDEV/VARIANCE accumulator
+    int64_t sum_i = 0;       // SUM accumulator (int64 path)
+    Value min_max;           // running MIN or MAX
+    bool has_value = false;  // any non-null input seen
+    std::set<std::string> distinct_seen;  // DISTINCT dedup keys
+  };
+
+  struct GroupState {
+    std::vector<Value> keys;
+    std::vector<AggState> aggs;
+  };
+
+  Status Accumulate(const Chunk& input);
+  void FinalizeInto(Chunk* out, const GroupState& group) const;
+
+  PhysicalOpPtr child_;
+  std::vector<ExprPtr> group_by_;
+  std::vector<AggregateSpec> aggregates_;
+
+  std::unordered_map<std::string, GroupState> groups_;
+  std::vector<const GroupState*> ordered_groups_;  // stable output order
+  size_t next_group_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_AGGREGATE_H_

@@ -1,0 +1,58 @@
+#include "exec/filter_project.h"
+
+#include "exec/scan.h"
+
+namespace agora {
+
+PhysicalFilter::PhysicalFilter(PhysicalOpPtr child, ExprPtr predicate,
+                               ExecContext* context)
+    : PhysicalOperator(child->schema(), context),
+      child_(std::move(child)),
+      predicate_(std::move(predicate)) {}
+
+Status PhysicalFilter::Open() {
+  child_done_ = false;
+  return child_->Open();
+}
+
+Status PhysicalFilter::Next(Chunk* chunk, bool* done) {
+  while (!child_done_) {
+    Chunk input;
+    AGORA_RETURN_IF_ERROR(child_->Next(&input, &child_done_));
+    if (input.num_rows() == 0) continue;
+    AGORA_ASSIGN_OR_RETURN(Chunk filtered, FilterChunk(input, *predicate_));
+    if (filtered.num_rows() == 0) continue;
+    *chunk = std::move(filtered);
+    *done = child_done_;
+    return Status::OK();
+  }
+  *chunk = Chunk(schema_);
+  *done = true;
+  return Status::OK();
+}
+
+PhysicalProject::PhysicalProject(PhysicalOpPtr child,
+                                 std::vector<ExprPtr> exprs, Schema schema,
+                                 ExecContext* context)
+    : PhysicalOperator(std::move(schema), context),
+      child_(std::move(child)),
+      exprs_(std::move(exprs)) {}
+
+Status PhysicalProject::Open() { return child_->Open(); }
+
+Status PhysicalProject::Next(Chunk* chunk, bool* done) {
+  Chunk input;
+  AGORA_RETURN_IF_ERROR(child_->Next(&input, done));
+  Chunk out;
+  for (const ExprPtr& expr : exprs_) {
+    ColumnVector col;
+    AGORA_RETURN_IF_ERROR(expr->Evaluate(input, &col));
+    out.AddColumn(std::move(col));
+  }
+  out.SetExplicitRowCount(input.num_rows());
+  context_->stats.bytes_materialized += static_cast<int64_t>(out.MemoryBytes());
+  *chunk = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace agora

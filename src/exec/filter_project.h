@@ -1,0 +1,44 @@
+#ifndef AGORA_EXEC_FILTER_PROJECT_H_
+#define AGORA_EXEC_FILTER_PROJECT_H_
+
+#include <vector>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+
+namespace agora {
+
+/// Keeps input rows where `predicate` evaluates to TRUE.
+class PhysicalFilter : public PhysicalOperator {
+ public:
+  PhysicalFilter(PhysicalOpPtr child, ExprPtr predicate,
+                 ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "Filter"; }
+
+ private:
+  PhysicalOpPtr child_;
+  ExprPtr predicate_;
+  bool child_done_ = false;
+};
+
+/// Evaluates one expression per output column.
+class PhysicalProject : public PhysicalOperator {
+ public:
+  PhysicalProject(PhysicalOpPtr child, std::vector<ExprPtr> exprs,
+                  Schema schema, ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "Project"; }
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_FILTER_PROJECT_H_

@@ -1,0 +1,220 @@
+#include "exec/join.h"
+
+#include "common/hash.h"
+#include "exec/scan.h"
+
+namespace agora {
+
+namespace {
+
+// Appends left row `lrow` ⊕ right row `rrow` to `out` (whose columns are
+// left columns followed by right columns). `rrow` < 0 pads NULLs.
+void AppendJoinedRow(const Chunk& left, size_t lrow, const Chunk& right,
+                     int64_t rrow, Chunk* out) {
+  size_t lcols = left.num_columns();
+  for (size_t c = 0; c < lcols; ++c) {
+    out->column(c).AppendFrom(left.column(c), lrow);
+  }
+  for (size_t c = 0; c < right.num_columns(); ++c) {
+    if (rrow < 0) {
+      out->column(lcols + c).AppendNull();
+    } else {
+      out->column(lcols + c).AppendFrom(right.column(c),
+                                        static_cast<size_t>(rrow));
+    }
+  }
+}
+
+}  // namespace
+
+PhysicalHashJoin::PhysicalHashJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                                   std::vector<ExprPtr> left_keys,
+                                   std::vector<ExprPtr> right_keys,
+                                   ExprPtr residual, PhysicalJoinKind kind,
+                                   ExecContext* context)
+    : PhysicalOperator(left->schema().Concat(right->schema()), context),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      left_keys_(std::move(left_keys)),
+      right_keys_(std::move(right_keys)),
+      residual_(std::move(residual)),
+      kind_(kind) {
+  AGORA_CHECK(!left_keys_.empty() && left_keys_.size() == right_keys_.size());
+}
+
+Status PhysicalHashJoin::Open() {
+  probe_done_ = false;
+  table_.clear();
+  build_keys_.clear();
+  AGORA_RETURN_IF_ERROR(left_->Open());
+  AGORA_ASSIGN_OR_RETURN(build_data_, CollectAll(right_.get()));
+  context_->stats.bytes_materialized +=
+      static_cast<int64_t>(build_data_.MemoryBytes());
+
+  // Evaluate the build-side keys once over the materialized data.
+  build_keys_.resize(right_keys_.size());
+  for (size_t k = 0; k < right_keys_.size(); ++k) {
+    AGORA_RETURN_IF_ERROR(
+        right_keys_[k]->Evaluate(build_data_, &build_keys_[k]));
+  }
+  size_t rows = build_data_.num_rows();
+  table_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    uint64_t h = 0;
+    bool has_null = false;
+    for (const ColumnVector& key : build_keys_) {
+      if (key.IsNull(r)) {
+        has_null = true;
+        break;
+      }
+      h = HashCombine(h, key.HashRow(r));
+    }
+    if (!has_null) table_.emplace(h, static_cast<uint32_t>(r));
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::Next(Chunk* chunk, bool* done) {
+  while (!probe_done_) {
+    Chunk probe;
+    AGORA_RETURN_IF_ERROR(left_->Next(&probe, &probe_done_));
+    size_t rows = probe.num_rows();
+    if (rows == 0) continue;
+
+    // Evaluate probe keys for the whole chunk.
+    std::vector<ColumnVector> probe_keys(left_keys_.size());
+    for (size_t k = 0; k < left_keys_.size(); ++k) {
+      AGORA_RETURN_IF_ERROR(left_keys_[k]->Evaluate(probe, &probe_keys[k]));
+    }
+
+    Chunk out(schema_);
+    for (size_t r = 0; r < rows; ++r) {
+      uint64_t h = 0;
+      bool has_null = false;
+      for (const ColumnVector& key : probe_keys) {
+        if (key.IsNull(r)) {
+          has_null = true;
+          break;
+        }
+        h = HashCombine(h, key.HashRow(r));
+      }
+      bool matched = false;
+      if (!has_null) {
+        auto range = table_.equal_range(h);
+        for (auto it = range.first; it != range.second; ++it) {
+          context_->stats.probe_calls++;
+          uint32_t brow = it->second;
+          bool equal = true;
+          for (size_t k = 0; k < probe_keys.size(); ++k) {
+            if (probe_keys[k].CompareRows(r, build_keys_[k], brow) != 0) {
+              equal = false;
+              break;
+            }
+          }
+          if (equal) {
+            AppendJoinedRow(probe, r, build_data_, brow, &out);
+            matched = true;
+          }
+        }
+      }
+      if (!matched && kind_ == PhysicalJoinKind::kLeftOuter) {
+        AppendJoinedRow(probe, r, build_data_, -1, &out);
+      }
+    }
+
+    if (residual_ != nullptr && out.num_rows() > 0 &&
+        kind_ != PhysicalJoinKind::kLeftOuter) {
+      AGORA_ASSIGN_OR_RETURN(out, FilterChunk(out, *residual_));
+    }
+    if (out.num_rows() == 0) continue;
+    context_->stats.rows_joined += static_cast<int64_t>(out.num_rows());
+    *chunk = std::move(out);
+    *done = probe_done_;
+    return Status::OK();
+  }
+  *chunk = Chunk(schema_);
+  *done = true;
+  return Status::OK();
+}
+
+PhysicalNestedLoopJoin::PhysicalNestedLoopJoin(PhysicalOpPtr left,
+                                               PhysicalOpPtr right,
+                                               ExprPtr condition,
+                                               PhysicalJoinKind kind,
+                                               ExecContext* context)
+    : PhysicalOperator(left->schema().Concat(right->schema()), context),
+      left_(std::move(left)),
+      right_(std::move(right)),
+      condition_(std::move(condition)),
+      kind_(kind) {}
+
+Status PhysicalNestedLoopJoin::Open() {
+  probe_done_ = false;
+  AGORA_RETURN_IF_ERROR(left_->Open());
+  AGORA_ASSIGN_OR_RETURN(build_data_, CollectAll(right_.get()));
+  context_->stats.bytes_materialized +=
+      static_cast<int64_t>(build_data_.MemoryBytes());
+  return Status::OK();
+}
+
+Status PhysicalNestedLoopJoin::Next(Chunk* chunk, bool* done) {
+  size_t build_rows = build_data_.num_rows();
+  while (!probe_done_) {
+    Chunk probe;
+    AGORA_RETURN_IF_ERROR(left_->Next(&probe, &probe_done_));
+    size_t rows = probe.num_rows();
+    if (rows == 0) continue;
+
+    Chunk out(schema_);
+    // Pair every probe row with every build row, then filter.
+    Chunk paired(schema_);
+    for (size_t r = 0; r < rows; ++r) {
+      for (size_t b = 0; b < build_rows; ++b) {
+        AppendJoinedRow(probe, r, build_data_, static_cast<int64_t>(b),
+                        &paired);
+      }
+    }
+    if (condition_ == nullptr) {
+      out = std::move(paired);
+    } else if (kind_ == PhysicalJoinKind::kLeftOuter) {
+      // Track which probe rows matched to pad the rest.
+      ColumnVector mask;
+      AGORA_RETURN_IF_ERROR(condition_->Evaluate(paired, &mask));
+      std::vector<bool> probe_matched(rows, false);
+      std::vector<uint32_t> sel;
+      for (size_t i = 0; i < paired.num_rows(); ++i) {
+        if (!mask.IsNull(i) && mask.GetBool(i)) {
+          sel.push_back(static_cast<uint32_t>(i));
+          probe_matched[i / build_rows] = true;
+        }
+      }
+      out = paired.GatherRows(sel);
+      for (size_t r = 0; r < rows; ++r) {
+        if (!probe_matched[r]) {
+          AppendJoinedRow(probe, r, build_data_, -1, &out);
+        }
+      }
+    } else {
+      AGORA_ASSIGN_OR_RETURN(out, FilterChunk(paired, *condition_));
+    }
+    if (kind_ == PhysicalJoinKind::kLeftOuter && build_rows == 0) {
+      // Empty build side: every probe row survives, NULL-padded.
+      out = Chunk(schema_);
+      for (size_t r = 0; r < rows; ++r) {
+        AppendJoinedRow(probe, r, build_data_, -1, &out);
+      }
+    }
+    if (out.num_rows() == 0) continue;
+    context_->stats.rows_joined += static_cast<int64_t>(out.num_rows());
+    context_->stats.bytes_materialized +=
+        static_cast<int64_t>(out.MemoryBytes());
+    *chunk = std::move(out);
+    *done = probe_done_;
+    return Status::OK();
+  }
+  *chunk = Chunk(schema_);
+  *done = true;
+  return Status::OK();
+}
+
+}  // namespace agora

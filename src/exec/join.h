@@ -1,0 +1,72 @@
+#ifndef AGORA_EXEC_JOIN_H_
+#define AGORA_EXEC_JOIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+
+namespace agora {
+
+enum class PhysicalJoinKind { kInner, kLeftOuter, kCross };
+
+/// Hash join: materializes and hashes the RIGHT (build) child, then
+/// streams the LEFT (probe) child. Output schema is left ⊕ right. NULL
+/// keys never match; kLeftOuter emits unmatched probe rows padded with
+/// NULLs.
+class PhysicalHashJoin : public PhysicalOperator {
+ public:
+  /// `left_keys[i]` (over the left schema) must equal `right_keys[i]`
+  /// (over the right schema) for a match; the planner guarantees matching
+  /// key types. `residual` (over left ⊕ right) further filters matches.
+  PhysicalHashJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                   std::vector<ExprPtr> left_keys,
+                   std::vector<ExprPtr> right_keys, ExprPtr residual,
+                   PhysicalJoinKind kind, ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "HashJoin"; }
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  std::vector<ExprPtr> left_keys_;
+  std::vector<ExprPtr> right_keys_;
+  ExprPtr residual_;
+  PhysicalJoinKind kind_;
+
+  Chunk build_data_;                      // materialized right side
+  std::vector<ColumnVector> build_keys_;  // evaluated right key columns
+  std::unordered_multimap<uint64_t, uint32_t> table_;
+  bool probe_done_ = false;
+};
+
+/// Nested-loop join: materializes the right child and pairs every probe
+/// row with every build row, evaluating `condition` (if any). Used for
+/// cross joins and non-equi conditions — and as the deliberately naive
+/// baseline when the optimizer is disabled (experiment E4).
+class PhysicalNestedLoopJoin : public PhysicalOperator {
+ public:
+  PhysicalNestedLoopJoin(PhysicalOpPtr left, PhysicalOpPtr right,
+                         ExprPtr condition, PhysicalJoinKind kind,
+                         ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "NestedLoopJoin"; }
+
+ private:
+  PhysicalOpPtr left_;
+  PhysicalOpPtr right_;
+  ExprPtr condition_;
+  PhysicalJoinKind kind_;
+
+  Chunk build_data_;
+  bool probe_done_ = false;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_JOIN_H_

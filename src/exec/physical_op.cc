@@ -1,0 +1,71 @@
+#include "exec/physical_op.h"
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace agora {
+
+std::string ExecStats::ToString() const {
+  std::string out;
+  out += "rows_scanned=" + FormatCount(rows_scanned);
+  out += " blocks_read=" + FormatCount(blocks_read);
+  out += " blocks_skipped=" + FormatCount(blocks_skipped);
+  out += " rows_joined=" + FormatCount(rows_joined);
+  out += " probe_calls=" + FormatCount(probe_calls);
+  out += " rows_aggregated=" + FormatCount(rows_aggregated);
+  out += " rows_sorted=" + FormatCount(rows_sorted);
+  out += " bytes_materialized=" + FormatCount(bytes_materialized);
+  return out;
+}
+
+Result<Chunk> CollectAll(PhysicalOperator* op) {
+  AGORA_RETURN_IF_ERROR(op->Open());
+  Chunk result(op->schema());
+  bool done = false;
+  while (!done) {
+    Chunk chunk;
+    AGORA_RETURN_IF_ERROR(op->Next(&chunk, &done));
+    size_t rows = chunk.num_rows();
+    for (size_t r = 0; r < rows; ++r) {
+      result.AppendRowFrom(chunk, r);
+    }
+    if (op->schema().num_fields() == 0) {
+      result.SetExplicitRowCount(result.num_rows() + rows);
+    }
+  }
+  return result;
+}
+
+void AppendKeyBytes(const ColumnVector& col, size_t row, std::string* out) {
+  if (col.IsNull(row)) {
+    out->push_back('\x00');
+    return;
+  }
+  switch (col.type()) {
+    case TypeId::kString: {
+      out->push_back('\x01');
+      const std::string& s = col.GetString(row);
+      uint32_t len = static_cast<uint32_t>(s.size());
+      out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+      out->append(s);
+      break;
+    }
+    case TypeId::kDouble: {
+      out->push_back('\x02');
+      double d = col.GetDouble(row);
+      // Normalize -0.0 so it groups with +0.0.
+      if (d == 0.0) d = 0.0;
+      out->append(reinterpret_cast<const char*>(&d), sizeof(d));
+      break;
+    }
+    default: {
+      out->push_back('\x03');
+      int64_t v = col.GetInt64(row);
+      out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+      break;
+    }
+  }
+}
+
+}  // namespace agora

@@ -1,0 +1,92 @@
+#ifndef AGORA_EXEC_PHYSICAL_OP_H_
+#define AGORA_EXEC_PHYSICAL_OP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/chunk.h"
+#include "types/schema.h"
+
+namespace agora {
+
+/// Counters collected while a query runs. Also the basis of the
+/// sustainability proxy in experiment E7: `JoulesProxy()` weighs data
+/// movement and materialization, not just wall-clock time.
+struct ExecStats {
+  int64_t rows_scanned = 0;
+  int64_t blocks_read = 0;
+  int64_t blocks_skipped = 0;   // zone-map pruning wins
+  int64_t rows_joined = 0;      // join output rows
+  int64_t probe_calls = 0;      // hash table probes
+  int64_t rows_aggregated = 0;  // aggregate input rows
+  int64_t rows_sorted = 0;
+  int64_t bytes_materialized = 0;
+  int64_t chunks_emitted = 0;
+
+  void Reset() { *this = ExecStats{}; }
+
+  /// Synthetic energy proxy (arbitrary units): weighted sum of bytes moved
+  /// and per-row work. Tracks resource footprint independent of latency.
+  double JoulesProxy() const {
+    return 1e-9 * static_cast<double>(bytes_materialized) +
+           2e-9 * static_cast<double>(rows_scanned + rows_joined +
+                                      rows_aggregated + rows_sorted) +
+           1e-9 * static_cast<double>(probe_calls);
+  }
+
+  std::string ToString() const;
+};
+
+/// Per-query execution context shared by all operators of one plan.
+struct ExecContext {
+  ExecStats stats;
+};
+
+/// Base class for vectorized pull-based operators (Volcano with chunks).
+///
+/// Protocol: `Open()` once, then `Next(&chunk, &done)` until `done`.
+/// A returned chunk may be empty only together with done == true.
+class PhysicalOperator {
+ public:
+  PhysicalOperator(Schema schema, ExecContext* context)
+      : schema_(std::move(schema)), context_(context) {}
+  virtual ~PhysicalOperator() = default;
+
+  PhysicalOperator(const PhysicalOperator&) = delete;
+  PhysicalOperator& operator=(const PhysicalOperator&) = delete;
+
+  const Schema& schema() const { return schema_; }
+  ExecContext* context() const { return context_; }
+
+  /// Prepares the operator (e.g. builds hash tables). Called exactly once
+  /// before the first Next().
+  virtual Status Open() = 0;
+
+  /// Produces the next batch. Sets *done = true when the stream ends (the
+  /// chunk returned alongside done may still carry rows).
+  virtual Status Next(Chunk* chunk, bool* done) = 0;
+
+  /// Operator name for EXPLAIN ANALYZE-style output.
+  virtual std::string name() const = 0;
+
+ protected:
+  Schema schema_;
+  ExecContext* context_;
+};
+
+using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
+
+/// Drains `op` (Open + Next loop) and concatenates everything into one
+/// chunk. The workhorse behind Database::Execute and the tests.
+Result<Chunk> CollectAll(PhysicalOperator* op);
+
+/// Appends a type-tagged binary encoding of row `row` of `col` to `out`.
+/// Equal values encode equally; used for hash keys in aggregate/distinct.
+void AppendKeyBytes(const ColumnVector& col, size_t row, std::string* out);
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_PHYSICAL_OP_H_

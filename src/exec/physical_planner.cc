@@ -1,0 +1,318 @@
+#include "exec/physical_planner.h"
+
+#include <limits>
+
+#include "exec/aggregate.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+#include "exec/scan.h"
+#include "exec/sort_limit.h"
+#include "exec/union_op.h"
+#include "expr/expr_rewrite.h"
+
+namespace agora {
+
+namespace {
+
+/// Extracts [lo, hi] range constraints over base-table columns from the
+/// conjuncts of `predicate` (bound against the scan's projected schema).
+/// `projection` maps projected index -> base column (empty = identity).
+std::vector<ColumnRangeConstraint> ExtractRanges(
+    const ExprPtr& predicate, const std::vector<size_t>& projection) {
+  std::vector<ColumnRangeConstraint> ranges;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+    if (conjunct->kind() != ExprKind::kComparison) continue;
+    const auto* cmp = static_cast<const ComparisonExpr*>(conjunct.get());
+    const Expr* col_side = cmp->left().get();
+    const Expr* lit_side = cmp->right().get();
+    CompareOp op = cmp->op();
+    if (col_side->kind() != ExprKind::kColumnRef ||
+        lit_side->kind() != ExprKind::kLiteral) {
+      // Try the mirrored orientation.
+      col_side = cmp->right().get();
+      lit_side = cmp->left().get();
+      op = SwapCompareOp(op);
+      if (col_side->kind() != ExprKind::kColumnRef ||
+          lit_side->kind() != ExprKind::kLiteral) {
+        continue;
+      }
+    }
+    const auto* ref = static_cast<const ColumnRefExpr*>(col_side);
+    const auto* lit = static_cast<const LiteralExpr*>(lit_side);
+    if (lit->value().is_null()) continue;
+    if (!IsNumeric(ref->result_type()) &&
+        ref->result_type() != TypeId::kBool) {
+      continue;
+    }
+    if (lit->value().type() == TypeId::kString) continue;
+    double v = lit->value().AsDouble();
+    ColumnRangeConstraint r;
+    r.column = projection.empty() ? ref->index() : projection[ref->index()];
+    switch (op) {
+      case CompareOp::kEq:
+        r.lo = v;
+        r.hi = v;
+        break;
+      case CompareOp::kLt:
+      case CompareOp::kLe:
+        r.lo = -kInf;
+        r.hi = v;
+        break;
+      case CompareOp::kGt:
+      case CompareOp::kGe:
+        r.lo = v;
+        r.hi = kInf;
+        break;
+      case CompareOp::kNe:
+        continue;  // not a range
+    }
+    ranges.push_back(r);
+  }
+  return ranges;
+}
+
+/// Finds a `col = constant` equality conjunct usable by an existing hash
+/// index. Returns true and fills outputs when found.
+bool FindIndexableEquality(const ExprPtr& predicate, const Table& table,
+                           const std::vector<size_t>& projection,
+                           size_t* key_column, Value* key) {
+  for (const ExprPtr& conjunct : SplitConjuncts(predicate)) {
+    if (conjunct->kind() != ExprKind::kComparison) continue;
+    const auto* cmp = static_cast<const ComparisonExpr*>(conjunct.get());
+    if (cmp->op() != CompareOp::kEq) continue;
+    const Expr* col_side = cmp->left().get();
+    const Expr* lit_side = cmp->right().get();
+    if (col_side->kind() != ExprKind::kColumnRef ||
+        lit_side->kind() != ExprKind::kLiteral) {
+      col_side = cmp->right().get();
+      lit_side = cmp->left().get();
+      if (col_side->kind() != ExprKind::kColumnRef ||
+          lit_side->kind() != ExprKind::kLiteral) {
+        continue;
+      }
+    }
+    const auto* ref = static_cast<const ColumnRefExpr*>(col_side);
+    const auto* lit = static_cast<const LiteralExpr*>(lit_side);
+    if (lit->value().is_null()) continue;
+    size_t base_col =
+        projection.empty() ? ref->index() : projection[ref->index()];
+    const HashIndex* index = table.GetHashIndex(base_col);
+    if (index == nullptr) continue;
+    // The stored hash must match the probe hash: require identical types.
+    if (lit->value().type() != table.schema().field(base_col).type) continue;
+    *key_column = base_col;
+    *key = lit->value();
+    return true;
+  }
+  return false;
+}
+
+class PlannerImpl {
+ public:
+  PlannerImpl(ExecContext* context, const PhysicalPlannerOptions& options)
+      : context_(context), options_(options) {}
+
+  Result<PhysicalOpPtr> Lower(const LogicalOpPtr& node) {
+    switch (node->kind()) {
+      case LogicalOpKind::kScan:
+        return LowerScan(static_cast<const LogicalScan&>(*node));
+      case LogicalOpKind::kFilter: {
+        const auto& f = static_cast<const LogicalFilter&>(*node);
+        AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(f.children()[0]));
+        return PhysicalOpPtr(std::make_unique<PhysicalFilter>(
+            std::move(child), f.predicate(), context_));
+      }
+      case LogicalOpKind::kProject: {
+        const auto& p = static_cast<const LogicalProject&>(*node);
+        AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(p.children()[0]));
+        return PhysicalOpPtr(std::make_unique<PhysicalProject>(
+            std::move(child), p.exprs(), p.schema(), context_));
+      }
+      case LogicalOpKind::kJoin:
+        return LowerJoin(static_cast<const LogicalJoin&>(*node));
+      case LogicalOpKind::kAggregate: {
+        const auto& a = static_cast<const LogicalAggregate&>(*node);
+        AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(a.children()[0]));
+        return PhysicalOpPtr(std::make_unique<PhysicalHashAggregate>(
+            std::move(child), a.group_by(), a.aggregates(), a.schema(),
+            context_));
+      }
+      case LogicalOpKind::kSort: {
+        const auto& s = static_cast<const LogicalSort&>(*node);
+        AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(s.children()[0]));
+        return PhysicalOpPtr(std::make_unique<PhysicalSort>(
+            std::move(child), s.keys(), context_));
+      }
+      case LogicalOpKind::kLimit: {
+        const auto& l = static_cast<const LogicalLimit&>(*node);
+        // Fuse Limit(Sort(x)) into TopK when enabled. The binder places
+        // the sort below the final projection, so also match
+        // Limit(Project(Sort(x))) and keep the projection on top.
+        if (options_.enable_topk && l.limit() >= 0 &&
+            l.children()[0]->kind() == LogicalOpKind::kSort) {
+          const auto& s = static_cast<const LogicalSort&>(*l.children()[0]);
+          AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                                 Lower(s.children()[0]));
+          return PhysicalOpPtr(std::make_unique<PhysicalTopK>(
+              std::move(child), s.keys(), l.limit(), l.offset(), context_));
+        }
+        if (options_.enable_topk && l.limit() >= 0 &&
+            l.children()[0]->kind() == LogicalOpKind::kProject &&
+            l.children()[0]->children()[0]->kind() == LogicalOpKind::kSort) {
+          const auto& p =
+              static_cast<const LogicalProject&>(*l.children()[0]);
+          const auto& s =
+              static_cast<const LogicalSort&>(*p.children()[0]);
+          AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                                 Lower(s.children()[0]));
+          auto topk = std::make_unique<PhysicalTopK>(
+              std::move(child), s.keys(), l.limit(), l.offset(), context_);
+          return PhysicalOpPtr(std::make_unique<PhysicalProject>(
+              std::move(topk), p.exprs(), p.schema(), context_));
+        }
+        AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(l.children()[0]));
+        return PhysicalOpPtr(std::make_unique<PhysicalLimit>(
+            std::move(child), l.limit(), l.offset(), context_));
+      }
+      case LogicalOpKind::kDistinct: {
+        AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
+                               Lower(node->children()[0]));
+        return PhysicalOpPtr(
+            std::make_unique<PhysicalDistinct>(std::move(child), context_));
+      }
+      case LogicalOpKind::kUnion: {
+        std::vector<PhysicalOpPtr> children;
+        for (const auto& child : node->children()) {
+          AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr lowered, Lower(child));
+          children.push_back(std::move(lowered));
+        }
+        return PhysicalOpPtr(std::make_unique<PhysicalUnion>(
+            std::move(children), context_));
+      }
+    }
+    return Status::Internal("unhandled logical operator");
+  }
+
+ private:
+  Result<PhysicalOpPtr> LowerScan(const LogicalScan& scan) {
+    const ExprPtr& pred = scan.pushed_predicate();
+    // Index scan for equality predicates with an existing index.
+    if (options_.enable_index_scan && pred != nullptr) {
+      size_t key_column;
+      Value key;
+      if (FindIndexableEquality(pred, *scan.table(), scan.projection(),
+                                &key_column, &key)) {
+        return PhysicalOpPtr(std::make_unique<PhysicalIndexScan>(
+            scan.table(), scan.projection(), key_column, std::move(key),
+            pred, scan.schema(), context_));
+      }
+    }
+    std::vector<ColumnRangeConstraint> ranges;
+    bool use_zone_maps = false;
+    if (options_.enable_zone_maps && scan.use_zone_maps() &&
+        pred != nullptr) {
+      ranges = ExtractRanges(pred, scan.projection());
+      use_zone_maps = !ranges.empty();
+    }
+    return PhysicalOpPtr(std::make_unique<PhysicalScan>(
+        scan.table(), scan.projection(), pred, std::move(ranges),
+        use_zone_maps, scan.schema(), context_));
+  }
+
+  Result<PhysicalOpPtr> LowerJoin(const LogicalJoin& join) {
+    AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr left, Lower(join.children()[0]));
+    AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr right, Lower(join.children()[1]));
+    size_t left_arity = join.children()[0]->schema().num_fields();
+    size_t total_arity = join.schema().num_fields();
+
+    PhysicalJoinKind kind;
+    switch (join.join_kind()) {
+      case LogicalJoin::Kind::kInner:
+        kind = PhysicalJoinKind::kInner;
+        break;
+      case LogicalJoin::Kind::kLeft:
+        kind = PhysicalJoinKind::kLeftOuter;
+        break;
+      case LogicalJoin::Kind::kCross:
+        kind = PhysicalJoinKind::kCross;
+        break;
+    }
+
+    // Split the condition into equi-key pairs and a residual.
+    std::vector<ExprPtr> left_keys, right_keys, residual;
+    if (options_.enable_hash_join && join.condition() != nullptr) {
+      for (const ExprPtr& conjunct : SplitConjuncts(join.condition())) {
+        bool is_key = false;
+        if (conjunct->kind() == ExprKind::kComparison) {
+          const auto* cmp =
+              static_cast<const ComparisonExpr*>(conjunct.get());
+          if (cmp->op() == CompareOp::kEq) {
+            ExprPtr l = cmp->left(), r = cmp->right();
+            if (RefsWithin(l, 0, left_arity) &&
+                RefsWithin(r, left_arity, total_arity)) {
+              // keep orientation
+            } else if (RefsWithin(r, 0, left_arity) &&
+                       RefsWithin(l, left_arity, total_arity)) {
+              std::swap(l, r);
+            } else {
+              l = nullptr;
+            }
+            if (l != nullptr) {
+              // Rebase the right-side key onto the right child's schema.
+              ExprPtr rk = RemapColumns(
+                  r, [left_arity](size_t i) { return i - left_arity; });
+              // Hash equality requires identical key types: cast both
+              // sides to the common numeric type when they differ.
+              TypeId lt = l->result_type(), rt = rk->result_type();
+              if (lt != rt) {
+                TypeId common = CommonNumericType(lt, rt);
+                if (common == TypeId::kInvalid) {
+                  // Should not happen post-binding; treat as residual.
+                  residual.push_back(conjunct);
+                  continue;
+                }
+                if (lt != common) l = std::make_shared<CastExpr>(l, common);
+                if (rt != common) {
+                  rk = std::make_shared<CastExpr>(rk, common);
+                }
+              }
+              left_keys.push_back(std::move(l));
+              right_keys.push_back(std::move(rk));
+              is_key = true;
+            }
+          }
+        }
+        if (!is_key) residual.push_back(conjunct);
+      }
+    }
+
+    if (!left_keys.empty()) {
+      // Left-outer joins with residual predicates would need deferred
+      // NULL padding; fall back to nested loops for those.
+      if (kind != PhysicalJoinKind::kLeftOuter || residual.empty()) {
+        return PhysicalOpPtr(std::make_unique<PhysicalHashJoin>(
+            std::move(left), std::move(right), std::move(left_keys),
+            std::move(right_keys), CombineConjuncts(std::move(residual)),
+            kind, context_));
+      }
+    }
+    return PhysicalOpPtr(std::make_unique<PhysicalNestedLoopJoin>(
+        std::move(left), std::move(right), join.condition(), kind,
+        context_));
+  }
+
+  ExecContext* context_;
+  PhysicalPlannerOptions options_;
+};
+
+}  // namespace
+
+Result<PhysicalOpPtr> CreatePhysicalPlan(
+    const LogicalOpPtr& plan, ExecContext* context,
+    const PhysicalPlannerOptions& options) {
+  PlannerImpl planner(context, options);
+  return planner.Lower(plan);
+}
+
+}  // namespace agora

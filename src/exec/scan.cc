@@ -1,0 +1,152 @@
+#include "exec/scan.h"
+
+#include <algorithm>
+
+namespace agora {
+
+Result<Chunk> FilterChunk(const Chunk& chunk, const Expr& predicate) {
+  ColumnVector mask;
+  AGORA_RETURN_IF_ERROR(predicate.Evaluate(chunk, &mask));
+  if (mask.type() != TypeId::kBool) {
+    return Status::TypeError("filter predicate is not BOOLEAN");
+  }
+  std::vector<uint32_t> sel;
+  size_t n = chunk.num_rows();
+  sel.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!mask.IsNull(i) && mask.GetBool(i)) {
+      sel.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  if (sel.size() == n) return chunk;
+  return chunk.GatherRows(sel);
+}
+
+PhysicalScan::PhysicalScan(std::shared_ptr<Table> table,
+                           std::vector<size_t> projection, ExprPtr predicate,
+                           std::vector<ColumnRangeConstraint> ranges,
+                           bool use_zone_maps, Schema schema,
+                           ExecContext* context)
+    : PhysicalOperator(std::move(schema), context),
+      table_(std::move(table)),
+      projection_(std::move(projection)),
+      predicate_(std::move(predicate)),
+      ranges_(std::move(ranges)),
+      use_zone_maps_(use_zone_maps) {}
+
+Status PhysicalScan::Open() {
+  next_row_ = 0;
+  if (use_zone_maps_ && !table_->HasZoneMaps()) {
+    // Zone maps were requested by the planner but not built yet; build
+    // them now (idempotent, amortized across queries on static tables).
+    table_->BuildZoneMaps();
+  }
+  return Status::OK();
+}
+
+Status PhysicalScan::Next(Chunk* chunk, bool* done) {
+  size_t total = table_->num_rows();
+  while (next_row_ < total) {
+    size_t block = next_row_ / kChunkSize;
+    size_t count = std::min(kChunkSize, total - next_row_);
+
+    // Zone-map pruning: skip the block if any range constraint proves it
+    // empty of matches.
+    if (use_zone_maps_ && !ranges_.empty()) {
+      bool may_match = true;
+      for (const ColumnRangeConstraint& r : ranges_) {
+        const ZoneMap* zm = table_->GetZoneMap(r.column);
+        if (zm != nullptr && block < zm->blocks.size() &&
+            !zm->BlockMayMatch(block, r.lo, r.hi)) {
+          may_match = false;
+          break;
+        }
+      }
+      if (!may_match) {
+        context_->stats.blocks_skipped++;
+        next_row_ += count;
+        continue;
+      }
+    }
+
+    Chunk raw = table_->GetChunk(next_row_, count, projection_);
+    next_row_ += count;
+    context_->stats.blocks_read++;
+    context_->stats.rows_scanned += static_cast<int64_t>(raw.num_rows());
+    context_->stats.bytes_materialized +=
+        static_cast<int64_t>(raw.MemoryBytes());
+
+    if (predicate_ != nullptr) {
+      AGORA_ASSIGN_OR_RETURN(raw, FilterChunk(raw, *predicate_));
+      if (raw.num_rows() == 0) continue;  // fully filtered; keep pulling
+    }
+    *chunk = std::move(raw);
+    *done = next_row_ >= total;
+    context_->stats.chunks_emitted++;
+    return Status::OK();
+  }
+  *chunk = Chunk(schema_);
+  *done = true;
+  return Status::OK();
+}
+
+PhysicalIndexScan::PhysicalIndexScan(std::shared_ptr<Table> table,
+                                     std::vector<size_t> projection,
+                                     size_t key_column, Value key,
+                                     ExprPtr residual_predicate, Schema schema,
+                                     ExecContext* context)
+    : PhysicalOperator(std::move(schema), context),
+      table_(std::move(table)),
+      projection_(std::move(projection)),
+      key_column_(key_column),
+      key_(std::move(key)),
+      residual_predicate_(std::move(residual_predicate)) {}
+
+Status PhysicalIndexScan::Open() {
+  next_match_ = 0;
+  matches_.clear();
+  const HashIndex* index = table_->GetHashIndex(key_column_);
+  if (index == nullptr) {
+    return Status::Internal("index scan planned but index is missing on '" +
+                            table_->name() + "'");
+  }
+  std::vector<int64_t> candidates = index->Probe(key_.Hash());
+  context_->stats.probe_calls += static_cast<int64_t>(candidates.size());
+  const ColumnVector& col = table_->column(key_column_);
+  for (int64_t row : candidates) {
+    if (!col.IsNull(static_cast<size_t>(row)) &&
+        col.GetValue(static_cast<size_t>(row)).Compare(key_) == 0) {
+      matches_.push_back(row);
+    }
+  }
+  std::sort(matches_.begin(), matches_.end());
+  return Status::OK();
+}
+
+Status PhysicalIndexScan::Next(Chunk* chunk, bool* done) {
+  Chunk out(schema_);
+  size_t emitted = 0;
+  while (next_match_ < matches_.size() && emitted < kChunkSize) {
+    size_t row = static_cast<size_t>(matches_[next_match_++]);
+    std::vector<Value> values;
+    if (projection_.empty()) {
+      values = table_->GetRow(row);
+    } else {
+      values.reserve(projection_.size());
+      for (size_t c : projection_) {
+        values.push_back(table_->column(c).GetValue(row));
+      }
+    }
+    out.AppendRow(values);
+    ++emitted;
+  }
+  context_->stats.rows_scanned += static_cast<int64_t>(emitted);
+  if (residual_predicate_ != nullptr && out.num_rows() > 0) {
+    AGORA_ASSIGN_OR_RETURN(out, FilterChunk(out, *residual_predicate_));
+  }
+  *chunk = std::move(out);
+  *done = next_match_ >= matches_.size();
+  return Status::OK();
+}
+
+}  // namespace agora

@@ -1,0 +1,75 @@
+#ifndef AGORA_EXEC_SCAN_H_
+#define AGORA_EXEC_SCAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+#include "storage/table.h"
+
+namespace agora {
+
+/// A [lo, hi] range constraint on a base-table column, derived from the
+/// pushed-down predicate at plan time. Used for zone-map block skipping.
+struct ColumnRangeConstraint {
+  size_t column;  // base-table column index
+  double lo;
+  double hi;
+};
+
+/// Sequential scan over a base table in kChunkSize blocks.
+///
+/// Optionally applies a pushed-down predicate during the scan and skips
+/// whole blocks whose zone maps prove no row can satisfy the range
+/// constraints (experiment E4: physical design changes plans, not queries).
+class PhysicalScan : public PhysicalOperator {
+ public:
+  PhysicalScan(std::shared_ptr<Table> table, std::vector<size_t> projection,
+               ExprPtr predicate, std::vector<ColumnRangeConstraint> ranges,
+               bool use_zone_maps, Schema schema, ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "Scan"; }
+
+ private:
+  std::shared_ptr<Table> table_;
+  std::vector<size_t> projection_;  // empty = all columns
+  ExprPtr predicate_;               // bound against the projected schema
+  std::vector<ColumnRangeConstraint> ranges_;  // base-table column indexes
+  bool use_zone_maps_;
+  size_t next_row_ = 0;
+};
+
+/// Point-lookup scan through a hash index: emits only rows whose indexed
+/// column equals `key`. Chosen by the physical planner for
+/// `col = constant` predicates when an index exists.
+class PhysicalIndexScan : public PhysicalOperator {
+ public:
+  PhysicalIndexScan(std::shared_ptr<Table> table,
+                    std::vector<size_t> projection, size_t key_column,
+                    Value key, ExprPtr residual_predicate, Schema schema,
+                    ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "IndexScan"; }
+
+ private:
+  std::shared_ptr<Table> table_;
+  std::vector<size_t> projection_;
+  size_t key_column_;
+  Value key_;
+  ExprPtr residual_predicate_;
+  std::vector<int64_t> matches_;
+  size_t next_match_ = 0;
+};
+
+/// Applies a boolean selection vector produced by evaluating `predicate`
+/// over `chunk`, keeping only TRUE rows. Shared by scan and filter.
+Result<Chunk> FilterChunk(const Chunk& chunk, const Expr& predicate);
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_SCAN_H_

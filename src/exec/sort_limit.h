@@ -1,0 +1,95 @@
+#ifndef AGORA_EXEC_SORT_LIMIT_H_
+#define AGORA_EXEC_SORT_LIMIT_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+
+namespace agora {
+
+/// Blocking full sort: materializes the child, sorts a row permutation by
+/// the key expressions (NULLs first on ASC, last on DESC), then streams.
+class PhysicalSort : public PhysicalOperator {
+ public:
+  PhysicalSort(PhysicalOpPtr child, std::vector<SortKey> keys,
+               ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "Sort"; }
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<SortKey> keys_;
+  Chunk data_;
+  std::vector<uint32_t> perm_;
+  size_t next_row_ = 0;
+};
+
+/// Top-K: like Sort+Limit but keeps only the K best rows while consuming
+/// input (bounded memory). Chosen by the physical planner when an ORDER BY
+/// is directly followed by a LIMIT.
+class PhysicalTopK : public PhysicalOperator {
+ public:
+  PhysicalTopK(PhysicalOpPtr child, std::vector<SortKey> keys, int64_t k,
+               int64_t offset, ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "TopK"; }
+
+ private:
+  PhysicalOpPtr child_;
+  std::vector<SortKey> keys_;
+  int64_t k_;
+  int64_t offset_;
+  Chunk result_;
+  size_t next_row_ = 0;
+};
+
+/// LIMIT/OFFSET passthrough.
+class PhysicalLimit : public PhysicalOperator {
+ public:
+  PhysicalLimit(PhysicalOpPtr child, int64_t limit, int64_t offset,
+                ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "Limit"; }
+
+ private:
+  PhysicalOpPtr child_;
+  int64_t limit_;   // -1 = unbounded
+  int64_t offset_;
+  int64_t skipped_ = 0;
+  int64_t emitted_ = 0;
+};
+
+/// Hash-based duplicate elimination over all columns.
+class PhysicalDistinct : public PhysicalOperator {
+ public:
+  PhysicalDistinct(PhysicalOpPtr child, ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "Distinct"; }
+
+ private:
+  PhysicalOpPtr child_;
+  std::unordered_set<std::string> seen_;
+  bool child_done_ = false;
+};
+
+/// Compares row `a` with row `b` of `data` under `keys`; used by Sort and
+/// TopK. Returns true when `a` orders strictly before `b`.
+bool SortRowLess(const Chunk& data,
+                 const std::vector<ColumnVector>& key_cols,
+                 const std::vector<SortKey>& keys, uint32_t a, uint32_t b);
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_SORT_LIMIT_H_

@@ -1,0 +1,38 @@
+#include "exec/union_op.h"
+
+namespace agora {
+
+PhysicalUnion::PhysicalUnion(std::vector<PhysicalOpPtr> children,
+                             ExecContext* context)
+    : PhysicalOperator(children[0]->schema(), context),
+      children_(std::move(children)) {}
+
+Status PhysicalUnion::Open() {
+  current_ = 0;
+  current_done_ = false;
+  for (const PhysicalOpPtr& child : children_) {
+    AGORA_RETURN_IF_ERROR(child->Open());
+  }
+  return Status::OK();
+}
+
+Status PhysicalUnion::Next(Chunk* chunk, bool* done) {
+  while (current_ < children_.size()) {
+    if (current_done_) {
+      ++current_;
+      current_done_ = false;
+      continue;
+    }
+    Chunk out;
+    AGORA_RETURN_IF_ERROR(children_[current_]->Next(&out, &current_done_));
+    if (out.num_rows() == 0) continue;
+    *chunk = std::move(out);
+    *done = current_done_ && current_ + 1 >= children_.size();
+    return Status::OK();
+  }
+  *chunk = Chunk(schema_);
+  *done = true;
+  return Status::OK();
+}
+
+}  // namespace agora

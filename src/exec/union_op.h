@@ -1,0 +1,28 @@
+#ifndef AGORA_EXEC_UNION_OP_H_
+#define AGORA_EXEC_UNION_OP_H_
+
+#include <vector>
+
+#include "exec/physical_op.h"
+
+namespace agora {
+
+/// Bag union: drains each child in order (UNION ALL). Deduplication for
+/// plain UNION happens in a PhysicalDistinct above this node.
+class PhysicalUnion : public PhysicalOperator {
+ public:
+  PhysicalUnion(std::vector<PhysicalOpPtr> children, ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "UnionAll"; }
+
+ private:
+  std::vector<PhysicalOpPtr> children_;
+  size_t current_ = 0;
+  bool current_done_ = false;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_UNION_OP_H_

@@ -1,0 +1,305 @@
+#include "expr/expr.h"
+
+#include "common/string_util.h"
+
+namespace agora {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string_view ArithOpToString(ArithOp op) {
+  switch (op) {
+    case ArithOp::kAdd:
+      return "+";
+    case ArithOp::kSub:
+      return "-";
+    case ArithOp::kMul:
+      return "*";
+    case ArithOp::kDiv:
+      return "/";
+    case ArithOp::kMod:
+      return "%";
+  }
+  return "?";
+}
+
+CompareOp SwapCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    default:
+      return op;  // = and <> are symmetric
+  }
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+void Expr::CollectColumnRefs(std::vector<size_t>* out) const {
+  if (kind_ == ExprKind::kColumnRef) {
+    out->push_back(static_cast<const ColumnRefExpr*>(this)->index());
+    return;
+  }
+  for (const ExprPtr& child : Children()) {
+    child->CollectColumnRefs(out);
+  }
+}
+
+bool Expr::IsConstant() const {
+  std::vector<size_t> refs;
+  CollectColumnRefs(&refs);
+  return refs.empty();
+}
+
+Result<Value> Expr::EvaluateScalar() const {
+  if (!IsConstant()) {
+    return Status::Internal("EvaluateScalar on non-constant expression: " +
+                            ToString());
+  }
+  // Evaluate against a synthetic single-row chunk.
+  Chunk chunk;
+  chunk.SetExplicitRowCount(1);
+  ColumnVector out;
+  AGORA_RETURN_IF_ERROR(Evaluate(chunk, &out));
+  if (out.size() != 1) {
+    return Status::Internal("scalar evaluation produced " +
+                            std::to_string(out.size()) + " rows");
+  }
+  return out.GetValue(0);
+}
+
+std::string ColumnRefExpr::ToString() const {
+  if (!name_.empty()) return name_;
+  return "#" + std::to_string(index_);
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.type() == TypeId::kString) return "'" + value_.ToString() + "'";
+  if (value_.type() == TypeId::kDate && !value_.is_null()) {
+    return "DATE '" + value_.ToString() + "'";
+  }
+  return value_.ToString();
+}
+
+std::string ComparisonExpr::ToString() const {
+  return "(" + left_->ToString() + " " +
+         std::string(CompareOpToString(op_)) + " " + right_->ToString() + ")";
+}
+
+std::string ArithmeticExpr::ToString() const {
+  return "(" + left_->ToString() + " " + std::string(ArithOpToString(op_)) +
+         " " + right_->ToString() + ")";
+}
+
+std::string LogicalExpr::ToString() const {
+  std::string sep = op_ == LogicalOp::kAnd ? " AND " : " OR ";
+  std::string out = "(";
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (i > 0) out += sep;
+    out += children_[i]->ToString();
+  }
+  return out + ")";
+}
+
+ExprPtr LogicalExpr::Clone() const {
+  std::vector<ExprPtr> children;
+  children.reserve(children_.size());
+  for (const auto& c : children_) children.push_back(c->Clone());
+  return std::make_shared<LogicalExpr>(op_, std::move(children));
+}
+
+std::string NotExpr::ToString() const {
+  return "NOT " + child_->ToString();
+}
+
+std::string IsNullExpr::ToString() const {
+  return child_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+}
+
+std::string LikeExpr::ToString() const {
+  return child_->ToString() + (negated_ ? " NOT LIKE '" : " LIKE '") +
+         pattern_ + "'";
+}
+
+std::string InListExpr::ToString() const {
+  std::string out = child_->ToString() + (negated_ ? " NOT IN (" : " IN (");
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string CastExpr::ToString() const {
+  return "CAST(" + child_->ToString() + " AS " +
+         std::string(TypeIdToString(result_type_)) + ")";
+}
+
+bool LookupScalarFunc(const std::string& name, ScalarFunc* out) {
+  std::string n = ToUpper(name);
+  if (n == "ABS") {
+    *out = ScalarFunc::kAbs;
+  } else if (n == "LOWER") {
+    *out = ScalarFunc::kLower;
+  } else if (n == "UPPER") {
+    *out = ScalarFunc::kUpper;
+  } else if (n == "LENGTH" || n == "LEN") {
+    *out = ScalarFunc::kLength;
+  } else if (n == "YEAR") {
+    *out = ScalarFunc::kYear;
+  } else if (n == "MONTH") {
+    *out = ScalarFunc::kMonth;
+  } else if (n == "SQRT") {
+    *out = ScalarFunc::kSqrt;
+  } else if (n == "FLOOR") {
+    *out = ScalarFunc::kFloor;
+  } else if (n == "CEIL" || n == "CEILING") {
+    *out = ScalarFunc::kCeil;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+TypeId ScalarFuncResultType(ScalarFunc func, TypeId arg_type) {
+  switch (func) {
+    case ScalarFunc::kAbs:
+      return IsNumeric(arg_type) ? arg_type : TypeId::kInvalid;
+    case ScalarFunc::kLower:
+    case ScalarFunc::kUpper:
+      return arg_type == TypeId::kString ? TypeId::kString : TypeId::kInvalid;
+    case ScalarFunc::kLength:
+      return arg_type == TypeId::kString ? TypeId::kInt64 : TypeId::kInvalid;
+    case ScalarFunc::kYear:
+    case ScalarFunc::kMonth:
+      return arg_type == TypeId::kDate ? TypeId::kInt64 : TypeId::kInvalid;
+    case ScalarFunc::kSqrt:
+    case ScalarFunc::kFloor:
+    case ScalarFunc::kCeil:
+      return IsNumeric(arg_type) ? TypeId::kDouble : TypeId::kInvalid;
+  }
+  return TypeId::kInvalid;
+}
+
+std::string_view ScalarFuncToString(ScalarFunc func) {
+  switch (func) {
+    case ScalarFunc::kAbs:
+      return "ABS";
+    case ScalarFunc::kLower:
+      return "LOWER";
+    case ScalarFunc::kUpper:
+      return "UPPER";
+    case ScalarFunc::kLength:
+      return "LENGTH";
+    case ScalarFunc::kYear:
+      return "YEAR";
+    case ScalarFunc::kMonth:
+      return "MONTH";
+    case ScalarFunc::kSqrt:
+      return "SQRT";
+    case ScalarFunc::kFloor:
+      return "FLOOR";
+    case ScalarFunc::kCeil:
+      return "CEIL";
+  }
+  return "?";
+}
+
+std::string FunctionExpr::ToString() const {
+  return std::string(ScalarFuncToString(func_)) + "(" + arg_->ToString() +
+         ")";
+}
+
+std::string CaseExpr::ToString() const {
+  std::string out = "CASE";
+  for (size_t i = 0; i < conditions_.size(); ++i) {
+    out += " WHEN " + conditions_[i]->ToString() + " THEN " +
+           results_[i]->ToString();
+  }
+  if (else_result_ != nullptr) out += " ELSE " + else_result_->ToString();
+  return out + " END";
+}
+
+ExprPtr CaseExpr::Clone() const {
+  std::vector<ExprPtr> conds, results;
+  for (const auto& c : conditions_) conds.push_back(c->Clone());
+  for (const auto& r : results_) results.push_back(r->Clone());
+  return std::make_shared<CaseExpr>(
+      std::move(conds), std::move(results),
+      else_result_ ? else_result_->Clone() : nullptr, result_type_);
+}
+
+std::vector<ExprPtr> CaseExpr::Children() const {
+  std::vector<ExprPtr> out = conditions_;
+  out.insert(out.end(), results_.begin(), results_.end());
+  if (else_result_ != nullptr) out.push_back(else_result_);
+  return out;
+}
+
+ExprPtr MakeColumnRef(size_t index, TypeId type, std::string name) {
+  return std::make_shared<ColumnRefExpr>(index, type, std::move(name));
+}
+
+ExprPtr MakeLiteral(Value v) {
+  return std::make_shared<LiteralExpr>(std::move(v));
+}
+
+ExprPtr MakeCompare(CompareOp op, ExprPtr l, ExprPtr r) {
+  return std::make_shared<ComparisonExpr>(op, std::move(l), std::move(r));
+}
+
+ExprPtr MakeArith(ArithOp op, ExprPtr l, ExprPtr r) {
+  TypeId result = CommonNumericType(l->result_type(), r->result_type());
+  return std::make_shared<ArithmeticExpr>(op, std::move(l), std::move(r),
+                                          result);
+}
+
+ExprPtr MakeAnd(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(
+      LogicalOp::kAnd, std::vector<ExprPtr>{std::move(l), std::move(r)});
+}
+
+ExprPtr MakeOr(ExprPtr l, ExprPtr r) {
+  return std::make_shared<LogicalExpr>(
+      LogicalOp::kOr, std::vector<ExprPtr>{std::move(l), std::move(r)});
+}
+
+ExprPtr MakeNot(ExprPtr e) { return std::make_shared<NotExpr>(std::move(e)); }
+
+}  // namespace agora

@@ -1,0 +1,434 @@
+#include <cmath>
+
+#include "common/string_util.h"
+#include "expr/expr.h"
+
+namespace agora {
+
+namespace {
+
+// Evaluates `expr` over `chunk` into a fresh vector, returned by value.
+Result<ColumnVector> Eval(const Expr& expr, const Chunk& chunk) {
+  ColumnVector out;
+  AGORA_RETURN_IF_ERROR(expr.Evaluate(chunk, &out));
+  return out;
+}
+
+}  // namespace
+
+Status ColumnRefExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  if (index_ >= chunk.num_columns()) {
+    return Status::Internal("column ref #" + std::to_string(index_) +
+                            " out of range (chunk has " +
+                            std::to_string(chunk.num_columns()) + " columns)");
+  }
+  *out = chunk.column(index_);  // copy; callers own the result
+  return Status::OK();
+}
+
+Status LiteralExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  *out = ColumnVector(value_.type() == TypeId::kInvalid ? TypeId::kBool
+                                                        : value_.type());
+  size_t n = chunk.num_rows();
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) out->AppendValue(value_);
+  return Status::OK();
+}
+
+Status ComparisonExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector l, Eval(*left_, chunk));
+  AGORA_ASSIGN_OR_RETURN(ColumnVector r, Eval(*right_, chunk));
+  size_t n = l.size();
+  *out = ColumnVector(TypeId::kBool);
+  out->Reserve(n);
+
+  bool l_str = l.type() == TypeId::kString;
+  bool r_str = r.type() == TypeId::kString;
+  if (l_str != r_str) {
+    return Status::TypeError("cannot compare " +
+                             std::string(TypeIdToString(l.type())) + " with " +
+                             std::string(TypeIdToString(r.type())));
+  }
+
+  auto emit = [this, out](int cmp) {
+    bool v = false;
+    switch (op_) {
+      case CompareOp::kEq:
+        v = cmp == 0;
+        break;
+      case CompareOp::kNe:
+        v = cmp != 0;
+        break;
+      case CompareOp::kLt:
+        v = cmp < 0;
+        break;
+      case CompareOp::kLe:
+        v = cmp <= 0;
+        break;
+      case CompareOp::kGt:
+        v = cmp > 0;
+        break;
+      case CompareOp::kGe:
+        v = cmp >= 0;
+        break;
+    }
+    out->AppendBool(v);
+  };
+
+  if (l_str) {
+    const auto& ls = l.string_data();
+    const auto& rs = r.string_data();
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNull(i) || r.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      int c = ls[i].compare(rs[i]);
+      emit(c < 0 ? -1 : (c > 0 ? 1 : 0));
+    }
+    return Status::OK();
+  }
+
+  // Numeric path. Use int64 compare when neither side is double.
+  bool use_double =
+      l.type() == TypeId::kDouble || r.type() == TypeId::kDouble;
+  if (use_double) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNull(i) || r.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      double a = l.GetNumeric(i), b = r.GetNumeric(i);
+      emit(a < b ? -1 : (a > b ? 1 : 0));
+    }
+  } else {
+    const int64_t* a = l.int64_data();
+    const int64_t* b = r.int64_data();
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNull(i) || r.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      emit(a[i] < b[i] ? -1 : (a[i] > b[i] ? 1 : 0));
+    }
+  }
+  return Status::OK();
+}
+
+Status ArithmeticExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector l, Eval(*left_, chunk));
+  AGORA_ASSIGN_OR_RETURN(ColumnVector r, Eval(*right_, chunk));
+  size_t n = l.size();
+  if (!IsNumeric(l.type()) || !IsNumeric(r.type())) {
+    return Status::TypeError("arithmetic requires numeric operands, got " +
+                             std::string(TypeIdToString(l.type())) + " and " +
+                             std::string(TypeIdToString(r.type())));
+  }
+  *out = ColumnVector(result_type_);
+  out->Reserve(n);
+
+  if (result_type_ == TypeId::kDouble) {
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNull(i) || r.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      double a = l.GetNumeric(i), b = r.GetNumeric(i);
+      switch (op_) {
+        case ArithOp::kAdd:
+          out->AppendDouble(a + b);
+          break;
+        case ArithOp::kSub:
+          out->AppendDouble(a - b);
+          break;
+        case ArithOp::kMul:
+          out->AppendDouble(a * b);
+          break;
+        case ArithOp::kDiv:
+          if (b == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(a / b);
+          }
+          break;
+        case ArithOp::kMod:
+          if (b == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendDouble(std::fmod(a, b));
+          }
+          break;
+      }
+    }
+  } else {
+    const int64_t* a = l.int64_data();
+    const int64_t* b = r.int64_data();
+    for (size_t i = 0; i < n; ++i) {
+      if (l.IsNull(i) || r.IsNull(i)) {
+        out->AppendNull();
+        continue;
+      }
+      switch (op_) {
+        case ArithOp::kAdd:
+          out->AppendInt64(a[i] + b[i]);
+          break;
+        case ArithOp::kSub:
+          out->AppendInt64(a[i] - b[i]);
+          break;
+        case ArithOp::kMul:
+          out->AppendInt64(a[i] * b[i]);
+          break;
+        case ArithOp::kDiv:
+          if (b[i] == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendInt64(a[i] / b[i]);
+          }
+          break;
+        case ArithOp::kMod:
+          if (b[i] == 0) {
+            out->AppendNull();
+          } else {
+            out->AppendInt64(a[i] % b[i]);
+          }
+          break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status LogicalExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  size_t n = chunk.num_rows();
+  // Kleene state per row: 0 = false, 1 = true, 2 = null.
+  std::vector<uint8_t> state(
+      n, op_ == LogicalOp::kAnd ? uint8_t{1} : uint8_t{0});
+  for (const ExprPtr& child : children_) {
+    AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*child, chunk));
+    if (c.type() != TypeId::kBool) {
+      return Status::TypeError("logical operand is not BOOLEAN: " +
+                               child->ToString());
+    }
+    for (size_t i = 0; i < n; ++i) {
+      uint8_t v = c.IsNull(i) ? 2 : (c.GetBool(i) ? 1 : 0);
+      if (op_ == LogicalOp::kAnd) {
+        // false dominates; null beats true.
+        if (state[i] == 0) continue;
+        if (v == 0) {
+          state[i] = 0;
+        } else if (v == 2) {
+          state[i] = 2;
+        }
+      } else {
+        // true dominates; null beats false.
+        if (state[i] == 1) continue;
+        if (v == 1) {
+          state[i] = 1;
+        } else if (v == 2) {
+          state[i] = 2;
+        }
+      }
+    }
+  }
+  *out = ColumnVector(TypeId::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (state[i] == 2) {
+      out->AppendNull();
+    } else {
+      out->AppendBool(state[i] == 1);
+    }
+  }
+  return Status::OK();
+}
+
+Status NotExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*child_, chunk));
+  if (c.type() != TypeId::kBool) {
+    return Status::TypeError("NOT operand is not BOOLEAN");
+  }
+  size_t n = c.size();
+  *out = ColumnVector(TypeId::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (c.IsNull(i)) {
+      out->AppendNull();
+    } else {
+      out->AppendBool(!c.GetBool(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status IsNullExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*child_, chunk));
+  size_t n = c.size();
+  *out = ColumnVector(TypeId::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool is_null = c.IsNull(i);
+    out->AppendBool(negated_ ? !is_null : is_null);
+  }
+  return Status::OK();
+}
+
+Status LikeExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*child_, chunk));
+  if (c.type() != TypeId::kString) {
+    return Status::TypeError("LIKE operand is not VARCHAR");
+  }
+  size_t n = c.size();
+  *out = ColumnVector(TypeId::kBool);
+  out->Reserve(n);
+  const auto& strs = c.string_data();
+  for (size_t i = 0; i < n; ++i) {
+    if (c.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    bool m = LikeMatch(strs[i], pattern_);
+    out->AppendBool(negated_ ? !m : m);
+  }
+  return Status::OK();
+}
+
+Status InListExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*child_, chunk));
+  size_t n = c.size();
+  *out = ColumnVector(TypeId::kBool);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (c.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    Value v = c.GetValue(i);
+    bool found = false;
+    bool saw_null = false;
+    for (const Value& candidate : values_) {
+      if (candidate.is_null()) {
+        saw_null = true;
+        continue;
+      }
+      if (v.Compare(candidate) == 0) {
+        found = true;
+        break;
+      }
+    }
+    if (found) {
+      out->AppendBool(!negated_);
+    } else if (saw_null) {
+      out->AppendNull();  // x IN (..., NULL) is NULL when not found
+    } else {
+      out->AppendBool(negated_);
+    }
+  }
+  return Status::OK();
+}
+
+Status CastExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*child_, chunk));
+  size_t n = c.size();
+  *out = ColumnVector(result_type_);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (c.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    auto v = c.GetValue(i).CastTo(result_type_);
+    if (!v.ok()) return v.status();
+    out->AppendValue(*v);
+  }
+  return Status::OK();
+}
+
+Status FunctionExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  AGORA_ASSIGN_OR_RETURN(ColumnVector c, Eval(*arg_, chunk));
+  size_t n = c.size();
+  *out = ColumnVector(result_type_);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (c.IsNull(i)) {
+      out->AppendNull();
+      continue;
+    }
+    switch (func_) {
+      case ScalarFunc::kAbs:
+        if (result_type_ == TypeId::kDouble) {
+          out->AppendDouble(std::fabs(c.GetDouble(i)));
+        } else {
+          int64_t v = c.GetInt64(i);
+          out->AppendInt64(v < 0 ? -v : v);
+        }
+        break;
+      case ScalarFunc::kLower:
+        out->AppendString(ToLower(c.GetString(i)));
+        break;
+      case ScalarFunc::kUpper:
+        out->AppendString(ToUpper(c.GetString(i)));
+        break;
+      case ScalarFunc::kLength:
+        out->AppendInt64(static_cast<int64_t>(c.GetString(i).size()));
+        break;
+      case ScalarFunc::kYear:
+        out->AppendInt64(YearOfDate(c.GetInt64(i)));
+        break;
+      case ScalarFunc::kMonth:
+        out->AppendInt64(MonthOfDate(c.GetInt64(i)));
+        break;
+      case ScalarFunc::kSqrt: {
+        double v = c.GetNumeric(i);
+        if (v < 0) {
+          out->AppendNull();
+        } else {
+          out->AppendDouble(std::sqrt(v));
+        }
+        break;
+      }
+      case ScalarFunc::kFloor:
+        out->AppendDouble(std::floor(c.GetNumeric(i)));
+        break;
+      case ScalarFunc::kCeil:
+        out->AppendDouble(std::ceil(c.GetNumeric(i)));
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status CaseExpr::Evaluate(const Chunk& chunk, ColumnVector* out) const {
+  size_t n = chunk.num_rows();
+  std::vector<ColumnVector> conds(conditions_.size());
+  std::vector<ColumnVector> results(results_.size());
+  for (size_t b = 0; b < conditions_.size(); ++b) {
+    AGORA_RETURN_IF_ERROR(conditions_[b]->Evaluate(chunk, &conds[b]));
+    AGORA_RETURN_IF_ERROR(results_[b]->Evaluate(chunk, &results[b]));
+  }
+  ColumnVector else_col;
+  if (else_result_ != nullptr) {
+    AGORA_RETURN_IF_ERROR(else_result_->Evaluate(chunk, &else_col));
+  }
+  *out = ColumnVector(result_type_);
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    bool matched = false;
+    for (size_t b = 0; b < conds.size(); ++b) {
+      if (!conds[b].IsNull(i) && conds[b].GetBool(i)) {
+        out->AppendFrom(results[b], i);
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      if (else_result_ != nullptr) {
+        out->AppendFrom(else_col, i);
+      } else {
+        out->AppendNull();
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace agora

@@ -1,0 +1,141 @@
+#include "expr/expr_rewrite.h"
+
+namespace agora {
+
+namespace {
+
+/// Rebuilds `e` with children transformed by `recurse`. The callback owns
+/// per-node decisions; this handles reconstruction for every node kind.
+ExprPtr Rebuild(const ExprPtr& e,
+                const std::function<ExprPtr(const ExprPtr&)>& recurse) {
+  switch (e->kind()) {
+    case ExprKind::kColumnRef:
+    case ExprKind::kLiteral:
+      return e;
+    case ExprKind::kComparison: {
+      const auto* n = static_cast<const ComparisonExpr*>(e.get());
+      return std::make_shared<ComparisonExpr>(n->op(), recurse(n->left()),
+                                              recurse(n->right()));
+    }
+    case ExprKind::kArithmetic: {
+      const auto* n = static_cast<const ArithmeticExpr*>(e.get());
+      return std::make_shared<ArithmeticExpr>(n->op(), recurse(n->left()),
+                                              recurse(n->right()),
+                                              n->result_type());
+    }
+    case ExprKind::kLogical: {
+      const auto* n = static_cast<const LogicalExpr*>(e.get());
+      std::vector<ExprPtr> children;
+      children.reserve(n->children().size());
+      for (const auto& c : n->children()) children.push_back(recurse(c));
+      return std::make_shared<LogicalExpr>(n->op(), std::move(children));
+    }
+    case ExprKind::kNot: {
+      const auto* n = static_cast<const NotExpr*>(e.get());
+      return std::make_shared<NotExpr>(recurse(n->child()));
+    }
+    case ExprKind::kIsNull: {
+      const auto* n = static_cast<const IsNullExpr*>(e.get());
+      return std::make_shared<IsNullExpr>(recurse(n->child()), n->negated());
+    }
+    case ExprKind::kLike: {
+      const auto* n = static_cast<const LikeExpr*>(e.get());
+      return std::make_shared<LikeExpr>(recurse(n->child()), n->pattern(),
+                                        n->negated());
+    }
+    case ExprKind::kInList: {
+      const auto* n = static_cast<const InListExpr*>(e.get());
+      return std::make_shared<InListExpr>(recurse(n->child()), n->values(),
+                                          n->negated());
+    }
+    case ExprKind::kCast: {
+      const auto* n = static_cast<const CastExpr*>(e.get());
+      return std::make_shared<CastExpr>(recurse(n->child()),
+                                        n->result_type());
+    }
+    case ExprKind::kFunction: {
+      const auto* n = static_cast<const FunctionExpr*>(e.get());
+      return std::make_shared<FunctionExpr>(n->func(), recurse(n->arg()),
+                                            n->result_type());
+    }
+    case ExprKind::kCase: {
+      const auto* n = static_cast<const CaseExpr*>(e.get());
+      std::vector<ExprPtr> conds, results;
+      for (const auto& c : n->conditions()) conds.push_back(recurse(c));
+      for (const auto& r : n->results()) results.push_back(recurse(r));
+      ExprPtr else_result =
+          n->else_result() ? recurse(n->else_result()) : nullptr;
+      return std::make_shared<CaseExpr>(std::move(conds), std::move(results),
+                                        std::move(else_result),
+                                        n->result_type());
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+ExprPtr RemapColumns(const ExprPtr& e,
+                     const std::function<size_t(size_t)>& fn) {
+  if (e->kind() == ExprKind::kColumnRef) {
+    const auto* ref = static_cast<const ColumnRefExpr*>(e.get());
+    return std::make_shared<ColumnRefExpr>(fn(ref->index()),
+                                           ref->result_type(), ref->name());
+  }
+  std::function<ExprPtr(const ExprPtr&)> recurse =
+      [&fn, &recurse](const ExprPtr& child) {
+        if (child->kind() == ExprKind::kColumnRef) {
+          const auto* ref = static_cast<const ColumnRefExpr*>(child.get());
+          return ExprPtr(std::make_shared<ColumnRefExpr>(
+              fn(ref->index()), ref->result_type(), ref->name()));
+        }
+        return Rebuild(child, recurse);
+      };
+  return Rebuild(e, recurse);
+}
+
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e) {
+  std::vector<ExprPtr> out;
+  if (e == nullptr) return out;
+  if (e->kind() == ExprKind::kLogical) {
+    const auto* n = static_cast<const LogicalExpr*>(e.get());
+    if (n->op() == LogicalOp::kAnd) {
+      for (const auto& c : n->children()) {
+        std::vector<ExprPtr> sub = SplitConjuncts(c);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      return out;
+    }
+  }
+  out.push_back(e);
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  if (conjuncts.size() == 1) return conjuncts[0];
+  return std::make_shared<LogicalExpr>(LogicalOp::kAnd, std::move(conjuncts));
+}
+
+bool RefsWithin(const ExprPtr& e, size_t lo, size_t hi) {
+  std::vector<size_t> refs;
+  e->CollectColumnRefs(&refs);
+  for (size_t r : refs) {
+    if (r < lo || r >= hi) return false;
+  }
+  return true;
+}
+
+ExprPtr FoldConstants(const ExprPtr& e) {
+  if (e->kind() == ExprKind::kLiteral) return e;
+  std::function<ExprPtr(const ExprPtr&)> recurse =
+      [&recurse](const ExprPtr& child) { return FoldConstants(child); };
+  ExprPtr rebuilt = Rebuild(e, recurse);
+  if (rebuilt->kind() != ExprKind::kColumnRef && rebuilt->IsConstant()) {
+    auto v = rebuilt->EvaluateScalar();
+    if (v.ok()) return MakeLiteral(std::move(*v));
+  }
+  return rebuilt;
+}
+
+}  // namespace agora

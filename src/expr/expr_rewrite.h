@@ -1,0 +1,34 @@
+#ifndef AGORA_EXPR_EXPR_REWRITE_H_
+#define AGORA_EXPR_EXPR_REWRITE_H_
+
+#include <functional>
+#include <vector>
+
+#include "expr/expr.h"
+
+namespace agora {
+
+/// Deep-copies `e`, applying `fn` to every column index. Used to move
+/// predicates across operators whose input column numbering differs
+/// (e.g. below a join, or from a join output onto one side).
+ExprPtr RemapColumns(const ExprPtr& e, const std::function<size_t(size_t)>& fn);
+
+/// Flattens a tree of ANDs into its conjuncts. A non-AND expression is a
+/// single conjunct.
+std::vector<ExprPtr> SplitConjuncts(const ExprPtr& e);
+
+/// Rebuilds an AND tree from conjuncts. Empty input returns nullptr; a
+/// single conjunct is returned as-is.
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts);
+
+/// True if every column referenced by `e` lies in [lo, hi).
+bool RefsWithin(const ExprPtr& e, size_t lo, size_t hi);
+
+/// Folds constant subtrees into literals (bottom-up). Returns the original
+/// node when nothing changed or folding failed (e.g. division by zero is
+/// left for runtime NULL semantics).
+ExprPtr FoldConstants(const ExprPtr& e);
+
+}  // namespace agora
+
+#endif  // AGORA_EXPR_EXPR_REWRITE_H_

@@ -1,0 +1,49 @@
+#include "fts/analyzer.h"
+
+#include <cctype>
+
+namespace agora {
+
+namespace {
+// Small English stopword list; enough to keep postings meaningful.
+const char* kStopwords[] = {
+    "a",    "an",   "and",  "are", "as",   "at",   "be",   "by",  "for",
+    "from", "has",  "he",   "in",  "is",   "it",   "its",  "of",  "on",
+    "or",   "that", "the",  "to",  "was",  "were", "will", "with", "this",
+    "but",  "they", "have", "had", "what", "when", "where", "who", "which",
+};
+}  // namespace
+
+bool IsStopword(std::string_view word) {
+  for (const char* sw : kStopwords) {
+    if (word == sw) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> AnalyzeText(std::string_view text,
+                                     const AnalyzerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options.min_token_length &&
+        (!options.remove_stopwords || !IsStopword(current))) {
+      tokens.push_back(current);
+    }
+    current.clear();
+  };
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current += options.lowercase
+                     ? static_cast<char>(
+                           std::tolower(static_cast<unsigned char>(c)))
+                     : c;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace agora

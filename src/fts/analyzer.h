@@ -1,0 +1,29 @@
+#ifndef AGORA_FTS_ANALYZER_H_
+#define AGORA_FTS_ANALYZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace agora {
+
+/// Text analysis options for the full-text pipeline.
+struct AnalyzerOptions {
+  bool lowercase = true;
+  bool remove_stopwords = true;
+  size_t min_token_length = 2;
+};
+
+/// Splits `text` into index terms: non-alphanumeric boundaries, ASCII
+/// lowercasing, stopword removal ("the", "a", "of", ...), minimum length.
+/// Deterministic and allocation-light; shared by indexing and querying so
+/// both sides agree on terms.
+std::vector<std::string> AnalyzeText(std::string_view text,
+                                     const AnalyzerOptions& options = {});
+
+/// True if `word` (already lowercased) is in the built-in stopword list.
+bool IsStopword(std::string_view word);
+
+}  // namespace agora
+
+#endif  // AGORA_FTS_ANALYZER_H_

@@ -1,0 +1,220 @@
+#include "fts/inverted_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace agora {
+
+void InvertedIndex::AddDocument(int64_t doc_id, std::string_view text) {
+  std::vector<std::string> terms = AnalyzeText(text, analyzer_);
+  std::unordered_map<std::string, std::vector<uint32_t>> occurrences;
+  for (uint32_t pos = 0; pos < terms.size(); ++pos) {
+    occurrences[terms[pos]].push_back(pos);
+  }
+  for (auto& [term, positions] : occurrences) {
+    postings_[term].push_back(
+        Posting{doc_id, static_cast<uint32_t>(positions.size()),
+                std::move(positions)});
+  }
+  doc_lengths_[doc_id] = static_cast<uint32_t>(terms.size());
+  total_length_ += terms.size();
+}
+
+size_t InvertedIndex::DocFrequency(const std::string& term) const {
+  auto it = postings_.find(term);
+  return it == postings_.end() ? 0 : it->second.size();
+}
+
+const std::vector<Posting>& InvertedIndex::GetPostings(
+    const std::string& term) const {
+  static const std::vector<Posting> kEmpty;
+  auto it = postings_.find(term);
+  return it == postings_.end() ? kEmpty : it->second;
+}
+
+double InvertedIndex::Idf(size_t doc_freq) const {
+  double n = static_cast<double>(num_docs());
+  double df = static_cast<double>(doc_freq);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+void InvertedIndex::AccumulateScores(
+    const std::vector<std::string>& terms, const Bm25Options& options,
+    const std::function<bool(int64_t)>& allowed,
+    std::unordered_map<int64_t, double>* scores,
+    std::unordered_map<int64_t, uint32_t>* matched_terms) const {
+  if (doc_lengths_.empty()) return;
+  double avgdl = static_cast<double>(total_length_) /
+                 static_cast<double>(doc_lengths_.size());
+  if (avgdl <= 0) avgdl = 1;
+  for (const std::string& term : terms) {
+    auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    double idf = Idf(it->second.size());
+    for (const Posting& p : it->second) {
+      if (allowed != nullptr && !allowed(p.doc_id)) continue;
+      double tf = static_cast<double>(p.term_frequency);
+      double dl = static_cast<double>(doc_lengths_.at(p.doc_id));
+      double norm = options.k1 * (1.0 - options.b + options.b * dl / avgdl);
+      (*scores)[p.doc_id] += idf * tf * (options.k1 + 1.0) / (tf + norm);
+      if (matched_terms != nullptr) (*matched_terms)[p.doc_id]++;
+    }
+  }
+}
+
+namespace {
+
+std::vector<SearchHit> TopK(std::unordered_map<int64_t, double>&& scores,
+                            size_t k) {
+  std::vector<SearchHit> hits;
+  hits.reserve(scores.size());
+  for (auto& [doc, score] : scores) {
+    hits.push_back(SearchHit{doc, score});
+  }
+  auto better = [](const SearchHit& a, const SearchHit& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc_id < b.doc_id;
+  };
+  if (hits.size() > k) {
+    std::partial_sort(hits.begin(), hits.begin() + static_cast<long>(k),
+                      hits.end(), better);
+    hits.resize(k);
+  } else {
+    std::sort(hits.begin(), hits.end(), better);
+  }
+  return hits;
+}
+
+}  // namespace
+
+std::vector<SearchHit> InvertedIndex::Search(std::string_view query,
+                                             size_t k,
+                                             const Bm25Options& options,
+                                             MatchMode mode) const {
+  std::vector<std::string> terms = AnalyzeText(query, analyzer_);
+  // Deduplicate query terms (keeping order): repeated terms neither
+  // double-score nor distort the AND-mode matched-term count.
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> distinct;
+  for (std::string& term : terms) {
+    if (seen.insert(term).second) distinct.push_back(std::move(term));
+  }
+  std::unordered_map<int64_t, double> scores;
+  std::unordered_map<int64_t, uint32_t> matched;
+  AccumulateScores(distinct, options, nullptr, &scores,
+                   mode == MatchMode::kAll ? &matched : nullptr);
+  if (mode == MatchMode::kAll) {
+    uint32_t want = static_cast<uint32_t>(distinct.size());
+    for (auto it = scores.begin(); it != scores.end();) {
+      if (matched[it->first] < want) {
+        it = scores.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  return TopK(std::move(scores), k);
+}
+
+std::vector<int64_t> InvertedIndex::PhraseCandidates(
+    const std::vector<std::string>& terms) const {
+  std::vector<int64_t> out;
+  if (terms.empty()) return out;
+  // Start from the rarest term to keep intersections small.
+  size_t rarest = 0;
+  for (size_t t = 1; t < terms.size(); ++t) {
+    if (DocFrequency(terms[t]) < DocFrequency(terms[rarest])) rarest = t;
+  }
+  for (const Posting& seed : GetPostings(terms[rarest])) {
+    int64_t doc = seed.doc_id;
+    // Candidate start positions from term 0's occurrences in this doc.
+    const std::vector<Posting>& first = GetPostings(terms[0]);
+    auto it = std::find_if(first.begin(), first.end(),
+                           [doc](const Posting& p) { return p.doc_id == doc; });
+    if (it == first.end()) continue;
+    for (uint32_t start : it->positions) {
+      bool match = true;
+      for (size_t t = 1; t < terms.size(); ++t) {
+        const std::vector<Posting>& plist = GetPostings(terms[t]);
+        auto pit = std::find_if(plist.begin(), plist.end(), [doc](const Posting& p) {
+          return p.doc_id == doc;
+        });
+        if (pit == plist.end() ||
+            !std::binary_search(pit->positions.begin(),
+                                pit->positions.end(),
+                                start + static_cast<uint32_t>(t))) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        out.push_back(doc);
+        break;
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<SearchHit> InvertedIndex::SearchPhrase(
+    std::string_view phrase, size_t k, const Bm25Options& options) const {
+  std::vector<std::string> terms = AnalyzeText(phrase, analyzer_);
+  if (terms.empty()) return {};
+  std::vector<int64_t> docs = PhraseCandidates(terms);
+  std::unordered_set<int64_t> allowed(docs.begin(), docs.end());
+  if (allowed.empty()) return {};
+  std::unordered_map<int64_t, double> scores;
+  AccumulateScores(
+      terms, options,
+      [&allowed](int64_t id) { return allowed.count(id) > 0; }, &scores);
+  return TopK(std::move(scores), k);
+}
+
+bool InvertedIndex::ContainsPhrase(std::string_view phrase,
+                                   int64_t doc_id) const {
+  std::vector<std::string> terms = AnalyzeText(phrase, analyzer_);
+  if (terms.empty()) return false;
+  for (int64_t doc : PhraseCandidates(terms)) {
+    if (doc == doc_id) return true;
+  }
+  return false;
+}
+
+std::vector<SearchHit> InvertedIndex::SearchFiltered(
+    std::string_view query, size_t k,
+    const std::unordered_set<int64_t>& allowed,
+    const Bm25Options& options) const {
+  std::vector<std::string> terms = AnalyzeText(query, analyzer_);
+  std::unordered_map<int64_t, double> scores;
+  AccumulateScores(
+      terms, options,
+      [&allowed](int64_t id) { return allowed.count(id) > 0; }, &scores);
+  return TopK(std::move(scores), k);
+}
+
+double InvertedIndex::ScoreDocument(std::string_view query, int64_t doc_id,
+                                    const Bm25Options& options) const {
+  std::vector<std::string> terms = AnalyzeText(query, analyzer_);
+  std::unordered_map<int64_t, double> scores;
+  AccumulateScores(
+      terms, options, [doc_id](int64_t id) { return id == doc_id; },
+      &scores);
+  auto it = scores.find(doc_id);
+  return it == scores.end() ? 0.0 : it->second;
+}
+
+size_t InvertedIndex::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [term, plist] : postings_) {
+    bytes += term.capacity() + plist.capacity() * sizeof(Posting) + 64;
+    for (const Posting& p : plist) {
+      bytes += p.positions.capacity() * sizeof(uint32_t);
+    }
+  }
+  bytes += doc_lengths_.size() * (sizeof(int64_t) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+}  // namespace agora

@@ -1,0 +1,115 @@
+#ifndef AGORA_FTS_INVERTED_INDEX_H_
+#define AGORA_FTS_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "fts/analyzer.h"
+
+namespace agora {
+
+/// One posting: a document, the term's frequency in it, and the token
+/// positions at which it occurs (ascending; enables phrase queries).
+struct Posting {
+  int64_t doc_id;
+  uint32_t term_frequency;
+  std::vector<uint32_t> positions;
+};
+
+/// Multi-term query semantics.
+enum class MatchMode {
+  kAny,  // OR: a document matching any term scores (default)
+  kAll,  // AND: only documents containing every query term score
+};
+
+/// A scored keyword-search hit.
+struct SearchHit {
+  int64_t doc_id;
+  double score;
+};
+
+/// BM25 parameters (defaults are the standard Robertson values).
+struct Bm25Options {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// In-memory inverted index with BM25 ranking.
+///
+/// Documents are identified by caller-provided int64 ids (the hybrid layer
+/// uses row ids). Term dictionary and postings grow append-only; removing
+/// documents is not supported (rebuild instead, as most batch search
+/// systems do).
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(AnalyzerOptions analyzer = {})
+      : analyzer_(analyzer) {}
+
+  /// Indexes `text` under `doc_id`. Ids must be unique across Add calls.
+  void AddDocument(int64_t doc_id, std::string_view text);
+
+  size_t num_docs() const { return doc_lengths_.size(); }
+  size_t num_terms() const { return postings_.size(); }
+
+  /// Document frequency of an (analyzed) term; 0 if absent.
+  size_t DocFrequency(const std::string& term) const;
+
+  /// Raw postings list for a term (empty if absent). Sorted by doc id.
+  const std::vector<Posting>& GetPostings(const std::string& term) const;
+
+  /// Top-k BM25 search over the analyzed terms of `query`. Ties break
+  /// toward smaller doc ids for determinism.
+  std::vector<SearchHit> Search(std::string_view query, size_t k,
+                                const Bm25Options& options = {},
+                                MatchMode mode = MatchMode::kAny) const;
+
+  /// Top-k phrase search: only documents where the analyzed terms of
+  /// `phrase` occur consecutively (in order) match; ranked by the BM25
+  /// score of the constituent terms.
+  std::vector<SearchHit> SearchPhrase(std::string_view phrase, size_t k,
+                                      const Bm25Options& options = {}) const;
+
+  /// True if `doc_id` contains the analyzed terms of `phrase`
+  /// consecutively.
+  bool ContainsPhrase(std::string_view phrase, int64_t doc_id) const;
+
+  /// Like Search but only documents in `allowed` score (pre-filtered
+  /// hybrid execution). `allowed` may be large; lookup is O(1).
+  std::vector<SearchHit> SearchFiltered(
+      std::string_view query, size_t k,
+      const std::unordered_set<int64_t>& allowed,
+      const Bm25Options& options = {}) const;
+
+  /// BM25 score of one specific document for `query` (0 when no term
+  /// matches). Used by fused executors that already have a candidate.
+  double ScoreDocument(std::string_view query, int64_t doc_id,
+                       const Bm25Options& options = {}) const;
+
+  /// Memory footprint estimate (resource accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  double Idf(size_t doc_freq) const;
+  void AccumulateScores(
+      const std::vector<std::string>& terms, const Bm25Options& options,
+      const std::function<bool(int64_t)>& allowed,
+      std::unordered_map<int64_t, double>* scores,
+      std::unordered_map<int64_t, uint32_t>* matched_terms = nullptr) const;
+  /// Docs where `terms` occur consecutively, via position intersection.
+  std::vector<int64_t> PhraseCandidates(
+      const std::vector<std::string>& terms) const;
+
+  AnalyzerOptions analyzer_;
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::unordered_map<int64_t, uint32_t> doc_lengths_;
+  uint64_t total_length_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_FTS_INVERTED_INDEX_H_

@@ -1,0 +1,484 @@
+#include "hybrid/collection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "plan/binder.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+
+namespace agora {
+
+HybridCollection::HybridCollection(Schema attr_schema, size_t dim,
+                                   IvfOptions ivf)
+    : attrs_(std::make_shared<Table>("docs", std::move(attr_schema))),
+      flat_index_(dim, ivf.metric),
+      ivf_index_(dim, ivf) {}
+
+Result<int64_t> HybridCollection::Add(HybridDoc doc) {
+  if (built_) {
+    return Status::InvalidArgument(
+        "cannot Add after BuildIndexes; rebuild the collection");
+  }
+  if (doc.embedding.size() != flat_index_.dim()) {
+    return Status::InvalidArgument("embedding dimension mismatch");
+  }
+  int64_t id = static_cast<int64_t>(attrs_->num_rows());
+  AGORA_RETURN_IF_ERROR(attrs_->AppendRow(doc.attrs));
+  text_index_.AddDocument(id, doc.text);
+  AGORA_RETURN_IF_ERROR(flat_index_.Add(id, doc.embedding));
+  texts_.push_back(std::move(doc.text));
+  return id;
+}
+
+Status HybridCollection::BuildIndexes() {
+  if (built_) return Status::OK();
+  size_t n = flat_index_.size();
+  if (n == 0) return Status::InvalidArgument("collection is empty");
+  std::vector<Vecf> sample;
+  sample.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sample.emplace_back(flat_index_.vector_data(i),
+                        flat_index_.vector_data(i) + flat_index_.dim());
+  }
+  AGORA_RETURN_IF_ERROR(ivf_index_.Train(sample));
+  for (size_t i = 0; i < n; ++i) {
+    AGORA_RETURN_IF_ERROR(ivf_index_.Add(flat_index_.id_at(i), sample[i]));
+  }
+  stats_cache_.Get(*attrs_);  // warm attribute statistics
+  built_ = true;
+  return Status::OK();
+}
+
+Result<ExprPtr> HybridCollection::BindFilter(
+    const std::string& filter_sql) const {
+  AGORA_ASSIGN_OR_RETURN(
+      Statement stmt,
+      ParseStatement("SELECT 1 FROM docs WHERE " + filter_sql));
+  const auto& select = std::get<SelectStatement>(stmt.node);
+  Catalog catalog;
+  AGORA_RETURN_IF_ERROR(catalog.RegisterTable(attrs_));
+  Binder binder(catalog);
+  AGORA_ASSIGN_OR_RETURN(ExprPtr bound,
+                         binder.BindScalarExpr(select.where,
+                                               attrs_->schema()));
+  if (bound->result_type() != TypeId::kBool) {
+    return Status::TypeError("hybrid filter must be BOOLEAN");
+  }
+  return bound;
+}
+
+Result<std::vector<uint8_t>> HybridCollection::EvaluateFilterBitmap(
+    const ExprPtr& filter, size_t* rows_evaluated) {
+  size_t n = attrs_->num_rows();
+  std::vector<uint8_t> bitmap(n, 1);
+  if (filter == nullptr) return bitmap;
+  for (size_t start = 0; start < n; start += kChunkSize) {
+    Chunk chunk = attrs_->GetChunk(start, kChunkSize);
+    ColumnVector mask;
+    AGORA_RETURN_IF_ERROR(filter->Evaluate(chunk, &mask));
+    for (size_t i = 0; i < mask.size(); ++i) {
+      bitmap[start + i] = (!mask.IsNull(i) && mask.GetBool(i)) ? 1 : 0;
+    }
+  }
+  if (rows_evaluated != nullptr) *rows_evaluated += n;
+  return bitmap;
+}
+
+Result<double> HybridCollection::EstimateFilterSelectivity(
+    const ExprPtr& filter) {
+  if (filter == nullptr) return 1.0;
+  CardinalityEstimator estimator(&stats_cache_);
+  const TableStats& stats = stats_cache_.Get(*attrs_);
+  return estimator.EstimateSelectivity(
+      filter, [&stats](size_t column) -> const ColumnStats* {
+        return column < stats.columns.size() ? &stats.columns[column]
+                                             : nullptr;
+      });
+}
+
+namespace {
+
+double DistanceToSimilarity(Metric metric, float distance) {
+  // FlatIndex/IvfFlatIndex negate similarity metrics so "smaller is
+  // closer"; invert back to a similarity in a stable range.
+  switch (metric) {
+    case Metric::kL2:
+      return 1.0 / (1.0 + static_cast<double>(distance));
+    case Metric::kIp:
+    case Metric::kCosine:
+      return static_cast<double>(-distance);
+  }
+  return 0;
+}
+
+}  // namespace
+
+std::vector<ScoredDoc> HybridCollection::Fuse(
+    const HybridQuery& query, const std::vector<SearchHit>& keyword_hits,
+    const std::vector<Neighbor>& vector_hits, size_t k) const {
+  struct Partial {
+    double kw = 0, vec = 0;
+    size_t kw_rank = 0, vec_rank = 0;  // 1-based; 0 = absent
+  };
+  std::unordered_map<int64_t, Partial> partials;
+  double kw_min = 0, kw_max = 0;
+  for (size_t r = 0; r < keyword_hits.size(); ++r) {
+    Partial& p = partials[keyword_hits[r].doc_id];
+    p.kw = keyword_hits[r].score;
+    p.kw_rank = r + 1;
+    if (r == 0) {
+      kw_min = kw_max = p.kw;
+    } else {
+      kw_min = std::min(kw_min, p.kw);
+      kw_max = std::max(kw_max, p.kw);
+    }
+  }
+  double v_min = 0, v_max = 0;
+  for (size_t r = 0; r < vector_hits.size(); ++r) {
+    Partial& p = partials[vector_hits[r].id];
+    p.vec = DistanceToSimilarity(flat_index_.metric(),
+                                 vector_hits[r].distance);
+    p.vec_rank = r + 1;
+    double sim = p.vec;
+    if (r == 0) {
+      v_min = v_max = sim;
+    } else {
+      v_min = std::min(v_min, sim);
+      v_max = std::max(v_max, sim);
+    }
+  }
+
+  std::vector<ScoredDoc> out;
+  out.reserve(partials.size());
+  for (const auto& [id, p] : partials) {
+    double score = 0;
+    if (query.fusion == ScoreFusion::kRrf) {
+      if (p.kw_rank > 0) {
+        score += query.keyword_weight /
+                 static_cast<double>(query.rrf_k + p.kw_rank);
+      }
+      if (p.vec_rank > 0) {
+        score += query.vector_weight /
+                 static_cast<double>(query.rrf_k + p.vec_rank);
+      }
+    } else {
+      double nk = 0, nv = 0;
+      if (p.kw_rank > 0) {
+        nk = kw_max > kw_min ? (p.kw - kw_min) / (kw_max - kw_min) : 1.0;
+      }
+      if (p.vec_rank > 0) {
+        nv = v_max > v_min ? (p.vec - v_min) / (v_max - v_min) : 1.0;
+      }
+      score = query.keyword_weight * nk + query.vector_weight * nv;
+    }
+    out.push_back(ScoredDoc{id, score, p.kw, p.vec});
+  }
+  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.id < b.id;
+  });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+Result<std::vector<ScoredDoc>> HybridCollection::Search(
+    const HybridQuery& query, const HybridExecOptions& options,
+    HybridQueryStats* stats) {
+  if (!built_) {
+    return Status::Internal("call BuildIndexes() before Search");
+  }
+  HybridQueryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  bool has_vec = !query.embedding.empty();
+  bool has_kw = !query.keywords.empty();
+  if (!has_vec && !has_kw) {
+    return Status::InvalidArgument(
+        "hybrid query needs keywords, a vector, or both");
+  }
+
+  ExprPtr filter;
+  if (!query.filter_sql.empty()) {
+    AGORA_ASSIGN_OR_RETURN(filter, BindFilter(query.filter_sql));
+  }
+
+  // Strategy choice: estimated selectivity decides whether the filter
+  // runs first (exact search over few survivors) or last (approximate
+  // index search with over-fetch).
+  HybridStrategy strategy = options.strategy;
+  if (strategy == HybridStrategy::kAuto) {
+    if (filter == nullptr) {
+      strategy = HybridStrategy::kPostFilter;
+    } else {
+      AGORA_ASSIGN_OR_RETURN(double selectivity,
+                             EstimateFilterSelectivity(filter));
+      strategy = selectivity <= options.prefilter_selectivity_threshold
+                     ? HybridStrategy::kPreFilter
+                     : HybridStrategy::kPostFilter;
+    }
+  }
+
+  if (strategy == HybridStrategy::kPreFilter) {
+    stats->strategy = "prefilter";
+    AGORA_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bitmap,
+        EvaluateFilterBitmap(filter, &stats->filter_rows_evaluated));
+    std::unordered_set<int64_t> allowed;
+    for (size_t i = 0; i < bitmap.size(); ++i) {
+      if (bitmap[i] != 0) allowed.insert(static_cast<int64_t>(i));
+    }
+    stats->candidates = allowed.size();
+    // Rank the full survivor set (all distances are computed anyway);
+    // fusing over complete lists makes pre-filtered search exact.
+    std::vector<Neighbor> vector_hits;
+    if (has_vec) {
+      stats->vector_distances += allowed.size();
+      AGORA_ASSIGN_OR_RETURN(
+          vector_hits,
+          flat_index_.SearchFiltered(query.embedding, allowed.size(),
+                                     [&allowed](int64_t id) {
+                                       return allowed.count(id) > 0;
+                                     }));
+    }
+    std::vector<SearchHit> keyword_hits;
+    if (has_kw) {
+      keyword_hits = text_index_.SearchFiltered(query.keywords,
+                                                allowed.size(), allowed);
+    }
+    return Fuse(query, keyword_hits, vector_hits, query.k);
+  }
+
+  // Post-filter with over-fetch loop.
+  stats->strategy = "postfilter";
+  size_t fetch = query.k * std::max<size_t>(options.overfetch, 1);
+  for (size_t attempt = 0;; ++attempt) {
+    std::vector<Neighbor> vector_hits;
+    if (has_vec) {
+      size_t scanned = 0;
+      AGORA_ASSIGN_OR_RETURN(
+          vector_hits,
+          ivf_index_.SearchWithProbes(query.embedding, fetch,
+                                      ivf_index_.options().nprobe,
+                                      &scanned));
+      stats->vector_distances += scanned;
+    }
+    std::vector<SearchHit> keyword_hits;
+    if (has_kw) {
+      keyword_hits = text_index_.Search(query.keywords, fetch);
+    }
+
+    if (filter != nullptr) {
+      // Evaluate the predicate only on candidate rows.
+      std::unordered_set<int64_t> candidate_ids;
+      for (const Neighbor& n : vector_hits) candidate_ids.insert(n.id);
+      for (const SearchHit& h : keyword_hits) {
+        candidate_ids.insert(h.doc_id);
+      }
+      std::vector<int64_t> ordered(candidate_ids.begin(),
+                                   candidate_ids.end());
+      std::sort(ordered.begin(), ordered.end());
+      Chunk chunk(attrs_->schema());
+      for (int64_t id : ordered) {
+        chunk.AppendRow(attrs_->GetRow(static_cast<size_t>(id)));
+      }
+      ColumnVector mask;
+      AGORA_RETURN_IF_ERROR(filter->Evaluate(chunk, &mask));
+      stats->filter_rows_evaluated += ordered.size();
+      std::unordered_set<int64_t> passing;
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        if (!mask.IsNull(i) && mask.GetBool(i)) passing.insert(ordered[i]);
+      }
+      std::vector<Neighbor> fv;
+      for (const Neighbor& n : vector_hits) {
+        if (passing.count(n.id) > 0) fv.push_back(n);
+      }
+      std::vector<SearchHit> fk;
+      for (const SearchHit& h : keyword_hits) {
+        if (passing.count(h.doc_id) > 0) fk.push_back(h);
+      }
+      vector_hits = std::move(fv);
+      keyword_hits = std::move(fk);
+    }
+
+    std::vector<ScoredDoc> fused =
+        Fuse(query, keyword_hits, vector_hits, query.k);
+    stats->candidates = fused.size();
+    bool exhausted = fetch >= size();
+    if (fused.size() >= query.k || exhausted ||
+        attempt >= options.max_retries) {
+      return fused;
+    }
+    fetch *= 2;
+    stats->retries++;
+  }
+}
+
+Result<std::vector<ScoredDoc>> HybridCollection::SearchFederated(
+    const HybridQuery& query, HybridQueryStats* stats) {
+  if (!built_) {
+    return Status::Internal("call BuildIndexes() before SearchFederated");
+  }
+  HybridQueryStats local_stats;
+  if (stats == nullptr) stats = &local_stats;
+  stats->strategy = "federated";
+  bool has_vec = !query.embedding.empty();
+  bool has_kw = !query.keywords.empty();
+
+  // "RDBMS" leg: the SQL system knows nothing about ranking, so the
+  // client materializes the complete matching id set up front.
+  std::unordered_set<int64_t> sql_ids;
+  bool has_filter = !query.filter_sql.empty();
+  if (has_filter) {
+    AGORA_ASSIGN_OR_RETURN(ExprPtr filter, BindFilter(query.filter_sql));
+    AGORA_ASSIGN_OR_RETURN(
+        std::vector<uint8_t> bitmap,
+        EvaluateFilterBitmap(filter, &stats->filter_rows_evaluated));
+    for (size_t i = 0; i < bitmap.size(); ++i) {
+      if (bitmap[i] != 0) sql_ids.insert(static_cast<int64_t>(i));
+    }
+  }
+
+  // Over-fetch loop against the two ranking systems; neither can apply
+  // the SQL filter, so the client keeps doubling k until enough survive.
+  size_t fetch = query.k;
+  while (true) {
+    std::vector<Neighbor> vector_hits;
+    if (has_vec) {
+      size_t scanned = 0;
+      AGORA_ASSIGN_OR_RETURN(
+          vector_hits,
+          ivf_index_.SearchWithProbes(query.embedding, fetch,
+                                      ivf_index_.options().nprobe,
+                                      &scanned));
+      stats->vector_distances += scanned;
+    }
+    std::vector<SearchHit> keyword_hits;
+    if (has_kw) {
+      keyword_hits = text_index_.Search(query.keywords, fetch);
+    }
+    if (has_filter) {
+      std::vector<Neighbor> fv;
+      for (const Neighbor& n : vector_hits) {
+        if (sql_ids.count(n.id) > 0) fv.push_back(n);
+      }
+      std::vector<SearchHit> fk;
+      for (const SearchHit& h : keyword_hits) {
+        if (sql_ids.count(h.doc_id) > 0) fk.push_back(h);
+      }
+      vector_hits = std::move(fv);
+      keyword_hits = std::move(fk);
+    }
+    std::vector<ScoredDoc> fused =
+        Fuse(query, keyword_hits, vector_hits, query.k);
+    stats->candidates = fused.size();
+    if (fused.size() >= query.k || fetch >= size()) {
+      return fused;
+    }
+    fetch *= 2;
+    stats->retries++;
+  }
+}
+
+Result<std::vector<ScoredDoc>> HybridCollection::SearchExact(
+    const HybridQuery& query) {
+  if (!built_) {
+    return Status::Internal("call BuildIndexes() before SearchExact");
+  }
+  ExprPtr filter;
+  if (!query.filter_sql.empty()) {
+    AGORA_ASSIGN_OR_RETURN(filter, BindFilter(query.filter_sql));
+  }
+  AGORA_ASSIGN_OR_RETURN(std::vector<uint8_t> bitmap,
+                         EvaluateFilterBitmap(filter, nullptr));
+  std::unordered_set<int64_t> allowed;
+  for (size_t i = 0; i < bitmap.size(); ++i) {
+    if (bitmap[i] != 0) allowed.insert(static_cast<int64_t>(i));
+  }
+  std::vector<Neighbor> vector_hits;
+  if (!query.embedding.empty()) {
+    AGORA_ASSIGN_OR_RETURN(
+        vector_hits,
+        flat_index_.SearchFiltered(
+            query.embedding, allowed.size(),
+            [&allowed](int64_t id) { return allowed.count(id) > 0; }));
+  }
+  std::vector<SearchHit> keyword_hits;
+  if (!query.keywords.empty()) {
+    keyword_hits = text_index_.SearchFiltered(query.keywords,
+                                              allowed.size(), allowed);
+  }
+  return Fuse(query, keyword_hits, vector_hits, query.k);
+}
+
+SyntheticHybridData MakeSyntheticHybridData(size_t n, size_t dim,
+                                            size_t topics, uint64_t seed) {
+  SyntheticHybridData data;
+  data.attr_schema = Schema({{"category", TypeId::kString, false},
+                             {"price", TypeId::kDouble, false},
+                             {"rating", TypeId::kInt64, false},
+                             {"in_stock", TypeId::kBool, false}});
+  Rng rng(seed);
+
+  static const char* kTopicNames[] = {"astronomy", "cooking",   "cycling",
+                                      "finance",   "gardening", "music",
+                                      "robotics",  "travel"};
+  topics = std::min<size_t>(topics, 8);
+  std::vector<std::vector<std::string>> topic_vocab(topics);
+  for (size_t t = 0; t < topics; ++t) {
+    data.topic_names.push_back(kTopicNames[t]);
+    for (int w = 0; w < 24; ++w) {
+      topic_vocab[t].push_back(std::string(kTopicNames[t]) + "term" +
+                               std::to_string(w));
+    }
+    Vecf centroid(dim);
+    for (float& x : centroid) {
+      x = static_cast<float>(rng.Gaussian()) * 3.0f;
+    }
+    data.topic_centroids.push_back(std::move(centroid));
+  }
+  std::vector<std::string> shared_vocab;
+  for (int w = 0; w < 60; ++w) {
+    shared_vocab.push_back("common" + std::to_string(w));
+  }
+  static const char* kCategories[] = {"books", "tools", "toys", "media",
+                                      "apparel"};
+
+  data.docs.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    size_t topic = static_cast<size_t>(rng.Uniform(0, static_cast<int64_t>(topics) - 1));
+    HybridDoc doc;
+    // Text: mostly topic vocabulary plus shared noise; always contains
+    // the topic's name so topical keyword queries hit.
+    std::string text = data.topic_names[topic];
+    int words = static_cast<int>(rng.Uniform(20, 60));
+    for (int w = 0; w < words; ++w) {
+      text += ' ';
+      if (rng.Bernoulli(0.6)) {
+        text += topic_vocab[topic][static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(topic_vocab[topic].size()) - 1))];
+      } else {
+        text += shared_vocab[static_cast<size_t>(
+            rng.Uniform(0, static_cast<int64_t>(shared_vocab.size()) - 1))];
+      }
+    }
+    doc.text = std::move(text);
+    // Embedding: topic centroid + unit noise.
+    doc.embedding.resize(dim);
+    const Vecf& centroid = data.topic_centroids[topic];
+    for (size_t d = 0; d < dim; ++d) {
+      doc.embedding[d] =
+          centroid[d] + static_cast<float>(rng.Gaussian());
+    }
+    doc.attrs = {Value::String(kCategories[rng.Uniform(0, 4)]),
+                 Value::Double(rng.UniformDouble(1.0, 100.0)),
+                 Value::Int64(rng.Uniform(1, 5)),
+                 Value::Bool(rng.Bernoulli(0.85))};
+    data.docs.push_back(std::move(doc));
+  }
+  return data;
+}
+
+}  // namespace agora

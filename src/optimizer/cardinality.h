@@ -1,0 +1,46 @@
+#ifndef AGORA_OPTIMIZER_CARDINALITY_H_
+#define AGORA_OPTIMIZER_CARDINALITY_H_
+
+#include <functional>
+
+#include "expr/expr.h"
+#include "optimizer/stats.h"
+#include "plan/logical_plan.h"
+
+namespace agora {
+
+/// Textbook selectivity heuristics informed by exact column stats when
+/// available. Columns are identified by the *input schema index* of the
+/// operator the predicate is bound against; `stats_for_column` resolves an
+/// index to its base-column stats (nullptr = unknown).
+class CardinalityEstimator {
+ public:
+  using ColumnStatsFn =
+      std::function<const ColumnStats*(size_t column_index)>;
+
+  explicit CardinalityEstimator(StatsCache* cache) : cache_(cache) {}
+
+  /// Fraction of rows satisfying `predicate` (0..1]. `stats_for_column`
+  /// may be empty, in which case pure heuristics apply.
+  double EstimateSelectivity(const ExprPtr& predicate,
+                             const ColumnStatsFn& stats_for_column) const;
+
+  /// Output cardinality estimate for a scan with an optional pushed
+  /// predicate.
+  double EstimateScanRows(const LogicalScan& scan) const;
+
+  /// Recursive cardinality estimate for an arbitrary logical subtree.
+  double EstimateRows(const LogicalOperator& node) const;
+
+  StatsCache* stats_cache() const { return cache_; }
+
+ private:
+  double ConjunctSelectivity(const ExprPtr& conjunct,
+                             const ColumnStatsFn& stats_for_column) const;
+
+  StatsCache* cache_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_OPTIMIZER_CARDINALITY_H_

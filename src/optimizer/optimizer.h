@@ -1,0 +1,81 @@
+#ifndef AGORA_OPTIMIZER_OPTIMIZER_H_
+#define AGORA_OPTIMIZER_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "optimizer/cardinality.h"
+#include "optimizer/stats.h"
+#include "plan/logical_plan.h"
+
+namespace agora {
+
+/// Per-rule switches; benchmarks toggle these for the E4 ablations.
+struct OptimizerOptions {
+  bool enable_constant_folding = true;
+  bool enable_predicate_pushdown = true;
+  bool enable_join_reorder = true;
+  bool enable_projection_pruning = true;
+  /// Flag scans with pushed range predicates as zone-map eligible.
+  bool enable_zone_maps = true;
+
+  /// Everything off: the plan executes in syntactic order (the "ORM-grade"
+  /// naive plan used as the E4 baseline).
+  static OptimizerOptions AllDisabled() {
+    OptimizerOptions o;
+    o.enable_constant_folding = false;
+    o.enable_predicate_pushdown = false;
+    o.enable_join_reorder = false;
+    o.enable_projection_pruning = false;
+    o.enable_zone_maps = false;
+    return o;
+  }
+};
+
+/// Cost-based logical optimizer. Passes run in order:
+///   1. constant folding over all predicates/projections
+///   2. predicate pushdown (through joins into scans; cross -> inner)
+///   3. DP join reordering (DPsub up to 12 relations, greedy beyond)
+///   4. projection pruning (column-level, down to scan projections)
+///   5. zone-map flagging on scans with pushed range predicates
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = {})
+      : options_(options), estimator_(&stats_cache_) {}
+
+  /// Rewrites `plan`. The input tree is not reused afterwards (nodes may
+  /// be shared into the output).
+  Result<LogicalOpPtr> Optimize(LogicalOpPtr plan);
+
+  const OptimizerOptions& options() const { return options_; }
+  CardinalityEstimator& estimator() { return estimator_; }
+
+ private:
+  OptimizerOptions options_;
+  StatsCache stats_cache_;
+  CardinalityEstimator estimator_;
+};
+
+namespace optimizer_internal {
+
+/// Pass 1: folds constant subtrees in every expression of the plan.
+LogicalOpPtr FoldPlanConstants(const LogicalOpPtr& node);
+
+/// Pass 2: pushes filter conjuncts toward the scans. `inherited` are
+/// predicates bound against `node`'s output schema.
+LogicalOpPtr PushDownPredicates(const LogicalOpPtr& node,
+                                std::vector<ExprPtr> inherited);
+
+/// Pass 3: reorders maximal inner/cross join regions by estimated cost.
+LogicalOpPtr ReorderJoins(const LogicalOpPtr& node,
+                          CardinalityEstimator* estimator);
+
+/// Pass 4: narrows every operator to the columns its ancestors need.
+LogicalOpPtr PruneColumns(const LogicalOpPtr& root);
+
+/// Pass 5: marks scans whose pushed predicates can use zone maps.
+void FlagZoneMaps(const LogicalOpPtr& node);
+
+}  // namespace optimizer_internal
+
+}  // namespace agora
+
+#endif  // AGORA_OPTIMIZER_OPTIMIZER_H_

@@ -1,0 +1,50 @@
+#include "optimizer/stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace agora {
+
+TableStats ComputeTableStats(const Table& table) {
+  TableStats stats;
+  stats.row_count = static_cast<int64_t>(table.num_rows());
+  stats.columns.resize(table.num_columns());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnVector& col = table.column(c);
+    ColumnStats& cs = stats.columns[c];
+    std::unordered_set<uint64_t> distinct;
+    distinct.reserve(std::min<size_t>(table.num_rows(), 1 << 20));
+    bool numeric = IsNumeric(col.type()) || col.type() == TypeId::kBool;
+    for (size_t r = 0; r < col.size(); ++r) {
+      if (col.IsNull(r)) {
+        cs.null_count++;
+        continue;
+      }
+      distinct.insert(col.HashRow(r));
+      if (numeric) {
+        double v = col.GetNumeric(r);
+        if (!cs.has_minmax) {
+          cs.min = cs.max = v;
+          cs.has_minmax = true;
+        } else {
+          cs.min = std::min(cs.min, v);
+          cs.max = std::max(cs.max, v);
+        }
+      }
+    }
+    cs.ndv = static_cast<int64_t>(distinct.size());
+  }
+  return stats;
+}
+
+const TableStats& StatsCache::Get(const Table& table) {
+  auto it = cache_.find(&table);
+  if (it != cache_.end() && it->second.row_count == table.num_rows()) {
+    return it->second.stats;
+  }
+  Entry entry{table.num_rows(), ComputeTableStats(table)};
+  auto [pos, inserted] = cache_.insert_or_assign(&table, std::move(entry));
+  return pos->second.stats;
+}
+
+}  // namespace agora

@@ -1,0 +1,48 @@
+#ifndef AGORA_OPTIMIZER_STATS_H_
+#define AGORA_OPTIMIZER_STATS_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace agora {
+
+/// Per-column statistics used by the cardinality estimator.
+struct ColumnStats {
+  int64_t ndv = 0;       // number of distinct non-null values
+  int64_t null_count = 0;
+  double min = 0;        // numeric columns only
+  double max = 0;
+  bool has_minmax = false;
+};
+
+/// Per-table statistics: exact row count plus per-column NDV/min/max.
+/// Computed with a full pass (exact at this project's scales) and cached.
+struct TableStats {
+  int64_t row_count = 0;
+  std::vector<ColumnStats> columns;
+};
+
+/// Computes statistics for every column of `table`.
+TableStats ComputeTableStats(const Table& table);
+
+/// Cache keyed by table identity + row count (stale entries recompute
+/// after appends). Owned by the Optimizer; not thread-safe.
+class StatsCache {
+ public:
+  /// Returns cached stats for `table`, computing them on first use.
+  const TableStats& Get(const Table& table);
+
+ private:
+  struct Entry {
+    size_t row_count;
+    TableStats stats;
+  };
+  std::unordered_map<const Table*, Entry> cache_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_OPTIMIZER_STATS_H_

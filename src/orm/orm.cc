@@ -1,0 +1,152 @@
+#include "orm/orm.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace agora {
+
+const Value& Entity::Get(const std::string& column) const {
+  auto it = fields_.find(column);
+  AGORA_CHECK(it != fields_.end())
+      << "entity of '" << table_ << "' has no field '" << column << "'";
+  return it->second;
+}
+
+std::string ValueToSqlLiteral(const Value& v) {
+  if (v.is_null()) return "NULL";
+  switch (v.type()) {
+    case TypeId::kString: {
+      std::string out = "'";
+      for (char c : v.string_value()) {
+        if (c == '\'') out += '\'';
+        out += c;
+      }
+      return out + "'";
+    }
+    case TypeId::kDate:
+      return "DATE '" + v.ToString() + "'";
+    case TypeId::kBool:
+      return v.bool_value() ? "TRUE" : "FALSE";
+    default:
+      return v.ToString();
+  }
+}
+
+void OrmSession::RegisterModel(ModelDef def) {
+  std::string key = ToLower(def.table);
+  models_[key] = std::move(def);
+}
+
+Result<const ModelDef*> OrmSession::GetModel(const std::string& model) const {
+  auto it = models_.find(ToLower(model));
+  if (it == models_.end()) {
+    return Status::NotFound("model '" + model + "' is not registered");
+  }
+  return &it->second;
+}
+
+Result<const ModelDef::HasMany*> OrmSession::GetRelation(
+    const ModelDef& def, const std::string& name) const {
+  for (const auto& rel : def.has_many) {
+    if (EqualsIgnoreCase(rel.name, name)) return &rel;
+  }
+  return Status::NotFound("model '" + def.table + "' has no relation '" +
+                          name + "'");
+}
+
+Result<QueryResult> OrmSession::Run(const std::string& sql) {
+  ++statements_issued_;
+  return db_->Execute(sql);
+}
+
+std::vector<Entity> OrmSession::ToEntities(const std::string& table,
+                                           const QueryResult& result) {
+  std::vector<Entity> out;
+  out.reserve(result.num_rows());
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    std::unordered_map<std::string, Value> fields;
+    for (size_t c = 0; c < result.num_columns(); ++c) {
+      fields[result.schema().field(c).name] = result.Get(r, c);
+    }
+    out.emplace_back(table, std::move(fields));
+  }
+  return out;
+}
+
+Result<Entity> OrmSession::Find(const std::string& model, const Value& id) {
+  AGORA_ASSIGN_OR_RETURN(const ModelDef* def, GetModel(model));
+  AGORA_ASSIGN_OR_RETURN(
+      QueryResult result,
+      Run("SELECT * FROM " + def->table + " WHERE " + def->primary_key +
+          " = " + ValueToSqlLiteral(id)));
+  if (result.num_rows() == 0) {
+    return Status::NotFound("no " + def->table + " row with " +
+                            def->primary_key + " = " + id.ToString());
+  }
+  return ToEntities(def->table, result)[0];
+}
+
+Result<std::vector<Entity>> OrmSession::All(const std::string& model,
+                                            const std::string& where) {
+  AGORA_ASSIGN_OR_RETURN(const ModelDef* def, GetModel(model));
+  std::string sql = "SELECT * FROM " + def->table;
+  if (!where.empty()) sql += " WHERE " + where;
+  AGORA_ASSIGN_OR_RETURN(QueryResult result, Run(sql));
+  return ToEntities(def->table, result);
+}
+
+Result<std::vector<Entity>> OrmSession::Related(const Entity& parent,
+                                                const std::string& relation) {
+  AGORA_ASSIGN_OR_RETURN(const ModelDef* def, GetModel(parent.table()));
+  AGORA_ASSIGN_OR_RETURN(const ModelDef::HasMany* rel,
+                         GetRelation(*def, relation));
+  const Value& key = parent.Get(def->primary_key);
+  AGORA_ASSIGN_OR_RETURN(
+      QueryResult result,
+      Run("SELECT * FROM " + rel->child_table + " WHERE " +
+          rel->foreign_key + " = " + ValueToSqlLiteral(key)));
+  return ToEntities(rel->child_table, result);
+}
+
+Status OrmSession::Insert(
+    const std::string& model,
+    const std::unordered_map<std::string, Value>& fields) {
+  AGORA_ASSIGN_OR_RETURN(const ModelDef* def, GetModel(model));
+  std::string cols, vals;
+  for (const auto& [column, value] : fields) {
+    if (!cols.empty()) {
+      cols += ", ";
+      vals += ", ";
+    }
+    cols += column;
+    vals += ValueToSqlLiteral(value);
+  }
+  AGORA_ASSIGN_OR_RETURN(
+      QueryResult result,
+      Run("INSERT INTO " + def->table + " (" + cols + ") VALUES (" + vals +
+          ")"));
+  (void)result;
+  return Status::OK();
+}
+
+Result<std::unordered_map<std::string, std::vector<Entity>>>
+OrmSession::EagerLoadChildren(const std::string& model,
+                              const std::string& relation) {
+  AGORA_ASSIGN_OR_RETURN(const ModelDef* def, GetModel(model));
+  AGORA_ASSIGN_OR_RETURN(const ModelDef::HasMany* rel,
+                         GetRelation(*def, relation));
+  // One set-oriented statement for everything.
+  AGORA_ASSIGN_OR_RETURN(
+      QueryResult result,
+      Run("SELECT * FROM " + rel->child_table + " ORDER BY " +
+          rel->foreign_key));
+  std::unordered_map<std::string, std::vector<Entity>> grouped;
+  std::vector<Entity> children = ToEntities(rel->child_table, result);
+  for (Entity& child : children) {
+    std::string key = child.Get(rel->foreign_key).ToString();
+    grouped[key].push_back(std::move(child));
+  }
+  return grouped;
+}
+
+}  // namespace agora

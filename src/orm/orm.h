@@ -1,0 +1,115 @@
+#ifndef AGORA_ORM_ORM_H_
+#define AGORA_ORM_ORM_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/database.h"
+
+namespace agora {
+
+/// A loaded ORM entity: a bag of column values keyed by column name.
+class Entity {
+ public:
+  Entity() = default;
+  Entity(std::string table,
+         std::unordered_map<std::string, Value> fields)
+      : table_(std::move(table)), fields_(std::move(fields)) {}
+
+  const std::string& table() const { return table_; }
+  /// Field accessor; aborts on unknown column (programmer error).
+  const Value& Get(const std::string& column) const;
+  bool Has(const std::string& column) const {
+    return fields_.count(column) > 0;
+  }
+  void Set(std::string column, Value v) {
+    fields_[std::move(column)] = std::move(v);
+  }
+  size_t num_fields() const { return fields_.size(); }
+
+ private:
+  std::string table_;
+  std::unordered_map<std::string, Value> fields_;
+};
+
+/// Declarative model description: table, primary key and has-many
+/// relations (child table + foreign key back to this model).
+struct ModelDef {
+  std::string table;
+  std::string primary_key = "id";
+  struct HasMany {
+    std::string name;         // relation name, e.g. "orders"
+    std::string child_table;  // e.g. "orders"
+    std::string foreign_key;  // e.g. "customer_id"
+  };
+  std::vector<HasMany> has_many;
+};
+
+/// Renders a Value as a SQL literal ('it''s', 42, 3.5, DATE '...', NULL).
+std::string ValueToSqlLiteral(const Value& v);
+
+/// A deliberately faithful miniature ORM session over a Database.
+///
+/// It reproduces the access patterns the SIGMOD'25 panel points at when
+/// saying "many performance problems are due to the ORM and never arise
+/// at the DBMS":
+///
+///  * every `Find`/`All` is its own SELECT statement (a round trip),
+///  * relations load LAZILY — touching `Related()` for each of N parents
+///    issues N additional SELECTs (the classic N+1 pattern),
+///  * `Insert` writes one row per statement.
+///
+/// The session also exposes `statements_issued()` so experiments can
+/// count round trips, and `EagerLoadChildren()` — the set-oriented join
+/// a database person would write — for comparison.
+class OrmSession {
+ public:
+  explicit OrmSession(Database* db) : db_(db) {}
+
+  /// Registers a model; relations may then be loaded by name.
+  void RegisterModel(ModelDef def);
+
+  /// SELECT * FROM t WHERE pk = id  (one statement).
+  Result<Entity> Find(const std::string& model, const Value& id);
+
+  /// SELECT * FROM t [WHERE ...]  (one statement).
+  Result<std::vector<Entity>> All(const std::string& model,
+                                  const std::string& where = "");
+
+  /// Lazily loads a has-many relation of `parent` — one SELECT per call,
+  /// i.e. the "+1" of N+1.
+  Result<std::vector<Entity>> Related(const Entity& parent,
+                                      const std::string& relation);
+
+  /// INSERT INTO t (cols) VALUES (...)  (one statement per row).
+  Status Insert(const std::string& model,
+                const std::unordered_map<std::string, Value>& fields);
+
+  /// The set-oriented alternative: ONE join statement fetching every
+  /// parent's children, grouped client-side by parent key. Returns
+  /// parent-key-literal -> children.
+  Result<std::unordered_map<std::string, std::vector<Entity>>>
+  EagerLoadChildren(const std::string& model, const std::string& relation);
+
+  /// Statements this session has issued (round-trip accounting for E2).
+  int64_t statements_issued() const { return statements_issued_; }
+  void ResetStatementCount() { statements_issued_ = 0; }
+
+ private:
+  Result<const ModelDef*> GetModel(const std::string& model) const;
+  Result<const ModelDef::HasMany*> GetRelation(const ModelDef& def,
+                                               const std::string& name) const;
+  Result<QueryResult> Run(const std::string& sql);
+  static std::vector<Entity> ToEntities(const std::string& table,
+                                        const QueryResult& result);
+
+  Database* db_;
+  std::unordered_map<std::string, ModelDef> models_;
+  int64_t statements_issued_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_ORM_ORM_H_

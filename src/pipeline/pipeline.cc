@@ -1,0 +1,215 @@
+#include "pipeline/pipeline.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+
+namespace agora {
+
+std::string PipelineRunStats::ToString() const {
+  std::string out;
+  for (const StageRunStats& s : stages) {
+    out += s.name + ": in=" + FormatCount(s.items_in) +
+           " out=" + FormatCount(s.items_out) +
+           " work=" + FormatCount(static_cast<int64_t>(s.work_units)) + "\n";
+  }
+  out += "total_work=" + FormatCount(static_cast<int64_t>(total_work)) +
+         " survivors=" + FormatCount(survivors) + "\n";
+  return out;
+}
+
+std::vector<PipelineDoc> Pipeline::Run(std::vector<PipelineDoc> docs,
+                                       PipelineRunStats* stats) const {
+  PipelineRunStats local;
+  if (stats == nullptr) stats = &local;
+  stats->stages.clear();
+  stats->total_work = 0;
+  for (const StagePtr& stage : stages_) {
+    stage->Reset();
+    StageRunStats s;
+    s.name = stage->name();
+    stats->stages.push_back(s);
+  }
+
+  std::vector<PipelineDoc> current = std::move(docs);
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    StageRunStats& s = stats->stages[i];
+    s.items_in = static_cast<int64_t>(current.size());
+    std::vector<PipelineDoc> next;
+    next.reserve(current.size());
+    for (PipelineDoc& doc : current) {
+      uint64_t work = 0;
+      bool keep = stages_[i]->Process(&doc, &work);
+      s.work_units += work;
+      if (keep) next.push_back(std::move(doc));
+    }
+    s.items_out = static_cast<int64_t>(next.size());
+    stats->total_work += s.work_units;
+    current = std::move(next);
+  }
+  stats->survivors = static_cast<int64_t>(current.size());
+  return current;
+}
+
+std::string Pipeline::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < stages_.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += stages_[i]->name();
+  }
+  return out;
+}
+
+Pipeline PipelineOptimizer::Optimize(
+    const Pipeline& pipeline,
+    const std::vector<PipelineDoc>& sample_source) const {
+  last_estimates_.clear();
+  if (!options_.enable_reordering || pipeline.num_stages() < 2) {
+    return pipeline;
+  }
+
+  // Calibration pass: run the sample through each stage INDEPENDENTLY to
+  // measure standalone unit cost and selectivity. (Running them in chain
+  // order would bias later stages' selectivities toward survivors.)
+  // Cost is measured in wall-clock nanoseconds per document — the
+  // quantity the reordering actually optimizes — exactly like a query
+  // optimizer calibrating predicate costs on a sample.
+  size_t n = std::min(options_.sample_size, sample_source.size());
+  std::vector<StageEstimate> estimates;
+  for (const StagePtr& stage : pipeline.stages()) {
+    StageEstimate est;
+    est.name = stage->name();
+    // Three timed repetitions, keeping the minimum: robust against
+    // transient machine load skewing one measurement.
+    int64_t best_nanos = INT64_MAX;
+    int64_t kept = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      stage->Reset();
+      uint64_t work = 0;
+      kept = 0;
+      Timer timer;
+      for (size_t i = 0; i < n; ++i) {
+        PipelineDoc copy = sample_source[i];
+        if (stage->Process(&copy, &work)) ++kept;
+      }
+      best_nanos = std::min(best_nanos, timer.ElapsedNanos());
+    }
+    if (n > 0) {
+      est.unit_cost = std::max(
+          1.0, static_cast<double>(best_nanos) / static_cast<double>(n));
+      est.selectivity = static_cast<double>(kept) / static_cast<double>(n);
+    }
+    estimates.push_back(est);
+    stage->Reset();  // calibration must not leak dedup state into the run
+  }
+  last_estimates_ = estimates;
+
+  // Reorder each maximal run of filters by rank = (s - 1) / c ascending;
+  // transforms are barriers and keep their positions.
+  const auto& stages = pipeline.stages();
+  Pipeline optimized;
+  size_t i = 0;
+  while (i < stages.size()) {
+    if (!stages[i]->is_filter()) {
+      optimized.AddStage(stages[i]);
+      ++i;
+      continue;
+    }
+    size_t j = i;
+    while (j < stages.size() && stages[j]->is_filter()) ++j;
+    std::vector<size_t> order;
+    for (size_t k = i; k < j; ++k) order.push_back(k);
+    std::stable_sort(order.begin(), order.end(),
+                     [&estimates](size_t a, size_t b) {
+                       double ra = (estimates[a].selectivity - 1.0) /
+                                   estimates[a].unit_cost;
+                       double rb = (estimates[b].selectivity - 1.0) /
+                                   estimates[b].unit_cost;
+                       return ra < rb;
+                     });
+    for (size_t k : order) optimized.AddStage(stages[k]);
+    i = j;
+  }
+  return optimized;
+}
+
+std::vector<std::vector<PipelineDoc>> RunWithSharedPrefixes(
+    const std::vector<const Pipeline*>& pipelines,
+    const std::vector<PipelineDoc>& docs, uint64_t* saved_work,
+    uint64_t* total_work) {
+  std::vector<std::vector<PipelineDoc>> results(pipelines.size());
+  uint64_t work_spent = 0;
+  uint64_t work_without_sharing = 0;
+
+  // Baseline accounting: what each pipeline would cost standalone.
+  // (Computed analytically below by attributing shared work once.)
+  //
+  // Execution: process pipelines in order; for each, find the longest
+  // prefix shared with an already-executed pipeline (by StagePtr
+  // identity) and reuse its materialized output.
+  struct PrefixEntry {
+    std::vector<const PipelineStage*> stages;  // identity signature
+    std::vector<PipelineDoc> output;
+    uint64_t work;  // cumulative work to produce this output
+  };
+  std::vector<PrefixEntry> cache;
+
+  for (size_t p = 0; p < pipelines.size(); ++p) {
+    const Pipeline& pipe = *pipelines[p];
+    // Longest cached prefix.
+    size_t best_len = 0;
+    const PrefixEntry* best = nullptr;
+    for (const PrefixEntry& entry : cache) {
+      if (entry.stages.size() > pipe.num_stages()) continue;
+      bool match = true;
+      for (size_t i = 0; i < entry.stages.size(); ++i) {
+        if (pipe.stages()[i].get() != entry.stages[i]) {
+          match = false;
+          break;
+        }
+      }
+      if (match && entry.stages.size() > best_len) {
+        best_len = entry.stages.size();
+        best = &entry;
+      }
+    }
+
+    std::vector<PipelineDoc> current =
+        best != nullptr ? best->output : docs;
+    uint64_t prefix_work = best != nullptr ? best->work : 0;
+    uint64_t run_work = 0;
+
+    std::vector<const PipelineStage*> signature;
+    for (size_t i = 0; i < best_len; ++i) {
+      signature.push_back(pipe.stages()[i].get());
+    }
+    for (size_t i = best_len; i < pipe.num_stages(); ++i) {
+      PipelineStage* stage = pipe.stages()[i].get();
+      stage->Reset();
+      std::vector<PipelineDoc> next;
+      next.reserve(current.size());
+      for (PipelineDoc& doc : current) {
+        uint64_t w = 0;
+        PipelineDoc copy = doc;
+        if (stage->Process(&copy, &w)) next.push_back(std::move(copy));
+        run_work += w;
+      }
+      current = std::move(next);
+      signature.push_back(stage);
+      // Materialize every prefix boundary for future reuse.
+      cache.push_back(PrefixEntry{signature, current,
+                                  prefix_work + run_work});
+    }
+    work_spent += run_work;
+    work_without_sharing += prefix_work + run_work;
+    results[p] = std::move(current);
+  }
+  if (saved_work != nullptr) {
+    *saved_work = work_without_sharing - work_spent;
+  }
+  if (total_work != nullptr) *total_work = work_spent;
+  return results;
+}
+
+}  // namespace agora

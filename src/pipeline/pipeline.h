@@ -1,0 +1,145 @@
+#ifndef AGORA_PIPELINE_PIPELINE_H_
+#define AGORA_PIPELINE_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace agora {
+
+/// One document flowing through a data-prep pipeline (the unit of an LLM
+/// training-data corpus).
+struct PipelineDoc {
+  int64_t id = 0;
+  std::string text;
+};
+
+/// A pipeline stage. Filters decide keep/drop and may be reordered by the
+/// optimizer; transforms mutate the text and act as barriers (a filter
+/// must not jump across a transform because the transform changes what
+/// the filter sees).
+class PipelineStage {
+ public:
+  virtual ~PipelineStage() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True if this stage only drops documents (never mutates them) and can
+  /// therefore be reordered relative to other filters.
+  virtual bool is_filter() const = 0;
+
+  /// Processes one document. Returns false to drop it. `work` must be
+  /// incremented by the number of abstract work units spent (typically
+  /// characters touched), the pipeline's cost currency.
+  virtual bool Process(PipelineDoc* doc, uint64_t* work) = 0;
+
+  /// Clears any cross-document state (dedup sets). Called at the start of
+  /// every Run.
+  virtual void Reset() {}
+};
+
+using StagePtr = std::shared_ptr<PipelineStage>;
+
+/// Per-stage execution counters.
+struct StageRunStats {
+  std::string name;
+  int64_t items_in = 0;
+  int64_t items_out = 0;
+  uint64_t work_units = 0;
+
+  double selectivity() const {
+    return items_in == 0 ? 1.0
+                         : static_cast<double>(items_out) /
+                               static_cast<double>(items_in);
+  }
+};
+
+/// Whole-run counters.
+struct PipelineRunStats {
+  std::vector<StageRunStats> stages;
+  uint64_t total_work = 0;
+  int64_t survivors = 0;
+
+  std::string ToString() const;
+};
+
+/// An ordered chain of stages executed document-at-a-time.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  void AddStage(StagePtr stage) { stages_.push_back(std::move(stage)); }
+  const std::vector<StagePtr>& stages() const { return stages_; }
+  size_t num_stages() const { return stages_.size(); }
+
+  /// Runs `docs` through every stage in order. Stage state is Reset()
+  /// first, so repeated runs are independent.
+  std::vector<PipelineDoc> Run(std::vector<PipelineDoc> docs,
+                               PipelineRunStats* stats = nullptr) const;
+
+  /// Stage names joined by " -> " (plan display).
+  std::string ToString() const;
+
+ private:
+  std::vector<StagePtr> stages_;
+};
+
+/// Options for the sample-driven pipeline optimizer.
+struct PipelineOptimizerOptions {
+  /// Documents sampled to measure per-stage cost and selectivity.
+  size_t sample_size = 256;
+  /// Master switch (benchmarks ablate with false = identity).
+  bool enable_reordering = true;
+};
+
+/// Reorders commutable filter stages the way a query optimizer orders
+/// predicates: measure per-stage unit cost c_i and selectivity s_i on a
+/// sample, then sort each filter run (between transform barriers) by the
+/// classic rank r_i = (s_i - 1) / c_i ascending — cheap-and-selective
+/// first. This is the "apply query optimization principles to the AI data
+/// pipeline" move from the panel's Alibaba/QWEN anecdote (E5).
+class PipelineOptimizer {
+ public:
+  explicit PipelineOptimizer(PipelineOptimizerOptions options = {})
+      : options_(options) {}
+
+  /// Returns a reordered copy of `pipeline`. `sample_source` supplies the
+  /// calibration documents (typically a prefix of the real input).
+  Pipeline Optimize(const Pipeline& pipeline,
+                    const std::vector<PipelineDoc>& sample_source) const;
+
+  /// Measured (cost, selectivity) per stage from the last Optimize call's
+  /// sampling pass; exposed for tests and reporting.
+  struct StageEstimate {
+    std::string name;
+    double unit_cost = 0;     // work units per input document
+    double selectivity = 1.0;
+  };
+  const std::vector<StageEstimate>& last_estimates() const {
+    return last_estimates_;
+  }
+
+ private:
+  PipelineOptimizerOptions options_;
+  mutable std::vector<StageEstimate> last_estimates_;
+};
+
+/// Executes several pipelines that may share a common stage prefix,
+/// materializing each shared prefix's output once and reusing it (the
+/// "cache shared sub-DAGs" optimization). Stage identity is by pointer:
+/// pipelines share a prefix when they contain the *same* StagePtr objects
+/// in the same leading positions.
+///
+/// Returns one survivor list per pipeline; `saved_work` (optional) gets
+/// the work units avoided versus running each pipeline independently.
+std::vector<std::vector<PipelineDoc>> RunWithSharedPrefixes(
+    const std::vector<const Pipeline*>& pipelines,
+    const std::vector<PipelineDoc>& docs, uint64_t* saved_work = nullptr,
+    uint64_t* total_work = nullptr);
+
+}  // namespace agora
+
+#endif  // AGORA_PIPELINE_PIPELINE_H_

@@ -1,0 +1,245 @@
+#include "pipeline/stages.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace agora {
+
+namespace {
+
+std::vector<std::string_view> Words(const std::string& text) {
+  std::vector<std::string_view> words;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == ' ') {
+      if (i > start) words.push_back(std::string_view(text).substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return words;
+}
+
+}  // namespace
+
+bool LengthFilter::Process(PipelineDoc* doc, uint64_t* work) {
+  size_t words = 0;
+  bool in_word = false;
+  for (char c : doc->text) {
+    if (c == ' ') {
+      in_word = false;
+    } else if (!in_word) {
+      in_word = true;
+      ++words;
+    }
+  }
+  *work += doc->text.size();
+  return words >= min_words_ && words <= max_words_;
+}
+
+bool AsciiLanguageFilter::Process(PipelineDoc* doc, uint64_t* work) {
+  if (doc->text.empty()) return false;
+  size_t non_ascii = 0;
+  for (unsigned char c : doc->text) {
+    if (c > 127) ++non_ascii;
+  }
+  *work += doc->text.size();
+  return static_cast<double>(non_ascii) /
+             static_cast<double>(doc->text.size()) <=
+         threshold_;
+}
+
+bool QualityFilter::Process(PipelineDoc* doc, uint64_t* work) {
+  std::vector<std::string_view> words = Words(doc->text);
+  if (words.empty()) return false;
+  // Allocation-free frequency counting: open addressing over a fixed
+  // power-of-two table (collisions only overestimate the top count,
+  // which keeps the filter conservative).
+  constexpr size_t kSlots = 512;
+  uint64_t hashes[kSlots] = {0};
+  uint32_t counts[kSlots] = {0};
+  size_t max_count = 0;
+  for (std::string_view w : words) {
+    uint64_t h = HashString(w);
+    if (h == 0) h = 1;
+    size_t slot = h & (kSlots - 1);
+    while (hashes[slot] != 0 && hashes[slot] != h) {
+      slot = (slot + 1) & (kSlots - 1);
+    }
+    hashes[slot] = h;
+    size_t c = ++counts[slot];
+    max_count = std::max(max_count, c);
+  }
+  // Tokenization + hashing touches every char ~2x.
+  *work += doc->text.size() * 2;
+  return static_cast<double>(max_count) /
+             static_cast<double>(words.size()) <=
+         threshold_;
+}
+
+bool ExactDedupFilter::Process(PipelineDoc* doc, uint64_t* work) {
+  *work += doc->text.size();
+  return seen_.insert(HashString(doc->text)).second;
+}
+
+bool NearDedupFilter::Process(PipelineDoc* doc, uint64_t* work) {
+  std::vector<std::string_view> words = Words(doc->text);
+  // Word 3-shingles hashed once, then num_hashes_ cheap re-mixes.
+  std::vector<uint64_t> shingles;
+  for (size_t i = 0; i + 2 < words.size(); ++i) {
+    uint64_t h = HashString(words[i]);
+    h = HashCombine(h, HashString(words[i + 1]));
+    h = HashCombine(h, HashString(words[i + 2]));
+    shingles.push_back(h);
+  }
+  if (shingles.empty()) shingles.push_back(HashString(doc->text));
+
+  std::vector<uint64_t> signature(num_hashes_, ~0ULL);
+  for (uint64_t s : shingles) {
+    for (size_t h = 0; h < num_hashes_; ++h) {
+      uint64_t mixed = HashMix64(s ^ (0x9e3779b97f4a7c15ULL * (h + 1)));
+      signature[h] = std::min(signature[h], mixed);
+    }
+  }
+  // Shingling + num_hashes_ mix passes: each (shingle, hash) pair is a
+  // 64-bit mix, i.e. ~8 bytes of work — the expensive part.
+  *work += doc->text.size() + shingles.size() * num_hashes_ * 8;
+
+  size_t rows = num_hashes_ / num_bands_;
+  bool duplicate = false;
+  std::vector<uint64_t> band_keys;
+  for (size_t b = 0; b < num_bands_; ++b) {
+    uint64_t key = 0x42 + b;
+    for (size_t r = 0; r < rows; ++r) {
+      key = HashCombine(key, signature[b * rows + r]);
+    }
+    if (band_seen_.count(key) > 0) duplicate = true;
+    band_keys.push_back(key);
+  }
+  for (uint64_t key : band_keys) band_seen_.insert(key);
+  return !duplicate;
+}
+
+bool PiiScrubTransform::Process(PipelineDoc* doc, uint64_t* work) {
+  size_t run_start = 0;
+  size_t run_len = 0;
+  std::string& text = doc->text;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    bool digit = i < text.size() && text[i] >= '0' && text[i] <= '9';
+    if (digit) {
+      if (run_len == 0) run_start = i;
+      ++run_len;
+    } else {
+      if (run_len >= 6) {
+        for (size_t j = run_start; j < run_start + run_len; ++j) {
+          text[j] = '#';
+        }
+      }
+      run_len = 0;
+    }
+  }
+  *work += text.size();
+  return true;
+}
+
+bool TokenizeCostTransform::Process(PipelineDoc* doc, uint64_t* work) {
+  // Heavy deterministic pass: `rounds_` rolling-hash sweeps stand in for
+  // BPE merge passes.
+  uint64_t h = 1469598103934665603ULL;
+  for (int round = 0; round < rounds_; ++round) {
+    for (char c : doc->text) {
+      h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    }
+  }
+  // Prevent the loop from being optimized out.
+  if (h == 0) doc->text += ' ';
+  size_t words = 0;
+  bool in_word = false;
+  for (char c : doc->text) {
+    if (c == ' ') {
+      in_word = false;
+    } else if (!in_word) {
+      in_word = true;
+      ++words;
+    }
+  }
+  total_tokens_ += words * 4 / 3;  // ~1.33 tokens per word
+  *work += doc->text.size() * static_cast<uint64_t>(rounds_);
+  return true;
+}
+
+std::vector<PipelineDoc> MakeSyntheticCorpus(size_t n, uint64_t seed,
+                                             double normal_fraction) {
+  Rng rng(seed);
+  const double junk = (1.0 - normal_fraction) / 5.0;  // per junk category
+  std::vector<std::string> vocab;
+  for (int w = 0; w < 500; ++w) {
+    vocab.push_back(rng.NextString(3, 9));
+  }
+  auto make_text = [&](int min_words, int max_words) {
+    int words = static_cast<int>(rng.Uniform(min_words, max_words));
+    std::string text;
+    for (int w = 0; w < words; ++w) {
+      if (w > 0) text += ' ';
+      text += vocab[static_cast<size_t>(rng.Uniform(0, 499))];
+    }
+    return text;
+  };
+
+  std::vector<PipelineDoc> docs;
+  docs.reserve(n);
+  std::vector<std::string> originals;  // sources for duplicates
+  for (size_t i = 0; i < n; ++i) {
+    PipelineDoc doc;
+    doc.id = static_cast<int64_t>(i);
+    double roll = rng.NextDouble();
+    if (roll < junk && !originals.empty()) {
+      // Exact duplicate of an earlier document.
+      doc.text = originals[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(originals.size()) - 1))];
+    } else if (roll < 2 * junk && !originals.empty()) {
+      // Near duplicate: copy + small tail mutation.
+      doc.text = originals[static_cast<size_t>(
+          rng.Uniform(0, static_cast<int64_t>(originals.size()) - 1))];
+      doc.text += " " + vocab[static_cast<size_t>(rng.Uniform(0, 499))];
+    } else if (roll < 3 * junk) {
+      // Spam: one word repeated. Boilerplate junk tends to be LONG,
+      // which is what makes running expensive stages on it so wasteful.
+      std::string word = vocab[static_cast<size_t>(rng.Uniform(0, 499))];
+      int repeats = static_cast<int>(rng.Uniform(150, 450));
+      for (int r = 0; r < repeats; ++r) {
+        if (r > 0) doc.text += ' ';
+        doc.text += word;
+      }
+    } else if (roll < 4 * junk) {
+      // "Foreign": long word-shaped runs of high-bit bytes.
+      int words = static_cast<int>(rng.Uniform(100, 300));
+      for (int w = 0; w < words; ++w) {
+        if (w > 0) doc.text += ' ';
+        int len = static_cast<int>(rng.Uniform(3, 9));
+        for (int c = 0; c < len; ++c) {
+          doc.text += static_cast<char>(0xC0 + rng.Uniform(0, 30));
+        }
+      }
+    } else if (roll < 5 * junk) {
+      // Too short.
+      doc.text = make_text(1, 8);
+    } else {
+      // Normal document; sometimes with a long digit run (PII).
+      doc.text = make_text(40, 200);
+      if (rng.Bernoulli(0.3)) {
+        doc.text += " ";
+        for (int d = 0; d < 9; ++d) {
+          doc.text += static_cast<char>('0' + rng.Uniform(0, 9));
+        }
+      }
+      originals.push_back(doc.text);
+    }
+    docs.push_back(std::move(doc));
+  }
+  return docs;
+}
+
+}  // namespace agora

@@ -1,0 +1,131 @@
+#ifndef AGORA_PIPELINE_STAGES_H_
+#define AGORA_PIPELINE_STAGES_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "pipeline/pipeline.h"
+
+namespace agora {
+
+/// Drops documents whose word count is outside [min_words, max_words].
+/// Very cheap; selectivity depends on the corpus length distribution.
+class LengthFilter : public PipelineStage {
+ public:
+  LengthFilter(size_t min_words, size_t max_words)
+      : min_words_(min_words), max_words_(max_words) {}
+  std::string name() const override { return "length_filter"; }
+  bool is_filter() const override { return true; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+
+ private:
+  size_t min_words_;
+  size_t max_words_;
+};
+
+/// Drops documents whose non-ASCII character fraction exceeds the
+/// threshold (a cheap stand-in for language identification).
+class AsciiLanguageFilter : public PipelineStage {
+ public:
+  explicit AsciiLanguageFilter(double max_non_ascii_fraction = 0.2)
+      : threshold_(max_non_ascii_fraction) {}
+  std::string name() const override { return "language_filter"; }
+  bool is_filter() const override { return true; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+
+ private:
+  double threshold_;
+};
+
+/// Drops low-quality documents by repeated-word ratio: if the most
+/// frequent word accounts for more than `max_top_word_fraction` of the
+/// document, it is considered spammy boilerplate. Moderately expensive
+/// (full tokenization + frequency map).
+class QualityFilter : public PipelineStage {
+ public:
+  explicit QualityFilter(double max_top_word_fraction = 0.2)
+      : threshold_(max_top_word_fraction) {}
+  std::string name() const override { return "quality_filter"; }
+  bool is_filter() const override { return true; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+
+ private:
+  double threshold_;
+};
+
+/// Drops exact duplicates (previously seen identical text). Stateful
+/// within one run; Reset() clears the seen-set.
+class ExactDedupFilter : public PipelineStage {
+ public:
+  std::string name() const override { return "exact_dedup"; }
+  bool is_filter() const override { return true; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+  void Reset() override { seen_.clear(); }
+
+ private:
+  std::unordered_set<uint64_t> seen_;
+};
+
+/// Drops near-duplicates via MinHash over word 3-shingles: `hashes`
+/// permutations grouped into `bands`; a document is a near-duplicate when
+/// any band signature was seen before. Expensive (shingling + multiple
+/// hash passes) — exactly the stage you want to run on as few documents
+/// as possible.
+class NearDedupFilter : public PipelineStage {
+ public:
+  NearDedupFilter(size_t hashes = 16, size_t bands = 4)
+      : num_hashes_(hashes), num_bands_(bands) {}
+  std::string name() const override { return "near_dedup"; }
+  bool is_filter() const override { return true; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+  void Reset() override { band_seen_.clear(); }
+
+ private:
+  size_t num_hashes_;
+  size_t num_bands_;
+  std::unordered_set<uint64_t> band_seen_;
+};
+
+/// Transform: masks digit runs of 6+ characters (a toy PII scrubber).
+/// Mutates text, so it is a reordering barrier.
+class PiiScrubTransform : public PipelineStage {
+ public:
+  std::string name() const override { return "pii_scrub"; }
+  bool is_filter() const override { return false; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+};
+
+/// Terminal transform standing in for tokenization + training-cost
+/// accounting: runs a deliberately heavy rolling-hash pass over the text
+/// (the per-surviving-document cost that dominates an LLM data pipeline)
+/// and accumulates a token count.
+class TokenizeCostTransform : public PipelineStage {
+ public:
+  explicit TokenizeCostTransform(int rounds = 16) : rounds_(rounds) {}
+  std::string name() const override { return "tokenize"; }
+  bool is_filter() const override { return false; }
+  bool Process(PipelineDoc* doc, uint64_t* work) override;
+  void Reset() override { total_tokens_ = 0; }
+
+  /// Tokens counted across the last run.
+  uint64_t total_tokens() const { return total_tokens_; }
+
+ private:
+  int rounds_;
+  uint64_t total_tokens_ = 0;
+};
+
+/// Synthetic web-crawl-like corpus for E5: `n` documents where
+/// `normal_fraction` are clean text and the remainder splits evenly into
+/// exact duplicates, near duplicates, spammy repeated-word documents,
+/// non-ASCII documents and too-short fragments. Deterministic in `seed`.
+std::vector<PipelineDoc> MakeSyntheticCorpus(size_t n, uint64_t seed = 7,
+                                             double normal_fraction = 0.5);
+
+}  // namespace agora
+
+#endif  // AGORA_PIPELINE_STAGES_H_

@@ -1,0 +1,69 @@
+#ifndef AGORA_PLAN_BINDER_H_
+#define AGORA_PLAN_BINDER_H_
+
+#include "common/result.h"
+#include "plan/logical_plan.h"
+#include "sql/ast.h"
+#include "storage/catalog.h"
+
+namespace agora {
+
+/// Semantic analysis: resolves names against the catalog, type-checks
+/// expressions and produces a canonical logical plan:
+///
+///   Scan* -> (Cross/Inner/Left)Join* -> Filter(WHERE) -> [Aggregate]
+///     -> [Filter(HAVING)] -> [Sort] -> Project -> [Distinct] -> [Limit]
+///
+/// Columns in intermediate schemas are named "alias.column" so that
+/// multi-table references stay unambiguous.
+class Binder {
+ public:
+  explicit Binder(const Catalog& catalog) : catalog_(catalog) {}
+
+  /// Binds a SELECT into a logical plan rooted at the final operator.
+  Result<LogicalOpPtr> BindSelect(const SelectStatement& sel);
+
+  /// Binds a scalar (non-aggregate) expression against `schema`.
+  /// Public for reuse by the engine's INSERT path and by tests.
+  Result<ExprPtr> BindScalarExpr(const ParsedExprPtr& parsed,
+                                 const Schema& schema);
+
+ private:
+  struct AggBindingContext {
+    const Schema* input;                  // pre-aggregation schema
+    std::vector<ExprPtr>* group_exprs;    // bound GROUP BY expressions
+    std::vector<AggregateSpec>* specs;    // collected aggregate calls
+  };
+
+  /// Binds one SELECT core (no union parts). When `bind_order_limit` is
+  /// false, the statement's ORDER BY/LIMIT are handled by the caller (at
+  /// the union level).
+  Result<LogicalOpPtr> BindSelectCore(const SelectStatement& sel,
+                                      bool bind_order_limit);
+  /// Combines bound union branches: schema alignment + UnionAll
+  /// (+ Distinct) + outer ORDER BY/LIMIT.
+  Result<LogicalOpPtr> BindUnion(const SelectStatement& sel);
+
+  Result<LogicalOpPtr> BindFromClause(const SelectStatement& sel);
+  Result<ExprPtr> BindExpr(const ParsedExprPtr& parsed, const Schema& schema,
+                           AggBindingContext* agg);
+  Result<ExprPtr> BindColumn(const ParsedExpr& parsed, const Schema& schema);
+  Result<ExprPtr> BindBinary(const ParsedExpr& parsed, const Schema& schema,
+                             AggBindingContext* agg);
+  Result<ExprPtr> BindCall(const ParsedExpr& parsed, const Schema& schema,
+                           AggBindingContext* agg);
+  Result<AggregateSpec> BindAggregateCall(const ParsedExpr& parsed,
+                                          const Schema& input);
+
+  const Catalog& catalog_;
+};
+
+/// True if `e` contains an aggregate function call (COUNT/SUM/AVG/MIN/MAX).
+bool ContainsAggregate(const ParsedExpr& e);
+
+/// Maps an aggregate function name to its enum; false if not an aggregate.
+bool LookupAggFunc(const std::string& name, AggFunc* out);
+
+}  // namespace agora
+
+#endif  // AGORA_PLAN_BINDER_H_

@@ -1,0 +1,204 @@
+#include "plan/logical_plan.h"
+
+namespace agora {
+
+std::string LogicalOperator::TreeString(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += ToString();
+  out += '\n';
+  for (const auto& child : children_) {
+    out += child->TreeString(indent + 1);
+  }
+  return out;
+}
+
+namespace {
+Schema ScanSchema(const Table& table, const std::string& alias,
+                  const std::vector<size_t>& projection) {
+  // Scan output columns are qualified with the alias so multi-table binds
+  // stay unambiguous: "alias.column".
+  std::vector<Field> fields;
+  auto add = [&](size_t c) {
+    Field f = table.schema().field(c);
+    f.name = alias + "." + f.name;
+    fields.push_back(std::move(f));
+  };
+  if (projection.empty()) {
+    for (size_t c = 0; c < table.schema().num_fields(); ++c) add(c);
+  } else {
+    for (size_t c : projection) add(c);
+  }
+  return Schema(std::move(fields));
+}
+}  // namespace
+
+LogicalScan::LogicalScan(std::shared_ptr<Table> table, std::string alias)
+    : LogicalOperator(LogicalOpKind::kScan,
+                      ScanSchema(*table, alias, {})),
+      table_(std::move(table)),
+      alias_(std::move(alias)) {}
+
+void LogicalScan::SetProjection(std::vector<size_t> columns) {
+  projection_ = std::move(columns);
+  schema_ = ScanSchema(*table_, alias_, projection_);
+}
+
+std::string LogicalScan::ToString() const {
+  std::string out = "Scan(" + table_->name();
+  if (alias_ != table_->name()) out += " AS " + alias_;
+  if (!projection_.empty()) {
+    out += ", cols=[";
+    for (size_t i = 0; i < projection_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += std::to_string(projection_[i]);
+    }
+    out += "]";
+  }
+  if (pushed_predicate_ != nullptr) {
+    out += ", filter=" + pushed_predicate_->ToString();
+    if (use_zone_maps_) out += " [zonemap]";
+  }
+  return out + ")";
+}
+
+std::string LogicalFilter::ToString() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+LogicalProject::LogicalProject(LogicalOpPtr child, std::vector<ExprPtr> exprs,
+                               std::vector<std::string> names)
+    : LogicalOperator(LogicalOpKind::kProject, Schema()),
+      exprs_(std::move(exprs)) {
+  std::vector<Field> fields;
+  fields.reserve(exprs_.size());
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    fields.push_back(Field{names[i], exprs_[i]->result_type(), true});
+  }
+  schema_ = Schema(std::move(fields));
+  children_ = {std::move(child)};
+}
+
+std::string LogicalProject::ToString() const {
+  std::string out = "Project(";
+  for (size_t i = 0; i < exprs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += exprs_[i]->ToString();
+    out += " AS " + schema_.field(i).name;
+  }
+  return out + ")";
+}
+
+LogicalJoin::LogicalJoin(Kind kind, LogicalOpPtr left, LogicalOpPtr right,
+                         ExprPtr condition)
+    : LogicalOperator(LogicalOpKind::kJoin,
+                      left->schema().Concat(right->schema())),
+      join_kind_(kind),
+      condition_(std::move(condition)) {
+  children_ = {std::move(left), std::move(right)};
+}
+
+std::string LogicalJoin::ToString() const {
+  std::string kind;
+  switch (join_kind_) {
+    case Kind::kInner:
+      kind = "Inner";
+      break;
+    case Kind::kLeft:
+      kind = "Left";
+      break;
+    case Kind::kCross:
+      kind = "Cross";
+      break;
+  }
+  std::string out = kind + "Join(";
+  if (condition_ != nullptr) out += condition_->ToString();
+  return out + ")";
+}
+
+std::string_view AggFuncToString(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCountStar:
+      return "COUNT(*)";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMin:
+      return "MIN";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kStddev:
+      return "STDDEV";
+    case AggFunc::kVariance:
+      return "VARIANCE";
+  }
+  return "?";
+}
+
+std::string AggregateSpec::ToString() const {
+  if (func == AggFunc::kCountStar) return "COUNT(*)";
+  std::string out(AggFuncToString(func));
+  out += "(";
+  if (distinct) out += "DISTINCT ";
+  out += arg->ToString();
+  return out + ")";
+}
+
+LogicalAggregate::LogicalAggregate(LogicalOpPtr child,
+                                   std::vector<ExprPtr> group_by,
+                                   std::vector<AggregateSpec> aggregates,
+                                   std::vector<std::string> group_names)
+    : LogicalOperator(LogicalOpKind::kAggregate, Schema()),
+      group_by_(std::move(group_by)),
+      aggregates_(std::move(aggregates)) {
+  std::vector<Field> fields;
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    fields.push_back(
+        Field{group_names[i], group_by_[i]->result_type(), true});
+  }
+  for (const AggregateSpec& agg : aggregates_) {
+    fields.push_back(Field{agg.name, agg.result_type, true});
+  }
+  schema_ = Schema(std::move(fields));
+  children_ = {std::move(child)};
+}
+
+std::string LogicalAggregate::ToString() const {
+  std::string out = "Aggregate(groups=[";
+  for (size_t i = 0; i < group_by_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += group_by_[i]->ToString();
+  }
+  out += "], aggs=[";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += aggregates_[i].ToString();
+  }
+  return out + "])";
+}
+
+std::string LogicalSort::ToString() const {
+  std::string out = "Sort(";
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += keys_[i].expr->ToString();
+    out += keys_[i].descending ? " DESC" : " ASC";
+  }
+  return out + ")";
+}
+
+std::string LogicalLimit::ToString() const {
+  std::string out = "Limit(" + std::to_string(limit_);
+  if (offset_ > 0) out += " OFFSET " + std::to_string(offset_);
+  return out + ")";
+}
+
+std::string LogicalUnion::ToString() const {
+  return "UnionAll(" + std::to_string(children_.size()) + " inputs)";
+}
+
+std::string LogicalDistinct::ToString() const { return "Distinct()"; }
+
+}  // namespace agora

@@ -1,0 +1,90 @@
+#include "sql/ast.h"
+
+namespace agora {
+
+std::string ParsedExpr::ToString() const {
+  switch (kind) {
+    case ParsedExprKind::kColumn:
+      return table.empty() ? column : table + "." + column;
+    case ParsedExprKind::kLiteral:
+      if (literal.type() == TypeId::kString) {
+        return "'" + literal.ToString() + "'";
+      }
+      return literal.ToString();
+    case ParsedExprKind::kStar:
+      return "*";
+    case ParsedExprKind::kBinary:
+      return "(" + children[0]->ToString() + " " + op + " " +
+             children[1]->ToString() + ")";
+    case ParsedExprKind::kUnary:
+      return op + " " + children[0]->ToString();
+    case ParsedExprKind::kCall: {
+      std::string out = column + "(";
+      if (distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < children.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += children[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ParsedExprKind::kIsNull:
+      return children[0]->ToString() +
+             (negated ? " IS NOT NULL" : " IS NULL");
+    case ParsedExprKind::kLike:
+      return children[0]->ToString() + (negated ? " NOT LIKE '" : " LIKE '") +
+             pattern + "'";
+    case ParsedExprKind::kInList: {
+      std::string out =
+          children[0]->ToString() + (negated ? " NOT IN (" : " IN (");
+      for (size_t i = 0; i < in_values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += in_values[i].ToString();
+      }
+      return out + ")";
+    }
+    case ParsedExprKind::kBetween:
+      return children[0]->ToString() +
+             (negated ? " NOT BETWEEN " : " BETWEEN ") +
+             children[1]->ToString() + " AND " + children[2]->ToString();
+    case ParsedExprKind::kCast:
+      return "CAST(" + children[0]->ToString() + " AS " +
+             std::string(TypeIdToString(cast_type)) + ")";
+    case ParsedExprKind::kCase: {
+      std::string out = "CASE";
+      size_t pairs = (children.size() - (case_has_else ? 1 : 0)) / 2;
+      for (size_t i = 0; i < pairs; ++i) {
+        out += " WHEN " + children[2 * i]->ToString() + " THEN " +
+               children[2 * i + 1]->ToString();
+      }
+      if (case_has_else) out += " ELSE " + children.back()->ToString();
+      return out + " END";
+    }
+  }
+  return "?";
+}
+
+ParsedExprPtr MakeParsedColumn(std::string table, std::string column) {
+  auto e = std::make_shared<ParsedExpr>();
+  e->kind = ParsedExprKind::kColumn;
+  e->table = std::move(table);
+  e->column = std::move(column);
+  return e;
+}
+
+ParsedExprPtr MakeParsedLiteral(Value v) {
+  auto e = std::make_shared<ParsedExpr>();
+  e->kind = ParsedExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ParsedExprPtr MakeParsedBinary(std::string op, ParsedExprPtr l,
+                               ParsedExprPtr r) {
+  auto e = std::make_shared<ParsedExpr>();
+  e->kind = ParsedExprKind::kBinary;
+  e->op = std::move(op);
+  e->children = {std::move(l), std::move(r)};
+  return e;
+}
+
+}  // namespace agora

@@ -1,0 +1,26 @@
+#ifndef AGORA_SQL_PARSER_H_
+#define AGORA_SQL_PARSER_H_
+
+#include <string_view>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace agora {
+
+/// Parses one SQL statement (optionally `;`-terminated) into an AST.
+///
+/// Supported grammar (case-insensitive keywords):
+///   [EXPLAIN] SELECT [DISTINCT] items FROM rel [, rel]*
+///       [ [LEFT|CROSS] JOIN rel [ON cond] ]*
+///       [WHERE cond] [GROUP BY e [, e]*] [HAVING cond]
+///       [ORDER BY e [ASC|DESC] [, ...]] [LIMIT n [OFFSET m]]
+///   CREATE TABLE [IF NOT EXISTS] t (col TYPE [, ...])
+///   DROP TABLE [IF EXISTS] t
+///   INSERT INTO t [(cols)] VALUES (e, ...) [, (e, ...)]*
+///   CREATE INDEX name ON t (col)
+Result<Statement> ParseStatement(std::string_view sql);
+
+}  // namespace agora
+
+#endif  // AGORA_SQL_PARSER_H_

@@ -1,0 +1,140 @@
+#include "sql/tokenizer.h"
+
+#include <cctype>
+
+namespace agora {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '-' && i + 1 < n && sql[i + 1] == '-') {
+      while (i < n && sql[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(sql[i])) ++i;
+      tokens.push_back(
+          {TokenType::kIdentifier, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (c == '"') {
+      // Quoted identifier.
+      ++i;
+      std::string text;
+      while (i < n && sql[i] != '"') text += sql[i++];
+      if (i >= n) {
+        return Status::ParseError("unterminated quoted identifier at offset " +
+                                  std::to_string(start));
+      }
+      ++i;
+      tokens.push_back({TokenType::kIdentifier, std::move(text), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      bool seen_dot = false;
+      bool seen_exp = false;
+      while (i < n) {
+        char d = sql[i];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++i;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++i;
+        } else if ((d == 'e' || d == 'E') && !seen_exp) {
+          seen_exp = true;
+          ++i;
+          if (i < n && (sql[i] == '+' || sql[i] == '-')) ++i;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back(
+          {TokenType::kNumber, std::string(sql.substr(start, i - start)),
+           start});
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          break;
+        }
+        text += sql[i++];
+      }
+      if (i >= n) {
+        return Status::ParseError("unterminated string literal at offset " +
+                                  std::to_string(start));
+      }
+      ++i;  // closing quote
+      tokens.push_back({TokenType::kString, std::move(text), start});
+      continue;
+    }
+    // Multi-character operators first.
+    if (i + 1 < n) {
+      std::string_view two = sql.substr(i, 2);
+      if (two == "<>" || two == "<=" || two == ">=" || two == "!=" ||
+          two == "||") {
+        tokens.push_back({TokenType::kOperator,
+                          two == "!=" ? "<>" : std::string(two), start});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+      case '%':
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case ';':
+        tokens.push_back({TokenType::kOperator, std::string(1, c), start});
+        ++i;
+        break;
+      default:
+        return Status::ParseError("unexpected character '" +
+                                  std::string(1, c) + "' at offset " +
+                                  std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenType::kEof, "", n});
+  return tokens;
+}
+
+}  // namespace agora

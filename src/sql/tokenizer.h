@@ -1,0 +1,36 @@
+#ifndef AGORA_SQL_TOKENIZER_H_
+#define AGORA_SQL_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace agora {
+
+enum class TokenType {
+  kIdentifier,  // foo, "quoted"
+  kNumber,      // 42, 3.14
+  kString,      // 'text'
+  kOperator,    // = <> < <= > >= + - * / % ( ) , . ;
+  kEof,
+};
+
+/// One lexical token. `text` for identifiers is kept as written; keyword
+/// recognition is case-insensitive and happens in the parser.
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;
+  size_t position = 0;  // byte offset in the source, for error messages
+
+  bool Is(TokenType t) const { return type == t; }
+};
+
+/// Splits `sql` into tokens. Comments (`-- ...` to end of line) are
+/// skipped. Fails on unterminated strings and unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace agora
+
+#endif  // AGORA_SQL_TOKENIZER_H_

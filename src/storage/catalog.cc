@@ -1,0 +1,57 @@
+#include "storage/catalog.h"
+
+#include "common/string_util.h"
+
+namespace agora {
+
+Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
+                                                    Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_shared<Table>(name, std::move(schema));
+  tables_.emplace(std::move(key), table);
+  return table;
+}
+
+Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
+  std::string key = ToLower(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table '" + table->name() +
+                                 "' already exists");
+  }
+  tables_.emplace(std::move(key), std::move(table));
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Table>> Catalog::GetTable(
+    const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  return it->second;
+}
+
+bool Catalog::HasTable(const std::string& name) const {
+  return tables_.count(ToLower(name)) > 0;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(ToLower(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' does not exist");
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace agora

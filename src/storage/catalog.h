@@ -1,0 +1,47 @@
+#ifndef AGORA_STORAGE_CATALOG_H_
+#define AGORA_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace agora {
+
+/// Registry of tables by (lower-cased) name. Owned by the Database facade;
+/// not thread-safe — the engine serializes DDL/DML at a higher level.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  Result<std::shared_ptr<Table>> CreateTable(const std::string& name,
+                                             Schema schema);
+
+  /// Registers an externally-built table (e.g. the TPC-H generator output).
+  Status RegisterTable(std::shared_ptr<Table> table);
+
+  /// Looks up a table; NotFound if absent.
+  Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
+
+  bool HasTable(const std::string& name) const;
+
+  Status DropTable(const std::string& name);
+
+  /// Names of all registered tables (unordered).
+  std::vector<std::string> TableNames() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_STORAGE_CATALOG_H_

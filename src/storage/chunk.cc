@@ -1,0 +1,65 @@
+#include "storage/chunk.h"
+
+namespace agora {
+
+Chunk::Chunk(const Schema& schema) {
+  columns_.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+void Chunk::AppendRow(const std::vector<Value>& row) {
+  AGORA_DCHECK(row.size() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendValue(row[i]);
+  }
+}
+
+void Chunk::AppendRowFrom(const Chunk& other, size_t row) {
+  AGORA_DCHECK(other.num_columns() == columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    columns_[i].AppendFrom(other.columns_[i], row);
+  }
+}
+
+Chunk Chunk::GatherRows(const std::vector<uint32_t>& sel) const {
+  Chunk out;
+  out.columns_.reserve(columns_.size());
+  for (const auto& col : columns_) {
+    out.columns_.push_back(col.Gather(sel));
+  }
+  out.explicit_rows_ = sel.size();
+  return out;
+}
+
+std::vector<Value> Chunk::RowValues(size_t row) const {
+  std::vector<Value> out;
+  out.reserve(columns_.size());
+  for (const auto& col : columns_) out.push_back(col.GetValue(row));
+  return out;
+}
+
+size_t Chunk::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& col : columns_) bytes += col.MemoryBytes();
+  return bytes;
+}
+
+std::string Chunk::ToString(size_t max_rows) const {
+  std::string out;
+  size_t rows = num_rows();
+  for (size_t r = 0; r < rows && r < max_rows; ++r) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out += " | ";
+      out += columns_[c].GetValue(r).ToString();
+    }
+    out += '\n';
+  }
+  if (rows > max_rows) {
+    out += "... (" + std::to_string(rows - max_rows) + " more rows)\n";
+  }
+  return out;
+}
+
+}  // namespace agora

@@ -1,0 +1,232 @@
+#include "storage/column_vector.h"
+
+#include "common/hash.h"
+
+namespace agora {
+
+void ColumnVector::Reserve(size_t n) {
+  validity_.reserve(n);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      ints_.reserve(n);
+      break;
+    case TypeId::kDouble:
+      doubles_.reserve(n);
+      break;
+    case TypeId::kString:
+      strings_.reserve(n);
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+}
+
+void ColumnVector::Clear() {
+  validity_.clear();
+  ints_.clear();
+  doubles_.clear();
+  strings_.clear();
+}
+
+void ColumnVector::AppendNull() {
+  validity_.push_back(0);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      ints_.push_back(0);
+      break;
+    case TypeId::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case TypeId::kString:
+      strings_.emplace_back();
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+}
+
+void ColumnVector::AppendInt64(int64_t v) {
+  AGORA_DCHECK(type_ == TypeId::kInt64 || type_ == TypeId::kDate ||
+               type_ == TypeId::kBool);
+  validity_.push_back(1);
+  ints_.push_back(v);
+}
+
+void ColumnVector::AppendDouble(double v) {
+  AGORA_DCHECK(type_ == TypeId::kDouble);
+  validity_.push_back(1);
+  doubles_.push_back(v);
+}
+
+void ColumnVector::AppendString(std::string v) {
+  AGORA_DCHECK(type_ == TypeId::kString);
+  validity_.push_back(1);
+  strings_.push_back(std::move(v));
+}
+
+void ColumnVector::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeId::kBool:
+      AppendBool(v.bool_value());
+      break;
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      AppendInt64(v.int64_value());
+      break;
+    case TypeId::kDouble:
+      AppendDouble(v.type() == TypeId::kDouble ? v.double_value()
+                                               : v.AsDouble());
+      break;
+    case TypeId::kString:
+      AppendString(v.string_value());
+      break;
+    case TypeId::kInvalid:
+      AGORA_CHECK(false) << "append to invalid-typed column";
+  }
+}
+
+void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
+  AGORA_DCHECK(type_ == other.type_);
+  if (other.IsNull(row)) {
+    AppendNull();
+    return;
+  }
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      AppendInt64(other.ints_[row]);
+      break;
+    case TypeId::kDouble:
+      AppendDouble(other.doubles_[row]);
+      break;
+    case TypeId::kString:
+      AppendString(other.strings_[row]);
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+}
+
+Value ColumnVector::GetValue(size_t i) const {
+  if (IsNull(i)) return Value::Null(type_);
+  switch (type_) {
+    case TypeId::kBool:
+      return Value::Bool(ints_[i] != 0);
+    case TypeId::kInt64:
+      return Value::Int64(ints_[i]);
+    case TypeId::kDate:
+      return Value::Date(ints_[i]);
+    case TypeId::kDouble:
+      return Value::Double(doubles_[i]);
+    case TypeId::kString:
+      return Value::String(strings_[i]);
+    case TypeId::kInvalid:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+void ColumnVector::SetValue(size_t i, const Value& v) {
+  AGORA_DCHECK(i < size());
+  if (v.is_null()) {
+    validity_[i] = 0;
+    return;
+  }
+  validity_[i] = 1;
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      ints_[i] = v.int64_value();
+      break;
+    case TypeId::kDouble:
+      doubles_[i] = v.type() == TypeId::kDouble ? v.double_value()
+                                                : v.AsDouble();
+      break;
+    case TypeId::kString:
+      strings_[i] = v.string_value();
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+}
+
+bool ColumnVector::AllValid() const {
+  for (uint8_t v : validity_) {
+    if (v == 0) return false;
+  }
+  return true;
+}
+
+uint64_t ColumnVector::HashRow(size_t i) const {
+  if (IsNull(i)) return 0x6e756c6cULL;
+  switch (type_) {
+    case TypeId::kString:
+      return HashString(strings_[i]);
+    case TypeId::kDouble: {
+      uint64_t bits;
+      std::memcpy(&bits, &doubles_[i], sizeof(bits));
+      return HashMix64(bits);
+    }
+    default:
+      return HashMix64(static_cast<uint64_t>(ints_[i]));
+  }
+}
+
+int ColumnVector::CompareRows(size_t i, const ColumnVector& other,
+                              size_t j) const {
+  AGORA_DCHECK(type_ == other.type_);
+  bool an = IsNull(i), bn = other.IsNull(j);
+  if (an || bn) {
+    if (an && bn) return 0;
+    return an ? -1 : 1;
+  }
+  switch (type_) {
+    case TypeId::kString: {
+      int c = strings_[i].compare(other.strings_[j]);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case TypeId::kDouble: {
+      double a = doubles_[i], b = other.doubles_[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      int64_t a = ints_[i], b = other.ints_[j];
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+  }
+}
+
+ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
+  ColumnVector out(type_);
+  out.Reserve(sel.size());
+  for (uint32_t idx : sel) out.AppendFrom(*this, idx);
+  return out;
+}
+
+ColumnVector ColumnVector::Slice(size_t begin, size_t count) const {
+  ColumnVector out(type_);
+  out.Reserve(count);
+  size_t end = begin + count;
+  AGORA_DCHECK(end <= size());
+  for (size_t i = begin; i < end; ++i) out.AppendFrom(*this, i);
+  return out;
+}
+
+size_t ColumnVector::MemoryBytes() const {
+  size_t bytes = validity_.capacity() + ints_.capacity() * sizeof(int64_t) +
+                 doubles_.capacity() * sizeof(double);
+  for (const auto& s : strings_) bytes += sizeof(std::string) + s.capacity();
+  return bytes;
+}
+
+}  // namespace agora

@@ -1,0 +1,98 @@
+#ifndef AGORA_STORAGE_COLUMN_VECTOR_H_
+#define AGORA_STORAGE_COLUMN_VECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace agora {
+
+/// A typed, nullable column of values in columnar layout.
+///
+/// Physical storage: kBool/kInt64/kDate share an int64 array; kDouble uses
+/// a double array; kString uses a std::string array. A byte-per-row
+/// validity vector tracks NULLs (1 = valid). This trades some space for
+/// simple, branch-light kernels.
+class ColumnVector {
+ public:
+  ColumnVector() : type_(TypeId::kInvalid) {}
+  explicit ColumnVector(TypeId type) : type_(type) {}
+
+  TypeId type() const { return type_; }
+  size_t size() const { return validity_.size(); }
+  bool empty() const { return validity_.empty(); }
+
+  void Reserve(size_t n);
+  void Clear();
+
+  // -- Appends ---------------------------------------------------------
+  void AppendNull();
+  void AppendInt64(int64_t v);    // kBool/kInt64/kDate
+  void AppendDouble(double v);    // kDouble
+  void AppendString(std::string v);  // kString
+  void AppendBool(bool v) { AppendInt64(v ? 1 : 0); }
+  /// Appends a Value; DCHECKs the type matches (after null handling).
+  void AppendValue(const Value& v);
+  /// Appends row `row` of `other` (same type).
+  void AppendFrom(const ColumnVector& other, size_t row);
+
+  // -- Element access ---------------------------------------------------
+  bool IsNull(size_t i) const { return validity_[i] == 0; }
+  bool IsValid(size_t i) const { return validity_[i] != 0; }
+  int64_t GetInt64(size_t i) const { return ints_[i]; }
+  double GetDouble(size_t i) const { return doubles_[i]; }
+  const std::string& GetString(size_t i) const { return strings_[i]; }
+  bool GetBool(size_t i) const { return ints_[i] != 0; }
+  /// Numeric view of row `i` regardless of int/double/date physical type.
+  double GetNumeric(size_t i) const {
+    return type_ == TypeId::kDouble ? doubles_[i]
+                                    : static_cast<double>(ints_[i]);
+  }
+  /// Boxes row `i` as a Value (allocates for strings).
+  Value GetValue(size_t i) const;
+
+  /// Mutates row `i` in place (same type; row must exist).
+  void SetValue(size_t i, const Value& v);
+
+  // -- Raw data (hot loops) ----------------------------------------------
+  const int64_t* int64_data() const { return ints_.data(); }
+  const double* double_data() const { return doubles_.data(); }
+  const std::vector<std::string>& string_data() const { return strings_; }
+  const uint8_t* validity_data() const { return validity_.data(); }
+  int64_t* mutable_int64_data() { return ints_.data(); }
+  double* mutable_double_data() { return doubles_.data(); }
+
+  /// True if no row is NULL (fast path for kernels).
+  bool AllValid() const;
+
+  /// Hashes row `i` (for hash join/aggregate keys).
+  uint64_t HashRow(size_t i) const;
+
+  /// Three-way compare of row `i` with row `j` of `other` (same type).
+  /// NULLs order first.
+  int CompareRows(size_t i, const ColumnVector& other, size_t j) const;
+
+  /// Gathers `sel[0..n)` rows into a new vector (selection apply).
+  ColumnVector Gather(const std::vector<uint32_t>& sel) const;
+
+  /// Copies rows [begin, begin+count) into a new vector.
+  ColumnVector Slice(size_t begin, size_t count) const;
+
+  /// Approximate heap bytes used (for resource accounting).
+  size_t MemoryBytes() const;
+
+ private:
+  TypeId type_;
+  std::vector<uint8_t> validity_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_STORAGE_COLUMN_VECTOR_H_

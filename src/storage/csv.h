@@ -1,0 +1,40 @@
+#ifndef AGORA_STORAGE_CSV_H_
+#define AGORA_STORAGE_CSV_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "storage/table.h"
+
+namespace agora {
+
+/// Options for CSV import/export.
+struct CsvOptions {
+  char delimiter = ',';
+  bool has_header = true;
+  /// Literal text treated as NULL (in addition to empty numeric fields).
+  std::string null_literal = "";
+};
+
+/// Parses CSV text from `in` into a new table with `schema`.
+/// Values are coerced field-by-field; malformed rows fail the import.
+Result<std::shared_ptr<Table>> ReadCsv(std::istream& in,
+                                       const std::string& table_name,
+                                       const Schema& schema,
+                                       const CsvOptions& options = {});
+
+/// Convenience wrapper over a file path.
+Result<std::shared_ptr<Table>> ReadCsvFile(const std::string& path,
+                                           const std::string& table_name,
+                                           const Schema& schema,
+                                           const CsvOptions& options = {});
+
+/// Writes `table` as CSV (header + rows) to `out`.
+Status WriteCsv(const Table& table, std::ostream& out,
+                const CsvOptions& options = {});
+
+}  // namespace agora
+
+#endif  // AGORA_STORAGE_CSV_H_

@@ -1,0 +1,47 @@
+#ifndef AGORA_TPCH_TPCH_H_
+#define AGORA_TPCH_TPCH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "storage/catalog.h"
+
+namespace agora {
+
+/// Options for the TPC-H-style data generator.
+///
+/// This is a faithful *structural* clone of TPC-H dbgen — the same eight
+/// tables, key relationships and official cardinality ratios — with
+/// simplified value distributions (uniform dates, synthetic comments).
+/// Absolute numbers therefore differ from pgbench-grade dbgen output, but
+/// query plans and relative costs behave the same way, which is what the
+/// "small data" experiment (E1) measures.
+struct TpchOptions {
+  /// Official SF=1 is ~6M lineitem rows; 0.01 ≈ 60k lineitems.
+  double scale_factor = 0.01;
+  uint64_t seed = 19940101;
+};
+
+/// Generates all eight TPC-H tables at `options.scale_factor` and
+/// registers them in `catalog` (region, nation, supplier, customer, part,
+/// partsupp, orders, lineitem).
+Status GenerateTpch(const TpchOptions& options, Catalog* catalog);
+
+/// Number of orders/lineitems etc. produced at a scale factor (for bench
+/// reporting).
+int64_t TpchRowsAtScale(const std::string& table, double scale_factor);
+
+/// TPC-H query texts (parameters fixed to the spec's validation values)
+/// expressed in the engine's SQL dialect.
+std::string TpchQ1();   // pricing summary report
+std::string TpchQ3();   // shipping priority
+std::string TpchQ5();   // local supplier volume (6-way join)
+std::string TpchQ6();   // forecasting revenue change
+std::string TpchQ10();  // returned item reporting (top 20 customers)
+std::string TpchQ12();  // shipping modes and order priority (CASE aggs)
+std::string TpchQ14();  // promotion effect (ratio of aggregates)
+
+}  // namespace agora
+
+#endif  // AGORA_TPCH_TPCH_H_

@@ -1,0 +1,227 @@
+#include "txn/mvcc_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace agora {
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : store_(other.store_),
+      begin_ts_(other.begin_ts_),
+      state_(other.state_),
+      writes_(std::move(other.writes_)) {
+  other.store_ = nullptr;
+  other.state_ = State::kAborted;
+}
+
+Transaction::~Transaction() {
+  if (store_ != nullptr && state_ == State::kActive) {
+    Abort();
+  }
+}
+
+std::optional<std::string> Transaction::Get(const std::string& key) {
+  auto it = writes_.find(key);
+  if (it != writes_.end()) return it->second;
+  return store_->Read(key, begin_ts_);
+}
+
+void Transaction::Put(const std::string& key, std::string value) {
+  writes_[key] = std::move(value);
+}
+
+void Transaction::Delete(const std::string& key) {
+  writes_[key] = std::nullopt;
+}
+
+Status Transaction::Commit() {
+  AGORA_CHECK(state_ == State::kActive) << "Commit on finished transaction";
+  Status status = store_->CommitWrites(begin_ts_, writes_);
+  state_ = status.ok() ? State::kCommitted : State::kAborted;
+  store_->EndTransaction(begin_ts_);
+  if (status.ok()) {
+    store_->commits_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return status;
+}
+
+void Transaction::Abort() {
+  AGORA_CHECK(state_ == State::kActive) << "Abort on finished transaction";
+  state_ = State::kAborted;
+  writes_.clear();
+  store_->EndTransaction(begin_ts_);
+  store_->aborts_.fetch_add(1, std::memory_order_relaxed);
+}
+
+Status MvccStore::EnableWal(WalOptions options) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (wal_ != nullptr) {
+    return Status::InvalidArgument("WAL is already enabled");
+  }
+  if (!chains_.empty()) {
+    return Status::InvalidArgument(
+        "EnableWal requires an empty store (recovery would interleave "
+        "with existing data)");
+  }
+  AGORA_ASSIGN_OR_RETURN(std::vector<WalCommit> commits,
+                         WriteAheadLog::ReadAll(options.path));
+  uint64_t max_ts = 0;
+  for (const WalCommit& commit : commits) {
+    for (const auto& [key, value] : commit.writes) {
+      chains_[key].push_back(Version{commit.commit_ts, value});
+    }
+    max_ts = std::max(max_ts, commit.commit_ts);
+    commits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  clock_.store(max_ts, std::memory_order_release);
+  AGORA_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(std::move(options)));
+  return Status::OK();
+}
+
+Status MvccStore::Checkpoint() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (wal_ == nullptr) {
+    return Status::InvalidArgument("Checkpoint requires an attached WAL");
+  }
+  const WalOptions original_options = wal_->options();
+  const std::string path = original_options.path;
+  const std::string tmp = path + ".ckpt";
+
+  // Snapshot of the latest committed version per key (skip tombstones).
+  std::unordered_map<std::string, std::optional<std::string>> snapshot;
+  for (const auto& [key, chain] : chains_) {
+    if (chain.empty()) continue;
+    const Version& latest = chain.back();
+    if (latest.value.has_value()) snapshot[key] = latest.value;
+  }
+
+  {
+    std::remove(tmp.c_str());
+    WalOptions tmp_options;
+    tmp_options.path = tmp;
+    tmp_options.sync_each_commit = true;
+    AGORA_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> fresh,
+                           WriteAheadLog::Open(std::move(tmp_options)));
+    if (!snapshot.empty()) {
+      AGORA_RETURN_IF_ERROR(fresh->AppendCommit(
+          clock_.load(std::memory_order_acquire), snapshot));
+    }
+    AGORA_RETURN_IF_ERROR(fresh->Sync());
+  }  // close the temp log before renaming
+
+  wal_.reset();  // close the old log so the rename is safe everywhere
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("checkpoint rename failed");
+  }
+  AGORA_ASSIGN_OR_RETURN(wal_, WriteAheadLog::Open(original_options));
+  return Status::OK();
+}
+
+Transaction MvccStore::Begin() {
+  uint64_t begin_ts = clock_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    active_begin_ts_.insert(begin_ts);
+  }
+  return Transaction(this, begin_ts);
+}
+
+Status MvccStore::Put(const std::string& key, std::string value) {
+  Transaction txn = Begin();
+  txn.Put(key, std::move(value));
+  return txn.Commit();
+}
+
+std::optional<std::string> MvccStore::Get(const std::string& key) {
+  return Read(key, clock_.load(std::memory_order_acquire));
+}
+
+std::optional<std::string> MvccStore::Read(const std::string& key,
+                                           uint64_t ts) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return std::nullopt;
+  const std::vector<Version>& chain = it->second;
+  // Versions are appended in commit order; walk from the newest.
+  for (auto v = chain.rbegin(); v != chain.rend(); ++v) {
+    if (v->commit_ts <= ts) return v->value;
+  }
+  return std::nullopt;
+}
+
+Status MvccStore::CommitWrites(
+    uint64_t begin_ts,
+    const std::unordered_map<std::string, std::optional<std::string>>&
+        writes) {
+  if (writes.empty()) return Status::OK();  // read-only
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  // First-committer-wins validation.
+  for (const auto& [key, value] : writes) {
+    auto it = chains_.find(key);
+    if (it != chains_.end() && !it->second.empty() &&
+        it->second.back().commit_ts > begin_ts) {
+      return Status::Aborted("write-write conflict on key '" + key + "'");
+    }
+  }
+  uint64_t commit_ts = clock_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  // Log-before-install: a commit is durable before it becomes visible.
+  if (wal_ != nullptr) {
+    AGORA_RETURN_IF_ERROR(wal_->AppendCommit(commit_ts, writes));
+  }
+  for (const auto& [key, value] : writes) {
+    chains_[key].push_back(Version{commit_ts, value});
+  }
+  return Status::OK();
+}
+
+void MvccStore::EndTransaction(uint64_t begin_ts) {
+  std::lock_guard<std::mutex> lock(active_mutex_);
+  auto it = active_begin_ts_.find(begin_ts);
+  if (it != active_begin_ts_.end()) active_begin_ts_.erase(it);
+}
+
+size_t MvccStore::GarbageCollect() {
+  uint64_t min_active;
+  {
+    std::lock_guard<std::mutex> lock(active_mutex_);
+    min_active = active_begin_ts_.empty()
+                     ? clock_.load(std::memory_order_acquire)
+                     : *active_begin_ts_.begin();
+  }
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  size_t reclaimed = 0;
+  for (auto& [key, chain] : chains_) {
+    // Keep the newest version with commit_ts <= min_active and everything
+    // after it; drop all older ones.
+    size_t keep_from = 0;
+    for (size_t i = chain.size(); i-- > 0;) {
+      if (chain[i].commit_ts <= min_active) {
+        keep_from = i;
+        break;
+      }
+    }
+    if (keep_from > 0) {
+      reclaimed += keep_from;
+      chain.erase(chain.begin(),
+                  chain.begin() + static_cast<long>(keep_from));
+    }
+  }
+  return reclaimed;
+}
+
+size_t MvccStore::num_keys() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return chains_.size();
+}
+
+size_t MvccStore::num_versions() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  size_t total = 0;
+  for (const auto& [key, chain] : chains_) total += chain.size();
+  return total;
+}
+
+}  // namespace agora

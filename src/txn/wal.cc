@@ -1,0 +1,145 @@
+#include "txn/wal.h"
+
+#include <cstring>
+
+#include "common/hash.h"
+
+namespace agora {
+
+namespace {
+
+void PutU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool GetU32(const char* data, size_t size, size_t* pos, uint32_t* v) {
+  if (*pos + sizeof(*v) > size) return false;
+  std::memcpy(v, data + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+bool GetU64(const char* data, size_t size, size_t* pos, uint64_t* v) {
+  if (*pos + sizeof(*v) > size) return false;
+  std::memcpy(v, data + *pos, sizeof(*v));
+  *pos += sizeof(*v);
+  return true;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
+    WalOptions options) {
+  std::unique_ptr<WriteAheadLog> wal(new WriteAheadLog(std::move(options)));
+  wal->file_ = std::fopen(wal->options_.path.c_str(), "ab");
+  if (wal->file_ == nullptr) {
+    return Status::IoError("cannot open WAL at '" + wal->options_.path +
+                           "'");
+  }
+  return wal;
+}
+
+WriteAheadLog::~WriteAheadLog() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WriteAheadLog::AppendCommit(
+    uint64_t commit_ts,
+    const std::unordered_map<std::string, std::optional<std::string>>&
+        writes) {
+  std::string payload;
+  PutU64(&payload, commit_ts);
+  PutU32(&payload, static_cast<uint32_t>(writes.size()));
+  for (const auto& [key, value] : writes) {
+    payload.push_back(value.has_value() ? '\x00' : '\x01');
+    PutU32(&payload, static_cast<uint32_t>(key.size()));
+    payload.append(key);
+    PutU32(&payload, static_cast<uint32_t>(value ? value->size() : 0));
+    if (value.has_value()) payload.append(*value);
+  }
+
+  std::string record;
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU64(&record, HashBytes(payload.data(), payload.size()));
+  record.append(payload);
+
+  if (std::fwrite(record.data(), 1, record.size(), file_) != record.size()) {
+    return Status::IoError("WAL append failed");
+  }
+  if (options_.sync_each_commit) return Sync();
+  return Status::OK();
+}
+
+Status WriteAheadLog::Sync() {
+  if (std::fflush(file_) != 0) return Status::IoError("WAL flush failed");
+  return Status::OK();
+}
+
+Result<std::vector<WalCommit>> WriteAheadLog::ReadAll(
+    const std::string& path) {
+  std::vector<WalCommit> commits;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return commits;  // fresh database
+  std::string contents;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  const char* data = contents.data();
+  size_t size = contents.size();
+  size_t pos = 0;
+  while (true) {
+    size_t record_start = pos;
+    uint32_t payload_len;
+    uint64_t checksum;
+    if (!GetU32(data, size, &pos, &payload_len) ||
+        !GetU64(data, size, &pos, &checksum) ||
+        pos + payload_len > size) {
+      break;  // torn tail
+    }
+    if (HashBytes(data + pos, payload_len) != checksum) {
+      break;  // corrupt record: stop replay here
+    }
+    size_t end = pos + payload_len;
+    WalCommit commit;
+    uint32_t nwrites;
+    bool ok = GetU64(data, end, &pos, &commit.commit_ts) &&
+              GetU32(data, end, &pos, &nwrites);
+    for (uint32_t w = 0; ok && w < nwrites; ++w) {
+      if (pos >= end) {
+        ok = false;
+        break;
+      }
+      bool tombstone = data[pos++] == '\x01';
+      uint32_t klen, vlen;
+      if (!GetU32(data, end, &pos, &klen) || pos + klen > end) {
+        ok = false;
+        break;
+      }
+      std::string key(data + pos, klen);
+      pos += klen;
+      if (!GetU32(data, end, &pos, &vlen) || pos + vlen > end) {
+        ok = false;
+        break;
+      }
+      std::optional<std::string> value;
+      if (!tombstone) value = std::string(data + pos, vlen);
+      pos += vlen;
+      commit.writes.emplace_back(std::move(key), std::move(value));
+    }
+    if (!ok || pos != end) {
+      // Structurally invalid despite checksum (shouldn't happen): stop.
+      (void)record_start;
+      break;
+    }
+    commits.push_back(std::move(commit));
+  }
+  return commits;
+}
+
+}  // namespace agora

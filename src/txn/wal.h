@@ -1,0 +1,74 @@
+#ifndef AGORA_TXN_WAL_H_
+#define AGORA_TXN_WAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace agora {
+
+/// One recovered commit: its timestamp and the key -> value/tombstone
+/// writes it installed.
+struct WalCommit {
+  uint64_t commit_ts;
+  std::vector<std::pair<std::string, std::optional<std::string>>> writes;
+};
+
+struct WalOptions {
+  std::string path;
+  /// fsync after every commit (safe) vs. rely on OS flushing (fast).
+  bool sync_each_commit = false;
+};
+
+/// Append-only write-ahead log of committed transactions.
+///
+/// Record layout (little-endian):
+///   [u32 payload_len][u64 checksum][payload]
+///   payload = [u64 commit_ts][u32 n] n * ([u8 tombstone][u32 klen][key]
+///             [u32 vlen][value])
+/// The checksum covers the payload; replay stops cleanly at the first
+/// short or corrupt record, which makes torn tails from crashes harmless.
+class WriteAheadLog {
+ public:
+  /// Opens (creating if needed) the log for appending.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(WalOptions options);
+
+  ~WriteAheadLog();
+  WriteAheadLog(const WriteAheadLog&) = delete;
+  WriteAheadLog& operator=(const WriteAheadLog&) = delete;
+
+  /// Appends one commit record. Called under the store's commit lock, so
+  /// records land in commit-timestamp order.
+  Status AppendCommit(
+      uint64_t commit_ts,
+      const std::unordered_map<std::string, std::optional<std::string>>&
+          writes);
+
+  /// Flushes OS buffers to disk.
+  Status Sync();
+
+  const std::string& path() const { return options_.path; }
+  const WalOptions& options() const { return options_; }
+
+  /// Reads every intact commit record of the file at `path` in order.
+  /// A missing file yields zero commits (fresh database). Returns the
+  /// number of bytes of valid log consumed.
+  static Result<std::vector<WalCommit>> ReadAll(const std::string& path);
+
+ private:
+  explicit WriteAheadLog(WalOptions options) : options_(std::move(options)) {}
+
+  WalOptions options_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_TXN_WAL_H_

@@ -1,0 +1,40 @@
+#include "types/schema.h"
+
+#include "common/string_util.h"
+
+namespace agora {
+
+std::optional<size_t> Schema::FindField(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (EqualsIgnoreCase(fields_[i].name, name)) return i;
+  }
+  return std::nullopt;
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto idx = FindField(name);
+  if (!idx.has_value()) {
+    return Status::BindError("column '" + name + "' not found in schema [" +
+                             ToString() + "]");
+  }
+  return *idx;
+}
+
+Schema Schema::Concat(const Schema& right) const {
+  std::vector<Field> fields = fields_;
+  fields.insert(fields.end(), right.fields_.begin(), right.fields_.end());
+  return Schema(std::move(fields));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ' ';
+    out += TypeIdToString(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace agora

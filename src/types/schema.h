@@ -1,0 +1,59 @@
+#ifndef AGORA_TYPES_SCHEMA_H_
+#define AGORA_TYPES_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "types/type.h"
+
+namespace agora {
+
+/// One column: a name and a logical type. `nullable` is advisory; the
+/// engine always carries validity bitmaps.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInvalid;
+  bool nullable = true;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered collection of fields describing a table or an operator's output.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  void AddField(Field f) { fields_.push_back(std::move(f)); }
+
+  /// Index of the column named `name` (case-insensitive), or nullopt.
+  std::optional<size_t> FindField(const std::string& name) const;
+
+  /// Like FindField but returns a BindError mentioning `name`.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// Concatenation of this schema and `right` (join output shape).
+  Schema Concat(const Schema& right) const;
+
+  /// "name TYPE, name TYPE, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_TYPES_SCHEMA_H_

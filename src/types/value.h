@@ -1,0 +1,118 @@
+#ifndef AGORA_TYPES_VALUE_H_
+#define AGORA_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "types/type.h"
+
+namespace agora {
+
+/// A single scalar value with dynamic type and nullability. Used at system
+/// boundaries (literals, result sets, catalog statistics); the execution
+/// engine works on columnar vectors instead.
+class Value {
+ public:
+  /// NULL of unknown type.
+  Value() : type_(TypeId::kInvalid), null_(true) {}
+
+  static Value Null(TypeId type = TypeId::kInvalid) {
+    Value v;
+    v.type_ = type;
+    return v;
+  }
+  static Value Bool(bool b) {
+    Value v;
+    v.type_ = TypeId::kBool;
+    v.null_ = false;
+    v.data_ = static_cast<int64_t>(b ? 1 : 0);
+    return v;
+  }
+  static Value Int64(int64_t i) {
+    Value v;
+    v.type_ = TypeId::kInt64;
+    v.null_ = false;
+    v.data_ = i;
+    return v;
+  }
+  static Value Double(double d) {
+    Value v;
+    v.type_ = TypeId::kDouble;
+    v.null_ = false;
+    v.data_ = d;
+    return v;
+  }
+  static Value String(std::string s) {
+    Value v;
+    v.type_ = TypeId::kString;
+    v.null_ = false;
+    v.data_ = std::move(s);
+    return v;
+  }
+  static Value Date(int64_t days) {
+    Value v;
+    v.type_ = TypeId::kDate;
+    v.null_ = false;
+    v.data_ = days;
+    return v;
+  }
+
+  TypeId type() const { return type_; }
+  bool is_null() const { return null_; }
+
+  bool bool_value() const {
+    AGORA_DCHECK(!null_ && type_ == TypeId::kBool);
+    return std::get<int64_t>(data_) != 0;
+  }
+  int64_t int64_value() const {
+    AGORA_DCHECK(!null_ &&
+                 (type_ == TypeId::kInt64 || type_ == TypeId::kDate ||
+                  type_ == TypeId::kBool));
+    return std::get<int64_t>(data_);
+  }
+  double double_value() const {
+    AGORA_DCHECK(!null_ && type_ == TypeId::kDouble);
+    return std::get<double>(data_);
+  }
+  const std::string& string_value() const {
+    AGORA_DCHECK(!null_ && type_ == TypeId::kString);
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric view: int64/date/bool as double, double as-is. DCHECKs on
+  /// strings/null.
+  double AsDouble() const {
+    AGORA_DCHECK(!null_);
+    if (type_ == TypeId::kDouble) return std::get<double>(data_);
+    return static_cast<double>(std::get<int64_t>(data_));
+  }
+
+  /// Coerces to `target`; fails with TypeError if not ImplicitlyCoercible.
+  Result<Value> CastTo(TypeId target) const;
+
+  /// SQL-style three-valued comparison is handled by callers; this is a
+  /// total ordering for sorting with NULLs first, then by type, then value.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Display form: "NULL", "42", "3.14", "abc", "1995-03-15".
+  std::string ToString() const;
+
+  /// Hash consistent with operator== across coercible numeric types is NOT
+  /// guaranteed; hash within one column type only.
+  uint64_t Hash() const;
+
+ private:
+  TypeId type_;
+  bool null_;
+  std::variant<int64_t, double, std::string> data_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_TYPES_VALUE_H_

@@ -1,0 +1,63 @@
+#ifndef AGORA_VEC_DISTANCE_H_
+#define AGORA_VEC_DISTANCE_H_
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace agora {
+
+/// Dense float vector used by the vector-search subsystem.
+using Vecf = std::vector<float>;
+
+/// Similarity/distance space for k-NN search.
+enum class Metric {
+  kL2,      // squared Euclidean distance (smaller = closer)
+  kIp,      // inner product (larger = closer)
+  kCosine,  // cosine similarity (larger = closer)
+};
+
+inline float L2Squared(const float* a, const float* b, size_t dim) {
+  float sum = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+inline float InnerProduct(const float* a, const float* b, size_t dim) {
+  float sum = 0;
+  for (size_t i = 0; i < dim; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+inline float CosineSimilarity(const float* a, const float* b, size_t dim) {
+  float dot = 0, na = 0, nb = 0;
+  for (size_t i = 0; i < dim; ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  float denom = std::sqrt(na) * std::sqrt(nb);
+  return denom > 0 ? dot / denom : 0.0f;
+}
+
+/// Uniform "smaller is closer" distance for any metric (negates
+/// similarities), so index code can rank with one comparator.
+inline float MetricDistance(Metric metric, const float* a, const float* b,
+                            size_t dim) {
+  switch (metric) {
+    case Metric::kL2:
+      return L2Squared(a, b, dim);
+    case Metric::kIp:
+      return -InnerProduct(a, b, dim);
+    case Metric::kCosine:
+      return -CosineSimilarity(a, b, dim);
+  }
+  return 0;
+}
+
+}  // namespace agora
+
+#endif  // AGORA_VEC_DISTANCE_H_

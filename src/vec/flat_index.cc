@@ -1,0 +1,69 @@
+#include "vec/flat_index.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace agora {
+
+Status FlatIndex::Add(int64_t id, const Vecf& v) {
+  if (v.size() != dim_) {
+    return Status::InvalidArgument(
+        "vector has dimension " + std::to_string(v.size()) + ", index expects " +
+        std::to_string(dim_));
+  }
+  data_.insert(data_.end(), v.begin(), v.end());
+  ids_.push_back(id);
+  return Status::OK();
+}
+
+namespace {
+std::vector<Neighbor> SelectTopK(std::vector<Neighbor>&& all, size_t k) {
+  auto better = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  if (all.size() > k) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                      all.end(), better);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), better);
+  }
+  return std::move(all);
+}
+}  // namespace
+
+Result<std::vector<Neighbor>> FlatIndex::Search(const Vecf& query,
+                                                size_t k) const {
+  return SearchFiltered(query, k, nullptr);
+}
+
+Result<std::vector<Neighbor>> FlatIndex::SearchFiltered(
+    const Vecf& query, size_t k,
+    const std::function<bool(int64_t)>& allowed) const {
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  std::vector<Neighbor> all;
+  all.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (allowed != nullptr && !allowed(ids_[i])) continue;
+    all.push_back(Neighbor{
+        ids_[i], MetricDistance(metric_, query.data(), vector_data(i), dim_)});
+  }
+  return SelectTopK(std::move(all), k);
+}
+
+double RecallAtK(const std::vector<Neighbor>& expected,
+                 const std::vector<Neighbor>& actual) {
+  if (expected.empty()) return 1.0;
+  std::unordered_set<int64_t> truth;
+  for (const Neighbor& n : expected) truth.insert(n.id);
+  size_t hits = 0;
+  for (const Neighbor& n : actual) {
+    if (truth.count(n.id) > 0) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(expected.size());
+}
+
+}  // namespace agora

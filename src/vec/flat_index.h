@@ -1,0 +1,65 @@
+#ifndef AGORA_VEC_FLAT_INDEX_H_
+#define AGORA_VEC_FLAT_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "vec/distance.h"
+
+namespace agora {
+
+/// A k-NN result: vector id and its metric distance (smaller = closer,
+/// similarities already negated).
+struct Neighbor {
+  int64_t id;
+  float distance;
+};
+
+/// Exact brute-force k-NN over a contiguous float array. The ground truth
+/// for recall measurements and the engine behind selective pre-filtered
+/// search.
+class FlatIndex {
+ public:
+  FlatIndex(size_t dim, Metric metric = Metric::kL2)
+      : dim_(dim), metric_(metric) {}
+
+  size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
+  size_t size() const { return ids_.size(); }
+
+  /// Appends a vector; `v.size()` must equal dim().
+  Status Add(int64_t id, const Vecf& v);
+
+  /// Exact top-k (ties break toward smaller id).
+  Result<std::vector<Neighbor>> Search(const Vecf& query, size_t k) const;
+
+  /// Exact top-k restricted to ids where `allowed(id)` is true.
+  Result<std::vector<Neighbor>> SearchFiltered(
+      const Vecf& query, size_t k,
+      const std::function<bool(int64_t)>& allowed) const;
+
+  /// Raw access for index builders (IVF training reuses stored data).
+  const float* vector_data(size_t i) const { return &data_[i * dim_]; }
+  int64_t id_at(size_t i) const { return ids_[i]; }
+
+  size_t MemoryBytes() const {
+    return data_.capacity() * sizeof(float) +
+           ids_.capacity() * sizeof(int64_t);
+  }
+
+ private:
+  size_t dim_;
+  Metric metric_;
+  std::vector<float> data_;  // row-major, size() * dim_
+  std::vector<int64_t> ids_;
+};
+
+/// Fraction of `expected` ids present in `actual` (recall@k helper).
+double RecallAtK(const std::vector<Neighbor>& expected,
+                 const std::vector<Neighbor>& actual);
+
+}  // namespace agora
+
+#endif  // AGORA_VEC_FLAT_INDEX_H_

@@ -1,0 +1,215 @@
+#include "vec/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace agora {
+
+namespace {
+/// Min-heap entry ordering for (distance, index) pairs.
+using DistIdx = std::pair<float, uint32_t>;
+}  // namespace
+
+std::vector<DistIdx> HnswIndex::SearchLayer(const float* query,
+                                            uint32_t entry, size_t ef,
+                                            int level) const {
+  // Classic dual-heap beam search: `candidates` pops closest-first,
+  // `best` keeps the ef closest found so far (pops farthest-first).
+  std::priority_queue<DistIdx, std::vector<DistIdx>, std::greater<>>
+      candidates;
+  std::priority_queue<DistIdx> best;
+  std::unordered_set<uint32_t> visited;
+
+  float d0 = Distance(query, VectorOf(entry));
+  candidates.emplace(d0, entry);
+  best.emplace(d0, entry);
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    auto [dist, node] = candidates.top();
+    candidates.pop();
+    if (dist > best.top().first && best.size() >= ef) break;
+    for (uint32_t next : nodes_[node].neighbors[static_cast<size_t>(level)]) {
+      if (!visited.insert(next).second) continue;
+      float d = Distance(query, VectorOf(next));
+      if (best.size() < ef || d < best.top().first) {
+        candidates.emplace(d, next);
+        best.emplace(d, next);
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+  std::vector<DistIdx> out(best.size());
+  for (size_t i = best.size(); i-- > 0;) {
+    out[i] = best.top();
+    best.pop();
+  }
+  return out;
+}
+
+std::vector<uint32_t> HnswIndex::SelectNeighbors(
+    const std::vector<DistIdx>& candidates, size_t m) const {
+  // Malkov & Yashunin Algorithm 4: walk candidates closest-first and keep
+  // one only if it is closer to the query point than to every neighbor
+  // already kept — this preserves edges that bridge clusters instead of
+  // piling all M links into the nearest clump.
+  std::vector<uint32_t> selected;
+  for (const auto& [dist, idx] : candidates) {
+    if (selected.size() >= m) break;
+    bool diverse = true;
+    for (uint32_t s : selected) {
+      if (Distance(VectorOf(idx), VectorOf(s)) < dist) {
+        diverse = false;
+        break;
+      }
+    }
+    if (diverse) selected.push_back(idx);
+  }
+  // Backfill with the closest rejected candidates if the heuristic was
+  // too aggressive (keepPrunedConnections in the paper).
+  if (selected.size() < m) {
+    for (const auto& [dist, idx] : candidates) {
+      if (selected.size() >= m) break;
+      if (std::find(selected.begin(), selected.end(), idx) ==
+          selected.end()) {
+        selected.push_back(idx);
+      }
+    }
+  }
+  return selected;
+}
+
+Status HnswIndex::Add(int64_t id, const Vecf& v) {
+  if (v.size() != dim_) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  uint32_t internal = static_cast<uint32_t>(nodes_.size());
+  data_.insert(data_.end(), v.begin(), v.end());
+
+  // Geometric level assignment: floor(-ln(U) * 1/ln(M)).
+  double u = level_rng_.NextDouble();
+  if (u < 1e-12) u = 1e-12;
+  int level = static_cast<int>(std::floor(-std::log(u) * inv_log_m_));
+
+  Node node;
+  node.id = id;
+  node.level = level;
+  node.neighbors.resize(static_cast<size_t>(level) + 1);
+  nodes_.push_back(std::move(node));
+
+  if (max_level_ < 0) {
+    // First element becomes the entry point.
+    entry_point_ = internal;
+    max_level_ = level;
+    return Status::OK();
+  }
+
+  const float* query = VectorOf(internal);
+  uint32_t entry = entry_point_;
+
+  // Greedy descent through layers above the new node's level.
+  for (int l = max_level_; l > level; --l) {
+    bool improved = true;
+    float best = Distance(query, VectorOf(entry));
+    while (improved) {
+      improved = false;
+      for (uint32_t next : nodes_[entry].neighbors[static_cast<size_t>(l)]) {
+        float d = Distance(query, VectorOf(next));
+        if (d < best) {
+          best = d;
+          entry = next;
+          improved = true;
+        }
+      }
+    }
+  }
+
+  // Connect on layers min(level, max_level_) .. 0.
+  for (int l = std::min(level, max_level_); l >= 0; --l) {
+    std::vector<DistIdx> found =
+        SearchLayer(query, entry, options_.ef_construction, l);
+    std::vector<uint32_t> selected = SelectNeighbors(found, options_.M);
+    auto& my_links = nodes_[internal].neighbors[static_cast<size_t>(l)];
+    my_links = selected;
+    size_t max_links = l == 0 ? 2 * options_.M : options_.M;
+    for (uint32_t peer : selected) {
+      auto& peer_links = nodes_[peer].neighbors[static_cast<size_t>(l)];
+      peer_links.push_back(internal);
+      if (peer_links.size() > max_links) {
+        // Re-select the peer's neighborhood with the same diversity
+        // heuristic (keeps long-range links alive).
+        const float* pv = VectorOf(peer);
+        std::vector<DistIdx> candidates;
+        candidates.reserve(peer_links.size());
+        for (uint32_t c : peer_links) {
+          candidates.emplace_back(Distance(pv, VectorOf(c)), c);
+        }
+        std::sort(candidates.begin(), candidates.end());
+        peer_links = SelectNeighbors(candidates, max_links);
+      }
+    }
+    if (!found.empty()) entry = found[0].second;
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = internal;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> HnswIndex::Search(const Vecf& query,
+                                                size_t k) const {
+  return SearchWithEf(query, k, options_.ef_search);
+}
+
+Result<std::vector<Neighbor>> HnswIndex::SearchWithEf(const Vecf& query,
+                                                      size_t k,
+                                                      size_t ef) const {
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (nodes_.empty()) return std::vector<Neighbor>{};
+  ef = std::max(ef, k);
+
+  uint32_t entry = entry_point_;
+  // Greedy descent to layer 1.
+  for (int l = max_level_; l > 0; --l) {
+    bool improved = true;
+    float best = Distance(query.data(), VectorOf(entry));
+    while (improved) {
+      improved = false;
+      for (uint32_t next : nodes_[entry].neighbors[static_cast<size_t>(l)]) {
+        float d = Distance(query.data(), VectorOf(next));
+        if (d < best) {
+          best = d;
+          entry = next;
+          improved = true;
+        }
+      }
+    }
+  }
+  std::vector<DistIdx> found = SearchLayer(query.data(), entry, ef, 0);
+  std::vector<Neighbor> out;
+  out.reserve(std::min(k, found.size()));
+  for (const auto& [dist, idx] : found) {
+    if (out.size() >= k) break;
+    out.push_back(Neighbor{nodes_[idx].id, dist});
+  }
+  return out;
+}
+
+size_t HnswIndex::MemoryBytes() const {
+  size_t bytes = data_.capacity() * sizeof(float);
+  for (const Node& node : nodes_) {
+    bytes += sizeof(Node);
+    for (const auto& links : node.neighbors) {
+      bytes += links.capacity() * sizeof(uint32_t);
+    }
+  }
+  return bytes;
+}
+
+}  // namespace agora

@@ -1,0 +1,96 @@
+#ifndef AGORA_VEC_HNSW_INDEX_H_
+#define AGORA_VEC_HNSW_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "vec/flat_index.h"
+
+namespace agora {
+
+/// HNSW construction/search parameters (Malkov & Yashunin defaults).
+struct HnswOptions {
+  /// Max out-degree per node on upper layers (layer 0 allows 2*M).
+  size_t M = 16;
+  /// Beam width during construction.
+  size_t ef_construction = 100;
+  /// Default beam width during search (raised to k when smaller).
+  size_t ef_search = 50;
+  uint64_t seed = 99;
+  Metric metric = Metric::kL2;
+};
+
+/// Hierarchical Navigable Small World graph index: incremental inserts,
+/// logarithmic-ish search, recall tunable via `ef`. Deterministic for a
+/// fixed seed and insertion order. Neighbor selection uses the paper's
+/// diversity heuristic (Algorithm 4) with pruned-connection backfill;
+/// deletes are not supported (rebuild instead).
+class HnswIndex {
+ public:
+  HnswIndex(size_t dim, HnswOptions options)
+      : dim_(dim),
+        options_(options),
+        level_rng_(options.seed),
+        inv_log_m_(1.0 / std::log(static_cast<double>(
+                             options.M < 2 ? 2 : options.M))) {}
+
+  size_t dim() const { return dim_; }
+  size_t size() const { return nodes_.size(); }
+  const HnswOptions& options() const { return options_; }
+  /// Highest layer currently in the graph (-1 when empty).
+  int max_level() const { return max_level_; }
+
+  /// Inserts a vector under the caller's id.
+  Status Add(int64_t id, const Vecf& v);
+
+  /// Approximate top-k with the default ef_search.
+  Result<std::vector<Neighbor>> Search(const Vecf& query, size_t k) const;
+
+  /// Approximate top-k with an explicit beam width (recall knob).
+  Result<std::vector<Neighbor>> SearchWithEf(const Vecf& query, size_t k,
+                                             size_t ef) const;
+
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    int64_t id;
+    int level;
+    // neighbors[l] = internal indexes of this node's links at layer l.
+    std::vector<std::vector<uint32_t>> neighbors;
+  };
+
+  float Distance(const float* a, const float* b) const {
+    return MetricDistance(options_.metric, a, b, dim_);
+  }
+  const float* VectorOf(uint32_t internal) const {
+    return &data_[internal * dim_];
+  }
+
+  /// Greedy best-first search on one layer; returns up to `ef` closest
+  /// (distance, internal-index) pairs sorted ascending.
+  std::vector<std::pair<float, uint32_t>> SearchLayer(
+      const float* query, uint32_t entry, size_t ef, int level) const;
+
+  /// Diversity-preserving neighbor selection (paper Algorithm 4) over
+  /// ascending-sorted candidates.
+  std::vector<uint32_t> SelectNeighbors(
+      const std::vector<std::pair<float, uint32_t>>& candidates,
+      size_t m) const;
+
+  size_t dim_;
+  HnswOptions options_;
+  Rng level_rng_;
+  double inv_log_m_;
+
+  std::vector<float> data_;  // row-major vectors by internal index
+  std::vector<Node> nodes_;
+  uint32_t entry_point_ = 0;
+  int max_level_ = -1;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_VEC_HNSW_INDEX_H_

@@ -1,0 +1,165 @@
+#include "vec/ivf_index.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace agora {
+
+Status IvfFlatIndex::Train(const std::vector<Vecf>& sample) {
+  if (sample.empty()) {
+    return Status::InvalidArgument("IVF training sample is empty");
+  }
+  for (const Vecf& v : sample) {
+    if (v.size() != dim_) {
+      return Status::InvalidArgument("training vector dimension mismatch");
+    }
+  }
+  size_t nlist = std::min(options_.nlist, sample.size());
+  options_.nlist = nlist;
+  options_.nprobe = std::min(options_.nprobe, nlist);
+
+  // k-means++-lite seeding: pick distinct random sample points.
+  Rng rng(options_.seed);
+  centroids_.assign(nlist * dim_, 0.0f);
+  std::vector<size_t> chosen;
+  while (chosen.size() < nlist) {
+    size_t idx = static_cast<size_t>(
+        rng.Uniform(0, static_cast<int64_t>(sample.size()) - 1));
+    if (std::find(chosen.begin(), chosen.end(), idx) == chosen.end()) {
+      chosen.push_back(idx);
+    }
+  }
+  for (size_t c = 0; c < nlist; ++c) {
+    std::copy(sample[chosen[c]].begin(), sample[chosen[c]].end(),
+              centroids_.begin() + static_cast<long>(c * dim_));
+  }
+
+  // Lloyd iterations (centroid assignment always uses L2 — standard for
+  // IVF even with IP/cosine queries).
+  std::vector<size_t> assignment(sample.size());
+  std::vector<float> sums(nlist * dim_);
+  std::vector<size_t> counts(nlist);
+  for (size_t iter = 0; iter < options_.kmeans_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < sample.size(); ++i) {
+      size_t nearest = NearestCentroid(sample[i].data());
+      if (assignment[i] != nearest || iter == 0) {
+        assignment[i] = nearest;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    std::fill(sums.begin(), sums.end(), 0.0f);
+    std::fill(counts.begin(), counts.end(), 0u);
+    for (size_t i = 0; i < sample.size(); ++i) {
+      size_t c = assignment[i];
+      counts[c]++;
+      for (size_t d = 0; d < dim_; ++d) {
+        sums[c * dim_ + d] += sample[i][d];
+      }
+    }
+    for (size_t c = 0; c < nlist; ++c) {
+      if (counts[c] == 0) continue;  // keep the previous centroid
+      for (size_t d = 0; d < dim_; ++d) {
+        centroids_[c * dim_ + d] =
+            sums[c * dim_ + d] / static_cast<float>(counts[c]);
+      }
+    }
+  }
+  list_ids_.assign(nlist, {});
+  list_data_.assign(nlist, {});
+  total_ = 0;
+  return Status::OK();
+}
+
+size_t IvfFlatIndex::NearestCentroid(const float* v) const {
+  size_t best = 0;
+  float best_dist = std::numeric_limits<float>::max();
+  size_t nlist = list_ids_.empty() ? options_.nlist : list_ids_.size();
+  for (size_t c = 0; c < nlist; ++c) {
+    float d = L2Squared(v, &centroids_[c * dim_], dim_);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+Status IvfFlatIndex::Add(int64_t id, const Vecf& v) {
+  if (!trained()) {
+    return Status::Internal("IvfFlatIndex::Add before Train");
+  }
+  if (v.size() != dim_) {
+    return Status::InvalidArgument("vector dimension mismatch");
+  }
+  size_t c = NearestCentroid(v.data());
+  list_ids_[c].push_back(id);
+  list_data_[c].insert(list_data_[c].end(), v.begin(), v.end());
+  ++total_;
+  return Status::OK();
+}
+
+Result<std::vector<Neighbor>> IvfFlatIndex::Search(const Vecf& query,
+                                                   size_t k) const {
+  return SearchWithProbes(query, k, options_.nprobe);
+}
+
+Result<std::vector<Neighbor>> IvfFlatIndex::SearchWithProbes(
+    const Vecf& query, size_t k, size_t nprobe,
+    size_t* scanned_out) const {
+  if (!trained()) {
+    return Status::Internal("IvfFlatIndex::Search before Train");
+  }
+  if (query.size() != dim_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  size_t nlist = list_ids_.size();
+  nprobe = std::min(nprobe, nlist);
+
+  // Rank partitions by centroid distance.
+  std::vector<std::pair<float, size_t>> order(nlist);
+  for (size_t c = 0; c < nlist; ++c) {
+    order[c] = {L2Squared(query.data(), &centroids_[c * dim_], dim_), c};
+  }
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(nprobe),
+                    order.end());
+
+  std::vector<Neighbor> all;
+  for (size_t p = 0; p < nprobe; ++p) {
+    size_t c = order[p].second;
+    const auto& ids = list_ids_[c];
+    const auto& data = list_data_[c];
+    for (size_t i = 0; i < ids.size(); ++i) {
+      all.push_back(Neighbor{
+          ids[i], MetricDistance(options_.metric, query.data(),
+                                 &data[i * dim_], dim_)});
+    }
+  }
+  if (scanned_out != nullptr) *scanned_out = all.size();
+  auto better = [](const Neighbor& a, const Neighbor& b) {
+    if (a.distance != b.distance) return a.distance < b.distance;
+    return a.id < b.id;
+  };
+  if (all.size() > k) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                      all.end(), better);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), better);
+  }
+  return all;
+}
+
+size_t IvfFlatIndex::MemoryBytes() const {
+  size_t bytes = centroids_.capacity() * sizeof(float);
+  for (size_t c = 0; c < list_ids_.size(); ++c) {
+    bytes += list_ids_[c].capacity() * sizeof(int64_t) +
+             list_data_[c].capacity() * sizeof(float);
+  }
+  return bytes;
+}
+
+}  // namespace agora

@@ -1,0 +1,72 @@
+#ifndef AGORA_VEC_IVF_INDEX_H_
+#define AGORA_VEC_IVF_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "vec/flat_index.h"
+
+namespace agora {
+
+/// IVF-Flat tuning knobs (RocksDB-style options struct).
+struct IvfOptions {
+  /// Number of k-means partitions.
+  size_t nlist = 64;
+  /// Partitions probed per query; recall/latency trade-off.
+  size_t nprobe = 8;
+  size_t kmeans_iterations = 10;
+  uint64_t seed = 7;
+  Metric metric = Metric::kL2;
+};
+
+/// Inverted-file index with flat (uncompressed) residuals: vectors are
+/// partitioned by nearest k-means centroid; queries scan only the
+/// `nprobe` closest partitions. Approximate — recall grows with nprobe
+/// and reaches 1.0 at nprobe == nlist.
+class IvfFlatIndex {
+ public:
+  IvfFlatIndex(size_t dim, IvfOptions options)
+      : dim_(dim), options_(options) {}
+
+  size_t dim() const { return dim_; }
+  const IvfOptions& options() const { return options_; }
+  size_t size() const { return total_; }
+  bool trained() const { return !centroids_.empty(); }
+
+  /// Runs k-means over `sample` (plain Lloyd iterations, deterministic
+  /// seeding). Must be called before Add.
+  Status Train(const std::vector<Vecf>& sample);
+
+  /// Assigns `v` to its nearest centroid's posting list.
+  Status Add(int64_t id, const Vecf& v);
+
+  /// Approximate top-k over the nprobe nearest partitions.
+  Result<std::vector<Neighbor>> Search(const Vecf& query, size_t k) const;
+
+  /// Same with an explicit probe count (benchmark sweeps). When
+  /// `scanned_out` is non-null it receives the number of candidate
+  /// vectors whose distance was computed (resource accounting).
+  Result<std::vector<Neighbor>> SearchWithProbes(
+      const Vecf& query, size_t k, size_t nprobe,
+      size_t* scanned_out = nullptr) const;
+
+  /// Number of vectors in partition `list` (distribution diagnostics).
+  size_t ListSize(size_t list) const { return list_ids_[list].size(); }
+
+  size_t MemoryBytes() const;
+
+ private:
+  size_t NearestCentroid(const float* v) const;
+
+  size_t dim_;
+  IvfOptions options_;
+  std::vector<float> centroids_;             // nlist * dim
+  std::vector<std::vector<int64_t>> list_ids_;
+  std::vector<std::vector<float>> list_data_;  // per list, row-major
+  size_t total_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_VEC_IVF_INDEX_H_

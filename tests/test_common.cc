@@ -1,0 +1,244 @@
+// Tests for the common utilities: Status/Result, arena, hashing, RNG,
+// string helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/arena.h"
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace agora {
+namespace {
+
+TEST(StatusTest, OkAndErrors) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+
+  Status err = Status::NotFound("table 'x'");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), StatusCode::kNotFound);
+  EXPECT_EQ(err.ToString(), "NotFound: table 'x'");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto inner = [](bool fail) -> Status {
+    if (fail) return Status::Internal("boom");
+    return Status::OK();
+  };
+  auto outer = [&](bool fail) -> Status {
+    AGORA_RETURN_IF_ERROR(inner(fail));
+    return Status::InvalidArgument("reached end");
+  };
+  EXPECT_EQ(outer(true).code(), StatusCode::kInternal);
+  EXPECT_EQ(outer(false).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueAndError) {
+  Result<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().ok());
+
+  Result<int> e = Status::OutOfRange("nope");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto source = [](bool fail) -> Result<std::string> {
+    if (fail) return Status::IoError("io");
+    return std::string("data");
+  };
+  auto consumer = [&](bool fail) -> Result<size_t> {
+    AGORA_ASSIGN_OR_RETURN(std::string s, source(fail));
+    return s.size();
+  };
+  auto good = consumer(false);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 4u);
+  EXPECT_EQ(consumer(true).status().code(), StatusCode::kIoError);
+}
+
+TEST(ResultTest, MoveOnlyTypes) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ArenaTest, AllocationsAreAlignedAndDistinct) {
+  Arena arena(128);  // small blocks force growth
+  std::set<void*> seen;
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(24, 8);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+    EXPECT_TRUE(seen.insert(p).second);
+  }
+  EXPECT_GE(arena.allocated_bytes(), 2400u);
+  EXPECT_GE(arena.reserved_bytes(), arena.allocated_bytes());
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(64);
+  void* big = arena.Allocate(1000);
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0xAB, 1000);  // must be writable
+}
+
+TEST(ArenaTest, CopyStringAndReset) {
+  Arena arena;
+  std::string original = "hello arena";
+  std::string_view copy = arena.CopyString(original);
+  original[0] = 'X';  // the copy must be independent
+  EXPECT_EQ(copy, "hello arena");
+  EXPECT_TRUE(arena.CopyString("").empty());
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+}
+
+TEST(ArenaTest, AllocateArray) {
+  Arena arena;
+  int64_t* arr = arena.AllocateArray<int64_t>(100);
+  for (int i = 0; i < 100; ++i) arr[i] = i;
+  EXPECT_EQ(arr[99], 99);
+}
+
+TEST(HashTest, MixAvalanche) {
+  // Flipping one input bit should change many output bits.
+  uint64_t a = HashMix64(1), b = HashMix64(2);
+  EXPECT_NE(a, b);
+  int differing = __builtin_popcountll(a ^ b);
+  EXPECT_GT(differing, 16);
+}
+
+TEST(HashTest, StringHashConsistencyAndSpread) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+  EXPECT_NE(HashString(""), HashString("a"));
+  // No collisions among a few thousand distinct short strings.
+  std::unordered_set<uint64_t> hashes;
+  for (int i = 0; i < 5000; ++i) {
+    hashes.insert(HashString("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(hashes.size(), 5000u);
+}
+
+TEST(HashTest, BytesMatchStringView) {
+  std::string s = "some longer text exceeding eight bytes";
+  EXPECT_EQ(HashBytes(s.data(), s.size()), HashString(s));
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+  Rng c(8);
+  EXPECT_NE(Rng(7).Next(), c.Next());
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Uniform(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+  // Degenerate range.
+  EXPECT_EQ(rng.Uniform(3, 3), 3);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(11);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double g = rng.Gaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(var, 1.0, 0.1);
+}
+
+TEST(RngTest, ZipfIsSkewedTowardLowRanks) {
+  ZipfGenerator zipf(1000, 1.0, 3);
+  int head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  // Top-10 of 1000 keys should draw far more than the uniform 1%.
+  EXPECT_GT(head, n / 5);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniform) {
+  ZipfGenerator uniform(100, 0.0, 5);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (uniform.Next() < 10) ++head;
+  }
+  EXPECT_NEAR(static_cast<double>(head) / n, 0.10, 0.02);
+}
+
+TEST(StringUtilTest, SplitJoinTrim) {
+  auto parts = SplitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(JoinStrings({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(TrimString("  hi \t\n"), "hi");
+  EXPECT_EQ(TrimString(""), "");
+  EXPECT_EQ(TrimString("   "), "");
+}
+
+TEST(StringUtilTest, CaseHelpers) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("aBc"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_FALSE(EqualsIgnoreCase("SELECT", "selec"));
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, LikeMatching) {
+  EXPECT_TRUE(LikeMatch("hello", "hello"));
+  EXPECT_TRUE(LikeMatch("hello", "h%"));
+  EXPECT_TRUE(LikeMatch("hello", "%llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%ell%"));
+  EXPECT_TRUE(LikeMatch("hello", "h_llo"));
+  EXPECT_TRUE(LikeMatch("hello", "%"));
+  EXPECT_FALSE(LikeMatch("hello", "h_"));
+  EXPECT_FALSE(LikeMatch("hello", "x%"));
+  EXPECT_TRUE(LikeMatch("", "%"));
+  EXPECT_FALSE(LikeMatch("", "_"));
+  // Multiple wildcards with backtracking.
+  EXPECT_TRUE(LikeMatch("abcabcabc", "%abc%abc"));
+  EXPECT_FALSE(LikeMatch("abcabcabd", "%abc%abc"));
+}
+
+TEST(StringUtilTest, Formatting) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatCount(0), "0");
+  EXPECT_EQ(FormatCount(999), "999");
+  EXPECT_EQ(FormatCount(1000), "1,000");
+  EXPECT_EQ(FormatCount(1234567), "1,234,567");
+  EXPECT_EQ(FormatCount(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace agora

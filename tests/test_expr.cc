@@ -1,0 +1,285 @@
+// Tests for the expression tree: vectorized evaluation, three-valued
+// logic, constant folding and rewrite helpers.
+
+#include <gtest/gtest.h>
+
+#include "expr/expr.h"
+#include "expr/expr_rewrite.h"
+
+namespace agora {
+namespace {
+
+// A two-column test chunk: a BIGINT (with one NULL) and a VARCHAR.
+Chunk MakeChunk() {
+  Schema schema({{"n", TypeId::kInt64, true}, {"s", TypeId::kString, true}});
+  Chunk chunk(schema);
+  chunk.AppendRow({Value::Int64(1), Value::String("apple")});
+  chunk.AppendRow({Value::Int64(2), Value::String("banana")});
+  chunk.AppendRow({Value::Null(), Value::String("cherry")});
+  chunk.AppendRow({Value::Int64(4), Value::Null()});
+  return chunk;
+}
+
+TEST(ExprTest, ColumnRefAndLiteral) {
+  Chunk chunk = MakeChunk();
+  ColumnVector out;
+  ASSERT_TRUE(MakeColumnRef(0, TypeId::kInt64, "n")
+                  ->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out.GetInt64(1), 2);
+  EXPECT_TRUE(out.IsNull(2));
+
+  ASSERT_TRUE(MakeLiteral(Value::Int64(7))->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(out.GetInt64(3), 7);
+}
+
+TEST(ExprTest, ComparisonWithNullPropagation) {
+  Chunk chunk = MakeChunk();
+  ExprPtr cmp = MakeCompare(CompareOp::kGt,
+                            MakeColumnRef(0, TypeId::kInt64, "n"),
+                            MakeLiteral(Value::Int64(1)));
+  ColumnVector out;
+  ASSERT_TRUE(cmp->Evaluate(chunk, &out).ok());
+  EXPECT_FALSE(out.GetBool(0));
+  EXPECT_TRUE(out.GetBool(1));
+  EXPECT_TRUE(out.IsNull(2));  // NULL > 1 is NULL
+  EXPECT_TRUE(out.GetBool(3));
+}
+
+TEST(ExprTest, StringComparison) {
+  Chunk chunk = MakeChunk();
+  ExprPtr cmp = MakeCompare(CompareOp::kLt,
+                            MakeColumnRef(1, TypeId::kString, "s"),
+                            MakeLiteral(Value::String("banana")));
+  ColumnVector out;
+  ASSERT_TRUE(cmp->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.GetBool(0));   // apple < banana
+  EXPECT_FALSE(out.GetBool(1));  // banana < banana
+  EXPECT_TRUE(out.IsNull(3));    // NULL string
+}
+
+TEST(ExprTest, MixedTypeComparisonRejected) {
+  Chunk chunk = MakeChunk();
+  ExprPtr cmp = MakeCompare(CompareOp::kEq,
+                            MakeColumnRef(0, TypeId::kInt64, "n"),
+                            MakeColumnRef(1, TypeId::kString, "s"));
+  ColumnVector out;
+  EXPECT_EQ(cmp->Evaluate(chunk, &out).code(), StatusCode::kTypeError);
+}
+
+TEST(ExprTest, ArithmeticIntAndDouble) {
+  Chunk chunk = MakeChunk();
+  // n * 2 + 1
+  ExprPtr expr = MakeArith(
+      ArithOp::kAdd,
+      MakeArith(ArithOp::kMul, MakeColumnRef(0, TypeId::kInt64, "n"),
+                MakeLiteral(Value::Int64(2))),
+      MakeLiteral(Value::Int64(1)));
+  EXPECT_EQ(expr->result_type(), TypeId::kInt64);
+  ColumnVector out;
+  ASSERT_TRUE(expr->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out.GetInt64(0), 3);
+  EXPECT_EQ(out.GetInt64(1), 5);
+  EXPECT_TRUE(out.IsNull(2));
+
+  // n / 2.0 promotes to double.
+  ExprPtr div = MakeArith(ArithOp::kDiv, MakeColumnRef(0, TypeId::kInt64, "n"),
+                          MakeLiteral(Value::Double(2.0)));
+  EXPECT_EQ(div->result_type(), TypeId::kDouble);
+  ASSERT_TRUE(div->Evaluate(chunk, &out).ok());
+  EXPECT_DOUBLE_EQ(out.GetDouble(1), 1.0);
+}
+
+TEST(ExprTest, DivisionAndModuloByZeroYieldNull) {
+  Chunk chunk = MakeChunk();
+  ExprPtr div = MakeArith(ArithOp::kDiv, MakeColumnRef(0, TypeId::kInt64, "n"),
+                          MakeLiteral(Value::Int64(0)));
+  ColumnVector out;
+  ASSERT_TRUE(div->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.IsNull(0));
+  ExprPtr mod = MakeArith(ArithOp::kMod, MakeColumnRef(0, TypeId::kInt64, "n"),
+                          MakeLiteral(Value::Int64(0)));
+  ASSERT_TRUE(mod->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.IsNull(1));
+}
+
+TEST(ExprTest, KleeneLogic) {
+  Chunk chunk = MakeChunk();
+  ExprPtr is_two = MakeCompare(CompareOp::kEq,
+                               MakeColumnRef(0, TypeId::kInt64, "n"),
+                               MakeLiteral(Value::Int64(2)));
+  ExprPtr null_cmp = MakeCompare(CompareOp::kEq,
+                                 MakeColumnRef(0, TypeId::kInt64, "n"),
+                                 MakeLiteral(Value::Null(TypeId::kInt64)));
+  // FALSE AND NULL = FALSE; TRUE AND NULL = NULL.
+  ColumnVector out;
+  ASSERT_TRUE(MakeAnd(is_two, null_cmp)->Evaluate(chunk, &out).ok());
+  EXPECT_FALSE(out.GetBool(0));  // false AND null
+  EXPECT_TRUE(out.IsNull(1));    // true AND null
+  // TRUE OR NULL = TRUE; FALSE OR NULL = NULL.
+  ASSERT_TRUE(MakeOr(is_two, null_cmp)->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.IsNull(0));   // false OR null
+  EXPECT_TRUE(out.GetBool(1));  // true OR null
+}
+
+TEST(ExprTest, NotAndIsNull) {
+  Chunk chunk = MakeChunk();
+  ExprPtr is_null =
+      std::make_shared<IsNullExpr>(MakeColumnRef(0, TypeId::kInt64, "n"),
+                                   /*negated=*/false);
+  ColumnVector out;
+  ASSERT_TRUE(is_null->Evaluate(chunk, &out).ok());
+  EXPECT_FALSE(out.GetBool(0));
+  EXPECT_TRUE(out.GetBool(2));
+  ASSERT_TRUE(MakeNot(is_null)->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.GetBool(0));
+  EXPECT_FALSE(out.GetBool(2));
+}
+
+TEST(ExprTest, InListWithNullSemantics) {
+  Chunk chunk = MakeChunk();
+  // n IN (1, NULL): 1 -> TRUE; 2 -> NULL (because of the NULL element).
+  ExprPtr in = std::make_shared<InListExpr>(
+      MakeColumnRef(0, TypeId::kInt64, "n"),
+      std::vector<Value>{Value::Int64(1), Value::Null()}, false);
+  ColumnVector out;
+  ASSERT_TRUE(in->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.GetBool(0));
+  EXPECT_TRUE(out.IsNull(1));
+  EXPECT_TRUE(out.IsNull(2));  // NULL probe
+}
+
+TEST(ExprTest, CaseExpression) {
+  Chunk chunk = MakeChunk();
+  std::vector<ExprPtr> conds = {MakeCompare(
+      CompareOp::kGe, MakeColumnRef(0, TypeId::kInt64, "n"),
+      MakeLiteral(Value::Int64(2)))};
+  std::vector<ExprPtr> results = {MakeLiteral(Value::String("big"))};
+  ExprPtr case_expr = std::make_shared<CaseExpr>(
+      conds, results, MakeLiteral(Value::String("small")), TypeId::kString);
+  ColumnVector out;
+  ASSERT_TRUE(case_expr->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out.GetString(0), "small");
+  EXPECT_EQ(out.GetString(1), "big");
+  EXPECT_EQ(out.GetString(2), "small");  // NULL condition -> else
+}
+
+TEST(ExprTest, ScalarFunctionsVectorized) {
+  Chunk chunk = MakeChunk();
+  ExprPtr upper = std::make_shared<FunctionExpr>(
+      ScalarFunc::kUpper, MakeColumnRef(1, TypeId::kString, "s"),
+      TypeId::kString);
+  ColumnVector out;
+  ASSERT_TRUE(upper->Evaluate(chunk, &out).ok());
+  EXPECT_EQ(out.GetString(0), "APPLE");
+  EXPECT_TRUE(out.IsNull(3));
+
+  ExprPtr sqrt_expr = std::make_shared<FunctionExpr>(
+      ScalarFunc::kSqrt, MakeLiteral(Value::Int64(-4)), TypeId::kDouble);
+  ASSERT_TRUE(sqrt_expr->Evaluate(chunk, &out).ok());
+  EXPECT_TRUE(out.IsNull(0));  // sqrt of negative
+}
+
+TEST(ExprTest, ToStringRendering) {
+  ExprPtr e = MakeAnd(
+      MakeCompare(CompareOp::kLt, MakeColumnRef(0, TypeId::kInt64, "a"),
+                  MakeLiteral(Value::Int64(5))),
+      std::make_shared<LikeExpr>(MakeColumnRef(1, TypeId::kString, "b"),
+                                 "x%", false));
+  EXPECT_EQ(e->ToString(), "((a < 5) AND b LIKE 'x%')");
+}
+
+TEST(ExprRewriteTest, FoldConstants) {
+  // (2 + 3) * n stays, constant subtree folds.
+  ExprPtr expr = MakeArith(
+      ArithOp::kMul,
+      MakeArith(ArithOp::kAdd, MakeLiteral(Value::Int64(2)),
+                MakeLiteral(Value::Int64(3))),
+      MakeColumnRef(0, TypeId::kInt64, "n"));
+  ExprPtr folded = FoldConstants(expr);
+  EXPECT_EQ(folded->ToString(), "(5 * n)");
+
+  // Fully constant expression folds to a literal.
+  ExprPtr all_const = MakeCompare(CompareOp::kGt,
+                                  MakeLiteral(Value::Int64(7)),
+                                  MakeLiteral(Value::Int64(3)));
+  ExprPtr lit = FoldConstants(all_const);
+  ASSERT_EQ(lit->kind(), ExprKind::kLiteral);
+  EXPECT_TRUE(static_cast<const LiteralExpr*>(lit.get())
+                  ->value().bool_value());
+}
+
+TEST(ExprRewriteTest, SplitAndCombineConjuncts) {
+  ExprPtr a = MakeCompare(CompareOp::kEq, MakeColumnRef(0, TypeId::kInt64, "a"),
+                          MakeLiteral(Value::Int64(1)));
+  ExprPtr b = MakeCompare(CompareOp::kEq, MakeColumnRef(1, TypeId::kInt64, "b"),
+                          MakeLiteral(Value::Int64(2)));
+  ExprPtr c = MakeCompare(CompareOp::kEq, MakeColumnRef(2, TypeId::kInt64, "c"),
+                          MakeLiteral(Value::Int64(3)));
+  ExprPtr tree = MakeAnd(MakeAnd(a, b), c);
+  auto conjuncts = SplitConjuncts(tree);
+  ASSERT_EQ(conjuncts.size(), 3u);
+  // ORs are not split.
+  auto or_conjuncts = SplitConjuncts(MakeOr(a, b));
+  EXPECT_EQ(or_conjuncts.size(), 1u);
+  // Combine round trip.
+  EXPECT_EQ(CombineConjuncts({}), nullptr);
+  EXPECT_EQ(CombineConjuncts({a}), a);
+  ExprPtr recombined = CombineConjuncts(conjuncts);
+  EXPECT_EQ(SplitConjuncts(recombined).size(), 3u);
+}
+
+TEST(ExprRewriteTest, RemapColumnsRewritesEveryRef) {
+  ExprPtr expr = MakeAnd(
+      MakeCompare(CompareOp::kEq, MakeColumnRef(3, TypeId::kInt64, "x"),
+                  MakeColumnRef(5, TypeId::kInt64, "y")),
+      std::make_shared<IsNullExpr>(MakeColumnRef(4, TypeId::kString, "z"),
+                                   true));
+  ExprPtr remapped = RemapColumns(expr, [](size_t i) { return i - 3; });
+  std::vector<size_t> refs;
+  remapped->CollectColumnRefs(&refs);
+  std::sort(refs.begin(), refs.end());
+  ASSERT_EQ(refs.size(), 3u);
+  EXPECT_EQ(refs[0], 0u);
+  EXPECT_EQ(refs[1], 1u);
+  EXPECT_EQ(refs[2], 2u);
+  // The original is untouched.
+  refs.clear();
+  expr->CollectColumnRefs(&refs);
+  std::sort(refs.begin(), refs.end());
+  EXPECT_EQ(refs[0], 3u);
+}
+
+TEST(ExprRewriteTest, RefsWithin) {
+  ExprPtr expr = MakeCompare(CompareOp::kEq,
+                             MakeColumnRef(2, TypeId::kInt64, "a"),
+                             MakeColumnRef(4, TypeId::kInt64, "b"));
+  EXPECT_TRUE(RefsWithin(expr, 0, 5));
+  EXPECT_TRUE(RefsWithin(expr, 2, 5));
+  EXPECT_FALSE(RefsWithin(expr, 0, 4));
+  EXPECT_FALSE(RefsWithin(expr, 3, 5));
+  EXPECT_TRUE(RefsWithin(MakeLiteral(Value::Int64(1)), 0, 0));
+}
+
+TEST(ExprTest, CloneIsDeep) {
+  ExprPtr original = MakeCompare(CompareOp::kLt,
+                                 MakeColumnRef(0, TypeId::kInt64, "a"),
+                                 MakeLiteral(Value::Int64(10)));
+  ExprPtr clone = original->Clone();
+  EXPECT_NE(original.get(), clone.get());
+  EXPECT_EQ(original->ToString(), clone->ToString());
+}
+
+TEST(ExprTest, EvaluateScalar) {
+  ExprPtr expr = MakeArith(ArithOp::kMul, MakeLiteral(Value::Int64(6)),
+                           MakeLiteral(Value::Int64(7)));
+  auto v = expr->EvaluateScalar();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->int64_value(), 42);
+  // Non-constant expressions are rejected.
+  EXPECT_FALSE(MakeColumnRef(0, TypeId::kInt64, "a")
+                   ->EvaluateScalar().ok());
+}
+
+}  // namespace
+}  // namespace agora

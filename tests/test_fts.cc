@@ -1,0 +1,194 @@
+// Tests for the full-text analyzer and BM25 inverted index.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fts/analyzer.h"
+#include "fts/inverted_index.h"
+
+namespace agora {
+namespace {
+
+TEST(AnalyzerTest, LowercasesAndSplits) {
+  auto tokens = AnalyzeText("Hello, World! Databases-ARE fun.");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0], "hello");
+  EXPECT_EQ(tokens[1], "world");
+  EXPECT_EQ(tokens[2], "databases");
+  EXPECT_EQ(tokens[3], "fun");
+}
+
+TEST(AnalyzerTest, RemovesStopwordsAndShortTokens) {
+  auto tokens = AnalyzeText("the cat and a dog in X y");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "cat");
+  EXPECT_EQ(tokens[1], "dog");
+}
+
+TEST(AnalyzerTest, OptionsDisableStopwordRemoval) {
+  AnalyzerOptions options;
+  options.remove_stopwords = false;
+  options.min_token_length = 1;
+  auto tokens = AnalyzeText("the cat", options);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "the");
+}
+
+TEST(AnalyzerTest, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(AnalyzeText("").empty());
+  EXPECT_TRUE(AnalyzeText("!!! ... ---").empty());
+}
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    index_.AddDocument(0, "red apples and green apples");
+    index_.AddDocument(1, "green pears");
+    index_.AddDocument(2, "red fire trucks");
+    index_.AddDocument(3, "apples apples apples everywhere");
+  }
+  InvertedIndex index_;
+};
+
+TEST_F(InvertedIndexTest, PostingsAndDocFrequency) {
+  EXPECT_EQ(index_.num_docs(), 4u);
+  EXPECT_EQ(index_.DocFrequency("apples"), 2u);
+  EXPECT_EQ(index_.DocFrequency("red"), 2u);
+  EXPECT_EQ(index_.DocFrequency("missing"), 0u);
+  const auto& postings = index_.GetPostings("apples");
+  ASSERT_EQ(postings.size(), 2u);
+  // Doc 0 has tf=2, doc 3 has tf=3.
+  for (const Posting& p : postings) {
+    if (p.doc_id == 0) EXPECT_EQ(p.term_frequency, 2u);
+    if (p.doc_id == 3) EXPECT_EQ(p.term_frequency, 3u);
+  }
+}
+
+TEST_F(InvertedIndexTest, SearchRanksByBm25) {
+  auto hits = index_.Search("apples", 10);
+  ASSERT_EQ(hits.size(), 2u);
+  // Doc 3 has higher tf and equal-ish length; it must rank first.
+  EXPECT_EQ(hits[0].doc_id, 3);
+  EXPECT_EQ(hits[1].doc_id, 0);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST_F(InvertedIndexTest, MultiTermOrSemantics) {
+  auto hits = index_.Search("red apples", 10);
+  // Docs 0 (both terms), 2 (red), 3 (apples).
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc_id, 0);  // matches both terms
+}
+
+TEST_F(InvertedIndexTest, RareTermsScoreHigherThanCommonOnes) {
+  InvertedIndex idx;
+  for (int64_t d = 0; d < 20; ++d) {
+    std::string text = "common ";
+    if (d == 7) text += "rare";
+    idx.AddDocument(d, text + " filler" + std::to_string(d));
+  }
+  auto rare = idx.Search("rare", 1);
+  auto common = idx.Search("common", 1);
+  ASSERT_EQ(rare.size(), 1u);
+  ASSERT_FALSE(common.empty());
+  EXPECT_GT(rare[0].score, common[0].score);
+}
+
+TEST_F(InvertedIndexTest, SearchFilteredRestrictsDocs) {
+  std::unordered_set<int64_t> allowed = {0, 2};
+  auto hits = index_.SearchFiltered("apples", 10, allowed);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc_id, 0);
+}
+
+TEST_F(InvertedIndexTest, ScoreDocumentMatchesSearchScore) {
+  auto hits = index_.Search("apples", 10);
+  for (const SearchHit& h : hits) {
+    EXPECT_NEAR(index_.ScoreDocument("apples", h.doc_id), h.score, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(index_.ScoreDocument("apples", 2), 0.0);
+}
+
+TEST_F(InvertedIndexTest, KLimitsResults) {
+  auto hits = index_.Search("red apples green", 2);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(InvertedIndexTest, EmptyQueryReturnsNothing) {
+  EXPECT_TRUE(index_.Search("", 10).empty());
+  EXPECT_TRUE(index_.Search("the of and", 10).empty());  // all stopwords
+}
+
+TEST_F(InvertedIndexTest, Bm25LengthNormalizationPrefersShorterDocs) {
+  InvertedIndex idx;
+  idx.AddDocument(0, "needle");
+  idx.AddDocument(
+      1, "needle straw straw straw straw straw straw straw straw straw");
+  auto hits = idx.Search("needle", 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc_id, 0);  // same tf, shorter doc wins
+}
+
+TEST_F(InvertedIndexTest, AndModeRequiresAllTerms) {
+  auto any = index_.Search("red apples", 10, {}, MatchMode::kAny);
+  auto all = index_.Search("red apples", 10, {}, MatchMode::kAll);
+  EXPECT_EQ(any.size(), 3u);   // docs 0, 2, 3
+  ASSERT_EQ(all.size(), 1u);   // only doc 0 has both
+  EXPECT_EQ(all[0].doc_id, 0);
+  // Duplicated query terms must not break AND semantics.
+  auto dup = index_.Search("red red apples", 10, {}, MatchMode::kAll);
+  ASSERT_EQ(dup.size(), 1u);
+  EXPECT_EQ(dup[0].doc_id, 0);
+}
+
+TEST_F(InvertedIndexTest, PhraseSearchRequiresAdjacency) {
+  InvertedIndex idx;
+  idx.AddDocument(0, "the quick brown fox jumps");  // not adjacent
+  idx.AddDocument(1, "brown quick fox");            // adjacent at the end
+  idx.AddDocument(2, "quick red fox");              // not adjacent
+  idx.AddDocument(3, "a quick fox appears twice: quick fox");
+  auto hits = idx.SearchPhrase("quick fox", 10);
+  std::vector<int64_t> docs;
+  for (const SearchHit& h : hits) docs.push_back(h.doc_id);
+  std::sort(docs.begin(), docs.end());
+  ASSERT_EQ(docs.size(), 2u);
+  EXPECT_EQ(docs[0], 1);
+  EXPECT_EQ(docs[1], 3);
+  EXPECT_TRUE(idx.ContainsPhrase("quick brown fox", 0));
+  EXPECT_FALSE(idx.ContainsPhrase("quick brown fox", 1));
+  // Stopwords vanish in analysis: "the quick" phrase == "quick".
+  EXPECT_TRUE(idx.ContainsPhrase("the quick", 0));
+}
+
+TEST_F(InvertedIndexTest, PhraseLongerThanAnyDocMatchesNothing) {
+  InvertedIndex idx;
+  idx.AddDocument(0, "alpha beta");
+  EXPECT_TRUE(idx.SearchPhrase("alpha beta gamma delta", 5).empty());
+}
+
+TEST_F(InvertedIndexTest, PositionsAreRecorded) {
+  InvertedIndex idx;
+  idx.AddDocument(0, "one two one three one");
+  const auto& postings = idx.GetPostings("one");
+  ASSERT_EQ(postings.size(), 1u);
+  ASSERT_EQ(postings[0].positions.size(), 3u);
+  EXPECT_EQ(postings[0].positions[0], 0u);
+  EXPECT_EQ(postings[0].positions[1], 2u);
+  EXPECT_EQ(postings[0].positions[2], 4u);
+}
+
+TEST_F(InvertedIndexTest, DeterministicTieBreakOnDocId) {
+  InvertedIndex idx;
+  idx.AddDocument(5, "same text here");
+  idx.AddDocument(1, "same text here");
+  idx.AddDocument(3, "same text here");
+  auto hits = idx.Search("same", 3);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].doc_id, 1);
+  EXPECT_EQ(hits[1].doc_id, 3);
+  EXPECT_EQ(hits[2].doc_id, 5);
+}
+
+}  // namespace
+}  // namespace agora

@@ -1,0 +1,167 @@
+// Tests for the HNSW graph index: construction invariants, recall vs the
+// exact baseline, and the ef knob.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vec/hnsw_index.h"
+
+namespace agora {
+namespace {
+
+std::vector<Vecf> MakeClusteredData(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Vecf> centers;
+  for (int c = 0; c < 8; ++c) {
+    Vecf center(dim);
+    for (float& x : center) x = static_cast<float>(rng.Gaussian()) * 10.0f;
+    centers.push_back(std::move(center));
+  }
+  std::vector<Vecf> data;
+  for (size_t i = 0; i < n; ++i) {
+    Vecf v(dim);
+    const Vecf& center = centers[i % centers.size()];
+    for (size_t d = 0; d < dim; ++d) {
+      v[d] = center[d] + static_cast<float>(rng.Gaussian());
+    }
+    data.push_back(std::move(v));
+  }
+  return data;
+}
+
+TEST(HnswTest, EmptyAndSingle) {
+  HnswIndex index(4, {});
+  auto empty = index.Search({1, 2, 3, 4}, 5);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  ASSERT_TRUE(index.Add(42, {1, 2, 3, 4}).ok());
+  auto one = index.Search({1, 2, 3, 4}, 5);
+  ASSERT_TRUE(one.ok());
+  ASSERT_EQ(one->size(), 1u);
+  EXPECT_EQ((*one)[0].id, 42);
+  EXPECT_FLOAT_EQ((*one)[0].distance, 0.0f);
+}
+
+TEST(HnswTest, DimensionMismatchRejected) {
+  HnswIndex index(4, {});
+  EXPECT_EQ(index.Add(0, {1, 2}).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(index.Add(0, {1, 2, 3, 4}).ok());
+  EXPECT_FALSE(index.Search({1, 2}, 1).ok());
+}
+
+TEST(HnswTest, FindsExactMatchAmongMany) {
+  auto data = MakeClusteredData(2000, 8, 1);
+  HnswIndex index(8, {});
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data[i]).ok());
+  }
+  // Querying with a stored vector must return it first.
+  for (size_t probe : {0u, 500u, 1999u}) {
+    auto result = index.Search(data[probe], 1);
+    ASSERT_TRUE(result.ok());
+    ASSERT_EQ(result->size(), 1u);
+    EXPECT_EQ((*result)[0].id, static_cast<int64_t>(probe));
+  }
+}
+
+TEST(HnswTest, HighRecallVsExact) {
+  auto data = MakeClusteredData(3000, 16, 2);
+  HnswIndex index(16, {});
+  FlatIndex exact(16);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data[i]).ok());
+    ASSERT_TRUE(exact.Add(static_cast<int64_t>(i), data[i]).ok());
+  }
+  Rng rng(3);
+  double recall = 0;
+  const int kQueries = 25;
+  for (int q = 0; q < kQueries; ++q) {
+    Vecf query = data[static_cast<size_t>(rng.Uniform(0, 2999))];
+    for (float& x : query) x += static_cast<float>(rng.Gaussian()) * 0.2f;
+    auto truth = exact.Search(query, 10);
+    auto approx = index.Search(query, 10);
+    ASSERT_TRUE(truth.ok() && approx.ok());
+    recall += RecallAtK(*truth, *approx);
+  }
+  recall /= kQueries;
+  EXPECT_GT(recall, 0.9);
+}
+
+TEST(HnswTest, RecallGrowsWithEf) {
+  auto data = MakeClusteredData(3000, 16, 4);
+  HnswOptions options;
+  options.ef_construction = 60;
+  HnswIndex index(16, options);
+  FlatIndex exact(16);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data[i]).ok());
+    ASSERT_TRUE(exact.Add(static_cast<int64_t>(i), data[i]).ok());
+  }
+  Rng rng(5);
+  double recall_small = 0, recall_large = 0;
+  const int kQueries = 20;
+  for (int q = 0; q < kQueries; ++q) {
+    Vecf query(16);
+    size_t base = static_cast<size_t>(rng.Uniform(0, 2999));
+    for (size_t d = 0; d < 16; ++d) {
+      query[d] = data[base][d] + static_cast<float>(rng.Gaussian()) * 0.3f;
+    }
+    auto truth = exact.Search(query, 10);
+    auto small = index.SearchWithEf(query, 10, 10);
+    auto large = index.SearchWithEf(query, 10, 200);
+    ASSERT_TRUE(truth.ok() && small.ok() && large.ok());
+    recall_small += RecallAtK(*truth, *small);
+    recall_large += RecallAtK(*truth, *large);
+  }
+  EXPECT_GE(recall_large, recall_small);
+  EXPECT_GT(recall_large / kQueries, 0.95);
+}
+
+TEST(HnswTest, ResultsSortedByDistance) {
+  auto data = MakeClusteredData(500, 8, 6);
+  HnswIndex index(8, {});
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data[i]).ok());
+  }
+  auto result = index.Search(data[7], 20);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->size(); ++i) {
+    EXPECT_LE((*result)[i - 1].distance, (*result)[i].distance);
+  }
+}
+
+TEST(HnswTest, DeterministicForFixedSeedAndOrder) {
+  auto data = MakeClusteredData(800, 8, 8);
+  HnswOptions options;
+  options.seed = 123;
+  HnswIndex a(8, options), b(8, options);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(a.Add(static_cast<int64_t>(i), data[i]).ok());
+    ASSERT_TRUE(b.Add(static_cast<int64_t>(i), data[i]).ok());
+  }
+  auto ra = a.Search(data[13], 10);
+  auto rb = b.Search(data[13], 10);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  ASSERT_EQ(ra->size(), rb->size());
+  for (size_t i = 0; i < ra->size(); ++i) {
+    EXPECT_EQ((*ra)[i].id, (*rb)[i].id);
+  }
+}
+
+TEST(HnswTest, CosineMetricSupported) {
+  HnswOptions options;
+  options.metric = Metric::kCosine;
+  HnswIndex index(3, options);
+  ASSERT_TRUE(index.Add(0, {1, 0, 0}).ok());
+  ASSERT_TRUE(index.Add(1, {0, 1, 0}).ok());
+  ASSERT_TRUE(index.Add(2, {0.9f, 0.1f, 0}).ok());
+  auto result = index.Search({1, 0.05f, 0}, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].id, 0);
+  EXPECT_EQ((*result)[1].id, 2);
+}
+
+}  // namespace
+}  // namespace agora

@@ -1,0 +1,134 @@
+// Tests for the miniature ORM: entity mapping, lazy N+1 loading, eager
+// join loading and statement accounting.
+
+#include <gtest/gtest.h>
+
+#include "orm/orm.h"
+
+namespace agora {
+namespace {
+
+class OrmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(db_.Execute("CREATE TABLE customers (id BIGINT, "
+                            "name VARCHAR, tier VARCHAR)").ok());
+    ASSERT_TRUE(db_.Execute("CREATE TABLE orders (id BIGINT, "
+                            "customer_id BIGINT, amount DOUBLE)").ok());
+    session_ = std::make_unique<OrmSession>(&db_);
+    ModelDef customers;
+    customers.table = "customers";
+    customers.primary_key = "id";
+    customers.has_many.push_back({"orders", "orders", "customer_id"});
+    session_->RegisterModel(customers);
+    ModelDef orders;
+    orders.table = "orders";
+    session_->RegisterModel(orders);
+
+    for (int c = 1; c <= 5; ++c) {
+      ASSERT_TRUE(session_->Insert(
+          "customers",
+          {{"id", Value::Int64(c)},
+           {"name", Value::String("c" + std::to_string(c))},
+           {"tier", Value::String(c % 2 == 0 ? "gold" : "basic")}}).ok());
+      for (int o = 0; o < 3; ++o) {
+        ASSERT_TRUE(session_->Insert(
+            "orders", {{"id", Value::Int64(c * 100 + o)},
+                       {"customer_id", Value::Int64(c)},
+                       {"amount", Value::Double(10.0 * c + o)}}).ok());
+      }
+    }
+    session_->ResetStatementCount();
+  }
+
+  Database db_;
+  std::unique_ptr<OrmSession> session_;
+};
+
+TEST_F(OrmTest, FindByPrimaryKey) {
+  auto entity = session_->Find("customers", Value::Int64(3));
+  ASSERT_TRUE(entity.ok()) << entity.status().ToString();
+  EXPECT_EQ(entity->Get("name").string_value(), "c3");
+  EXPECT_EQ(session_->statements_issued(), 1);
+}
+
+TEST_F(OrmTest, FindMissingReturnsNotFound) {
+  auto entity = session_->Find("customers", Value::Int64(99));
+  EXPECT_EQ(entity.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(OrmTest, AllWithFilter) {
+  auto gold = session_->All("customers", "tier = 'gold'");
+  ASSERT_TRUE(gold.ok());
+  EXPECT_EQ(gold->size(), 2u);
+}
+
+TEST_F(OrmTest, LazyRelationIssuesOneStatementPerParent) {
+  auto customers = session_->All("customers");
+  ASSERT_TRUE(customers.ok());
+  ASSERT_EQ(customers->size(), 5u);
+  EXPECT_EQ(session_->statements_issued(), 1);
+
+  size_t total_orders = 0;
+  for (const Entity& customer : *customers) {
+    auto orders = session_->Related(customer, "orders");
+    ASSERT_TRUE(orders.ok());
+    total_orders += orders->size();
+  }
+  EXPECT_EQ(total_orders, 15u);
+  // The N+1 signature: 1 (parents) + 5 (one per parent).
+  EXPECT_EQ(session_->statements_issued(), 6);
+}
+
+TEST_F(OrmTest, EagerLoadIssuesOneStatementTotal) {
+  auto grouped = session_->EagerLoadChildren("customers", "orders");
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(session_->statements_issued(), 1);
+  EXPECT_EQ(grouped->size(), 5u);
+  size_t total = 0;
+  for (const auto& [key, children] : *grouped) total += children.size();
+  EXPECT_EQ(total, 15u);
+}
+
+TEST_F(OrmTest, LazyAndEagerAgreeOnContent) {
+  auto customers = session_->All("customers");
+  ASSERT_TRUE(customers.ok());
+  auto grouped = session_->EagerLoadChildren("customers", "orders");
+  ASSERT_TRUE(grouped.ok());
+  for (const Entity& customer : *customers) {
+    auto lazy = session_->Related(customer, "orders");
+    ASSERT_TRUE(lazy.ok());
+    const std::string key = customer.Get("id").ToString();
+    auto it = grouped->find(key);
+    ASSERT_NE(it, grouped->end());
+    EXPECT_EQ(lazy->size(), it->second.size());
+  }
+}
+
+TEST_F(OrmTest, UnknownModelAndRelationErrors) {
+  EXPECT_EQ(session_->All("widgets").status().code(), StatusCode::kNotFound);
+  auto customer = session_->Find("customers", Value::Int64(1));
+  ASSERT_TRUE(customer.ok());
+  EXPECT_EQ(session_->Related(*customer, "invoices").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(OrmTest, SqlLiteralEscaping) {
+  EXPECT_EQ(ValueToSqlLiteral(Value::String("it's")), "'it''s'");
+  EXPECT_EQ(ValueToSqlLiteral(Value::Int64(-5)), "-5");
+  EXPECT_EQ(ValueToSqlLiteral(Value::Null()), "NULL");
+  EXPECT_EQ(ValueToSqlLiteral(Value::Bool(true)), "TRUE");
+  EXPECT_EQ(ValueToSqlLiteral(Value::Date(MakeDate(2024, 1, 5))),
+            "DATE '2024-01-05'");
+  // Round trip through the engine.
+  ASSERT_TRUE(session_->Insert("customers",
+                               {{"id", Value::Int64(10)},
+                                {"name", Value::String("o'brien")},
+                                {"tier", Value::String("basic")}}).ok());
+  auto found = session_->Find("customers", Value::Int64(10));
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found->Get("name").string_value(), "o'brien");
+}
+
+}  // namespace
+}  // namespace agora

@@ -1,0 +1,244 @@
+// Tests for the data-prep pipeline, its stages, the rank-based reorderer
+// and shared-prefix materialization.
+
+#include <gtest/gtest.h>
+
+#include "pipeline/pipeline.h"
+#include "pipeline/stages.h"
+
+namespace agora {
+namespace {
+
+PipelineDoc Doc(int64_t id, std::string text) {
+  return PipelineDoc{id, std::move(text)};
+}
+
+TEST(StageTest, LengthFilterBounds) {
+  LengthFilter filter(3, 5);
+  uint64_t work = 0;
+  PipelineDoc ok = Doc(0, "one two three four");
+  PipelineDoc low = Doc(1, "one two");
+  PipelineDoc high = Doc(2, "a b c d e f g");
+  EXPECT_TRUE(filter.Process(&ok, &work));
+  EXPECT_FALSE(filter.Process(&low, &work));
+  EXPECT_FALSE(filter.Process(&high, &work));
+  EXPECT_GT(work, 0u);
+}
+
+TEST(StageTest, LanguageFilterByAsciiFraction) {
+  AsciiLanguageFilter filter(0.2);
+  uint64_t work = 0;
+  PipelineDoc english = Doc(0, "plain english text");
+  EXPECT_TRUE(filter.Process(&english, &work));
+  std::string foreign;
+  for (int i = 0; i < 100; ++i) foreign += static_cast<char>(0xD0);
+  PipelineDoc nonascii = Doc(1, foreign);
+  EXPECT_FALSE(filter.Process(&nonascii, &work));
+  PipelineDoc empty = Doc(2, "");
+  EXPECT_FALSE(filter.Process(&empty, &work));
+}
+
+TEST(StageTest, QualityFilterRejectsSpam) {
+  QualityFilter filter(0.3);
+  uint64_t work = 0;
+  PipelineDoc varied = Doc(0, "the quick brown fox jumps over lazy dogs");
+  std::string spam;
+  for (int i = 0; i < 50; ++i) spam += "buy ";
+  spam += "now";
+  PipelineDoc spammy = Doc(1, spam);
+  EXPECT_TRUE(filter.Process(&varied, &work));
+  EXPECT_FALSE(filter.Process(&spammy, &work));
+}
+
+TEST(StageTest, ExactDedupKeepsFirstOccurrence) {
+  ExactDedupFilter dedup;
+  uint64_t work = 0;
+  PipelineDoc a = Doc(0, "same text");
+  PipelineDoc b = Doc(1, "same text");
+  PipelineDoc c = Doc(2, "different text");
+  EXPECT_TRUE(dedup.Process(&a, &work));
+  EXPECT_FALSE(dedup.Process(&b, &work));
+  EXPECT_TRUE(dedup.Process(&c, &work));
+  dedup.Reset();
+  PipelineDoc again = Doc(3, "same text");
+  EXPECT_TRUE(dedup.Process(&again, &work));
+}
+
+TEST(StageTest, NearDedupCatchesSmallMutations) {
+  NearDedupFilter dedup;
+  uint64_t work = 0;
+  std::string base =
+      "alpha beta gamma delta epsilon zeta eta theta iota kappa lambda mu "
+      "nu xi omicron pi rho sigma tau upsilon phi chi psi omega";
+  PipelineDoc original = Doc(0, base);
+  PipelineDoc mutated = Doc(1, base + " extra");
+  PipelineDoc unrelated =
+      Doc(2, "completely different words about cooking pasta tonight with "
+             "tomatoes garlic basil and parmesan cheese on the side");
+  EXPECT_TRUE(dedup.Process(&original, &work));
+  EXPECT_FALSE(dedup.Process(&mutated, &work));
+  EXPECT_TRUE(dedup.Process(&unrelated, &work));
+}
+
+TEST(StageTest, PiiScrubMasksLongDigitRuns) {
+  PiiScrubTransform scrub;
+  uint64_t work = 0;
+  PipelineDoc doc = Doc(0, "call 555123456789 or 12345 now");
+  EXPECT_TRUE(scrub.Process(&doc, &work));
+  EXPECT_EQ(doc.text, "call ############ or 12345 now");
+}
+
+TEST(StageTest, TokenizeCountsTokens) {
+  TokenizeCostTransform tokenize(2);
+  tokenize.Reset();
+  uint64_t work = 0;
+  PipelineDoc doc = Doc(0, "one two three four five six");
+  EXPECT_TRUE(tokenize.Process(&doc, &work));
+  EXPECT_EQ(tokenize.total_tokens(), 6u * 4 / 3);
+  EXPECT_GE(work, doc.text.size() * 2);
+}
+
+TEST(PipelineTest, RunAppliesStagesInOrder) {
+  Pipeline pipe;
+  pipe.AddStage(std::make_shared<LengthFilter>(2, 100));
+  pipe.AddStage(std::make_shared<ExactDedupFilter>());
+  std::vector<PipelineDoc> docs = {Doc(0, "hello world"), Doc(1, "hi"),
+                                   Doc(2, "hello world"),
+                                   Doc(3, "three words here")};
+  PipelineRunStats stats;
+  auto out = pipe.Run(docs, &stats);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 0);
+  EXPECT_EQ(out[1].id, 3);
+  ASSERT_EQ(stats.stages.size(), 2u);
+  EXPECT_EQ(stats.stages[0].items_in, 4);
+  EXPECT_EQ(stats.stages[0].items_out, 3);  // "hi" dropped
+  EXPECT_EQ(stats.stages[1].items_out, 2);  // duplicate dropped
+  EXPECT_EQ(stats.survivors, 2);
+}
+
+TEST(PipelineTest, RepeatRunsAreIndependent) {
+  Pipeline pipe;
+  pipe.AddStage(std::make_shared<ExactDedupFilter>());
+  std::vector<PipelineDoc> docs = {Doc(0, "x"), Doc(1, "x")};
+  EXPECT_EQ(pipe.Run(docs).size(), 1u);
+  EXPECT_EQ(pipe.Run(docs).size(), 1u);  // state reset between runs
+}
+
+TEST(OptimizerTest, ReordersCheapSelectiveFiltersFirst) {
+  auto corpus = MakeSyntheticCorpus(2000);
+  Pipeline naive;
+  // Deliberately bad order: expensive stages first.
+  naive.AddStage(std::make_shared<NearDedupFilter>());
+  naive.AddStage(std::make_shared<QualityFilter>());
+  naive.AddStage(std::make_shared<ExactDedupFilter>());
+  naive.AddStage(std::make_shared<AsciiLanguageFilter>());
+  naive.AddStage(std::make_shared<LengthFilter>(10, 100000));
+  naive.AddStage(std::make_shared<TokenizeCostTransform>());
+
+  PipelineOptimizer optimizer;
+  Pipeline optimized = optimizer.Optimize(naive, corpus);
+  ASSERT_EQ(optimized.num_stages(), naive.num_stages());
+  // The barrier (tokenize) must stay last.
+  EXPECT_EQ(optimized.stages().back()->name(), "tokenize");
+
+  PipelineRunStats naive_stats, optimized_stats;
+  auto out_naive = naive.Run(corpus, &naive_stats);
+  auto out_optimized = optimized.Run(corpus, &optimized_stats);
+
+  // Same final survivor set (filters commute on unmutated text).
+  ASSERT_EQ(out_naive.size(), out_optimized.size());
+  // The optimized order must do less total work.
+  EXPECT_LT(optimized_stats.total_work, naive_stats.total_work);
+}
+
+TEST(OptimizerTest, DisabledOptimizerIsIdentity) {
+  Pipeline pipe;
+  pipe.AddStage(std::make_shared<NearDedupFilter>());
+  pipe.AddStage(std::make_shared<LengthFilter>(10, 1000));
+  PipelineOptimizerOptions options;
+  options.enable_reordering = false;
+  PipelineOptimizer optimizer(options);
+  Pipeline same = optimizer.Optimize(pipe, MakeSyntheticCorpus(100));
+  ASSERT_EQ(same.num_stages(), 2u);
+  EXPECT_EQ(same.stages()[0]->name(), "near_dedup");
+}
+
+TEST(OptimizerTest, EstimatesExposeCostAndSelectivity) {
+  auto corpus = MakeSyntheticCorpus(1000);
+  Pipeline pipe;
+  pipe.AddStage(std::make_shared<LengthFilter>(10, 100000));
+  pipe.AddStage(std::make_shared<NearDedupFilter>());
+  PipelineOptimizer optimizer;
+  optimizer.Optimize(pipe, corpus);
+  const auto& estimates = optimizer.last_estimates();
+  ASSERT_EQ(estimates.size(), 2u);
+  // Near-dedup costs more per item than the length check.
+  double length_cost = 0, dedup_cost = 0;
+  for (const auto& est : estimates) {
+    if (est.name == "length_filter") length_cost = est.unit_cost;
+    if (est.name == "near_dedup") dedup_cost = est.unit_cost;
+    EXPECT_GE(est.selectivity, 0.0);
+    EXPECT_LE(est.selectivity, 1.0);
+  }
+  EXPECT_GT(dedup_cost, length_cost);
+}
+
+TEST(SharedPrefixTest, SharedStagesRunOnce) {
+  auto corpus = MakeSyntheticCorpus(500);
+  auto shared_length = std::make_shared<LengthFilter>(10, 100000);
+  auto shared_lang = std::make_shared<AsciiLanguageFilter>();
+
+  Pipeline a;
+  a.AddStage(shared_length);
+  a.AddStage(shared_lang);
+  a.AddStage(std::make_shared<ExactDedupFilter>());
+
+  Pipeline b;
+  b.AddStage(shared_length);
+  b.AddStage(shared_lang);
+  b.AddStage(std::make_shared<QualityFilter>());
+
+  uint64_t saved = 0, total = 0;
+  auto results =
+      RunWithSharedPrefixes({&a, &b}, corpus, &saved, &total);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(saved, 0u);  // the two shared stages were not re-run
+
+  // Results must match standalone execution.
+  auto standalone_a = a.Run(corpus);
+  auto standalone_b = b.Run(corpus);
+  EXPECT_EQ(results[0].size(), standalone_a.size());
+  EXPECT_EQ(results[1].size(), standalone_b.size());
+}
+
+TEST(SharedPrefixTest, DisjointPipelinesShareNothing) {
+  auto corpus = MakeSyntheticCorpus(200);
+  Pipeline a;
+  a.AddStage(std::make_shared<LengthFilter>(10, 100000));
+  Pipeline b;
+  b.AddStage(std::make_shared<AsciiLanguageFilter>());
+  uint64_t saved = 123;
+  RunWithSharedPrefixes({&a, &b}, corpus, &saved);
+  EXPECT_EQ(saved, 0u);
+}
+
+TEST(CorpusTest, SyntheticCorpusHasDocumentedMix) {
+  auto corpus = MakeSyntheticCorpus(5000);
+  ASSERT_EQ(corpus.size(), 5000u);
+  // A full cleaning pipeline should remove a large fraction but keep a
+  // meaningful core.
+  Pipeline pipe;
+  pipe.AddStage(std::make_shared<LengthFilter>(10, 100000));
+  pipe.AddStage(std::make_shared<AsciiLanguageFilter>());
+  pipe.AddStage(std::make_shared<QualityFilter>());
+  pipe.AddStage(std::make_shared<ExactDedupFilter>());
+  pipe.AddStage(std::make_shared<NearDedupFilter>());
+  auto survivors = pipe.Run(corpus);
+  double rate = static_cast<double>(survivors.size()) / 5000.0;
+  EXPECT_GT(rate, 0.3);
+  EXPECT_LT(rate, 0.7);
+}
+
+}  // namespace
+}  // namespace agora

@@ -1,0 +1,167 @@
+// Tests for the type system: TypeId helpers, date arithmetic, Value
+// semantics and Schema resolution.
+
+#include <gtest/gtest.h>
+
+#include "types/schema.h"
+#include "types/type.h"
+#include "types/value.h"
+
+namespace agora {
+namespace {
+
+TEST(TypeTest, NamesRoundTrip) {
+  for (TypeId t : {TypeId::kBool, TypeId::kInt64, TypeId::kDouble,
+                   TypeId::kString, TypeId::kDate}) {
+    EXPECT_EQ(TypeIdFromString(std::string(TypeIdToString(t))), t);
+  }
+  EXPECT_EQ(TypeIdFromString("INT"), TypeId::kInt64);
+  EXPECT_EQ(TypeIdFromString("integer"), TypeId::kInt64);
+  EXPECT_EQ(TypeIdFromString("Text"), TypeId::kString);
+  EXPECT_EQ(TypeIdFromString("VARCHAR(32)"), TypeId::kString);
+  EXPECT_EQ(TypeIdFromString("REAL"), TypeId::kDouble);
+  EXPECT_EQ(TypeIdFromString("blob"), TypeId::kInvalid);
+}
+
+TEST(TypeTest, NumericPromotion) {
+  EXPECT_EQ(CommonNumericType(TypeId::kInt64, TypeId::kInt64),
+            TypeId::kInt64);
+  EXPECT_EQ(CommonNumericType(TypeId::kInt64, TypeId::kDouble),
+            TypeId::kDouble);
+  EXPECT_EQ(CommonNumericType(TypeId::kDate, TypeId::kDate), TypeId::kInt64);
+  EXPECT_EQ(CommonNumericType(TypeId::kString, TypeId::kInt64),
+            TypeId::kInvalid);
+}
+
+TEST(DateTest, EpochAndKnownDates) {
+  EXPECT_EQ(MakeDate(1970, 1, 1), 0);
+  EXPECT_EQ(MakeDate(1970, 1, 2), 1);
+  EXPECT_EQ(MakeDate(1969, 12, 31), -1);
+  EXPECT_EQ(MakeDate(2000, 3, 1), 11017);
+  EXPECT_EQ(DateToString(0), "1970-01-01");
+  EXPECT_EQ(DateToString(MakeDate(1995, 3, 15)), "1995-03-15");
+}
+
+TEST(DateTest, LeapYearsHandled) {
+  EXPECT_EQ(MakeDate(2000, 2, 29) + 1, MakeDate(2000, 3, 1));
+  EXPECT_EQ(MakeDate(1900, 2, 28) + 1, MakeDate(1900, 3, 1));  // not leap
+  EXPECT_EQ(MakeDate(2024, 2, 29) + 1, MakeDate(2024, 3, 1));
+}
+
+TEST(DateTest, ParseValidAndInvalid) {
+  int64_t days;
+  ASSERT_TRUE(ParseDate("1995-03-15", &days));
+  EXPECT_EQ(days, MakeDate(1995, 3, 15));
+  EXPECT_FALSE(ParseDate("1995/03/15", &days));
+  EXPECT_FALSE(ParseDate("95-03-15", &days));
+  EXPECT_FALSE(ParseDate("1995-13-01", &days));
+  EXPECT_FALSE(ParseDate("1995-00-10", &days));
+  EXPECT_FALSE(ParseDate("", &days));
+}
+
+TEST(DateTest, YearMonthExtraction) {
+  int64_t d = MakeDate(1998, 12, 1);
+  EXPECT_EQ(YearOfDate(d), 1998);
+  EXPECT_EQ(MonthOfDate(d), 12);
+  EXPECT_EQ(YearOfDate(0), 1970);
+  EXPECT_EQ(MonthOfDate(0), 1);
+}
+
+TEST(DateTest, RoundTripAcrossRange) {
+  // Every 97 days from 1960 to 2040: to-string then parse returns the
+  // same day number.
+  for (int64_t d = MakeDate(1960, 1, 1); d < MakeDate(2040, 1, 1); d += 97) {
+    int64_t parsed;
+    ASSERT_TRUE(ParseDate(DateToString(d), &parsed)) << d;
+    EXPECT_EQ(parsed, d);
+  }
+}
+
+TEST(ValueTest, ConstructorsAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value::Null(TypeId::kInt64).is_null());
+  EXPECT_EQ(Value::Null(TypeId::kInt64).type(), TypeId::kInt64);
+  EXPECT_EQ(Value::Int64(5).int64_value(), 5);
+  EXPECT_TRUE(Value::Bool(true).bool_value());
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("x").string_value(), "x");
+  EXPECT_DOUBLE_EQ(Value::Int64(3).AsDouble(), 3.0);
+}
+
+TEST(ValueTest, CastMatrix) {
+  auto as_double = Value::Int64(4).CastTo(TypeId::kDouble);
+  ASSERT_TRUE(as_double.ok());
+  EXPECT_DOUBLE_EQ(as_double->double_value(), 4.0);
+
+  auto as_int = Value::Double(4.9).CastTo(TypeId::kInt64);
+  ASSERT_TRUE(as_int.ok());
+  EXPECT_EQ(as_int->int64_value(), 4);  // truncation
+
+  auto str_to_int = Value::String("123").CastTo(TypeId::kInt64);
+  ASSERT_TRUE(str_to_int.ok());
+  EXPECT_EQ(str_to_int->int64_value(), 123);
+
+  auto bad = Value::String("abc").CastTo(TypeId::kInt64);
+  EXPECT_EQ(bad.status().code(), StatusCode::kTypeError);
+
+  auto date = Value::String("2001-09-09").CastTo(TypeId::kDate);
+  ASSERT_TRUE(date.ok());
+  EXPECT_EQ(date->int64_value(), MakeDate(2001, 9, 9));
+
+  auto to_string = Value::Date(MakeDate(2001, 9, 9)).CastTo(TypeId::kString);
+  ASSERT_TRUE(to_string.ok());
+  EXPECT_EQ(to_string->string_value(), "2001-09-09");
+
+  // NULL casts preserve nullness with the target type.
+  auto null_cast = Value::Null().CastTo(TypeId::kDouble);
+  ASSERT_TRUE(null_cast.ok());
+  EXPECT_TRUE(null_cast->is_null());
+  EXPECT_EQ(null_cast->type(), TypeId::kDouble);
+}
+
+TEST(ValueTest, CompareTotalOrder) {
+  EXPECT_LT(Value::Int64(1).Compare(Value::Int64(2)), 0);
+  EXPECT_EQ(Value::Int64(2).Compare(Value::Double(2.0)), 0);
+  EXPECT_GT(Value::Double(2.5).Compare(Value::Int64(2)), 0);
+  EXPECT_LT(Value::String("a").Compare(Value::String("b")), 0);
+  // NULLs first.
+  EXPECT_LT(Value::Null().Compare(Value::Int64(-100)), 0);
+  EXPECT_EQ(Value::Null().Compare(Value::Null()), 0);
+  // Numbers before strings in the total order.
+  EXPECT_LT(Value::Int64(999).Compare(Value::String("0")), 0);
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int64(-7).ToString(), "-7");
+  EXPECT_EQ(Value::Double(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::Double(2.0).ToString(), "2");
+  EXPECT_EQ(Value::String("hi").ToString(), "hi");
+  EXPECT_EQ(Value::Date(0).ToString(), "1970-01-01");
+}
+
+TEST(ValueTest, HashEqualValuesEqualHashes) {
+  EXPECT_EQ(Value::Int64(42).Hash(), Value::Int64(42).Hash());
+  EXPECT_EQ(Value::String("k").Hash(), Value::String("k").Hash());
+  EXPECT_NE(Value::Int64(1).Hash(), Value::Int64(2).Hash());
+}
+
+TEST(SchemaTest, LookupAndConcat) {
+  Schema schema({{"id", TypeId::kInt64, false},
+                 {"Name", TypeId::kString, true}});
+  EXPECT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(*schema.FindField("name"), 1u);  // case-insensitive
+  EXPECT_FALSE(schema.FindField("missing").has_value());
+  auto idx = schema.FieldIndex("missing");
+  EXPECT_EQ(idx.status().code(), StatusCode::kBindError);
+
+  Schema other({{"x", TypeId::kDouble, true}});
+  Schema joined = schema.Concat(other);
+  EXPECT_EQ(joined.num_fields(), 3u);
+  EXPECT_EQ(joined.field(2).name, "x");
+  EXPECT_EQ(schema.ToString(), "id BIGINT, Name VARCHAR");
+}
+
+}  // namespace
+}  // namespace agora

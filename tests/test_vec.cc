@@ -1,0 +1,230 @@
+// Tests for distance kernels, exact k-NN and the IVF-Flat index.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "vec/distance.h"
+#include "vec/flat_index.h"
+#include "vec/ivf_index.h"
+
+namespace agora {
+namespace {
+
+TEST(DistanceTest, L2Squared) {
+  Vecf a = {1, 2, 3}, b = {4, 6, 3};
+  EXPECT_FLOAT_EQ(L2Squared(a.data(), b.data(), 3), 9 + 16 + 0);
+}
+
+TEST(DistanceTest, InnerProduct) {
+  Vecf a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_FLOAT_EQ(InnerProduct(a.data(), b.data(), 3), 32);
+}
+
+TEST(DistanceTest, CosineSimilarity) {
+  Vecf a = {1, 0}, b = {0, 1}, c = {2, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a.data(), b.data(), 2), 0);
+  EXPECT_FLOAT_EQ(CosineSimilarity(a.data(), c.data(), 2), 1);
+  Vecf zero = {0, 0};
+  EXPECT_FLOAT_EQ(CosineSimilarity(a.data(), zero.data(), 2), 0);
+}
+
+TEST(DistanceTest, MetricDistanceOrdersConsistently) {
+  // For every metric, the closer pair must have smaller MetricDistance.
+  Vecf q = {1, 1}, near = {1.1f, 0.9f}, far = {-3, 4};
+  for (Metric m : {Metric::kL2, Metric::kIp, Metric::kCosine}) {
+    if (m == Metric::kIp) continue;  // IP is not a proper distance
+    EXPECT_LT(MetricDistance(m, q.data(), near.data(), 2),
+              MetricDistance(m, q.data(), far.data(), 2));
+  }
+}
+
+TEST(FlatIndexTest, ExactNearestNeighbors) {
+  FlatIndex index(2);
+  ASSERT_TRUE(index.Add(0, {0, 0}).ok());
+  ASSERT_TRUE(index.Add(1, {1, 0}).ok());
+  ASSERT_TRUE(index.Add(2, {5, 5}).ok());
+  auto result = index.Search({0.4f, 0}, 2);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_EQ((*result)[0].id, 0);
+  EXPECT_EQ((*result)[1].id, 1);
+}
+
+TEST(FlatIndexTest, DimensionMismatchRejected) {
+  FlatIndex index(3);
+  EXPECT_EQ(index.Add(0, {1, 2}).code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(index.Add(0, {1, 2, 3}).ok());
+  EXPECT_FALSE(index.Search({1, 2}, 1).ok());
+}
+
+TEST(FlatIndexTest, FilteredSearchSkipsDisallowed) {
+  FlatIndex index(1);
+  for (int64_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(index.Add(i, {static_cast<float>(i)}).ok());
+  }
+  auto result = index.SearchFiltered(
+      {0.0f}, 3, [](int64_t id) { return id % 2 == 1; });
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 3u);
+  EXPECT_EQ((*result)[0].id, 1);
+  EXPECT_EQ((*result)[1].id, 3);
+  EXPECT_EQ((*result)[2].id, 5);
+}
+
+TEST(FlatIndexTest, KLargerThanIndexReturnsAll) {
+  FlatIndex index(1);
+  ASSERT_TRUE(index.Add(0, {0.0f}).ok());
+  auto result = index.Search({0.0f}, 100);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 1u);
+}
+
+class IvfTest : public ::testing::Test {
+ protected:
+  // Clustered data: 4 well-separated clusters of 250 points in 8d.
+  void SetUp() override {
+    Rng rng(123);
+    std::vector<Vecf> centers;
+    for (int c = 0; c < 4; ++c) {
+      Vecf center(8);
+      for (float& x : center) {
+        x = static_cast<float>(rng.Gaussian()) * 20.0f;
+      }
+      centers.push_back(center);
+    }
+    for (int64_t i = 0; i < 1000; ++i) {
+      Vecf v(8);
+      const Vecf& center = centers[static_cast<size_t>(i) % 4];
+      for (size_t d = 0; d < 8; ++d) {
+        v[d] = center[d] + static_cast<float>(rng.Gaussian());
+      }
+      data_.push_back(std::move(v));
+    }
+  }
+
+  std::vector<Vecf> data_;
+};
+
+TEST_F(IvfTest, TrainAddSearch) {
+  IvfOptions options;
+  options.nlist = 16;
+  options.nprobe = 4;
+  IvfFlatIndex index(8, options);
+  EXPECT_FALSE(index.trained());
+  EXPECT_EQ(index.Add(0, data_[0]).code(), StatusCode::kInternal);
+
+  ASSERT_TRUE(index.Train(data_).ok());
+  EXPECT_TRUE(index.trained());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data_[i]).ok());
+  }
+  EXPECT_EQ(index.size(), data_.size());
+
+  auto result = index.Search(data_[42], 5);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->size(), 5u);
+  EXPECT_EQ((*result)[0].id, 42);  // the query itself is its own 1-NN
+}
+
+TEST_F(IvfTest, RecallImprovesWithProbesAndReachesOneAtFullProbe) {
+  IvfOptions options;
+  options.nlist = 16;
+  IvfFlatIndex index(8, options);
+  ASSERT_TRUE(index.Train(data_).ok());
+  FlatIndex exact(8);
+  for (size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data_[i]).ok());
+    ASSERT_TRUE(exact.Add(static_cast<int64_t>(i), data_[i]).ok());
+  }
+  Rng rng(9);
+  double recall1 = 0, recall4 = 0, recall_full = 0;
+  const int kQueries = 20;
+  for (int q = 0; q < kQueries; ++q) {
+    Vecf query = data_[static_cast<size_t>(rng.Uniform(0, 999))];
+    for (float& x : query) x += static_cast<float>(rng.Gaussian()) * 0.1f;
+    auto truth = exact.Search(query, 10);
+    ASSERT_TRUE(truth.ok());
+    auto a1 = index.SearchWithProbes(query, 10, 1);
+    auto a4 = index.SearchWithProbes(query, 10, 4);
+    auto all = index.SearchWithProbes(query, 10, 16);
+    ASSERT_TRUE(a1.ok() && a4.ok() && all.ok());
+    recall1 += RecallAtK(*truth, *a1);
+    recall4 += RecallAtK(*truth, *a4);
+    recall_full += RecallAtK(*truth, *all);
+  }
+  recall1 /= kQueries;
+  recall4 /= kQueries;
+  recall_full /= kQueries;
+  EXPECT_LE(recall1, recall4 + 1e-9);
+  EXPECT_DOUBLE_EQ(recall_full, 1.0);  // probing all lists is exact
+  EXPECT_GT(recall4, 0.5);
+}
+
+TEST_F(IvfTest, AllVectorsLandInExactlyOneList) {
+  IvfOptions options;
+  options.nlist = 8;
+  IvfFlatIndex index(8, options);
+  ASSERT_TRUE(index.Train(data_).ok());
+  for (size_t i = 0; i < data_.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data_[i]).ok());
+  }
+  size_t total = 0;
+  for (size_t l = 0; l < 8; ++l) total += index.ListSize(l);
+  EXPECT_EQ(total, data_.size());
+}
+
+TEST_F(IvfTest, NlistClampedToSampleSize) {
+  IvfOptions options;
+  options.nlist = 4096;  // more lists than points
+  IvfFlatIndex index(8, options);
+  std::vector<Vecf> tiny(data_.begin(), data_.begin() + 10);
+  ASSERT_TRUE(index.Train(tiny).ok());
+  EXPECT_EQ(index.options().nlist, 10u);
+}
+
+TEST_F(IvfTest, EmptyTrainRejected) {
+  IvfFlatIndex index(8, {});
+  EXPECT_EQ(index.Train({}).code(), StatusCode::kInvalidArgument);
+}
+
+// Property sweep: recall at k for several (nlist, nprobe) pairs is within
+// [0, 1] and monotone-ish in nprobe.
+class IvfRecallSweep
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(IvfRecallSweep, RecallBoundsHold) {
+  auto [nlist, nprobe] = GetParam();
+  Rng rng(77);
+  std::vector<Vecf> data;
+  for (int i = 0; i < 400; ++i) {
+    Vecf v(4);
+    for (float& x : v) x = static_cast<float>(rng.Gaussian());
+    data.push_back(std::move(v));
+  }
+  IvfOptions options;
+  options.nlist = nlist;
+  options.nprobe = nprobe;
+  IvfFlatIndex index(4, options);
+  ASSERT_TRUE(index.Train(data).ok());
+  FlatIndex exact(4);
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_TRUE(index.Add(static_cast<int64_t>(i), data[i]).ok());
+    ASSERT_TRUE(exact.Add(static_cast<int64_t>(i), data[i]).ok());
+  }
+  Vecf query(4, 0.25f);
+  auto truth = exact.Search(query, 10);
+  auto approx = index.Search(query, 10);
+  ASSERT_TRUE(truth.ok() && approx.ok());
+  double recall = RecallAtK(*truth, *approx);
+  EXPECT_GE(recall, 0.0);
+  EXPECT_LE(recall, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IvfRecallSweep,
+    ::testing::Values(std::make_tuple(4, 1), std::make_tuple(8, 2),
+                      std::make_tuple(16, 4), std::make_tuple(16, 16),
+                      std::make_tuple(32, 8)));
+
+}  // namespace
+}  // namespace agora

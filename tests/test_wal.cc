@@ -1,0 +1,219 @@
+// Tests for the write-ahead log and MVCC store recovery, including
+// torn-tail crash simulation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "txn/mvcc_store.h"
+#include "txn/wal.h"
+
+namespace agora {
+namespace {
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/agora_wal_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  /// Bytes currently in the log file.
+  size_t FileSize() {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    return in.good() ? static_cast<size_t>(in.tellg()) : 0;
+  }
+
+  /// Truncates the log to `bytes` (simulating a crash mid-write).
+  void TruncateTo(size_t bytes) {
+    std::ifstream in(path_, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    contents.resize(bytes);
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(), static_cast<long>(contents.size()));
+  }
+
+  std::string path_;
+};
+
+TEST_F(WalTest, AppendAndReadBack) {
+  {
+    auto wal = WriteAheadLog::Open({path_, true});
+    ASSERT_TRUE(wal.ok());
+    std::unordered_map<std::string, std::optional<std::string>> writes;
+    writes["a"] = "1";
+    writes["b"] = std::nullopt;  // tombstone
+    ASSERT_TRUE((*wal)->AppendCommit(7, writes).ok());
+    writes.clear();
+    writes["c"] = std::string("long value with spaces and \0 binary", 36);
+    ASSERT_TRUE((*wal)->AppendCommit(8, writes).ok());
+  }
+  auto commits = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(commits.ok());
+  ASSERT_EQ(commits->size(), 2u);
+  EXPECT_EQ((*commits)[0].commit_ts, 7u);
+  EXPECT_EQ((*commits)[0].writes.size(), 2u);
+  EXPECT_EQ((*commits)[1].commit_ts, 8u);
+  ASSERT_TRUE((*commits)[1].writes[0].second.has_value());
+  EXPECT_NE((*commits)[1].writes[0].second->find('\0'), std::string::npos);
+}
+
+TEST_F(WalTest, MissingFileIsEmpty) {
+  auto commits = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(commits.ok());
+  EXPECT_TRUE(commits->empty());
+}
+
+TEST_F(WalTest, TornTailIsIgnored) {
+  {
+    auto wal = WriteAheadLog::Open({path_, true});
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 5; ++i) {
+      std::unordered_map<std::string, std::optional<std::string>> writes;
+      writes["k" + std::to_string(i)] = "v" + std::to_string(i);
+      ASSERT_TRUE((*wal)->AppendCommit(static_cast<uint64_t>(i + 1), writes)
+                      .ok());
+    }
+  }
+  size_t full = FileSize();
+  TruncateTo(full - 3);  // rip bytes off the last record
+  auto commits = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(commits.ok());
+  EXPECT_EQ(commits->size(), 4u);  // last record dropped, rest intact
+}
+
+TEST_F(WalTest, CorruptMiddleStopsReplayCleanly) {
+  {
+    auto wal = WriteAheadLog::Open({path_, true});
+    ASSERT_TRUE(wal.ok());
+    for (int i = 0; i < 3; ++i) {
+      std::unordered_map<std::string, std::optional<std::string>> writes;
+      writes["k"] = "v" + std::to_string(i);
+      ASSERT_TRUE((*wal)->AppendCommit(static_cast<uint64_t>(i + 1), writes)
+                      .ok());
+    }
+  }
+  // Flip a byte inside the second record's payload.
+  std::ifstream in(path_, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  contents[contents.size() / 2] ^= 0x5A;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<long>(contents.size()));
+  out.close();
+
+  auto commits = WriteAheadLog::ReadAll(path_);
+  ASSERT_TRUE(commits.ok());
+  EXPECT_LT(commits->size(), 3u);  // replay stops at the corruption
+}
+
+TEST_F(WalTest, StoreRecoversCommittedState) {
+  {
+    MvccStore store;
+    ASSERT_TRUE(store.EnableWal({path_, true}).ok());
+    ASSERT_TRUE(store.Put("alpha", "1").ok());
+    ASSERT_TRUE(store.Put("beta", "2").ok());
+    // Overwrite + delete in one transaction.
+    Transaction txn = store.Begin();
+    txn.Put("alpha", "10");
+    txn.Delete("beta");
+    ASSERT_TRUE(txn.Commit().ok());
+  }  // "crash": store destroyed, WAL remains
+
+  MvccStore recovered;
+  ASSERT_TRUE(recovered.EnableWal({path_, true}).ok());
+  auto alpha = recovered.Get("alpha");
+  ASSERT_TRUE(alpha.has_value());
+  EXPECT_EQ(*alpha, "10");
+  EXPECT_FALSE(recovered.Get("beta").has_value());  // tombstone replayed
+
+  // The recovered store keeps working and logging.
+  ASSERT_TRUE(recovered.Put("gamma", "3").ok());
+  MvccStore again;
+  ASSERT_TRUE(again.EnableWal({path_, true}).ok());
+  EXPECT_EQ(*again.Get("gamma"), "3");
+  EXPECT_EQ(*again.Get("alpha"), "10");
+}
+
+TEST_F(WalTest, AbortedTransactionsAreNotLogged) {
+  {
+    MvccStore store;
+    ASSERT_TRUE(store.EnableWal({path_, true}).ok());
+    ASSERT_TRUE(store.Put("k", "committed").ok());
+    Transaction txn = store.Begin();
+    txn.Put("k", "aborted");
+    txn.Abort();
+  }
+  MvccStore recovered;
+  ASSERT_TRUE(recovered.EnableWal({path_, true}).ok());
+  EXPECT_EQ(*recovered.Get("k"), "committed");
+}
+
+TEST_F(WalTest, EnableWalOnNonEmptyStoreRejected) {
+  MvccStore store;
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  EXPECT_EQ(store.EnableWal({path_, true}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(WalTest, CheckpointCompactsAndPreservesState) {
+  {
+    MvccStore store;
+    ASSERT_TRUE(store.EnableWal({path_, true}).ok());
+    // Many overwrites + a delete: log grows with history.
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(store.Put("hot", std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(store.Put("stable", "kept").ok());
+    ASSERT_TRUE(store.Put("doomed", "gone").ok());
+    Transaction txn = store.Begin();
+    txn.Delete("doomed");
+    ASSERT_TRUE(txn.Commit().ok());
+
+    size_t before = FileSize();
+    ASSERT_TRUE(store.Checkpoint().ok());
+    size_t after = FileSize();
+    EXPECT_LT(after, before);  // history and tombstones compacted away
+
+    // The store keeps working post-checkpoint.
+    ASSERT_TRUE(store.Put("post", "ckpt").ok());
+  }
+  MvccStore recovered;
+  ASSERT_TRUE(recovered.EnableWal({path_, true}).ok());
+  EXPECT_EQ(*recovered.Get("hot"), "49");
+  EXPECT_EQ(*recovered.Get("stable"), "kept");
+  EXPECT_FALSE(recovered.Get("doomed").has_value());
+  EXPECT_EQ(*recovered.Get("post"), "ckpt");
+}
+
+TEST_F(WalTest, CheckpointWithoutWalRejected) {
+  MvccStore store;
+  EXPECT_EQ(store.Checkpoint().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WalTest, RecoveryPreservesConflictDetection) {
+  {
+    MvccStore store;
+    ASSERT_TRUE(store.EnableWal({path_, true}).ok());
+    ASSERT_TRUE(store.Put("k", "0").ok());
+  }
+  MvccStore recovered;
+  ASSERT_TRUE(recovered.EnableWal({path_, true}).ok());
+  // Timestamps continue past the recovered clock: a new conflict works.
+  Transaction t1 = recovered.Begin();
+  Transaction t2 = recovered.Begin();
+  t1.Put("k", "1");
+  t2.Put("k", "2");
+  EXPECT_TRUE(t1.Commit().ok());
+  EXPECT_EQ(t2.Commit().code(), StatusCode::kAborted);
+  EXPECT_EQ(*recovered.Get("k"), "1");
+}
+
+}  // namespace
+}  // namespace agora
