@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_small_data.dir/bench_e1_small_data.cc.o"
+  "CMakeFiles/bench_e1_small_data.dir/bench_e1_small_data.cc.o.d"
+  "bench_e1_small_data"
+  "bench_e1_small_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_small_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

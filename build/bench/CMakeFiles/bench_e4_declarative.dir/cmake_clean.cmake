@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_declarative.dir/bench_e4_declarative.cc.o"
+  "CMakeFiles/bench_e4_declarative.dir/bench_e4_declarative.cc.o.d"
+  "bench_e4_declarative"
+  "bench_e4_declarative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_declarative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_pipeline.dir/bench_e5_pipeline.cc.o"
+  "CMakeFiles/bench_e5_pipeline.dir/bench_e5_pipeline.cc.o.d"
+  "bench_e5_pipeline"
+  "bench_e5_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_oltp.dir/bench_e6_oltp.cc.o"
+  "CMakeFiles/bench_e6_oltp.dir/bench_e6_oltp.cc.o.d"
+  "bench_e6_oltp"
+  "bench_e6_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

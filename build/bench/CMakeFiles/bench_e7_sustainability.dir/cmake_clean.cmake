@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_sustainability.dir/bench_e7_sustainability.cc.o"
+  "CMakeFiles/bench_e7_sustainability.dir/bench_e7_sustainability.cc.o.d"
+  "bench_e7_sustainability"
+  "bench_e7_sustainability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_sustainability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

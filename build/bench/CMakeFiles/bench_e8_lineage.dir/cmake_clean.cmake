@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_lineage.dir/bench_e8_lineage.cc.o"
+  "CMakeFiles/bench_e8_lineage.dir/bench_e8_lineage.cc.o.d"
+  "bench_e8_lineage"
+  "bench_e8_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

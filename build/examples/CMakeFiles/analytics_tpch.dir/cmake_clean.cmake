@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analytics_tpch.dir/analytics_tpch.cpp.o"
+  "CMakeFiles/analytics_tpch.dir/analytics_tpch.cpp.o.d"
+  "analytics_tpch"
+  "analytics_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analytics_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

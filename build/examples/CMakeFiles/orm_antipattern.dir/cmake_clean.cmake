@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orm_antipattern.dir/orm_antipattern.cpp.o"
+  "CMakeFiles/orm_antipattern.dir/orm_antipattern.cpp.o.d"
+  "orm_antipattern"
+  "orm_antipattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orm_antipattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

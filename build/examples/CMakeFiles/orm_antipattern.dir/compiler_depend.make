@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for orm_antipattern.
+# This may be replaced when dependencies are built.

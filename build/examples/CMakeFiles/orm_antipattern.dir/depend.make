@@ -1,0 +1,2 @@
+# Empty dependencies file for orm_antipattern.
+# This may be replaced when dependencies are built.

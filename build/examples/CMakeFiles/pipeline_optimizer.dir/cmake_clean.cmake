@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_optimizer.dir/pipeline_optimizer.cpp.o"
+  "CMakeFiles/pipeline_optimizer.dir/pipeline_optimizer.cpp.o.d"
+  "pipeline_optimizer"
+  "pipeline_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

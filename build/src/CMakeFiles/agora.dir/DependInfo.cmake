@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/agora.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/agora.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/agora.dir/common/status.cc.o" "gcc" "src/CMakeFiles/agora.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/agora.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/agora.dir/common/string_util.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/agora.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/agora.dir/engine/database.cc.o.d"
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/agora.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/filter_project.cc" "src/CMakeFiles/agora.dir/exec/filter_project.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/filter_project.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/agora.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/join.cc.o.d"
+  "/root/repo/src/exec/physical_op.cc" "src/CMakeFiles/agora.dir/exec/physical_op.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/physical_op.cc.o.d"
+  "/root/repo/src/exec/physical_planner.cc" "src/CMakeFiles/agora.dir/exec/physical_planner.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/physical_planner.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/agora.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/sort_limit.cc" "src/CMakeFiles/agora.dir/exec/sort_limit.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/sort_limit.cc.o.d"
+  "/root/repo/src/exec/union_op.cc" "src/CMakeFiles/agora.dir/exec/union_op.cc.o" "gcc" "src/CMakeFiles/agora.dir/exec/union_op.cc.o.d"
+  "/root/repo/src/expr/expr.cc" "src/CMakeFiles/agora.dir/expr/expr.cc.o" "gcc" "src/CMakeFiles/agora.dir/expr/expr.cc.o.d"
+  "/root/repo/src/expr/expr_eval.cc" "src/CMakeFiles/agora.dir/expr/expr_eval.cc.o" "gcc" "src/CMakeFiles/agora.dir/expr/expr_eval.cc.o.d"
+  "/root/repo/src/expr/expr_rewrite.cc" "src/CMakeFiles/agora.dir/expr/expr_rewrite.cc.o" "gcc" "src/CMakeFiles/agora.dir/expr/expr_rewrite.cc.o.d"
+  "/root/repo/src/fts/analyzer.cc" "src/CMakeFiles/agora.dir/fts/analyzer.cc.o" "gcc" "src/CMakeFiles/agora.dir/fts/analyzer.cc.o.d"
+  "/root/repo/src/fts/inverted_index.cc" "src/CMakeFiles/agora.dir/fts/inverted_index.cc.o" "gcc" "src/CMakeFiles/agora.dir/fts/inverted_index.cc.o.d"
+  "/root/repo/src/hybrid/collection.cc" "src/CMakeFiles/agora.dir/hybrid/collection.cc.o" "gcc" "src/CMakeFiles/agora.dir/hybrid/collection.cc.o.d"
+  "/root/repo/src/lineage/lineage.cc" "src/CMakeFiles/agora.dir/lineage/lineage.cc.o" "gcc" "src/CMakeFiles/agora.dir/lineage/lineage.cc.o.d"
+  "/root/repo/src/optimizer/cardinality.cc" "src/CMakeFiles/agora.dir/optimizer/cardinality.cc.o" "gcc" "src/CMakeFiles/agora.dir/optimizer/cardinality.cc.o.d"
+  "/root/repo/src/optimizer/join_order.cc" "src/CMakeFiles/agora.dir/optimizer/join_order.cc.o" "gcc" "src/CMakeFiles/agora.dir/optimizer/join_order.cc.o.d"
+  "/root/repo/src/optimizer/rules.cc" "src/CMakeFiles/agora.dir/optimizer/rules.cc.o" "gcc" "src/CMakeFiles/agora.dir/optimizer/rules.cc.o.d"
+  "/root/repo/src/optimizer/stats.cc" "src/CMakeFiles/agora.dir/optimizer/stats.cc.o" "gcc" "src/CMakeFiles/agora.dir/optimizer/stats.cc.o.d"
+  "/root/repo/src/orm/orm.cc" "src/CMakeFiles/agora.dir/orm/orm.cc.o" "gcc" "src/CMakeFiles/agora.dir/orm/orm.cc.o.d"
+  "/root/repo/src/pipeline/pipeline.cc" "src/CMakeFiles/agora.dir/pipeline/pipeline.cc.o" "gcc" "src/CMakeFiles/agora.dir/pipeline/pipeline.cc.o.d"
+  "/root/repo/src/pipeline/stages.cc" "src/CMakeFiles/agora.dir/pipeline/stages.cc.o" "gcc" "src/CMakeFiles/agora.dir/pipeline/stages.cc.o.d"
+  "/root/repo/src/plan/binder.cc" "src/CMakeFiles/agora.dir/plan/binder.cc.o" "gcc" "src/CMakeFiles/agora.dir/plan/binder.cc.o.d"
+  "/root/repo/src/plan/logical_plan.cc" "src/CMakeFiles/agora.dir/plan/logical_plan.cc.o" "gcc" "src/CMakeFiles/agora.dir/plan/logical_plan.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/agora.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/agora.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/agora.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/agora.dir/sql/parser.cc.o.d"
+  "/root/repo/src/sql/tokenizer.cc" "src/CMakeFiles/agora.dir/sql/tokenizer.cc.o" "gcc" "src/CMakeFiles/agora.dir/sql/tokenizer.cc.o.d"
+  "/root/repo/src/storage/catalog.cc" "src/CMakeFiles/agora.dir/storage/catalog.cc.o" "gcc" "src/CMakeFiles/agora.dir/storage/catalog.cc.o.d"
+  "/root/repo/src/storage/chunk.cc" "src/CMakeFiles/agora.dir/storage/chunk.cc.o" "gcc" "src/CMakeFiles/agora.dir/storage/chunk.cc.o.d"
+  "/root/repo/src/storage/column_vector.cc" "src/CMakeFiles/agora.dir/storage/column_vector.cc.o" "gcc" "src/CMakeFiles/agora.dir/storage/column_vector.cc.o.d"
+  "/root/repo/src/storage/csv.cc" "src/CMakeFiles/agora.dir/storage/csv.cc.o" "gcc" "src/CMakeFiles/agora.dir/storage/csv.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/agora.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/agora.dir/storage/table.cc.o.d"
+  "/root/repo/src/tpch/tpch.cc" "src/CMakeFiles/agora.dir/tpch/tpch.cc.o" "gcc" "src/CMakeFiles/agora.dir/tpch/tpch.cc.o.d"
+  "/root/repo/src/txn/mvcc_store.cc" "src/CMakeFiles/agora.dir/txn/mvcc_store.cc.o" "gcc" "src/CMakeFiles/agora.dir/txn/mvcc_store.cc.o.d"
+  "/root/repo/src/txn/wal.cc" "src/CMakeFiles/agora.dir/txn/wal.cc.o" "gcc" "src/CMakeFiles/agora.dir/txn/wal.cc.o.d"
+  "/root/repo/src/types/schema.cc" "src/CMakeFiles/agora.dir/types/schema.cc.o" "gcc" "src/CMakeFiles/agora.dir/types/schema.cc.o.d"
+  "/root/repo/src/types/type.cc" "src/CMakeFiles/agora.dir/types/type.cc.o" "gcc" "src/CMakeFiles/agora.dir/types/type.cc.o.d"
+  "/root/repo/src/types/value.cc" "src/CMakeFiles/agora.dir/types/value.cc.o" "gcc" "src/CMakeFiles/agora.dir/types/value.cc.o.d"
+  "/root/repo/src/vec/flat_index.cc" "src/CMakeFiles/agora.dir/vec/flat_index.cc.o" "gcc" "src/CMakeFiles/agora.dir/vec/flat_index.cc.o.d"
+  "/root/repo/src/vec/hnsw_index.cc" "src/CMakeFiles/agora.dir/vec/hnsw_index.cc.o" "gcc" "src/CMakeFiles/agora.dir/vec/hnsw_index.cc.o.d"
+  "/root/repo/src/vec/ivf_index.cc" "src/CMakeFiles/agora.dir/vec/ivf_index.cc.o" "gcc" "src/CMakeFiles/agora.dir/vec/ivf_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fts.dir/test_fts.cc.o"
+  "CMakeFiles/test_fts.dir/test_fts.cc.o.d"
+  "test_fts"
+  "test_fts.pdb"
+  "test_fts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hnsw.dir/test_hnsw.cc.o"
+  "CMakeFiles/test_hnsw.dir/test_hnsw.cc.o.d"
+  "test_hnsw"
+  "test_hnsw.pdb"
+  "test_hnsw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hnsw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lineage.dir/test_lineage.cc.o"
+  "CMakeFiles/test_lineage.dir/test_lineage.cc.o.d"
+  "test_lineage"
+  "test_lineage.pdb"
+  "test_lineage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

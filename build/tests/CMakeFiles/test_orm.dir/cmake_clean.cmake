@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orm.dir/test_orm.cc.o"
+  "CMakeFiles/test_orm.dir/test_orm.cc.o.d"
+  "test_orm"
+  "test_orm.pdb"
+  "test_orm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sql_engine.dir/test_sql_engine.cc.o"
+  "CMakeFiles/test_sql_engine.dir/test_sql_engine.cc.o.d"
+  "test_sql_engine"
+  "test_sql_engine.pdb"
+  "test_sql_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sql_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
