@@ -6,8 +6,19 @@
 //
 // We sweep the scale factor and run Q1/Q3/Q5/Q6 on one core, then print a
 // per-query rows/sec figure and the implied single-core time at SF 1000.
+// A second dimension sweeps the morsel-execution worker count (--threads,
+// default 1,2,4,8) and lands the scaling curve in BENCH_e1.json; results
+// are byte-identical at every thread count, only latency moves.
 
 #include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
 
 namespace agora {
 namespace {
@@ -53,11 +64,13 @@ std::string QuerySql(int q) {
   }
 }
 
-// Args: {query number, scale factor * 1000}.
+// Args: {query number, scale factor * 1000, worker threads}.
 void BM_TpchQuery(benchmark::State& state) {
   int query = static_cast<int>(state.range(0));
   double sf = static_cast<double>(state.range(1)) / 1000.0;
+  int threads = static_cast<int>(state.range(2));
   Database* db = GetTpchDatabase(sf);
+  db->set_execution_threads(threads);
   auto lineitem = db->catalog().GetTable("lineitem");
   int64_t lineitem_rows =
       lineitem.ok() ? static_cast<int64_t>((*lineitem)->num_rows()) : 0;
@@ -69,7 +82,9 @@ void BM_TpchQuery(benchmark::State& state) {
     result_rows = static_cast<int64_t>(result.num_rows());
     benchmark::DoNotOptimize(result_rows);
   }
+  db->set_execution_threads(0);
   state.counters["sf"] = sf;
+  state.counters["threads"] = static_cast<double>(threads);
   state.counters["lineitem_rows"] = static_cast<double>(lineitem_rows);
   state.counters["result_rows"] = static_cast<double>(result_rows);
   // Lineitems processed per second at this scale (headline metric);
@@ -78,35 +93,121 @@ void BM_TpchQuery(benchmark::State& state) {
       static_cast<double>(lineitem_rows) *
           static_cast<double>(state.iterations()) / 1e6,
       benchmark::Counter::kIsRate);
-  state.SetLabel(QueryName(query));
+  state.SetLabel(std::string(QueryName(query)) + "/t" +
+                 std::to_string(threads));
 }
 
 BENCHMARK(BM_TpchQuery)
-    ->ArgsProduct({{1, 3, 5, 6, 10, 12, 14}, {10, 20, 50, 100}})
+    ->ArgsProduct({{1, 3, 5, 6, 10, 12, 14}, {10, 20, 50, 100}, {1, 4}})
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
+
+/// Median-of-k wall-clock latency for one query at one worker count.
+double MeasureLatencyMs(Database* db, const std::string& sql, int threads) {
+  db->set_execution_threads(threads);
+  MustExecute(db, sql);  // warm-up (tables cached, pool spun up)
+  std::vector<double> samples;
+  for (int i = 0; i < 5; ++i) {
+    Timer timer;
+    MustExecute(db, sql);
+    samples.push_back(timer.ElapsedSeconds() * 1000.0);
+  }
+  db->set_execution_threads(0);
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Runs the full query × scale × thread sweep and writes BENCH_e1.json.
+void WriteScalingJson(const std::vector<int>& thread_counts) {
+  const char* path = "BENCH_e1.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("[E1] cannot open %s for writing; skipping JSON\n", path);
+    return;
+  }
+  const int queries[] = {1, 3, 5, 6, 10, 12, 14};
+  const double scales[] = {0.01, 0.05, 0.1};
+
+  std::fprintf(out, "{\n  \"experiment\": \"e1_small_data\",\n");
+  std::fprintf(out, "  \"pool_threads\": %zu,\n",
+               ThreadPool::Global()->size());
+  std::fprintf(out, "  \"results\": [\n");
+  bool first = true;
+  for (double sf : scales) {
+    Database* db = GetTpchDatabase(sf);
+    for (int q : queries) {
+      std::string sql = QuerySql(q);
+      double base_ms = 0.0;
+      for (int threads : thread_counts) {
+        double ms = MeasureLatencyMs(db, sql, threads);
+        if (threads == thread_counts.front()) base_ms = ms;
+        if (!first) std::fprintf(out, ",\n");
+        first = false;
+        std::fprintf(out,
+                     "    {\"query\": \"%s\", \"scale_factor\": %g, "
+                     "\"threads\": %d, \"latency_ms\": %.4f, "
+                     "\"speedup_vs_1t\": %.3f}",
+                     QueryName(q), sf, threads, ms,
+                     ms > 0.0 ? base_ms / ms : 0.0);
+      }
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("[E1] thread-scaling sweep written to %s\n", path);
+}
 
 }  // namespace
 }  // namespace agora
 
 int main(int argc, char** argv) {
+  // --threads=a,b,c selects the worker counts for the scaling sweep.
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  int out_argc = 1;
+  for (int i = 1; i < argc; ++i) {
+    const char* prefix = "--threads=";
+    if (std::strncmp(argv[i], prefix, std::strlen(prefix)) == 0) {
+      thread_counts.clear();
+      for (const char* p = argv[i] + std::strlen(prefix); *p != '\0';) {
+        int n = std::atoi(p);
+        if (n > 0) thread_counts.push_back(n);
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+      if (thread_counts.empty()) thread_counts = {1};
+    } else {
+      argv[out_argc++] = argv[i];  // pass everything else to gbench
+    }
+  }
+  argc = out_argc;
+  // Size the shared pool for the largest requested sweep point unless the
+  // user pinned it; must happen before the first query builds the pool.
+  int max_threads = 1;
+  for (int t : thread_counts) max_threads = std::max(max_threads, t);
+  setenv("AGORA_THREADS", std::to_string(max_threads).c_str(), 0);
+
   agora::bench::PrintClaim(
       "E1: small data is enough (TPC-H on one core)",
       "\"a MacBook can comfortably run TPC-H scale factor 1000: 'small "
       "data' is enough\" (panel §3.3.1)",
       "latency grows ~linearly in SF; per-query Mrows/s stays roughly "
       "flat, so extrapolating any row to SF1000 (~6B lineitems) lands in "
-      "minutes on one core — laptop-class hardware suffices");
+      "minutes on one core — parallel morsel execution divides the "
+      "single-core time by the scaling factor in BENCH_e1.json");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+
+  agora::WriteScalingJson(thread_counts);
 
   // Post-run extrapolation using a quick Q6 measurement at SF 0.1.
   agora::Database* db = agora::bench::GetTpchDatabase(0.1);
   auto lineitem = db->catalog().GetTable("lineitem");
   double rows = static_cast<double>((*lineitem)->num_rows());
+  db->set_execution_threads(1);
   agora::Timer timer;
   agora::bench::MustExecute(db, agora::TpchQ6());
   double seconds = timer.ElapsedSeconds();
+  db->set_execution_threads(0);
   double rows_per_s = rows / seconds;
   double sf1000_rows = 6.0012e9;
   std::printf(

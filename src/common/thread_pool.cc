@@ -1,0 +1,183 @@
+#include "common/thread_pool.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace agora {
+
+namespace {
+
+/// Identifies the pool (and worker slot) owning the current thread so
+/// Submit from inside a task lands on the worker's own deque.
+struct WorkerTls {
+  ThreadPool* pool = nullptr;
+  size_t id = 0;
+};
+
+thread_local WorkerTls tls_worker;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  queues_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  size_t target;
+  if (tls_worker.pool == this) {
+    target = tls_worker.id;  // stay cache-local; idle peers steal
+  } else {
+    target = next_queue_.fetch_add(1, std::memory_order_relaxed) %
+             queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++pending_;
+  }
+  wake_cv_.notify_one();
+}
+
+std::function<void()> ThreadPool::TakeTask(size_t home) {
+  size_t n = queues_.size();
+  std::function<void()> task;
+  // Own deque first (LIFO back: most recently pushed, cache-warm) ...
+  {
+    WorkerQueue& q = *queues_[home];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+    }
+  }
+  // ... then steal FIFO from the other queues (oldest task: largest
+  // remaining work under divide-and-conquer submission orders).
+  for (size_t i = 1; task == nullptr && i < n; ++i) {
+    WorkerQueue& q = *queues_[(home + i) % n];
+    std::lock_guard<std::mutex> lock(q.mu);
+    if (!q.tasks.empty()) {
+      task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+    }
+  }
+  if (task != nullptr) {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    --pending_;
+  }
+  return task;
+}
+
+bool ThreadPool::TryRunOneTask() {
+  size_t home =
+      tls_worker.pool == this ? tls_worker.id : 0;
+  std::function<void()> task = TakeTask(home);
+  if (task == nullptr) return false;
+  task();
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t id) {
+  tls_worker.pool = this;
+  tls_worker.id = id;
+  while (true) {
+    std::function<void()> task = TakeTask(id);
+    if (task != nullptr) {
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    if (stop_ && pending_ == 0) return;  // drained; safe to exit
+  }
+}
+
+ThreadPool* ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(DefaultThreadCount());
+  return pool;
+}
+
+size_t ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("AGORA_THREADS")) {
+    int n = std::atoi(env);
+    if (n > 0) return static_cast<size_t>(n);
+  }
+  size_t hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+void TaskGroup::Spawn(std::function<Status()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++outstanding_;
+  }
+  auto wrapped = [this, fn = std::move(fn)]() {
+    Status status;
+    std::exception_ptr exception;
+    try {
+      status = fn();
+    } catch (...) {
+      exception = std::current_exception();
+    }
+    Record(std::move(status), exception);
+  };
+  if (pool_ == nullptr) {
+    wrapped();
+  } else {
+    pool_->Submit(std::move(wrapped));
+  }
+}
+
+void TaskGroup::Record(Status status, std::exception_ptr exception) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (exception != nullptr && first_exception_ == nullptr) {
+    first_exception_ = exception;
+  }
+  if (!status.ok() && first_error_.ok()) {
+    first_error_ = std::move(status);
+  }
+  if (--outstanding_ == 0) cv_.notify_all();
+}
+
+Status TaskGroup::Wait() {
+  // Help drain the pool so a Wait on a saturated pool makes progress
+  // instead of blocking a thread.
+  while (pool_ != nullptr && pool_->TryRunOneTask()) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  if (first_exception_ != nullptr) {
+    std::exception_ptr e = first_exception_;
+    first_exception_ = nullptr;
+    std::rethrow_exception(e);
+  }
+  return first_error_;
+}
+
+void TaskGroup::WaitNoStatus() {
+  while (pool_ != nullptr && pool_->TryRunOneTask()) {
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return outstanding_ == 0; });
+}
+
+}  // namespace agora

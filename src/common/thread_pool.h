@@ -1,0 +1,112 @@
+#ifndef AGORA_COMMON_THREAD_POOL_H_
+#define AGORA_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace agora {
+
+/// Process-wide work-stealing thread pool.
+///
+/// Each worker owns a deque: it pushes/pops its own work LIFO (cache-warm)
+/// and steals FIFO from victims when idle, so long task lists submitted by
+/// one producer spread across all workers. External submissions are
+/// distributed round-robin.
+///
+/// Sizing: `ThreadPool::Global()` is lazily built with
+/// `DefaultThreadCount()` — the `AGORA_THREADS` environment variable when
+/// set, else `std::thread::hardware_concurrency()`. Tests construct their
+/// own pools directly.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t size() const { return queues_.size(); }
+
+  /// Enqueues `task` for asynchronous execution. Safe from any thread,
+  /// including pool workers (those push to their own deque).
+  void Submit(std::function<void()> task);
+
+  /// Runs one queued task on the calling thread if any is available.
+  /// Returns false when every deque was empty. Lets threads blocked in
+  /// TaskGroup::Wait help drain the pool instead of sleeping.
+  bool TryRunOneTask();
+
+  /// Leaky process-wide singleton sized by DefaultThreadCount().
+  static ThreadPool* Global();
+
+  /// AGORA_THREADS env var if set (>0), else hardware_concurrency(),
+  /// never less than 1.
+  static size_t DefaultThreadCount();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void WorkerLoop(size_t id);
+  /// Pops from `home`'s deque back, else steals from another queue's
+  /// front. Returns an empty function when nothing is runnable.
+  std::function<void()> TakeTask(size_t home);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  bool stop_ = false;
+  size_t pending_ = 0;  // queued-but-untaken tasks, guarded by wake_mu_
+  std::atomic<size_t> next_queue_{0};
+};
+
+/// A batch of tasks spawned onto a pool and awaited together.
+///
+/// Wait() blocks until every spawned task finished, helping execute pool
+/// work in the meantime, and returns the first non-OK Status. A task that
+/// throws is captured and its exception rethrown from Wait() — exceptions
+/// never cross into the pool's worker loop.
+///
+/// With a null pool (serial mode) Spawn runs the task inline.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+  ~TaskGroup() { WaitNoStatus(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void Spawn(std::function<Status()> fn);
+
+  /// Blocks until all spawned tasks completed; rethrows the first captured
+  /// exception, else returns the first error Status (OK when all passed).
+  Status Wait();
+
+ private:
+  void Record(Status status, std::exception_ptr exception);
+  void WaitNoStatus();
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int outstanding_ = 0;
+  Status first_error_;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_THREAD_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "exec/parallel.h"
 #include "plan/binder.h"
 #include "sql/parser.h"
 #include "storage/csv.h"
@@ -113,18 +114,12 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
   AGORA_ASSIGN_OR_RETURN(
       PhysicalOpPtr root,
       CreatePhysicalPlan(plan, &context, options_.physical));
-  AGORA_ASSIGN_OR_RETURN(Chunk data, CollectAll(root.get()));
+  // The root collector itself runs through the morsel pipeline when the
+  // whole plan is pipeline-shaped (e.g. scan-filter queries).
+  AGORA_ASSIGN_OR_RETURN(Chunk data,
+                         ParallelCollectAll(root.get(), &context));
   // Accumulate into the database-wide counters.
-  const ExecStats& s = context.stats;
-  cumulative_stats_.rows_scanned += s.rows_scanned;
-  cumulative_stats_.blocks_read += s.blocks_read;
-  cumulative_stats_.blocks_skipped += s.blocks_skipped;
-  cumulative_stats_.rows_joined += s.rows_joined;
-  cumulative_stats_.probe_calls += s.probe_calls;
-  cumulative_stats_.rows_aggregated += s.rows_aggregated;
-  cumulative_stats_.rows_sorted += s.rows_sorted;
-  cumulative_stats_.bytes_materialized += s.bytes_materialized;
-  cumulative_stats_.chunks_emitted += s.chunks_emitted;
+  cumulative_stats_.Merge(context.stats);
   return QueryResult(plan->schema(), std::move(data), context.stats);
 }
 

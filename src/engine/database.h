@@ -96,6 +96,11 @@ class Database {
   Optimizer& optimizer() { return optimizer_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// Sets the per-query worker-task count for parallel pipelines (0 =
+  /// auto). Only scheduling changes — plans and results are identical at
+  /// every setting. Benchmarks use this for thread-scaling sweeps.
+  void set_execution_threads(int n) { options_.physical.num_threads = n; }
+
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& select,
                                     bool explain);

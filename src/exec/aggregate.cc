@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "exec/parallel.h"
+
 namespace agora {
 
 PhysicalHashAggregate::PhysicalHashAggregate(
@@ -15,30 +17,60 @@ PhysicalHashAggregate::PhysicalHashAggregate(
       aggregates_(std::move(aggregates)) {}
 
 Status PhysicalHashAggregate::Open() {
-  groups_.clear();
-  ordered_groups_.clear();
+  groups_.map.clear();
+  groups_.order.clear();
   next_group_ = 0;
-  AGORA_RETURN_IF_ERROR(child_->Open());
-  bool done = false;
-  while (!done) {
-    Chunk input;
-    AGORA_RETURN_IF_ERROR(child_->Next(&input, &done));
-    if (input.num_rows() > 0) {
-      AGORA_RETURN_IF_ERROR(Accumulate(input));
+
+  bool has_distinct = false;
+  for (const AggregateSpec& spec : aggregates_) {
+    has_distinct = has_distinct || spec.distinct;
+  }
+
+  MorselPipeline pipeline;
+  if (!has_distinct &&
+      ParallelEligible(child_.get(), *context_, &pipeline)) {
+    // Parallel accumulate: one partial table per morsel (single-writer),
+    // merged below in morsel order — worker count never changes results.
+    AGORA_RETURN_IF_ERROR(child_->Open());
+    std::vector<GroupTable> partials(pipeline.source()->MorselCount());
+    AGORA_RETURN_IF_ERROR(DriveMorselPipeline(
+        pipeline, context_,
+        [this, &partials](int worker, const Morsel& morsel,
+                          Chunk&& chunk) -> Status {
+          return AccumulateInto(
+              chunk, &partials[morsel.index],
+              &context_->worker_stats[static_cast<size_t>(worker)]);
+        }));
+    for (GroupTable& partial : partials) {
+      MergePartial(std::move(partial));
+    }
+  } else {
+    AGORA_RETURN_IF_ERROR(child_->Open());
+    bool done = false;
+    while (!done) {
+      Chunk input;
+      AGORA_RETURN_IF_ERROR(child_->Next(&input, &done));
+      if (input.num_rows() > 0) {
+        AGORA_RETURN_IF_ERROR(
+            AccumulateInto(input, &groups_, &context_->stats));
+      }
     }
   }
+
   // Scalar aggregation always yields one group.
-  if (group_by_.empty() && groups_.empty()) {
-    GroupState& g = groups_[""];
-    g.aggs.resize(aggregates_.size());
-    ordered_groups_.push_back(&g);
+  if (group_by_.empty() && groups_.map.empty()) {
+    auto [it, inserted] = groups_.map.try_emplace("");
+    it->second.aggs.resize(aggregates_.size());
+    groups_.order.emplace_back(&it->first, &it->second);
   }
   return Status::OK();
 }
 
-Status PhysicalHashAggregate::Accumulate(const Chunk& input) {
+Status PhysicalHashAggregate::AccumulateInto(const Chunk& input,
+                                             GroupTable* table,
+                                             ExecStats* stats) const {
   size_t rows = input.num_rows();
-  context_->stats.rows_aggregated += static_cast<int64_t>(rows);
+  stats->rows_aggregated += static_cast<int64_t>(rows);
 
   // Evaluate group keys and aggregate arguments once per chunk.
   std::vector<ColumnVector> key_cols(group_by_.size());
@@ -59,7 +91,7 @@ Status PhysicalHashAggregate::Accumulate(const Chunk& input) {
     for (const ColumnVector& col : key_cols) {
       AppendKeyBytes(col, r, &key);
     }
-    auto [it, inserted] = groups_.try_emplace(key);
+    auto [it, inserted] = table->map.try_emplace(key);
     GroupState& group = it->second;
     if (inserted) {
       group.keys.reserve(key_cols.size());
@@ -67,7 +99,7 @@ Status PhysicalHashAggregate::Accumulate(const Chunk& input) {
         group.keys.push_back(col.GetValue(r));
       }
       group.aggs.resize(aggregates_.size());
-      ordered_groups_.push_back(&group);
+      table->order.emplace_back(&it->first, &group);
     }
     for (size_t a = 0; a < aggregates_.size(); ++a) {
       const AggregateSpec& spec = aggregates_[a];
@@ -128,6 +160,49 @@ Status PhysicalHashAggregate::Accumulate(const Chunk& input) {
     }
   }
   return Status::OK();
+}
+
+void PhysicalHashAggregate::MergeAggStates(const GroupState& src,
+                                           GroupState* dst) const {
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    const AggState& s = src.aggs[a];
+    AggState& d = dst->aggs[a];
+    // MIN/MAX compare before the counts fold in (count == 0 means "no
+    // value yet" on both sides of the comparison).
+    switch (aggregates_[a].func) {
+      case AggFunc::kMin:
+        if (s.count > 0 &&
+            (d.count == 0 || s.min_max.Compare(d.min_max) < 0)) {
+          d.min_max = s.min_max;
+        }
+        break;
+      case AggFunc::kMax:
+        if (s.count > 0 &&
+            (d.count == 0 || s.min_max.Compare(d.min_max) > 0)) {
+          d.min_max = s.min_max;
+        }
+        break;
+      default:
+        break;
+    }
+    d.count += s.count;
+    d.sum_d += s.sum_d;
+    d.sum_sq += s.sum_sq;
+    d.sum_i += s.sum_i;
+    d.has_value = d.has_value || s.has_value;
+  }
+}
+
+void PhysicalHashAggregate::MergePartial(GroupTable&& partial) {
+  for (auto& [key_ptr, state_ptr] : partial.order) {
+    auto [it, inserted] = groups_.map.try_emplace(*key_ptr);
+    if (inserted) {
+      it->second = std::move(*state_ptr);
+      groups_.order.emplace_back(&it->first, &it->second);
+    } else {
+      MergeAggStates(*state_ptr, &it->second);
+    }
+  }
 }
 
 void PhysicalHashAggregate::FinalizeInto(Chunk* out,
@@ -192,13 +267,13 @@ void PhysicalHashAggregate::FinalizeInto(Chunk* out,
 Status PhysicalHashAggregate::Next(Chunk* chunk, bool* done) {
   Chunk out(schema_);
   size_t emitted = 0;
-  while (next_group_ < ordered_groups_.size() && emitted < kChunkSize) {
-    FinalizeInto(&out, *ordered_groups_[next_group_++]);
+  while (next_group_ < groups_.order.size() && emitted < kChunkSize) {
+    FinalizeInto(&out, *groups_.order[next_group_++].second);
     ++emitted;
   }
   context_->stats.bytes_materialized += static_cast<int64_t>(out.MemoryBytes());
   *chunk = std::move(out);
-  *done = next_group_ >= ordered_groups_.size();
+  *done = next_group_ >= groups_.order.size();
   return Status::OK();
 }
 

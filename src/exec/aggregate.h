@@ -4,6 +4,7 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "exec/physical_op.h"
@@ -15,6 +16,16 @@ namespace agora {
 /// Blocking hash aggregation. Consumes the whole child in Open(), then
 /// streams result groups. Output schema: [group keys..., aggregates...].
 /// With no group keys, emits exactly one row (SQL scalar-aggregate rule).
+///
+/// When the child is an eligible morsel pipeline (see exec/parallel.h) and
+/// no aggregate is DISTINCT, Open() accumulates in parallel: each morsel
+/// gets its own partial group table (written by exactly one worker, no
+/// locks), and the partials are merged in morsel-index order. That fixes
+/// both the group output order (first appearance in table order) and the
+/// floating-point addition tree, so results are byte-identical at every
+/// worker count. DISTINCT aggregates cannot merge partial dedup sets
+/// exactly, so they stay on the serial pull path (the planner parallelizes
+/// their input through a Gather exchange instead).
 class PhysicalHashAggregate : public PhysicalOperator {
  public:
   PhysicalHashAggregate(PhysicalOpPtr child, std::vector<ExprPtr> group_by,
@@ -41,15 +52,29 @@ class PhysicalHashAggregate : public PhysicalOperator {
     std::vector<AggState> aggs;
   };
 
-  Status Accumulate(const Chunk& input);
+  /// Hash table plus first-appearance order. The order entries point into
+  /// the map, which is node-based, so they survive rehashing.
+  struct GroupTable {
+    std::unordered_map<std::string, GroupState> map;
+    std::vector<std::pair<const std::string*, GroupState*>> order;
+  };
+
+  /// Accumulates one chunk into `table`. Const and side-effect free apart
+  /// from its out-params, so parallel workers can run it on disjoint
+  /// tables concurrently.
+  Status AccumulateInto(const Chunk& input, GroupTable* table,
+                        ExecStats* stats) const;
+  /// Folds one morsel's partial into `groups_`, preserving the partial's
+  /// first-appearance order for groups not seen before.
+  void MergePartial(GroupTable&& partial);
+  void MergeAggStates(const GroupState& src, GroupState* dst) const;
   void FinalizeInto(Chunk* out, const GroupState& group) const;
 
   PhysicalOpPtr child_;
   std::vector<ExprPtr> group_by_;
   std::vector<AggregateSpec> aggregates_;
 
-  std::unordered_map<std::string, GroupState> groups_;
-  std::vector<const GroupState*> ordered_groups_;  // stable output order
+  GroupTable groups_;
   size_t next_group_ = 0;
 };
 

@@ -15,12 +15,21 @@ Status PhysicalFilter::Open() {
   return child_->Open();
 }
 
+Status PhysicalFilter::ProcessChunk(const Chunk& input, Chunk* out,
+                                    ExecStats* stats) const {
+  (void)stats;  // filtering materializes nothing new
+  AGORA_ASSIGN_OR_RETURN(*out, FilterChunk(input, *predicate_));
+  return Status::OK();
+}
+
 Status PhysicalFilter::Next(Chunk* chunk, bool* done) {
   while (!child_done_) {
     Chunk input;
     AGORA_RETURN_IF_ERROR(child_->Next(&input, &child_done_));
     if (input.num_rows() == 0) continue;
-    AGORA_ASSIGN_OR_RETURN(Chunk filtered, FilterChunk(input, *predicate_));
+    Chunk filtered;
+    AGORA_RETURN_IF_ERROR(
+        ProcessChunk(input, &filtered, &context_->stats));
     if (filtered.num_rows() == 0) continue;
     *chunk = std::move(filtered);
     *done = child_done_;
@@ -40,19 +49,24 @@ PhysicalProject::PhysicalProject(PhysicalOpPtr child,
 
 Status PhysicalProject::Open() { return child_->Open(); }
 
-Status PhysicalProject::Next(Chunk* chunk, bool* done) {
-  Chunk input;
-  AGORA_RETURN_IF_ERROR(child_->Next(&input, done));
-  Chunk out;
+Status PhysicalProject::ProcessChunk(const Chunk& input, Chunk* out,
+                                     ExecStats* stats) const {
+  Chunk result;
   for (const ExprPtr& expr : exprs_) {
     ColumnVector col;
     AGORA_RETURN_IF_ERROR(expr->Evaluate(input, &col));
-    out.AddColumn(std::move(col));
+    result.AddColumn(std::move(col));
   }
-  out.SetExplicitRowCount(input.num_rows());
-  context_->stats.bytes_materialized += static_cast<int64_t>(out.MemoryBytes());
-  *chunk = std::move(out);
+  result.SetExplicitRowCount(input.num_rows());
+  stats->bytes_materialized += static_cast<int64_t>(result.MemoryBytes());
+  *out = std::move(result);
   return Status::OK();
+}
+
+Status PhysicalProject::Next(Chunk* chunk, bool* done) {
+  Chunk input;
+  AGORA_RETURN_IF_ERROR(child_->Next(&input, done));
+  return ProcessChunk(input, chunk, &context_->stats);
 }
 
 }  // namespace agora

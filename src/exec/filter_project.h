@@ -18,6 +18,13 @@ class PhysicalFilter : public PhysicalOperator {
   Status Next(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Filter"; }
 
+  /// Stateless per-chunk transform used by the morsel pipeline; safe to
+  /// call from multiple workers concurrently.
+  Status ProcessChunk(const Chunk& input, Chunk* out,
+                      ExecStats* stats) const;
+
+  PhysicalOperator* child() const { return child_.get(); }
+
  private:
   PhysicalOpPtr child_;
   ExprPtr predicate_;
@@ -33,6 +40,13 @@ class PhysicalProject : public PhysicalOperator {
   Status Open() override;
   Status Next(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Project"; }
+
+  /// Stateless per-chunk transform used by the morsel pipeline; safe to
+  /// call from multiple workers concurrently.
+  Status ProcessChunk(const Chunk& input, Chunk* out,
+                      ExecStats* stats) const;
+
+  PhysicalOperator* child() const { return child_.get(); }
 
  private:
   PhysicalOpPtr child_;

@@ -1,6 +1,8 @@
 #include "exec/join.h"
 
 #include "common/hash.h"
+#include "common/thread_pool.h"
+#include "exec/parallel.h"
 #include "exec/scan.h"
 
 namespace agora {
@@ -44,13 +46,19 @@ PhysicalHashJoin::PhysicalHashJoin(PhysicalOpPtr left, PhysicalOpPtr right,
 
 Status PhysicalHashJoin::Open() {
   probe_done_ = false;
-  table_.clear();
+  partitions_.clear();
   build_keys_.clear();
   AGORA_RETURN_IF_ERROR(left_->Open());
-  AGORA_ASSIGN_OR_RETURN(build_data_, CollectAll(right_.get()));
+  // The build side collects through the morsel pipeline when eligible;
+  // chunks come back in morsel order, so row ids match the serial layout.
+  AGORA_ASSIGN_OR_RETURN(build_data_,
+                         ParallelCollectAll(right_.get(), context_));
   context_->stats.bytes_materialized +=
       static_cast<int64_t>(build_data_.MemoryBytes());
+  return BuildTable();
+}
 
+Status PhysicalHashJoin::BuildTable() {
   // Evaluate the build-side keys once over the materialized data.
   build_keys_.resize(right_keys_.size());
   for (size_t k = 0; k < right_keys_.size(); ++k) {
@@ -58,52 +66,82 @@ Status PhysicalHashJoin::Open() {
         right_keys_[k]->Evaluate(build_data_, &build_keys_[k]));
   }
   size_t rows = build_data_.num_rows();
-  table_.reserve(rows);
+  build_hashes_.assign(rows, 0);
+  build_valid_.assign(rows, 1);
+  for (size_t r = 0; r < rows; ++r) {
+    uint64_t h = 0;
+    for (const ColumnVector& key : build_keys_) {
+      if (key.IsNull(r)) {
+        build_valid_[r] = 0;
+        break;
+      }
+      h = HashCombine(h, key.HashRow(r));
+    }
+    build_hashes_[r] = h;
+  }
+
+  // Partition the insertions across workers: worker p owns partition p
+  // outright, so no locks are needed and the row-id vectors stay in
+  // ascending order — the partition count never changes results.
+  size_t num_partitions = 1;
+  if (context_->pool != nullptr && context_->num_workers > 1 &&
+      rows >= context_->parallel_min_rows) {
+    num_partitions = static_cast<size_t>(context_->num_workers);
+  }
+  partitions_.assign(num_partitions, Partition{});
+  if (num_partitions == 1) {
+    Partition& part = partitions_[0];
+    part.reserve(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      if (build_valid_[r] != 0) {
+        part[build_hashes_[r]].push_back(static_cast<uint32_t>(r));
+      }
+    }
+    return Status::OK();
+  }
+  TaskGroup group(context_->pool);
+  for (size_t p = 0; p < num_partitions; ++p) {
+    group.Spawn([this, p, num_partitions, rows]() -> Status {
+      Partition& part = partitions_[p];
+      for (size_t r = 0; r < rows; ++r) {
+        if (build_valid_[r] != 0 && build_hashes_[r] % num_partitions == p) {
+          part[build_hashes_[r]].push_back(static_cast<uint32_t>(r));
+        }
+      }
+      return Status::OK();
+    });
+  }
+  return group.Wait();
+}
+
+Status PhysicalHashJoin::ProbeChunk(const Chunk& probe, Chunk* out,
+                                    ExecStats* stats) const {
+  size_t rows = probe.num_rows();
+  // Evaluate probe keys for the whole chunk.
+  std::vector<ColumnVector> probe_keys(left_keys_.size());
+  for (size_t k = 0; k < left_keys_.size(); ++k) {
+    AGORA_RETURN_IF_ERROR(left_keys_[k]->Evaluate(probe, &probe_keys[k]));
+  }
+
+  size_t num_partitions = partitions_.size();
+  Chunk result(schema_);
   for (size_t r = 0; r < rows; ++r) {
     uint64_t h = 0;
     bool has_null = false;
-    for (const ColumnVector& key : build_keys_) {
+    for (const ColumnVector& key : probe_keys) {
       if (key.IsNull(r)) {
         has_null = true;
         break;
       }
       h = HashCombine(h, key.HashRow(r));
     }
-    if (!has_null) table_.emplace(h, static_cast<uint32_t>(r));
-  }
-  return Status::OK();
-}
-
-Status PhysicalHashJoin::Next(Chunk* chunk, bool* done) {
-  while (!probe_done_) {
-    Chunk probe;
-    AGORA_RETURN_IF_ERROR(left_->Next(&probe, &probe_done_));
-    size_t rows = probe.num_rows();
-    if (rows == 0) continue;
-
-    // Evaluate probe keys for the whole chunk.
-    std::vector<ColumnVector> probe_keys(left_keys_.size());
-    for (size_t k = 0; k < left_keys_.size(); ++k) {
-      AGORA_RETURN_IF_ERROR(left_keys_[k]->Evaluate(probe, &probe_keys[k]));
-    }
-
-    Chunk out(schema_);
-    for (size_t r = 0; r < rows; ++r) {
-      uint64_t h = 0;
-      bool has_null = false;
-      for (const ColumnVector& key : probe_keys) {
-        if (key.IsNull(r)) {
-          has_null = true;
-          break;
-        }
-        h = HashCombine(h, key.HashRow(r));
-      }
-      bool matched = false;
-      if (!has_null) {
-        auto range = table_.equal_range(h);
-        for (auto it = range.first; it != range.second; ++it) {
-          context_->stats.probe_calls++;
-          uint32_t brow = it->second;
+    bool matched = false;
+    if (!has_null) {
+      const Partition& part = partitions_[h % num_partitions];
+      auto it = part.find(h);
+      if (it != part.end()) {
+        for (uint32_t brow : it->second) {
+          stats->probe_calls++;
           bool equal = true;
           for (size_t k = 0; k < probe_keys.size(); ++k) {
             if (probe_keys[k].CompareRows(r, build_keys_[k], brow) != 0) {
@@ -112,22 +150,34 @@ Status PhysicalHashJoin::Next(Chunk* chunk, bool* done) {
             }
           }
           if (equal) {
-            AppendJoinedRow(probe, r, build_data_, brow, &out);
+            AppendJoinedRow(probe, r, build_data_, brow, &result);
             matched = true;
           }
         }
       }
-      if (!matched && kind_ == PhysicalJoinKind::kLeftOuter) {
-        AppendJoinedRow(probe, r, build_data_, -1, &out);
-      }
     }
+    if (!matched && kind_ == PhysicalJoinKind::kLeftOuter) {
+      AppendJoinedRow(probe, r, build_data_, -1, &result);
+    }
+  }
 
-    if (residual_ != nullptr && out.num_rows() > 0 &&
-        kind_ != PhysicalJoinKind::kLeftOuter) {
-      AGORA_ASSIGN_OR_RETURN(out, FilterChunk(out, *residual_));
-    }
+  if (residual_ != nullptr && result.num_rows() > 0 &&
+      kind_ != PhysicalJoinKind::kLeftOuter) {
+    AGORA_ASSIGN_OR_RETURN(result, FilterChunk(result, *residual_));
+  }
+  stats->rows_joined += static_cast<int64_t>(result.num_rows());
+  *out = std::move(result);
+  return Status::OK();
+}
+
+Status PhysicalHashJoin::Next(Chunk* chunk, bool* done) {
+  while (!probe_done_) {
+    Chunk probe;
+    AGORA_RETURN_IF_ERROR(left_->Next(&probe, &probe_done_));
+    if (probe.num_rows() == 0) continue;
+    Chunk out;
+    AGORA_RETURN_IF_ERROR(ProbeChunk(probe, &out, &context_->stats));
     if (out.num_rows() == 0) continue;
-    context_->stats.rows_joined += static_cast<int64_t>(out.num_rows());
     *chunk = std::move(out);
     *done = probe_done_;
     return Status::OK();
@@ -151,7 +201,8 @@ PhysicalNestedLoopJoin::PhysicalNestedLoopJoin(PhysicalOpPtr left,
 Status PhysicalNestedLoopJoin::Open() {
   probe_done_ = false;
   AGORA_RETURN_IF_ERROR(left_->Open());
-  AGORA_ASSIGN_OR_RETURN(build_data_, CollectAll(right_.get()));
+  AGORA_ASSIGN_OR_RETURN(build_data_,
+                         ParallelCollectAll(right_.get(), context_));
   context_->stats.bytes_materialized +=
       static_cast<int64_t>(build_data_.MemoryBytes());
   return Status::OK();

@@ -15,6 +15,15 @@ enum class PhysicalJoinKind { kInner, kLeftOuter, kCross };
 /// streams the LEFT (probe) child. Output schema is left ⊕ right. NULL
 /// keys never match; kLeftOuter emits unmatched probe rows padded with
 /// NULLs.
+///
+/// The build side is hash-partitioned: rows land in partition
+/// `hash % P`, and with a worker pool available the P partition tables
+/// are built by parallel workers (each scans the precomputed row hashes
+/// and keeps its own partition — no shared-table locking). Row ids per
+/// hash are stored in insertion (= ascending row) order, so probe output
+/// is identical for every partition and worker count. Probing is
+/// read-only after Open(), exposed per-chunk via ProbeChunk() so the
+/// morsel pipeline can run probes on any worker.
 class PhysicalHashJoin : public PhysicalOperator {
  public:
   /// `left_keys[i]` (over the left schema) must equal `right_keys[i]`
@@ -29,7 +38,21 @@ class PhysicalHashJoin : public PhysicalOperator {
   Status Next(Chunk* chunk, bool* done) override;
   std::string name() const override { return "HashJoin"; }
 
+  /// Joins one probe chunk against the built table. Thread-safe once
+  /// Open() returned; used by both the serial Next() loop and parallel
+  /// morsel workers. `*out` may come back empty.
+  Status ProbeChunk(const Chunk& probe, Chunk* out, ExecStats* stats) const;
+
+  PhysicalOperator* probe_child() const { return left_.get(); }
+
  private:
+  /// Row ids grouped by full 64-bit key hash, ascending within a group.
+  using Partition = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+
+  /// Evaluates build keys, precomputes row hashes, and fills the
+  /// partition tables (in parallel when a pool is available).
+  Status BuildTable();
+
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;
   std::vector<ExprPtr> left_keys_;
@@ -39,7 +62,9 @@ class PhysicalHashJoin : public PhysicalOperator {
 
   Chunk build_data_;                      // materialized right side
   std::vector<ColumnVector> build_keys_;  // evaluated right key columns
-  std::unordered_multimap<uint64_t, uint32_t> table_;
+  std::vector<uint64_t> build_hashes_;    // per-row combined key hash
+  std::vector<uint8_t> build_valid_;      // 0 = some key was NULL
+  std::vector<Partition> partitions_;
   bool probe_done_ = false;
 };
 

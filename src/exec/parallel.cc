@@ -1,0 +1,193 @@
+#include "exec/parallel.h"
+
+#include <atomic>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "exec/filter_project.h"
+#include "exec/join.h"
+
+namespace agora {
+
+bool MorselPipeline::TryBuild(PhysicalOperator* op, MorselPipeline* out) {
+  out->source_ = nullptr;
+  out->transforms_.clear();
+
+  // Walk down the chain, collecting transforms root-first; reverse at the
+  // end so Apply() runs them source-to-root.
+  std::vector<Transform> reversed;
+  PhysicalOperator* cur = op;
+  while (true) {
+    if (auto* scan = dynamic_cast<PhysicalScan*>(cur)) {
+      out->source_ = scan;
+      break;
+    }
+    if (auto* filter = dynamic_cast<PhysicalFilter*>(cur)) {
+      reversed.push_back([filter](const Chunk& in, Chunk* o, ExecStats* s) {
+        return filter->ProcessChunk(in, o, s);
+      });
+      cur = filter->child();
+      continue;
+    }
+    if (auto* project = dynamic_cast<PhysicalProject*>(cur)) {
+      reversed.push_back([project](const Chunk& in, Chunk* o, ExecStats* s) {
+        return project->ProcessChunk(in, o, s);
+      });
+      cur = project->child();
+      continue;
+    }
+    if (auto* join = dynamic_cast<PhysicalHashJoin*>(cur)) {
+      reversed.push_back([join](const Chunk& in, Chunk* o, ExecStats* s) {
+        return join->ProbeChunk(in, o, s);
+      });
+      cur = join->probe_child();
+      continue;
+    }
+    return false;  // breaker or unknown operator: not a morsel pipeline
+  }
+  out->transforms_.assign(reversed.rbegin(), reversed.rend());
+  return true;
+}
+
+Status MorselPipeline::Apply(Chunk&& chunk, Chunk* out,
+                             ExecStats* stats) const {
+  Chunk cur = std::move(chunk);
+  for (const Transform& transform : transforms_) {
+    if (cur.num_rows() == 0) break;  // fully filtered; skip the rest
+    Chunk next;
+    AGORA_RETURN_IF_ERROR(transform(cur, &next, stats));
+    cur = std::move(next);
+  }
+  *out = std::move(cur);
+  return Status::OK();
+}
+
+bool ParallelEligible(PhysicalOperator* op, const ExecContext& context,
+                      MorselPipeline* pipeline) {
+  if (!context.enable_parallel) return false;
+  if (!MorselPipeline::TryBuild(op, pipeline)) return false;
+  return pipeline->source()->table()->num_rows() >= context.parallel_min_rows;
+}
+
+Status DriveMorselPipeline(
+    const MorselPipeline& pipeline, ExecContext* context,
+    const std::function<Status(int, const Morsel&, Chunk&&)>& sink) {
+  PhysicalScan* source = pipeline.source();
+  context->PrepareWorkerStats();
+
+  // One task per worker; each loops claim → scan → transform → sink until
+  // the shared cursor runs dry. An atomic flag makes peers stop early when
+  // any worker fails. With no pool (or one worker) TaskGroup runs the
+  // single task inline on this thread — same code path, same results.
+  std::atomic<bool> failed{false};
+  auto worker_body = [&, context](int worker) -> Status {
+    ExecStats* stats = &context->worker_stats[static_cast<size_t>(worker)];
+    Morsel morsel;
+    while (!failed.load(std::memory_order_relaxed) &&
+           source->ClaimMorsel(&morsel)) {
+      Status st = source->ScanMorsel(
+          morsel,
+          [&](Chunk&& chunk) -> Status {
+            Chunk out;
+            AGORA_RETURN_IF_ERROR(
+                pipeline.Apply(std::move(chunk), &out, stats));
+            if (out.num_rows() == 0) return Status::OK();
+            return sink(worker, morsel, std::move(out));
+          },
+          stats);
+      if (!st.ok()) {
+        failed.store(true, std::memory_order_relaxed);
+        return st;
+      }
+    }
+    return Status::OK();
+  };
+
+  int workers = context->num_workers > 0 ? context->num_workers : 1;
+  ThreadPool* pool = (workers > 1) ? context->pool : nullptr;
+  if (pool == nullptr) workers = 1;
+  TaskGroup group(pool);
+  for (int w = 0; w < workers; ++w) {
+    group.Spawn([&worker_body, w]() { return worker_body(w); });
+  }
+  Status status = group.Wait();
+  context->MergeWorkerStats();
+  return status;
+}
+
+Result<Chunk> ParallelCollectAll(PhysicalOperator* op, ExecContext* context) {
+  MorselPipeline pipeline;
+  if (!ParallelEligible(op, *context, &pipeline)) {
+    return CollectAll(op);
+  }
+  AGORA_RETURN_IF_ERROR(op->Open());
+
+  // One slot per morsel; a morsel is owned by exactly one worker, so the
+  // slots need no locking. Flattening in morsel order afterwards yields
+  // exactly the serial pull order.
+  std::vector<std::vector<Chunk>> by_morsel(pipeline.source()->MorselCount());
+  AGORA_RETURN_IF_ERROR(DriveMorselPipeline(
+      pipeline, context,
+      [&by_morsel](int /*worker*/, const Morsel& morsel,
+                   Chunk&& chunk) -> Status {
+        by_morsel[morsel.index].push_back(std::move(chunk));
+        return Status::OK();
+      }));
+
+  Chunk result(op->schema());
+  for (const std::vector<Chunk>& slot : by_morsel) {
+    for (const Chunk& chunk : slot) {
+      size_t rows = chunk.num_rows();
+      for (size_t r = 0; r < rows; ++r) {
+        result.AppendRowFrom(chunk, r);
+      }
+      if (op->schema().num_fields() == 0) {
+        result.SetExplicitRowCount(result.num_rows() + rows);
+      }
+    }
+  }
+  return result;
+}
+
+PhysicalGather::PhysicalGather(PhysicalOpPtr child, ExecContext* context)
+    : PhysicalOperator(child->schema(), context), child_(std::move(child)) {}
+
+Status PhysicalGather::Open() {
+  chunks_.clear();
+  next_chunk_ = 0;
+
+  MorselPipeline pipeline;
+  passthrough_ = !ParallelEligible(child_.get(), *context_, &pipeline);
+  if (passthrough_) return child_->Open();
+
+  AGORA_RETURN_IF_ERROR(child_->Open());
+  std::vector<std::vector<Chunk>> by_morsel(pipeline.source()->MorselCount());
+  AGORA_RETURN_IF_ERROR(DriveMorselPipeline(
+      pipeline, context_,
+      [&by_morsel](int /*worker*/, const Morsel& morsel,
+                   Chunk&& chunk) -> Status {
+        by_morsel[morsel.index].push_back(std::move(chunk));
+        return Status::OK();
+      }));
+  for (std::vector<Chunk>& slot : by_morsel) {
+    for (Chunk& chunk : slot) {
+      chunks_.push_back(std::move(chunk));
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalGather::Next(Chunk* chunk, bool* done) {
+  if (passthrough_) return child_->Next(chunk, done);
+  if (next_chunk_ < chunks_.size()) {
+    *chunk = std::move(chunks_[next_chunk_]);
+    ++next_chunk_;
+    *done = next_chunk_ == chunks_.size();
+    return Status::OK();
+  }
+  *chunk = Chunk(schema_);
+  *done = true;
+  return Status::OK();
+}
+
+}  // namespace agora

@@ -12,6 +12,8 @@
 
 namespace agora {
 
+class ThreadPool;
+
 /// Counters collected while a query runs. Also the basis of the
 /// sustainability proxy in experiment E7: `JoulesProxy()` weighs data
 /// movement and materialization, not just wall-clock time.
@@ -28,6 +30,20 @@ struct ExecStats {
 
   void Reset() { *this = ExecStats{}; }
 
+  /// Folds another stats block into this one. All counters are additive,
+  /// so merging per-worker slots reproduces the serial totals exactly.
+  void Merge(const ExecStats& other) {
+    rows_scanned += other.rows_scanned;
+    blocks_read += other.blocks_read;
+    blocks_skipped += other.blocks_skipped;
+    rows_joined += other.rows_joined;
+    probe_calls += other.probe_calls;
+    rows_aggregated += other.rows_aggregated;
+    rows_sorted += other.rows_sorted;
+    bytes_materialized += other.bytes_materialized;
+    chunks_emitted += other.chunks_emitted;
+  }
+
   /// Synthetic energy proxy (arbitrary units): weighted sum of bytes moved
   /// and per-row work. Tracks resource footprint independent of latency.
   double JoulesProxy() const {
@@ -41,8 +57,36 @@ struct ExecStats {
 };
 
 /// Per-query execution context shared by all operators of one plan.
+///
+/// The parallel fields configure morsel-driven execution (see
+/// exec/parallel.h). Plan eligibility depends only on `enable_parallel`,
+/// `parallel_min_rows` and the plan shape — never on `num_workers` — so a
+/// query produces byte-identical results at every worker count.
 struct ExecContext {
   ExecStats stats;
+
+  /// Worker pool for parallel sections; nullptr runs morsel loops inline
+  /// on the calling thread (still through the morsel path when eligible).
+  ThreadPool* pool = nullptr;
+  /// Worker tasks spawned per parallel pipeline.
+  int num_workers = 1;
+  /// Gate for the morsel path (ablation switch, mirrors planner options).
+  bool enable_parallel = true;
+  /// Source tables smaller than this stay on the legacy serial path.
+  size_t parallel_min_rows = 8192;
+
+  /// Per-worker counter slots used during a parallel section so the hot
+  /// path never touches shared counters or atomics. Merged into `stats`
+  /// (exactly — all counters are additive) at the section barrier.
+  std::vector<ExecStats> worker_stats;
+
+  void PrepareWorkerStats() {
+    worker_stats.assign(static_cast<size_t>(num_workers), ExecStats{});
+  }
+  void MergeWorkerStats() {
+    for (const ExecStats& w : worker_stats) stats.Merge(w);
+    worker_stats.clear();
+  }
 };
 
 /// Base class for vectorized pull-based operators (Volcano with chunks).

@@ -2,9 +2,11 @@
 
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
 #include "exec/join.h"
+#include "exec/parallel.h"
 #include "exec/scan.h"
 #include "exec/sort_limit.h"
 #include "exec/union_op.h"
@@ -134,6 +136,15 @@ class PlannerImpl {
       case LogicalOpKind::kAggregate: {
         const auto& a = static_cast<const LogicalAggregate&>(*node);
         AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(a.children()[0]));
+        // The aggregate parallelizes its own accumulation over a pipeline
+        // child — except for DISTINCT aggregates, whose dedup sets cannot
+        // be merged from partials. Those get a Gather exchange below them
+        // so at least the scan/filter work runs on the pool.
+        bool has_distinct = false;
+        for (const AggregateSpec& spec : a.aggregates()) {
+          has_distinct = has_distinct || spec.distinct;
+        }
+        if (has_distinct) child = MaybeGather(std::move(child));
         return PhysicalOpPtr(std::make_unique<PhysicalHashAggregate>(
             std::move(child), a.group_by(), a.aggregates(), a.schema(),
             context_));
@@ -141,8 +152,10 @@ class PlannerImpl {
       case LogicalOpKind::kSort: {
         const auto& s = static_cast<const LogicalSort&>(*node);
         AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child, Lower(s.children()[0]));
+        // Sort re-orders its whole input anyway, so the exchange's
+        // morsel-ordered merge keeps results exact.
         return PhysicalOpPtr(std::make_unique<PhysicalSort>(
-            std::move(child), s.keys(), context_));
+            MaybeGather(std::move(child)), s.keys(), context_));
       }
       case LogicalOpKind::kLimit: {
         const auto& l = static_cast<const LogicalLimit&>(*node);
@@ -155,7 +168,8 @@ class PlannerImpl {
           AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
                                  Lower(s.children()[0]));
           return PhysicalOpPtr(std::make_unique<PhysicalTopK>(
-              std::move(child), s.keys(), l.limit(), l.offset(), context_));
+              MaybeGather(std::move(child)), s.keys(), l.limit(),
+              l.offset(), context_));
         }
         if (options_.enable_topk && l.limit() >= 0 &&
             l.children()[0]->kind() == LogicalOpKind::kProject &&
@@ -167,7 +181,8 @@ class PlannerImpl {
           AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
                                  Lower(s.children()[0]));
           auto topk = std::make_unique<PhysicalTopK>(
-              std::move(child), s.keys(), l.limit(), l.offset(), context_);
+              MaybeGather(std::move(child)), s.keys(), l.limit(),
+              l.offset(), context_);
           return PhysicalOpPtr(std::make_unique<PhysicalProject>(
               std::move(topk), p.exprs(), p.schema(), context_));
         }
@@ -178,8 +193,11 @@ class PlannerImpl {
       case LogicalOpKind::kDistinct: {
         AGORA_ASSIGN_OR_RETURN(PhysicalOpPtr child,
                                Lower(node->children()[0]));
-        return PhysicalOpPtr(
-            std::make_unique<PhysicalDistinct>(std::move(child), context_));
+        // Distinct's dedup keys don't depend on input order, and the
+        // exchange replays chunks in morsel order, so the surviving-row
+        // order matches the serial path exactly.
+        return PhysicalOpPtr(std::make_unique<PhysicalDistinct>(
+            MaybeGather(std::move(child)), context_));
       }
       case LogicalOpKind::kUnion: {
         std::vector<PhysicalOpPtr> children;
@@ -195,6 +213,16 @@ class PlannerImpl {
   }
 
  private:
+  /// Inserts a Gather exchange below order-insensitive pipeline breakers.
+  /// Never used under Limit (early exit must stay streaming) or as a join
+  /// child (would break the probe pipeline shape). Gather degenerates to
+  /// a pass-through when the child is not an eligible pipeline, so
+  /// wrapping is always safe.
+  PhysicalOpPtr MaybeGather(PhysicalOpPtr op) {
+    if (!options_.enable_parallel) return op;
+    return std::make_unique<PhysicalGather>(std::move(op), context_);
+  }
+
   Result<PhysicalOpPtr> LowerScan(const LogicalScan& scan) {
     const ExprPtr& pred = scan.pushed_predicate();
     // Index scan for equality predicates with an existing index.
@@ -311,6 +339,19 @@ class PlannerImpl {
 Result<PhysicalOpPtr> CreatePhysicalPlan(
     const LogicalOpPtr& plan, ExecContext* context,
     const PhysicalPlannerOptions& options) {
+  // Configure the context's parallel section before lowering: eligibility
+  // reads enable_parallel/parallel_min_rows only, so the thread count can
+  // vary per query without changing plans or results.
+  context->enable_parallel = options.enable_parallel;
+  context->parallel_min_rows = options.parallel_min_rows;
+  int workers = options.num_threads > 0
+                    ? options.num_threads
+                    : static_cast<int>(ThreadPool::DefaultThreadCount());
+  if (workers < 1) workers = 1;
+  context->num_workers = workers;
+  context->pool =
+      (options.enable_parallel && workers > 1) ? ThreadPool::Global()
+                                               : nullptr;
   PlannerImpl planner(context, options);
   return planner.Lower(plan);
 }

@@ -36,6 +36,7 @@ PhysicalScan::PhysicalScan(std::shared_ptr<Table> table,
 
 Status PhysicalScan::Open() {
   next_row_ = 0;
+  morsel_cursor_.store(0, std::memory_order_relaxed);
   if (use_zone_maps_ && !table_->HasZoneMaps()) {
     // Zone maps were requested by the planner but not built yet; build
     // them now (idempotent, amortized across queries on static tables).
@@ -44,42 +45,47 @@ Status PhysicalScan::Open() {
   return Status::OK();
 }
 
+Status PhysicalScan::ScanBlock(size_t start, size_t count, Chunk* out,
+                               bool* skipped, ExecStats* stats) const {
+  *skipped = false;
+  size_t block = start / kChunkSize;
+
+  // Zone-map pruning: skip the block if any range constraint proves it
+  // empty of matches.
+  if (use_zone_maps_ && !ranges_.empty()) {
+    for (const ColumnRangeConstraint& r : ranges_) {
+      const ZoneMap* zm = table_->GetZoneMap(r.column);
+      if (zm != nullptr && block < zm->blocks.size() &&
+          !zm->BlockMayMatch(block, r.lo, r.hi)) {
+        stats->blocks_skipped++;
+        *skipped = true;
+        return Status::OK();
+      }
+    }
+  }
+
+  Chunk raw = table_->GetChunk(start, count, projection_);
+  stats->blocks_read++;
+  stats->rows_scanned += static_cast<int64_t>(raw.num_rows());
+  stats->bytes_materialized += static_cast<int64_t>(raw.MemoryBytes());
+
+  if (predicate_ != nullptr) {
+    AGORA_ASSIGN_OR_RETURN(raw, FilterChunk(raw, *predicate_));
+  }
+  *out = std::move(raw);
+  return Status::OK();
+}
+
 Status PhysicalScan::Next(Chunk* chunk, bool* done) {
   size_t total = table_->num_rows();
   while (next_row_ < total) {
-    size_t block = next_row_ / kChunkSize;
     size_t count = std::min(kChunkSize, total - next_row_);
-
-    // Zone-map pruning: skip the block if any range constraint proves it
-    // empty of matches.
-    if (use_zone_maps_ && !ranges_.empty()) {
-      bool may_match = true;
-      for (const ColumnRangeConstraint& r : ranges_) {
-        const ZoneMap* zm = table_->GetZoneMap(r.column);
-        if (zm != nullptr && block < zm->blocks.size() &&
-            !zm->BlockMayMatch(block, r.lo, r.hi)) {
-          may_match = false;
-          break;
-        }
-      }
-      if (!may_match) {
-        context_->stats.blocks_skipped++;
-        next_row_ += count;
-        continue;
-      }
-    }
-
-    Chunk raw = table_->GetChunk(next_row_, count, projection_);
+    Chunk raw;
+    bool skipped = false;
+    AGORA_RETURN_IF_ERROR(
+        ScanBlock(next_row_, count, &raw, &skipped, &context_->stats));
     next_row_ += count;
-    context_->stats.blocks_read++;
-    context_->stats.rows_scanned += static_cast<int64_t>(raw.num_rows());
-    context_->stats.bytes_materialized +=
-        static_cast<int64_t>(raw.MemoryBytes());
-
-    if (predicate_ != nullptr) {
-      AGORA_ASSIGN_OR_RETURN(raw, FilterChunk(raw, *predicate_));
-      if (raw.num_rows() == 0) continue;  // fully filtered; keep pulling
-    }
+    if (skipped || raw.num_rows() == 0) continue;  // keep pulling
     *chunk = std::move(raw);
     *done = next_row_ >= total;
     context_->stats.chunks_emitted++;
@@ -87,6 +93,32 @@ Status PhysicalScan::Next(Chunk* chunk, bool* done) {
   }
   *chunk = Chunk(schema_);
   *done = true;
+  return Status::OK();
+}
+
+bool PhysicalScan::ClaimMorsel(Morsel* morsel) {
+  size_t total = table_->num_rows();
+  size_t begin = morsel_cursor_.fetch_add(kMorselRows,
+                                          std::memory_order_relaxed);
+  if (begin >= total) return false;
+  morsel->begin = begin;
+  morsel->end = std::min(begin + kMorselRows, total);
+  morsel->index = begin / kMorselRows;
+  return true;
+}
+
+Status PhysicalScan::ScanMorsel(const Morsel& morsel,
+                                const std::function<Status(Chunk&&)>& sink,
+                                ExecStats* stats) const {
+  for (size_t row = morsel.begin; row < morsel.end; row += kChunkSize) {
+    size_t count = std::min(kChunkSize, morsel.end - row);
+    Chunk raw;
+    bool skipped = false;
+    AGORA_RETURN_IF_ERROR(ScanBlock(row, count, &raw, &skipped, stats));
+    if (skipped || raw.num_rows() == 0) continue;
+    stats->chunks_emitted++;
+    AGORA_RETURN_IF_ERROR(sink(std::move(raw)));
+  }
   return Status::OK();
 }
 

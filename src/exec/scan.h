@@ -1,6 +1,8 @@
 #ifndef AGORA_EXEC_SCAN_H_
 #define AGORA_EXEC_SCAN_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -9,6 +11,21 @@
 #include "storage/table.h"
 
 namespace agora {
+
+/// Rows handed to one worker at a time by a morsel source (~64K rows =
+/// 32 blocks). Small enough for work-stealing balance, large enough to
+/// amortize dispatch.
+inline constexpr size_t kMorselRows = 32 * kChunkSize;
+
+/// A contiguous row range claimed by one worker. `index` is the morsel's
+/// position in table order; parallel consumers merge per-morsel results in
+/// index order so output (including float aggregate rounding) does not
+/// depend on worker count or scheduling.
+struct Morsel {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t index = 0;
+};
 
 /// A [lo, hi] range constraint on a base-table column, derived from the
 /// pushed-down predicate at plan time. Used for zone-map block skipping.
@@ -33,13 +50,40 @@ class PhysicalScan : public PhysicalOperator {
   Status Next(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Scan"; }
 
+  // -- Morsel-source API (parallel path) --------------------------------
+  //
+  // Open() resets a shared atomic cursor; workers then ClaimMorsel() until
+  // it is exhausted and run ScanMorsel() on their claim. The serial Next()
+  // path keeps its own cursor and is unaffected.
+
+  const std::shared_ptr<Table>& table() const { return table_; }
+  size_t MorselCount() const {
+    return (table_->num_rows() + kMorselRows - 1) / kMorselRows;
+  }
+  /// Atomically hands out the next unclaimed morsel. Thread-safe.
+  bool ClaimMorsel(Morsel* morsel);
+  /// Scans one morsel — zone-map skipping and the pushed predicate applied
+  /// per block, exactly like the serial path — and feeds each surviving
+  /// chunk to `sink`. Counters go to `stats` (a per-worker slot). Safe to
+  /// call concurrently for distinct morsels.
+  Status ScanMorsel(const Morsel& morsel,
+                    const std::function<Status(Chunk&&)>& sink,
+                    ExecStats* stats) const;
+
  private:
+  /// Shared block-scan step: materializes [start, start+count) unless zone
+  /// maps prove it empty (*skipped = true). Chunks fully removed by the
+  /// pushed predicate come back with zero rows.
+  Status ScanBlock(size_t start, size_t count, Chunk* out, bool* skipped,
+                   ExecStats* stats) const;
+
   std::shared_ptr<Table> table_;
   std::vector<size_t> projection_;  // empty = all columns
   ExprPtr predicate_;               // bound against the projected schema
   std::vector<ColumnRangeConstraint> ranges_;  // base-table column indexes
   bool use_zone_maps_;
-  size_t next_row_ = 0;
+  size_t next_row_ = 0;                  // serial pull cursor
+  std::atomic<size_t> morsel_cursor_{0};  // parallel claim cursor
 };
 
 /// Point-lookup scan through a hash index: emits only rows whose indexed

@@ -1,0 +1,194 @@
+// Tests the work-stealing thread pool and TaskGroup (tentpole of the
+// morsel-driven parallel executor).
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace agora {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTaskExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 1000;
+  std::mutex mu;
+  std::set<int> seen;
+  std::condition_variable cv;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([i, &mu, &seen, &cv] {
+      std::lock_guard<std::mutex> lock(mu);
+      EXPECT_TRUE(seen.insert(i).second) << "task " << i << " ran twice";
+      if (seen.size() == kTasks) cv.notify_one();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(30),
+                          [&] { return seen.size() == kTasks; }));
+}
+
+TEST(ThreadPoolTest, SizeMatchesConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueuedTasks) {
+  // Tasks still queued when the pool is torn down must run, not vanish:
+  // TaskGroup correctness depends on every spawned task completing.
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, WorkerSubmissionsAndStealingComplete) {
+  // Each top-level task fans out children from inside a worker thread
+  // (exercising the worker-local push) which idle workers then steal.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  constexpr int kParents = 16;
+  constexpr int kChildren = 64;
+  TaskGroup group(&pool);
+  for (int p = 0; p < kParents; ++p) {
+    group.Spawn([&pool, &ran]() -> Status {
+      TaskGroup children(&pool);
+      for (int c = 0; c < kChildren; ++c) {
+        children.Spawn([&ran]() -> Status {
+          ran.fetch_add(1);
+          return Status::OK();
+        });
+      }
+      return children.Wait();
+    });
+  }
+  ASSERT_TRUE(group.Wait().ok());
+  EXPECT_EQ(ran.load(), kParents * kChildren);
+}
+
+TEST(TaskGroupTest, WaitReturnsOkWhenAllTasksPass) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    group.Spawn([&ran]() -> Status {
+      ran.fetch_add(1);
+      return Status::OK();
+    });
+  }
+  EXPECT_TRUE(group.Wait().ok());
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(TaskGroupTest, WaitReturnsFirstErrorStatus) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  for (int i = 0; i < 20; ++i) {
+    group.Spawn([i]() -> Status {
+      if (i == 7) return Status::Internal("task 7 failed");
+      return Status::OK();
+    });
+  }
+  Status status = group.Wait();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+}
+
+TEST(TaskGroupTest, WaitRethrowsTaskException) {
+  ThreadPool pool(2);
+  TaskGroup group(&pool);
+  group.Spawn([]() -> Status { return Status::OK(); });
+  group.Spawn(
+      []() -> Status { throw std::runtime_error("boom in worker"); });
+  EXPECT_THROW((void)group.Wait(), std::runtime_error);
+}
+
+TEST(TaskGroupTest, NullPoolRunsInline) {
+  // Serial mode: no pool, tasks execute on the calling thread during
+  // Spawn, and Wait still reports status correctly.
+  TaskGroup group(nullptr);
+  std::thread::id spawner = std::this_thread::get_id();
+  bool ran = false;
+  group.Spawn([&ran, spawner]() -> Status {
+    EXPECT_EQ(std::this_thread::get_id(), spawner);
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(ran);  // already ran, before Wait
+  EXPECT_TRUE(group.Wait().ok());
+}
+
+TEST(TaskGroupTest, WaiterHelpsDrainSaturatedPool) {
+  // A 1-thread pool where every task spawns nested groups would deadlock
+  // if Wait() only slept; it must help run queued tasks instead.
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  TaskGroup outer(&pool);
+  for (int i = 0; i < 8; ++i) {
+    outer.Spawn([&pool, &ran]() -> Status {
+      TaskGroup inner(&pool);
+      for (int j = 0; j < 8; ++j) {
+        inner.Spawn([&ran]() -> Status {
+          ran.fetch_add(1);
+          return Status::OK();
+        });
+      }
+      return inner.Wait();
+    });
+  }
+  ASSERT_TRUE(outer.Wait().ok());
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(TaskGroupTest, DestructorWaitsForOutstandingTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  {
+    TaskGroup group(&pool);
+    for (int i = 0; i < 32; ++i) {
+      group.Spawn([&ran]() -> Status {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        ran.fetch_add(1);
+        return Status::OK();
+      });
+    }
+    // No Wait(): the destructor must block until all tasks finished so
+    // captured references never dangle.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPoolTest, DefaultThreadCountHonorsEnvVar) {
+  // setenv/getenv here is safe: this test binary is single-threaded at
+  // this point (pools are scoped to individual tests).
+  const char* saved = std::getenv("AGORA_THREADS");
+  std::string saved_value = saved != nullptr ? saved : "";
+  setenv("AGORA_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultThreadCount(), 3u);
+  setenv("AGORA_THREADS", "0", 1);  // invalid: fall back, never < 1
+  EXPECT_GE(ThreadPool::DefaultThreadCount(), 1u);
+  if (saved != nullptr) {
+    setenv("AGORA_THREADS", saved_value.c_str(), 1);
+  } else {
+    unsetenv("AGORA_THREADS");
+  }
+}
+
+}  // namespace
+}  // namespace agora
