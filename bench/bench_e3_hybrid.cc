@@ -5,9 +5,13 @@
 // combine diverse workloads like vectors, keywords, and relational
 // queries in commercial systems".
 
+#include <algorithm>
+#include <cstdio>
 #include <map>
+#include <vector>
 
 #include "bench/bench_common.h"
+#include "common/thread_pool.h"
 #include "hybrid/collection.h"
 
 namespace agora {
@@ -115,14 +119,141 @@ void BM_FederatedHybrid(benchmark::State& state) {
   state.SetLabel(std::string("federated/") + CaseName(which));
 }
 
+// Args: {corpus size, filter case, strategy (0=auto 1=pre 2=post)}. The
+// sweep shows the cost-based choice landing on (or beating) the better
+// fixed strategy in every selectivity regime.
+void BM_StrategySweep(benchmark::State& state) {
+  HybridFixture* fixture = GetFixture(static_cast<size_t>(state.range(0)));
+  int which = static_cast<int>(state.range(1));
+  HybridExecOptions options;
+  const char* requested = "auto";
+  switch (state.range(2)) {
+    case 1:
+      options.strategy = HybridStrategy::kPreFilter;
+      requested = "prefilter";
+      break;
+    case 2:
+      options.strategy = HybridStrategy::kPostFilter;
+      requested = "postfilter";
+      break;
+    default:
+      break;
+  }
+  HybridQueryStats stats;
+  size_t topic = 0;
+  for (auto _ : state) {
+    HybridQuery q = MakeQuery(*fixture, topic % 8, FilterForCase(which));
+    topic++;
+    stats = HybridQueryStats{};
+    auto result = fixture->collection->Search(q, options, &stats);
+    AGORA_CHECK(result.ok()) << result.status().ToString();
+    benchmark::DoNotOptimize(result->size());
+  }
+  state.counters["vec_dists"] = static_cast<double>(stats.vector_distances);
+  state.counters["retries"] = static_cast<double>(stats.retries);
+  state.SetLabel(std::string(CaseName(which)) + "/" + requested + "->" +
+                 stats.strategy);
+}
+
 BENCHMARK(BM_FusedHybrid)
     ->ArgsProduct({{20000, 50000}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_FederatedHybrid)
     ->ArgsProduct({{20000, 50000}, {0, 1, 2}})
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_StrategySweep)
+    ->ArgsProduct({{20000}, {0, 1, 2}, {0, 1, 2}})
+    ->Unit(benchmark::kMillisecond);
+
+/// Median-of-5 latency of one engine/strategy on one filter case.
+double MeasureLatencyMs(HybridFixture* fixture, int which, bool federated,
+                        HybridStrategy strategy, HybridQueryStats* stats) {
+  auto run = [&]() {
+    HybridQuery q = MakeQuery(*fixture, 0, FilterForCase(which));
+    *stats = HybridQueryStats{};
+    auto result = federated
+                      ? fixture->collection->SearchFederated(q, stats)
+                      : fixture->collection->Search(q, {strategy}, stats);
+    AGORA_CHECK(result.ok()) << result.status().ToString();
+  };
+  run();  // warm-up (filter bind cache, stats cache, pool)
+  std::vector<double> samples;
+  for (int i = 0; i < 5; ++i) {
+    Timer timer;
+    run();
+    samples.push_back(timer.ElapsedSeconds() * 1000.0);
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+/// Strategy × selectivity sweep written to BENCH_e3.json (same shape as
+/// E1's BENCH_e1.json: one flat "results" array of measurement objects).
+void WriteHybridJson() {
+  const char* path = "BENCH_e3.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("[E3] cannot open %s for writing; skipping JSON\n", path);
+    return;
+  }
+  struct Config {
+    const char* engine;
+    bool federated;
+    HybridStrategy strategy;
+  };
+  const Config configs[] = {
+      {"fused/auto", false, HybridStrategy::kAuto},
+      {"fused/prefilter", false, HybridStrategy::kPreFilter},
+      {"fused/postfilter", false, HybridStrategy::kPostFilter},
+      {"federated", true, HybridStrategy::kAuto},
+  };
+  const size_t sizes[] = {20000, 50000};
+
+  std::fprintf(out, "{\n  \"experiment\": \"e3_hybrid\",\n");
+  std::fprintf(out, "  \"pool_threads\": %zu,\n",
+               ThreadPool::Global()->size());
+  std::fprintf(out, "  \"results\": [\n");
+  bool first = true;
+  bool auto_beats_worst = true;
+  for (size_t n : sizes) {
+    HybridFixture* fixture = GetFixture(n);
+    for (int which = 0; which < 3; ++which) {
+      double ms[4];
+      HybridQueryStats stats[4];
+      for (int c = 0; c < 4; ++c) {
+        ms[c] = MeasureLatencyMs(fixture, which, configs[c].federated,
+                                 configs[c].strategy, &stats[c]);
+      }
+      // The cost-based choice must not lose to the worse fixed strategy.
+      double worst_fixed = std::max(ms[1], ms[2]);
+      if (ms[0] > worst_fixed) auto_beats_worst = false;
+      for (int c = 0; c < 4; ++c) {
+        if (!first) std::fprintf(out, ",\n");
+        first = false;
+        std::fprintf(out,
+                     "    {\"engine\": \"%s\", \"filter\": \"%s\", \"n\": "
+                     "%zu, \"strategy\": \"%s\", \"latency_ms\": %.4f, "
+                     "\"filter_rows\": %zu, \"vector_distances\": %zu, "
+                     "\"retries\": %zu, \"speedup_vs_worst_fixed\": %.3f}",
+                     configs[c].engine, CaseName(which), n,
+                     stats[c].strategy.c_str(), ms[c],
+                     stats[c].filter_rows_evaluated,
+                     stats[c].vector_distances, stats[c].retries,
+                     ms[c] > 0.0 ? worst_fixed / ms[c] : 0.0);
+      }
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("[E3] strategy sweep written to %s\n", path);
+  std::printf("[E3 verdict] cost-based auto %s the worst fixed strategy "
+              "on every selectivity regime.\n",
+              auto_beats_worst ? "beats or matches" : "LOST to");
+}
 
 }  // namespace
+
+void RunE3Report() { WriteHybridJson(); }
 }  // namespace agora
 
 int main(int argc, char** argv) {
@@ -136,6 +267,7 @@ int main(int argc, char** argv) {
       "and matches on loose ones");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  agora::RunE3Report();
   benchmark::Shutdown();
   return 0;
 }

@@ -7,7 +7,9 @@
 // vectors, keywords, and relational queries").
 
 #include <cstdio>
+#include <string>
 
+#include "engine/database.h"
 #include "hybrid/collection.h"
 
 int main() {
@@ -72,5 +74,32 @@ int main() {
       "systems together.\n",
       federated_stats.filter_rows_evaluated,
       federated_stats.vector_distances, federated_stats.retries);
+
+  // The same search is first-class SQL: MATCH/KNN are WHERE conjuncts,
+  // score() is the fused rank, and EXPLAIN shows the strategy the
+  // cost-based optimizer picked.
+  std::string vec = "[";
+  for (size_t i = 0; i < query.embedding.size(); ++i) {
+    if (i > 0) vec += ", ";
+    vec += std::to_string(query.embedding[i]);
+  }
+  vec += "]";
+  std::string sql =
+      "SELECT rowid, price, score() FROM docs "
+      "WHERE price < 25 AND in_stock = TRUE "
+      "AND MATCH(text, 'gardening') AND KNN(embedding, " + vec + ", 5) "
+      "ORDER BY score() DESC LIMIT 5";
+  Database& db = collection.database();
+  auto plan = db.Explain(sql);
+  auto sql_result = db.Execute(sql);
+  if (!plan.ok() || !sql_result.ok()) {
+    std::fprintf(stderr, "sql failed: %s\n",
+                 (plan.ok() ? sql_result.status() : plan.status())
+                     .ToString().c_str());
+    return 1;
+  }
+  std::printf("\nThe same query as declarative SQL:\n  %s\n\nEXPLAIN:\n%s\n%s",
+              sql.substr(0, 96).append("...").c_str(), plan->c_str(),
+              sql_result->ToString().c_str());
   return 0;
 }

@@ -67,7 +67,7 @@ Result<QueryResult> Database::Execute(const std::string& sql) {
   AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   ++statements_executed_;
   if (auto* select = std::get_if<SelectStatement>(&stmt.node)) {
-    return ExecuteSelect(*select, stmt.explain);
+    return ExecuteSelect(*select, stmt.explain, stmt.analyze);
   }
   if (auto* create = std::get_if<CreateTableStatement>(&stmt.node)) {
     return ExecuteCreateTable(*create);
@@ -124,13 +124,23 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
 }
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
-                                            bool explain) {
+                                            bool explain, bool analyze) {
   AGORA_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanSelect(select));
   if (explain) {
+    std::string text = plan->TreeString();
+    ExecStats stats;
+    if (analyze) {
+      // EXPLAIN ANALYZE: run the plan for real, then report its counters
+      // under the plan text. The result rows themselves are discarded.
+      AGORA_ASSIGN_OR_RETURN(QueryResult executed, ExecutePlan(plan));
+      stats = executed.stats();
+      text += "\n[analyze] rows=" + std::to_string(executed.num_rows());
+      text += "\n[analyze] " + stats.ToString();
+    }
     Schema schema({Field{"plan", TypeId::kString, false}});
     Chunk data(schema);
-    data.AppendRow({Value::String(plan->TreeString())});
-    return QueryResult(std::move(schema), std::move(data), ExecStats{});
+    data.AppendRow({Value::String(std::move(text))});
+    return QueryResult(std::move(schema), std::move(data), stats);
   }
   return ExecutePlan(plan);
 }

@@ -95,6 +95,9 @@ class Database {
 
   Optimizer& optimizer() { return optimizer_; }
   const DatabaseOptions& options() const { return options_; }
+  /// Mutable physical-planner knobs (tests lower parallel_min_rows to
+  /// exercise the morsel path on small tables; benchmarks toggle operators).
+  PhysicalPlannerOptions& physical_options() { return options_.physical; }
 
   /// Sets the per-query worker-task count for parallel pipelines (0 =
   /// auto). Only scheduling changes — plans and results are identical at
@@ -103,7 +106,7 @@ class Database {
 
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& select,
-                                    bool explain);
+                                    bool explain, bool analyze);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteDropTable(const DropTableStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);

@@ -1,0 +1,224 @@
+#include "exec/hybrid_search.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/thread_pool.h"
+
+namespace agora {
+
+PhysicalHybridSearch::PhysicalHybridSearch(const LogicalScoreFusion& fusion,
+                                           ExecContext* context)
+    : PhysicalOperator(fusion.schema(), context),
+      table_(fusion.table()),
+      k_(fusion.k()),
+      params_(fusion.params()),
+      exec_(fusion.exec_options()),
+      filter_(fusion.filter()) {
+  if (const LogicalTextMatch* text = fusion.text_match()) {
+    has_text_ = true;
+    text_query_ = text->query();
+    text_index_ = text->index();
+  }
+  if (const LogicalVectorTopK* vec = fusion.vector_top_k()) {
+    has_vec_ = true;
+    vec_query_ = vec->query();
+    index_choice_ = vec->index_choice();
+    flat_index_ = vec->flat_index();
+    ivf_index_ = vec->ivf_index();
+    hnsw_index_ = vec->hnsw_index();
+    if (flat_index_ != nullptr) metric_ = flat_index_->metric();
+  }
+}
+
+Result<std::vector<uint8_t>> PhysicalHybridSearch::EvaluateFilterBitmap() {
+  size_t n = table_->num_rows();
+  std::vector<uint8_t> bitmap(n, 1);
+  if (filter_ == nullptr) return bitmap;
+
+  // Morsel-parallel over disjoint chunk ranges: each task only writes its
+  // own bitmap slice, so the result is identical at every worker count.
+  // Eligibility mirrors the scan pipeline rule (never depends on the
+  // worker count).
+  bool parallel =
+      context_->enable_parallel && n >= context_->parallel_min_rows;
+  TaskGroup group(parallel ? context_->pool : nullptr);
+  for (size_t start = 0; start < n; start += kChunkSize) {
+    group.Spawn([this, &bitmap, start, n]() -> Status {
+      size_t count = std::min(kChunkSize, n - start);
+      Chunk chunk = table_->GetChunk(start, count);
+      ColumnVector mask;
+      AGORA_RETURN_IF_ERROR(filter_->Evaluate(chunk, &mask));
+      for (size_t i = 0; i < mask.size(); ++i) {
+        bitmap[start + i] = (!mask.IsNull(i) && mask.GetBool(i)) ? 1 : 0;
+      }
+      return Status::OK();
+    });
+  }
+  AGORA_RETURN_IF_ERROR(group.Wait());
+  context_->stats.hybrid_filter_rows += static_cast<int64_t>(n);
+  return bitmap;
+}
+
+Status PhysicalHybridSearch::RunPreFilter() {
+  AGORA_ASSIGN_OR_RETURN(std::vector<uint8_t> bitmap,
+                         EvaluateFilterBitmap());
+  std::unordered_set<int64_t> allowed;
+  for (size_t i = 0; i < bitmap.size(); ++i) {
+    if (bitmap[i] != 0) allowed.insert(static_cast<int64_t>(i));
+  }
+  context_->stats.fusion_candidates = static_cast<int64_t>(allowed.size());
+  // Rank the full survivor set (all distances are computed anyway);
+  // fusing over complete lists makes pre-filtered search exact.
+  std::vector<Neighbor> vector_hits;
+  if (has_vec_) {
+    context_->stats.vector_distances += static_cast<int64_t>(allowed.size());
+    AGORA_ASSIGN_OR_RETURN(
+        vector_hits,
+        flat_index_->SearchFiltered(vec_query_, allowed.size(),
+                                    [&allowed](int64_t id) {
+                                      return allowed.count(id) > 0;
+                                    }));
+  }
+  std::vector<SearchHit> keyword_hits;
+  if (has_text_) {
+    keyword_hits =
+        text_index_->SearchFiltered(text_query_, allowed.size(), allowed);
+  }
+  for (const Neighbor& hit : vector_hits) {
+    final_distances_[hit.id] = hit.distance;
+  }
+  fused_ = FuseScores(params_, metric_, keyword_hits, vector_hits, k_);
+  return Status::OK();
+}
+
+Status PhysicalHybridSearch::RunPostFilter() {
+  size_t n = table_->num_rows();
+  size_t fetch = k_ * std::max<size_t>(exec_.overfetch, 1);
+  for (size_t attempt = 0;; ++attempt) {
+    std::vector<Neighbor> vector_hits;
+    if (has_vec_) {
+      switch (index_choice_) {
+        case VectorIndexChoice::kIvf: {
+          size_t scanned = 0;
+          AGORA_ASSIGN_OR_RETURN(
+              vector_hits,
+              ivf_index_->SearchWithProbes(vec_query_, fetch,
+                                           ivf_index_->options().nprobe,
+                                           &scanned));
+          context_->stats.vector_distances += static_cast<int64_t>(scanned);
+          break;
+        }
+        case VectorIndexChoice::kHnsw: {
+          AGORA_ASSIGN_OR_RETURN(vector_hits,
+                                 hnsw_index_->Search(vec_query_, fetch));
+          context_->stats.vector_distances +=
+              static_cast<int64_t>(vector_hits.size());
+          break;
+        }
+        default: {
+          AGORA_ASSIGN_OR_RETURN(vector_hits,
+                                 flat_index_->Search(vec_query_, fetch));
+          context_->stats.vector_distances += static_cast<int64_t>(n);
+          break;
+        }
+      }
+    }
+    std::vector<SearchHit> keyword_hits;
+    if (has_text_) {
+      keyword_hits = text_index_->Search(text_query_, fetch);
+    }
+
+    if (filter_ != nullptr) {
+      // Evaluate the predicate only on candidate rows.
+      std::unordered_set<int64_t> candidate_ids;
+      for (const Neighbor& hit : vector_hits) candidate_ids.insert(hit.id);
+      for (const SearchHit& hit : keyword_hits) {
+        candidate_ids.insert(hit.doc_id);
+      }
+      std::vector<int64_t> ordered(candidate_ids.begin(),
+                                   candidate_ids.end());
+      std::sort(ordered.begin(), ordered.end());
+      Chunk chunk(table_->schema());
+      for (int64_t id : ordered) {
+        chunk.AppendRow(table_->GetRow(static_cast<size_t>(id)));
+      }
+      ColumnVector mask;
+      AGORA_RETURN_IF_ERROR(filter_->Evaluate(chunk, &mask));
+      context_->stats.hybrid_filter_rows +=
+          static_cast<int64_t>(ordered.size());
+      std::unordered_set<int64_t> passing;
+      for (size_t i = 0; i < ordered.size(); ++i) {
+        if (!mask.IsNull(i) && mask.GetBool(i)) passing.insert(ordered[i]);
+      }
+      std::vector<Neighbor> fv;
+      for (const Neighbor& hit : vector_hits) {
+        if (passing.count(hit.id) > 0) fv.push_back(hit);
+      }
+      std::vector<SearchHit> fk;
+      for (const SearchHit& hit : keyword_hits) {
+        if (passing.count(hit.doc_id) > 0) fk.push_back(hit);
+      }
+      vector_hits = std::move(fv);
+      keyword_hits = std::move(fk);
+    }
+
+    fused_ = FuseScores(params_, metric_, keyword_hits, vector_hits, k_);
+    context_->stats.fusion_candidates = static_cast<int64_t>(fused_.size());
+    bool exhausted = fetch >= n;
+    if (fused_.size() >= k_ || exhausted || attempt >= exec_.max_retries) {
+      final_distances_.clear();
+      for (const Neighbor& hit : vector_hits) {
+        final_distances_[hit.id] = hit.distance;
+      }
+      return Status::OK();
+    }
+    fetch *= 2;
+    context_->stats.overfetch_retries++;
+  }
+}
+
+Status PhysicalHybridSearch::Open() {
+  if (!has_text_ && !has_vec_) {
+    return Status::Internal("hybrid search without any ranking component");
+  }
+  switch (exec_.strategy) {
+    case HybridStrategy::kPreFilter:
+      return RunPreFilter();
+    case HybridStrategy::kPostFilter:
+      return RunPostFilter();
+    case HybridStrategy::kAuto:
+      break;
+  }
+  return Status::Internal(
+      "hybrid strategy unresolved (plan was not optimized)");
+}
+
+Status PhysicalHybridSearch::Next(Chunk* chunk, bool* done) {
+  *chunk = Chunk(schema_);
+  size_t batch = std::min(kChunkSize, fused_.size() - emitted_);
+  for (size_t i = 0; i < batch; ++i) {
+    const ScoredDoc& doc = fused_[emitted_ + i];
+    std::vector<Value> row;
+    row.reserve(schema_.num_fields());
+    row.push_back(Value::Int64(doc.id));
+    std::vector<Value> attrs = table_->GetRow(static_cast<size_t>(doc.id));
+    for (Value& v : attrs) row.push_back(std::move(v));
+    row.push_back(Value::Double(doc.score));
+    row.push_back(Value::Double(doc.keyword_score));
+    row.push_back(Value::Double(doc.vector_score));
+    if (has_vec_) {
+      auto it = final_distances_.find(doc.id);
+      row.push_back(it == final_distances_.end()
+                        ? Value::Null(TypeId::kDouble)
+                        : Value::Double(static_cast<double>(it->second)));
+    }
+    chunk->AppendRow(row);
+  }
+  emitted_ += batch;
+  context_->stats.chunks_emitted++;
+  *done = emitted_ >= fused_.size();
+  return Status::OK();
+}
+
+}  // namespace agora

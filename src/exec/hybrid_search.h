@@ -1,0 +1,81 @@
+#ifndef AGORA_EXEC_HYBRID_SEARCH_H_
+#define AGORA_EXEC_HYBRID_SEARCH_H_
+
+#include <unordered_map>
+
+#include "exec/physical_op.h"
+#include "expr/expr.h"
+#include "plan/logical_plan.h"
+#include "search/fusion.h"
+
+namespace agora {
+
+/// Executes a LogicalScoreFusion subtree: keyword (BM25) and/or vector
+/// (k-NN) ranking combined with an attribute filter under the strategy the
+/// optimizer resolved.
+///
+///  * pre-filter  — evaluate the predicate over the whole table (the
+///    bitmap pass is morsel-parallel over disjoint chunk ranges), then
+///    search both indexes exactly over the survivor set.
+///  * post-filter — probe the ANN / inverted indexes with an over-fetch
+///    loop, re-filtering candidates until k results survive.
+///
+/// The index probe sequence is identical to the legacy fused engine
+/// (hybrid::Collection::Search), so results are byte-identical to it —
+/// and, because the parallel section only writes disjoint bitmap ranges
+/// and per-worker counters, identical at every worker count.
+///
+/// Open() runs the search; Next() streams the fused top-k as rows
+///   [rowid, <attrs...>, score, keyword_score, vector_score,
+///    distance (vector plans only; NULL for keyword-only docs)]
+/// already sorted by (score desc, rowid asc).
+class PhysicalHybridSearch : public PhysicalOperator {
+ public:
+  PhysicalHybridSearch(const LogicalScoreFusion& fusion,
+                       ExecContext* context);
+
+  Status Open() override;
+  Status Next(Chunk* chunk, bool* done) override;
+  std::string name() const override { return "HybridSearch"; }
+
+  /// The strategy this operator ran ("prefilter"/"postfilter").
+  std::string_view strategy_name() const {
+    return HybridStrategyToString(exec_.strategy);
+  }
+
+ private:
+  Status RunPreFilter();
+  Status RunPostFilter();
+  /// Evaluates `filter_` over every table row (parallel over disjoint
+  /// kChunkSize ranges). Adds the table's row count to
+  /// stats.hybrid_filter_rows, exactly like the legacy full bitmap pass.
+  Result<std::vector<uint8_t>> EvaluateFilterBitmap();
+
+  std::shared_ptr<Table> table_;
+  size_t k_;
+  FusionParams params_;
+  HybridExecOptions exec_;
+  ExprPtr filter_;
+
+  bool has_text_ = false;
+  std::string text_query_;
+  const InvertedIndex* text_index_ = nullptr;
+
+  bool has_vec_ = false;
+  Vecf vec_query_;
+  VectorIndexChoice index_choice_ = VectorIndexChoice::kUnchosen;
+  const FlatIndex* flat_index_ = nullptr;
+  const IvfFlatIndex* ivf_index_ = nullptr;
+  const HnswIndex* hnsw_index_ = nullptr;
+  Metric metric_ = Metric::kL2;
+
+  std::vector<ScoredDoc> fused_;
+  /// Raw metric distance of each doc in the final vector ranking (docs
+  /// ranked by keywords only are absent -> NULL distance column).
+  std::unordered_map<int64_t, float> final_distances_;
+  size_t emitted_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_HYBRID_SEARCH_H_

@@ -16,6 +16,13 @@ std::string ExecStats::ToString() const {
   out += " rows_aggregated=" + FormatCount(rows_aggregated);
   out += " rows_sorted=" + FormatCount(rows_sorted);
   out += " bytes_materialized=" + FormatCount(bytes_materialized);
+  if (hybrid_filter_rows > 0 || vector_distances > 0 ||
+      fusion_candidates > 0) {
+    out += " hybrid_filter_rows=" + FormatCount(hybrid_filter_rows);
+    out += " vector_distances=" + FormatCount(vector_distances);
+    out += " overfetch_retries=" + FormatCount(overfetch_retries);
+    out += " fusion_candidates=" + FormatCount(fusion_candidates);
+  }
   return out;
 }
 

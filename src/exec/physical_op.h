@@ -27,6 +27,12 @@ struct ExecStats {
   int64_t rows_sorted = 0;
   int64_t bytes_materialized = 0;
   int64_t chunks_emitted = 0;
+  // Hybrid-search counters (PhysicalHybridSearch). Mirror the legacy
+  // HybridQueryStats fields so EXPLAIN ANALYZE reports them uniformly.
+  int64_t hybrid_filter_rows = 0;    // rows the attribute predicate touched
+  int64_t vector_distances = 0;      // distance computations
+  int64_t overfetch_retries = 0;     // post-filter fetch doublings
+  int64_t fusion_candidates = 0;     // docs in the final fused ranking
 
   void Reset() { *this = ExecStats{}; }
 
@@ -42,6 +48,10 @@ struct ExecStats {
     rows_sorted += other.rows_sorted;
     bytes_materialized += other.bytes_materialized;
     chunks_emitted += other.chunks_emitted;
+    hybrid_filter_rows += other.hybrid_filter_rows;
+    vector_distances += other.vector_distances;
+    overfetch_retries += other.overfetch_retries;
+    fusion_candidates += other.fusion_candidates;
   }
 
   /// Synthetic energy proxy (arbitrary units): weighted sum of bytes moved

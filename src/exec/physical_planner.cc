@@ -5,6 +5,7 @@
 #include "common/thread_pool.h"
 #include "exec/aggregate.h"
 #include "exec/filter_project.h"
+#include "exec/hybrid_search.h"
 #include "exec/join.h"
 #include "exec/parallel.h"
 #include "exec/scan.h"
@@ -208,6 +209,15 @@ class PlannerImpl {
         return PhysicalOpPtr(std::make_unique<PhysicalUnion>(
             std::move(children), context_));
       }
+      case LogicalOpKind::kScoreFusion:
+        // The fusion root drives its ranking leaves itself; they are never
+        // lowered on their own.
+        return PhysicalOpPtr(std::make_unique<PhysicalHybridSearch>(
+            static_cast<const LogicalScoreFusion&>(*node), context_));
+      case LogicalOpKind::kTextMatch:
+      case LogicalOpKind::kVectorTopK:
+        return Status::Internal(
+            "hybrid ranking leaves only execute inside ScoreFusion");
     }
     return Status::Internal("unhandled logical operator");
   }

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/rng.h"
 #include "plan/binder.h"
+#include "search/fusion.h"
 #include "sql/parser.h"
 #include "storage/catalog.h"
 
@@ -16,7 +17,19 @@ HybridCollection::HybridCollection(Schema attr_schema, size_t dim,
                                    IvfOptions ivf)
     : attrs_(std::make_shared<Table>("docs", std::move(attr_schema))),
       flat_index_(dim, ivf.metric),
-      ivf_index_(dim, ivf) {}
+      ivf_index_(dim, ivf) {
+  // The embedded engine shares the attribute table and the index members,
+  // so the Search facade and SQL MATCH()/KNN() queries plan against the
+  // same state. Registration cannot fail on a fresh catalog.
+  (void)db_.catalog().RegisterTable(attrs_);
+  TableSearchIndexes indexes;
+  indexes.text_column = "text";
+  indexes.text_index = &text_index_;
+  indexes.vector_column = "embedding";
+  indexes.flat_index = &flat_index_;
+  indexes.ivf_index = &ivf_index_;
+  (void)db_.catalog().AttachSearchIndexes("docs", indexes);
+}
 
 Result<int64_t> HybridCollection::Add(HybridDoc doc) {
   if (built_) {
@@ -48,13 +61,16 @@ Status HybridCollection::BuildIndexes() {
   for (size_t i = 0; i < n; ++i) {
     AGORA_RETURN_IF_ERROR(ivf_index_.Add(flat_index_.id_at(i), sample[i]));
   }
-  stats_cache_.Get(*attrs_);  // warm attribute statistics
+  // Warm the attribute statistics the optimizer's strategy pass reads.
+  db_.optimizer().estimator().stats_cache()->Get(*attrs_);
   built_ = true;
   return Status::OK();
 }
 
 Result<ExprPtr> HybridCollection::BindFilter(
     const std::string& filter_sql) const {
+  auto it = filter_cache_.find(filter_sql);
+  if (it != filter_cache_.end()) return it->second;
   AGORA_ASSIGN_OR_RETURN(
       Statement stmt,
       ParseStatement("SELECT 1 FROM docs WHERE " + filter_sql));
@@ -68,6 +84,7 @@ Result<ExprPtr> HybridCollection::BindFilter(
   if (bound->result_type() != TypeId::kBool) {
     return Status::TypeError("hybrid filter must be BOOLEAN");
   }
+  filter_cache_.emplace(filter_sql, bound);
   return bound;
 }
 
@@ -88,102 +105,18 @@ Result<std::vector<uint8_t>> HybridCollection::EvaluateFilterBitmap(
   return bitmap;
 }
 
-Result<double> HybridCollection::EstimateFilterSelectivity(
-    const ExprPtr& filter) {
-  if (filter == nullptr) return 1.0;
-  CardinalityEstimator estimator(&stats_cache_);
-  const TableStats& stats = stats_cache_.Get(*attrs_);
-  return estimator.EstimateSelectivity(
-      filter, [&stats](size_t column) -> const ColumnStats* {
-        return column < stats.columns.size() ? &stats.columns[column]
-                                             : nullptr;
-      });
-}
-
 namespace {
 
-double DistanceToSimilarity(Metric metric, float distance) {
-  // FlatIndex/IvfFlatIndex negate similarity metrics so "smaller is
-  // closer"; invert back to a similarity in a stable range.
-  switch (metric) {
-    case Metric::kL2:
-      return 1.0 / (1.0 + static_cast<double>(distance));
-    case Metric::kIp:
-    case Metric::kCosine:
-      return static_cast<double>(-distance);
-  }
-  return 0;
+FusionParams ParamsFromQuery(const HybridQuery& query) {
+  FusionParams params;
+  params.keyword_weight = query.keyword_weight;
+  params.vector_weight = query.vector_weight;
+  params.fusion = query.fusion;
+  params.rrf_k = query.rrf_k;
+  return params;
 }
 
 }  // namespace
-
-std::vector<ScoredDoc> HybridCollection::Fuse(
-    const HybridQuery& query, const std::vector<SearchHit>& keyword_hits,
-    const std::vector<Neighbor>& vector_hits, size_t k) const {
-  struct Partial {
-    double kw = 0, vec = 0;
-    size_t kw_rank = 0, vec_rank = 0;  // 1-based; 0 = absent
-  };
-  std::unordered_map<int64_t, Partial> partials;
-  double kw_min = 0, kw_max = 0;
-  for (size_t r = 0; r < keyword_hits.size(); ++r) {
-    Partial& p = partials[keyword_hits[r].doc_id];
-    p.kw = keyword_hits[r].score;
-    p.kw_rank = r + 1;
-    if (r == 0) {
-      kw_min = kw_max = p.kw;
-    } else {
-      kw_min = std::min(kw_min, p.kw);
-      kw_max = std::max(kw_max, p.kw);
-    }
-  }
-  double v_min = 0, v_max = 0;
-  for (size_t r = 0; r < vector_hits.size(); ++r) {
-    Partial& p = partials[vector_hits[r].id];
-    p.vec = DistanceToSimilarity(flat_index_.metric(),
-                                 vector_hits[r].distance);
-    p.vec_rank = r + 1;
-    double sim = p.vec;
-    if (r == 0) {
-      v_min = v_max = sim;
-    } else {
-      v_min = std::min(v_min, sim);
-      v_max = std::max(v_max, sim);
-    }
-  }
-
-  std::vector<ScoredDoc> out;
-  out.reserve(partials.size());
-  for (const auto& [id, p] : partials) {
-    double score = 0;
-    if (query.fusion == ScoreFusion::kRrf) {
-      if (p.kw_rank > 0) {
-        score += query.keyword_weight /
-                 static_cast<double>(query.rrf_k + p.kw_rank);
-      }
-      if (p.vec_rank > 0) {
-        score += query.vector_weight /
-                 static_cast<double>(query.rrf_k + p.vec_rank);
-      }
-    } else {
-      double nk = 0, nv = 0;
-      if (p.kw_rank > 0) {
-        nk = kw_max > kw_min ? (p.kw - kw_min) / (kw_max - kw_min) : 1.0;
-      }
-      if (p.vec_rank > 0) {
-        nv = v_max > v_min ? (p.vec - v_min) / (v_max - v_min) : 1.0;
-      }
-      score = query.keyword_weight * nk + query.vector_weight * nv;
-    }
-    out.push_back(ScoredDoc{id, score, p.kw, p.vec});
-  }
-  std::sort(out.begin(), out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.id < b.id;
-  });
-  if (out.size() > k) out.resize(k);
-  return out;
-}
 
 Result<std::vector<ScoredDoc>> HybridCollection::Search(
     const HybridQuery& query, const HybridExecOptions& options,
@@ -199,121 +132,57 @@ Result<std::vector<ScoredDoc>> HybridCollection::Search(
     return Status::InvalidArgument(
         "hybrid query needs keywords, a vector, or both");
   }
+  if (has_vec && query.embedding.size() != flat_index_.dim()) {
+    return Status::InvalidArgument("embedding dimension mismatch");
+  }
 
   ExprPtr filter;
   if (!query.filter_sql.empty()) {
     AGORA_ASSIGN_OR_RETURN(filter, BindFilter(query.filter_sql));
   }
 
-  // Strategy choice: estimated selectivity decides whether the filter
-  // runs first (exact search over few survivors) or last (approximate
-  // index search with over-fetch).
-  HybridStrategy strategy = options.strategy;
-  if (strategy == HybridStrategy::kAuto) {
-    if (filter == nullptr) {
-      strategy = HybridStrategy::kPostFilter;
-    } else {
-      AGORA_ASSIGN_OR_RETURN(double selectivity,
-                             EstimateFilterSelectivity(filter));
-      strategy = selectivity <= options.prefilter_selectivity_threshold
-                     ? HybridStrategy::kPreFilter
-                     : HybridStrategy::kPostFilter;
-    }
+  // Build the same LogicalScoreFusion subtree the SQL binder produces and
+  // hand it to the embedded engine: the optimizer resolves the strategy
+  // (cost-based) and index choice, the vectorized executor does the work.
+  LogicalOpPtr text_child;
+  if (has_kw) {
+    text_child = std::make_shared<LogicalTextMatch>(
+        "docs", "text", query.keywords, &text_index_);
   }
-
-  if (strategy == HybridStrategy::kPreFilter) {
-    stats->strategy = "prefilter";
-    AGORA_ASSIGN_OR_RETURN(
-        std::vector<uint8_t> bitmap,
-        EvaluateFilterBitmap(filter, &stats->filter_rows_evaluated));
-    std::unordered_set<int64_t> allowed;
-    for (size_t i = 0; i < bitmap.size(); ++i) {
-      if (bitmap[i] != 0) allowed.insert(static_cast<int64_t>(i));
-    }
-    stats->candidates = allowed.size();
-    // Rank the full survivor set (all distances are computed anyway);
-    // fusing over complete lists makes pre-filtered search exact.
-    std::vector<Neighbor> vector_hits;
-    if (has_vec) {
-      stats->vector_distances += allowed.size();
-      AGORA_ASSIGN_OR_RETURN(
-          vector_hits,
-          flat_index_.SearchFiltered(query.embedding, allowed.size(),
-                                     [&allowed](int64_t id) {
-                                       return allowed.count(id) > 0;
-                                     }));
-    }
-    std::vector<SearchHit> keyword_hits;
-    if (has_kw) {
-      keyword_hits = text_index_.SearchFiltered(query.keywords,
-                                                allowed.size(), allowed);
-    }
-    return Fuse(query, keyword_hits, vector_hits, query.k);
+  LogicalOpPtr vector_child;
+  if (has_vec) {
+    vector_child = std::make_shared<LogicalVectorTopK>(
+        "docs", "embedding", query.embedding, query.k, &flat_index_,
+        &ivf_index_, nullptr);
   }
+  LogicalOpPtr plan = std::make_shared<LogicalScoreFusion>(
+      attrs_, "docs", query.k, ParamsFromQuery(query), options, filter,
+      std::move(text_child), std::move(vector_child));
+  AGORA_ASSIGN_OR_RETURN(plan, db_.optimizer().Optimize(std::move(plan)));
+  const auto* fusion = static_cast<const LogicalScoreFusion*>(plan.get());
+  AGORA_ASSIGN_OR_RETURN(QueryResult result, db_.ExecutePlan(plan));
 
-  // Post-filter with over-fetch loop.
-  stats->strategy = "postfilter";
-  size_t fetch = query.k * std::max<size_t>(options.overfetch, 1);
-  for (size_t attempt = 0;; ++attempt) {
-    std::vector<Neighbor> vector_hits;
-    if (has_vec) {
-      size_t scanned = 0;
-      AGORA_ASSIGN_OR_RETURN(
-          vector_hits,
-          ivf_index_.SearchWithProbes(query.embedding, fetch,
-                                      ivf_index_.options().nprobe,
-                                      &scanned));
-      stats->vector_distances += scanned;
-    }
-    std::vector<SearchHit> keyword_hits;
-    if (has_kw) {
-      keyword_hits = text_index_.Search(query.keywords, fetch);
-    }
+  stats->strategy = std::string(HybridStrategyToString(fusion->strategy()));
+  const ExecStats& es = result.stats();
+  stats->filter_rows_evaluated += static_cast<size_t>(es.hybrid_filter_rows);
+  stats->vector_distances += static_cast<size_t>(es.vector_distances);
+  stats->retries += static_cast<size_t>(es.overfetch_retries);
+  stats->candidates = static_cast<size_t>(es.fusion_candidates);
 
-    if (filter != nullptr) {
-      // Evaluate the predicate only on candidate rows.
-      std::unordered_set<int64_t> candidate_ids;
-      for (const Neighbor& n : vector_hits) candidate_ids.insert(n.id);
-      for (const SearchHit& h : keyword_hits) {
-        candidate_ids.insert(h.doc_id);
-      }
-      std::vector<int64_t> ordered(candidate_ids.begin(),
-                                   candidate_ids.end());
-      std::sort(ordered.begin(), ordered.end());
-      Chunk chunk(attrs_->schema());
-      for (int64_t id : ordered) {
-        chunk.AppendRow(attrs_->GetRow(static_cast<size_t>(id)));
-      }
-      ColumnVector mask;
-      AGORA_RETURN_IF_ERROR(filter->Evaluate(chunk, &mask));
-      stats->filter_rows_evaluated += ordered.size();
-      std::unordered_set<int64_t> passing;
-      for (size_t i = 0; i < ordered.size(); ++i) {
-        if (!mask.IsNull(i) && mask.GetBool(i)) passing.insert(ordered[i]);
-      }
-      std::vector<Neighbor> fv;
-      for (const Neighbor& n : vector_hits) {
-        if (passing.count(n.id) > 0) fv.push_back(n);
-      }
-      std::vector<SearchHit> fk;
-      for (const SearchHit& h : keyword_hits) {
-        if (passing.count(h.doc_id) > 0) fk.push_back(h);
-      }
-      vector_hits = std::move(fv);
-      keyword_hits = std::move(fk);
-    }
-
-    std::vector<ScoredDoc> fused =
-        Fuse(query, keyword_hits, vector_hits, query.k);
-    stats->candidates = fused.size();
-    bool exhausted = fetch >= size();
-    if (fused.size() >= query.k || exhausted ||
-        attempt >= options.max_retries) {
-      return fused;
-    }
-    fetch *= 2;
-    stats->retries++;
+  // Fusion schema: [rowid, <attrs>..., score, keyword_score, vector_score,
+  // distance?]; decode back into the facade's ScoredDoc shape.
+  const size_t score_col = 1 + attrs_->schema().num_fields();
+  std::vector<ScoredDoc> out;
+  out.reserve(result.num_rows());
+  for (size_t r = 0; r < result.num_rows(); ++r) {
+    ScoredDoc doc;
+    doc.id = result.Get(r, 0).int64_value();
+    doc.score = result.Get(r, score_col).double_value();
+    doc.keyword_score = result.Get(r, score_col + 1).double_value();
+    doc.vector_score = result.Get(r, score_col + 2).double_value();
+    out.push_back(doc);
   }
+  return out;
 }
 
 Result<std::vector<ScoredDoc>> HybridCollection::SearchFederated(
@@ -372,7 +241,8 @@ Result<std::vector<ScoredDoc>> HybridCollection::SearchFederated(
       keyword_hits = std::move(fk);
     }
     std::vector<ScoredDoc> fused =
-        Fuse(query, keyword_hits, vector_hits, query.k);
+        FuseScores(ParamsFromQuery(query), flat_index_.metric(),
+                   keyword_hits, vector_hits, query.k);
     stats->candidates = fused.size();
     if (fused.size() >= query.k || fetch >= size()) {
       return fused;
@@ -410,7 +280,8 @@ Result<std::vector<ScoredDoc>> HybridCollection::SearchExact(
     keyword_hits = text_index_.SearchFiltered(query.keywords,
                                               allowed.size(), allowed);
   }
-  return Fuse(query, keyword_hits, vector_hits, query.k);
+  return FuseScores(ParamsFromQuery(query), flat_index_.metric(),
+                    keyword_hits, vector_hits, query.k);
 }
 
 SyntheticHybridData MakeSyntheticHybridData(size_t n, size_t dim,

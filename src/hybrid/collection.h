@@ -5,9 +5,12 @@
 #include <string>
 #include <vector>
 
+#include <unordered_map>
+
 #include "common/result.h"
+#include "engine/database.h"
 #include "fts/inverted_index.h"
-#include "optimizer/cardinality.h"
+#include "search/search_types.h"
 #include "storage/table.h"
 #include "vec/flat_index.h"
 #include "vec/ivf_index.h"
@@ -25,13 +28,9 @@ struct HybridDoc {
   std::vector<Value> attrs;  // must match the collection's attribute schema
 };
 
-/// How keyword and vector rankings are combined.
-enum class ScoreFusion {
-  kWeightedSum,  // min-max-normalized weighted sum
-  kRrf,          // reciprocal rank fusion
-};
-
 /// A hybrid query: any subset of {keywords, vector, filter} may be set.
+/// ScoreFusion / HybridStrategy / HybridExecOptions / ScoredDoc live in
+/// search/search_types.h, shared with the declarative pipeline.
 struct HybridQuery {
   std::string keywords;     // empty = no keyword component
   Vecf embedding;           // empty = no vector component
@@ -43,23 +42,6 @@ struct HybridQuery {
   size_t rrf_k = 60;
 };
 
-/// Execution strategy for the fused engine.
-enum class HybridStrategy {
-  kAuto,        // cost-based: pre-filter when the filter is selective
-  kPreFilter,   // evaluate filter first, exact search over survivors
-  kPostFilter,  // index search with over-fetch, filter the candidates
-};
-
-struct HybridExecOptions {
-  HybridStrategy strategy = HybridStrategy::kAuto;
-  /// kAuto picks pre-filter when estimated selectivity is below this.
-  double prefilter_selectivity_threshold = 0.05;
-  /// Post-filter over-fetch multiplier (fetch k * overfetch candidates).
-  size_t overfetch = 4;
-  /// Max over-fetch doublings before giving up on filling k results.
-  size_t max_retries = 3;
-};
-
 /// Counters describing how a hybrid query executed.
 struct HybridQueryStats {
   std::string strategy;            // "prefilter" / "postfilter" / "federated"
@@ -69,24 +51,24 @@ struct HybridQueryStats {
   size_t candidates = 0;             // docs considered for fusion
 };
 
-/// A scored result document.
-struct ScoredDoc {
-  int64_t id;
-  double score;          // fused
-  double keyword_score;  // raw BM25 (0 when no keyword component)
-  double vector_score;   // similarity in [~0..1] (0 when no vector)
-};
-
 /// A collection of hybrid documents with three access paths — a columnar
 /// attribute table, a BM25 inverted index and flat + IVF vector indexes —
 /// and two executors over them:
 ///
-///  * `Search` — the FUSED engine: one planner sees all three predicates
-///    and picks pre- vs post-filtering by estimated selectivity.
+///  * `Search` — the FUSED engine: a thin facade that builds a
+///    LogicalScoreFusion plan and runs it through the embedded Database
+///    (optimizer resolves pre- vs post-filtering cost-based; the
+///    vectorized executor does the work).
 ///  * `SearchFederated` — the BOLTED-TOGETHER baseline: three independent
 ///    engines queried separately, intersected client-side with an
 ///    over-fetch loop. Deliberately mirrors gluing a vector DB, a search
 ///    engine and an RDBMS together.
+///
+/// The attribute table is registered in the embedded database as "docs"
+/// with the search indexes attached under the virtual columns "text" and
+/// "embedding", so `database().Execute("SELECT ... WHERE MATCH(text,...)")`
+/// queries the same data declaratively. Not movable: the catalog holds
+/// pointers to the index members.
 class HybridCollection {
  public:
   /// `attr_schema` names the structured attributes; `dim` is the
@@ -101,8 +83,15 @@ class HybridCollection {
   /// Call once after bulk loading (Add after Build is rejected).
   Status BuildIndexes();
 
+  HybridCollection(const HybridCollection&) = delete;
+  HybridCollection& operator=(const HybridCollection&) = delete;
+
   size_t size() const { return attrs_->num_rows(); }
   const Schema& attr_schema() const { return attrs_->schema(); }
+
+  /// The embedded engine holding the "docs" table with search indexes
+  /// attached; SQL hybrid queries (MATCH/KNN/score()) run against it.
+  Database& database() { return db_; }
 
   /// Fused hybrid search.
   Result<std::vector<ScoredDoc>> Search(const HybridQuery& query,
@@ -117,14 +106,14 @@ class HybridCollection {
   Result<std::vector<ScoredDoc>> SearchExact(const HybridQuery& query);
 
  private:
+  /// Parses + binds `filter_sql` against the attribute schema. Results
+  /// are cached per SQL string, so repeated queries skip the parser.
   Result<ExprPtr> BindFilter(const std::string& filter_sql) const;
+  /// Full-table predicate bitmap. Only the federated baseline and the
+  /// exact oracle use this; the fused path's bitmap lives in
+  /// PhysicalHybridSearch (morsel-parallel).
   Result<std::vector<uint8_t>> EvaluateFilterBitmap(const ExprPtr& filter,
                                                     size_t* rows_evaluated);
-  Result<double> EstimateFilterSelectivity(const ExprPtr& filter);
-  std::vector<ScoredDoc> Fuse(const HybridQuery& query,
-                              const std::vector<SearchHit>& keyword_hits,
-                              const std::vector<Neighbor>& vector_hits,
-                              size_t k) const;
 
   std::shared_ptr<Table> attrs_;
   InvertedIndex text_index_;
@@ -132,7 +121,8 @@ class HybridCollection {
   IvfFlatIndex ivf_index_;
   std::vector<std::string> texts_;  // retained for exact rescoring
   bool built_ = false;
-  StatsCache stats_cache_;
+  Database db_;
+  mutable std::unordered_map<std::string, ExprPtr> filter_cache_;
 };
 
 /// Deterministic synthetic workload for tests/benchmarks: `n` product-like

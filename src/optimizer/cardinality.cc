@@ -220,6 +220,15 @@ double CardinalityEstimator::EstimateRows(const LogicalOperator& node) const {
       if (l.limit() < 0) return child;
       return std::min(child, static_cast<double>(l.limit()));
     }
+    case LogicalOpKind::kTextMatch:
+    case LogicalOpKind::kVectorTopK:
+      // Ranking leaves execute inside their ScoreFusion parent; their
+      // contribution is bounded by its k.
+      return 1.0;
+    case LogicalOpKind::kScoreFusion: {
+      const auto& f = static_cast<const LogicalScoreFusion&>(node);
+      return static_cast<double>(std::max<size_t>(f.k(), 1));
+    }
   }
   return 1.0;
 }

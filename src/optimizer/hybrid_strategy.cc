@@ -1,0 +1,129 @@
+#include <algorithm>
+#include <cmath>
+
+#include "optimizer/optimizer.h"
+
+namespace agora {
+namespace optimizer_internal {
+
+namespace {
+
+// Unitless row-touch weights. Calibrated so the crossover matches the
+// measured behavior of the hybrid engine on the synthetic E3 workload:
+// a pre-filter pass costs one cheap predicate evaluation per row plus an
+// exact distance + BM25 probe per survivor; a post-filter attempt costs
+// one ANN probe sweep plus candidate re-filtering, and repeats while the
+// over-fetch loop under-fills k.
+constexpr double kFilterEvalCost = 0.25;   // predicate eval, per row
+constexpr double kExactProbeCost = 2.5;    // distance + BM25, per survivor
+constexpr double kAnnDistanceCost = 2.0;   // distance, per scanned vector
+constexpr double kCandidateCost = 1.0;     // fetch/filter, per candidate
+
+/// Fraction of the table one ANN probe sweep scans.
+double ProbeFraction(const LogicalVectorTopK* vec) {
+  if (vec == nullptr) return 0.0;  // keyword-only: no distance sweeps
+  if (vec->ivf_index() != nullptr) {
+    const IvfOptions& opt = vec->ivf_index()->options();
+    if (opt.nlist > 0) {
+      return static_cast<double>(opt.nprobe) /
+             static_cast<double>(opt.nlist);
+    }
+  }
+  if (vec->hnsw_index() != nullptr) return 0.05;  // ~logarithmic probes
+  return 1.0;  // flat fallback scans everything
+}
+
+double CostPreFilter(double rows, double selectivity) {
+  return kFilterEvalCost * rows + selectivity * rows * kExactProbeCost;
+}
+
+double CostPostFilter(double rows, double selectivity, size_t k,
+                      const HybridExecOptions& exec, double probe_frac) {
+  // The over-fetch loop starts at k*overfetch candidates and doubles until
+  // ~k/selectivity of them survive the filter (capped at max_retries).
+  double first_fetch =
+      static_cast<double>(k) * static_cast<double>(std::max<size_t>(
+                                   exec.overfetch, 1));
+  double needed = static_cast<double>(k) / std::max(selectivity, 1e-8);
+  double doublings = std::ceil(std::log2(std::max(needed / first_fetch,
+                                                  1.0)));
+  double attempts =
+      1.0 + std::min(static_cast<double>(exec.max_retries),
+                     std::max(doublings, 0.0));
+  double per_attempt =
+      rows * probe_frac * kAnnDistanceCost + first_fetch * kCandidateCost;
+  return attempts * per_attempt;
+}
+
+void ResolveOne(LogicalScoreFusion* fusion, const OptimizerOptions& options,
+                CardinalityEstimator* estimator) {
+  const TableStats& stats = estimator->stats_cache()->Get(*fusion->table());
+  double rows = static_cast<double>(std::max<int64_t>(stats.row_count, 1));
+  double selectivity = 1.0;
+  if (fusion->filter() != nullptr) {
+    selectivity = estimator->EstimateSelectivity(
+        fusion->filter(), [&stats](size_t column) -> const ColumnStats* {
+          return column < stats.columns.size() ? &stats.columns[column]
+                                               : nullptr;
+        });
+  }
+  LogicalVectorTopK* vec = fusion->vector_top_k();
+  double cost_pre = CostPreFilter(rows, selectivity);
+  double cost_post = CostPostFilter(rows, selectivity, fusion->k(),
+                                    fusion->exec_options(),
+                                    ProbeFraction(vec));
+  fusion->SetCostEstimates(selectivity, cost_pre, cost_post);
+
+  HybridStrategy strategy = fusion->strategy();
+  if (options.hybrid_force_strategy != HybridStrategy::kAuto) {
+    strategy = options.hybrid_force_strategy;
+  }
+  if (strategy == HybridStrategy::kAuto) {
+    if (fusion->filter() == nullptr) {
+      // Nothing to pre-filter: a single full-depth index pass wins.
+      strategy = HybridStrategy::kPostFilter;
+    } else if (options.enable_hybrid_cost_strategy) {
+      strategy = cost_pre <= cost_post ? HybridStrategy::kPreFilter
+                                       : HybridStrategy::kPostFilter;
+    } else {
+      // Legacy heuristic: fixed selectivity threshold.
+      strategy =
+          selectivity <=
+                  fusion->exec_options().prefilter_selectivity_threshold
+              ? HybridStrategy::kPreFilter
+              : HybridStrategy::kPostFilter;
+    }
+  }
+  fusion->set_strategy(strategy);
+
+  if (vec != nullptr) {
+    // Pre-filtered plans search the survivor set exactly; post-filtered
+    // plans want the cheapest ANN structure available.
+    VectorIndexChoice choice = VectorIndexChoice::kFlat;
+    if (strategy == HybridStrategy::kPostFilter) {
+      if (vec->ivf_index() != nullptr) {
+        choice = VectorIndexChoice::kIvf;
+      } else if (vec->hnsw_index() != nullptr) {
+        choice = VectorIndexChoice::kHnsw;
+      }
+    }
+    vec->set_index_choice(choice);
+  }
+}
+
+}  // namespace
+
+void ResolveHybridStrategies(const LogicalOpPtr& node,
+                             const OptimizerOptions& options,
+                             CardinalityEstimator* estimator) {
+  if (node->kind() == LogicalOpKind::kScoreFusion) {
+    ResolveOne(static_cast<LogicalScoreFusion*>(node.get()), options,
+               estimator);
+  }
+  for (const LogicalOpPtr& child : node->children()) {
+    ResolveHybridStrategies(child, options, estimator);
+  }
+}
+
+}  // namespace optimizer_internal
+}  // namespace agora

@@ -106,6 +106,11 @@ class JoinOrderer {
         return std::make_shared<LogicalUnion>(std::move(children));
       case LogicalOpKind::kScan:
         return node;
+      case LogicalOpKind::kTextMatch:
+      case LogicalOpKind::kVectorTopK:
+      case LogicalOpKind::kScoreFusion:
+        // Hybrid subtrees contain no joins; keep them intact.
+        return node;
     }
     return node;
   }
@@ -483,6 +488,9 @@ LogicalOpPtr ReorderJoins(const LogicalOpPtr& node,
 
 Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
   using namespace optimizer_internal;
+  // Not optional: the executor requires every fusion node to carry a
+  // concrete strategy. Only the *rule* (cost vs threshold) is switchable.
+  ResolveHybridStrategies(plan, options_, &estimator_);
   if (options_.enable_constant_folding) {
     plan = FoldPlanConstants(plan);
   }

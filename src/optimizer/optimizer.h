@@ -16,6 +16,14 @@ struct OptimizerOptions {
   bool enable_projection_pruning = true;
   /// Flag scans with pushed range predicates as zone-map eligible.
   bool enable_zone_maps = true;
+  /// Resolve HybridStrategy::kAuto by comparing pre- vs post-filter cost
+  /// estimates. When off, the legacy fixed selectivity threshold applies
+  /// (E4 ablations). kAuto is always resolved either way.
+  bool enable_hybrid_cost_strategy = true;
+  /// Force every hybrid fusion node onto one strategy regardless of what
+  /// the statement requested (kAuto = no forcing). Lets SQL-path tests and
+  /// benchmarks sweep strategies without new syntax.
+  HybridStrategy hybrid_force_strategy = HybridStrategy::kAuto;
 
   /// Everything off: the plan executes in syntactic order (the "ORM-grade"
   /// naive plan used as the E4 baseline).
@@ -26,6 +34,7 @@ struct OptimizerOptions {
     o.enable_join_reorder = false;
     o.enable_projection_pruning = false;
     o.enable_zone_maps = false;
+    o.enable_hybrid_cost_strategy = false;
     return o;
   }
 };
@@ -46,6 +55,9 @@ class Optimizer {
   Result<LogicalOpPtr> Optimize(LogicalOpPtr plan);
 
   const OptimizerOptions& options() const { return options_; }
+  /// Mutable rule switches; tests and the E4 ablation benchmarks flip
+  /// hybrid strategy forcing / cost rules between statements.
+  OptimizerOptions& mutable_options() { return options_; }
   CardinalityEstimator& estimator() { return estimator_; }
 
  private:
@@ -73,6 +85,15 @@ LogicalOpPtr PruneColumns(const LogicalOpPtr& root);
 
 /// Pass 5: marks scans whose pushed predicates can use zone maps.
 void FlagZoneMaps(const LogicalOpPtr& node);
+
+/// Pass 0 (always on): resolves HybridStrategy::kAuto on every
+/// LogicalScoreFusion — cost-based when enabled, legacy threshold rule
+/// otherwise — and picks the physical vector index for each
+/// LogicalVectorTopK (flat for exact pre-filtered plans, IVF/HNSW for
+/// post-filtered ANN plans). Records the estimates for EXPLAIN.
+void ResolveHybridStrategies(const LogicalOpPtr& node,
+                             const OptimizerOptions& options,
+                             CardinalityEstimator* estimator);
 
 }  // namespace optimizer_internal
 

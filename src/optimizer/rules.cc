@@ -54,6 +54,12 @@ LogicalOpPtr WithChildren(const LogicalOpPtr& node,
       return std::make_shared<LogicalDistinct>(children[0]);
     case LogicalOpKind::kUnion:
       return std::make_shared<LogicalUnion>(std::move(children));
+    case LogicalOpKind::kTextMatch:
+    case LogicalOpKind::kVectorTopK:
+    case LogicalOpKind::kScoreFusion:
+      // Hybrid-search subtrees are opaque to the rewriting rules; the
+      // dedicated strategy pass mutates them in place.
+      return node;
   }
   return node;
 }
@@ -417,6 +423,17 @@ PruneResult Prune(const LogicalOpPtr& node, const Required& required) {
         mapping = pruned.mapping;
       }
       return {std::make_shared<LogicalUnion>(std::move(children)), mapping};
+    }
+    case LogicalOpKind::kTextMatch:
+    case LogicalOpKind::kVectorTopK:
+    case LogicalOpKind::kScoreFusion: {
+      // Hybrid operators produce a fixed schema (rowid + attrs + scores);
+      // keep every column and prune nothing inside.
+      std::vector<int> mapping(node->schema().num_fields());
+      for (size_t i = 0; i < mapping.size(); ++i) {
+        mapping[i] = static_cast<int>(i);
+      }
+      return {node, std::move(mapping)};
     }
   }
   AGORA_CHECK(false) << "unhandled node in Prune";

@@ -257,6 +257,44 @@ Result<ExprPtr> Binder::BindCall(const ParsedExpr& parsed,
                          spec.result_type, spec.name);
   }
 
+  // Hybrid-search pseudo columns: score()/keyword_score()/vector_score()
+  // resolve to the corresponding LogicalScoreFusion output column;
+  // distance(col, [vec]) resolves to the raw vector distance column.
+  std::string upper = ToUpper(parsed.column);
+  if (upper == "SCORE" || upper == "KEYWORD_SCORE" ||
+      upper == "VECTOR_SCORE") {
+    // Arguments (fusion configuration, e.g. score('rrf', 60)) were already
+    // consumed by TryBindHybrid; here the call is just a column reference.
+    auto bound = BindColumn(*MakeParsedColumn("", ToLower(upper)), schema);
+    if (!bound.ok()) {
+      return Status::BindError(
+          ToLower(upper) +
+          "() is only valid in hybrid search queries (add MATCH() or "
+          "KNN() to the WHERE clause)");
+    }
+    return bound;
+  }
+  if (upper == "DISTANCE" && parsed.children.size() == 2 &&
+      parsed.children[1]->kind == ParsedExprKind::kVectorLiteral) {
+    auto bound = BindColumn(*MakeParsedColumn("", "distance"), schema);
+    if (!bound.ok()) {
+      return Status::BindError(
+          "distance() is only valid in hybrid search queries over a table "
+          "with an attached vector index");
+    }
+    if (parsed.children[1]->vector_values != hybrid_query_vector_) {
+      return Status::BindError(
+          "distance() vector literal must match the query vector of this "
+          "statement's KNN()/distance() search");
+    }
+    return bound;
+  }
+  if (upper == "MATCH" || upper == "KNN") {
+    return Status::BindError(
+        parsed.column +
+        "() must appear as a top-level AND conjunct of the WHERE clause");
+  }
+
   // Scalar function.
   ScalarFunc func;
   if (!LookupScalarFunc(parsed.column, &func)) {
@@ -486,6 +524,299 @@ Result<LogicalOpPtr> Binder::BindFromClause(const SelectStatement& sel) {
   return plan;
 }
 
+namespace {
+
+/// Splits a parsed boolean expression into its top-level AND conjuncts.
+void SplitConjuncts(const ParsedExprPtr& e,
+                    std::vector<ParsedExprPtr>* out) {
+  if (e->kind == ParsedExprKind::kBinary && e->op == "AND") {
+    SplitConjuncts(e->children[0], out);
+    SplitConjuncts(e->children[1], out);
+    return;
+  }
+  out->push_back(e);
+}
+
+/// True if `e` is a call to `name` (case-insensitive).
+bool IsCallTo(const ParsedExpr& e, std::string_view name) {
+  return e.kind == ParsedExprKind::kCall && EqualsIgnoreCase(e.column, name);
+}
+
+/// Collects every call to `name` anywhere inside `e`.
+void FindCalls(const ParsedExpr& e, std::string_view name,
+               std::vector<const ParsedExpr*>* out) {
+  if (IsCallTo(e, name)) out->push_back(&e);
+  for (const ParsedExprPtr& child : e.children) {
+    if (child != nullptr) FindCalls(*child, name, out);
+  }
+}
+
+/// Collects calls to `name` from the select list, ORDER BY and HAVING.
+std::vector<const ParsedExpr*> FindCallsInSelect(const SelectStatement& sel,
+                                                 std::string_view name) {
+  std::vector<const ParsedExpr*> calls;
+  for (const SelectItem& item : sel.items) {
+    if (item.expr != nullptr) FindCalls(*item.expr, name, &calls);
+  }
+  for (const OrderByItem& item : sel.order_by) {
+    FindCalls(*item.expr, name, &calls);
+  }
+  if (sel.having != nullptr) FindCalls(*sel.having, name, &calls);
+  return calls;
+}
+
+/// Parses a score('rrf'[, rrf_k]) / score('wsum'[, kw_w, vec_w]) fusion
+/// configuration into `params`.
+Status ParseFusionConfig(const ParsedExpr& call, FusionParams* params) {
+  const auto& args = call.children;
+  if (args.empty()) return Status::OK();  // score(): defaults
+  if (args[0]->kind != ParsedExprKind::kLiteral ||
+      args[0]->literal.type() != TypeId::kString) {
+    return Status::BindError(
+        "score() fusion method must be a string ('wsum' or 'rrf')");
+  }
+  auto numeric = [](const ParsedExpr& e, double* out) {
+    if (e.kind != ParsedExprKind::kLiteral) return false;
+    if (e.literal.type() == TypeId::kInt64) {
+      *out = static_cast<double>(e.literal.int64_value());
+      return true;
+    }
+    if (e.literal.type() == TypeId::kDouble) {
+      *out = e.literal.double_value();
+      return true;
+    }
+    return false;
+  };
+  const std::string& method = args[0]->literal.string_value();
+  if (EqualsIgnoreCase(method, "rrf")) {
+    params->fusion = ScoreFusion::kRrf;
+    if (args.size() > 2) {
+      return Status::BindError("score('rrf'[, rrf_k]) takes at most 2 "
+                               "arguments");
+    }
+    if (args.size() == 2) {
+      double k;
+      if (!numeric(*args[1], &k) || k <= 0) {
+        return Status::BindError("score('rrf', k): k must be a positive "
+                                 "number");
+      }
+      params->rrf_k = static_cast<size_t>(k);
+    }
+    return Status::OK();
+  }
+  if (EqualsIgnoreCase(method, "wsum")) {
+    params->fusion = ScoreFusion::kWeightedSum;
+    if (args.size() == 1) return Status::OK();
+    if (args.size() != 3) {
+      return Status::BindError(
+          "score('wsum', keyword_weight, vector_weight) takes both weights");
+    }
+    if (!numeric(*args[1], &params->keyword_weight) ||
+        !numeric(*args[2], &params->vector_weight)) {
+      return Status::BindError("score('wsum', ...) weights must be numbers");
+    }
+    return Status::OK();
+  }
+  return Status::BindError("unknown fusion method '" + method +
+                           "' (expected 'wsum' or 'rrf')");
+}
+
+}  // namespace
+
+Result<bool> Binder::TryBindHybrid(const SelectStatement& sel,
+                                   LogicalOpPtr* plan) {
+  // Pull MATCH/KNN conjuncts out of WHERE; everything else is the residual
+  // attribute filter the fusion operator evaluates itself.
+  std::vector<ParsedExprPtr> conjuncts;
+  if (sel.where != nullptr) SplitConjuncts(sel.where, &conjuncts);
+  const ParsedExpr* match_call = nullptr;
+  const ParsedExpr* knn_call = nullptr;
+  std::vector<ParsedExprPtr> residual;
+  for (const ParsedExprPtr& c : conjuncts) {
+    if (IsCallTo(*c, "MATCH")) {
+      if (match_call != nullptr) {
+        return Status::BindError("at most one MATCH() predicate per query");
+      }
+      match_call = c.get();
+    } else if (IsCallTo(*c, "KNN")) {
+      if (knn_call != nullptr) {
+        return Status::BindError("at most one KNN() predicate per query");
+      }
+      knn_call = c.get();
+    } else {
+      residual.push_back(c);
+    }
+  }
+  // distance(col, [vec]) in the select list / ORDER BY also establishes a
+  // vector component (the ORDER BY distance(...) LIMIT k idiom).
+  std::vector<const ParsedExpr*> distance_calls =
+      FindCallsInSelect(sel, "DISTANCE");
+  const ParsedExpr* distance_call = nullptr;
+  for (const ParsedExpr* d : distance_calls) {
+    if (d->children.size() == 2 &&
+        d->children[1]->kind == ParsedExprKind::kVectorLiteral) {
+      distance_call = d;
+      break;
+    }
+  }
+  if (match_call == nullptr && knn_call == nullptr &&
+      distance_call == nullptr) {
+    return false;
+  }
+
+  if ((*plan)->kind() != LogicalOpKind::kScan) {
+    return Status::BindError(
+        "hybrid search (MATCH/KNN/distance) requires a single-table query "
+        "without joins");
+  }
+  auto* scan = static_cast<LogicalScan*>(plan->get());
+  const std::string& alias = scan->alias();
+  const TableSearchIndexes* indexes =
+      catalog_.GetSearchIndexes(scan->table()->name());
+  if (indexes == nullptr) {
+    return Status::BindError("table '" + scan->table()->name() +
+                             "' has no search indexes attached");
+  }
+
+  // Validates that a MATCH/KNN/distance first argument names the indexed
+  // pseudo column (optionally alias-qualified).
+  auto check_column = [&](const ParsedExpr& call,
+                          const std::string& indexed) -> Status {
+    if (call.children.empty() ||
+        call.children[0]->kind != ParsedExprKind::kColumn) {
+      return Status::BindError(call.column +
+                               "() first argument must be a column");
+    }
+    const ParsedExpr& col = *call.children[0];
+    if (!col.table.empty() && !EqualsIgnoreCase(col.table, alias)) {
+      return Status::BindError("column '" + col.table + "." + col.column +
+                               "' does not belong to '" + alias + "'");
+    }
+    if (indexed.empty() || !EqualsIgnoreCase(col.column, indexed)) {
+      return Status::BindError("column '" + col.column + "' of table '" +
+                               scan->table()->name() +
+                               "' has no attached search index");
+    }
+    return Status::OK();
+  };
+
+  LogicalOpPtr text_child;
+  if (match_call != nullptr) {
+    AGORA_RETURN_IF_ERROR(check_column(*match_call, indexes->text_column));
+    if (indexes->text_index == nullptr) {
+      return Status::BindError("table '" + scan->table()->name() +
+                               "' has no inverted index");
+    }
+    if (match_call->children.size() != 2 ||
+        match_call->children[1]->kind != ParsedExprKind::kLiteral ||
+        match_call->children[1]->literal.type() != TypeId::kString) {
+      return Status::BindError(
+          "MATCH(column, 'query') takes a column and a string");
+    }
+    text_child = std::make_shared<LogicalTextMatch>(
+        alias, indexes->text_column,
+        match_call->children[1]->literal.string_value(),
+        indexes->text_index);
+  }
+
+  // Fused k: KNN's explicit k wins, else LIMIT+OFFSET, else 10.
+  std::vector<double> query_vector;
+  size_t k = sel.limit >= 0
+                 ? static_cast<size_t>(sel.limit + sel.offset)
+                 : 10;
+  if (knn_call != nullptr) {
+    AGORA_RETURN_IF_ERROR(check_column(*knn_call, indexes->vector_column));
+    if (knn_call->children.size() != 3 ||
+        knn_call->children[1]->kind != ParsedExprKind::kVectorLiteral ||
+        knn_call->children[2]->kind != ParsedExprKind::kLiteral ||
+        knn_call->children[2]->literal.type() != TypeId::kInt64) {
+      return Status::BindError(
+          "KNN(column, [v1, ...], k) takes a column, a vector literal and "
+          "an integer k");
+    }
+    int64_t knn_k = knn_call->children[2]->literal.int64_value();
+    if (knn_k <= 0) return Status::BindError("KNN k must be positive");
+    k = static_cast<size_t>(knn_k);
+    query_vector = knn_call->children[1]->vector_values;
+  }
+  if (distance_call != nullptr) {
+    AGORA_RETURN_IF_ERROR(
+        check_column(*distance_call, indexes->vector_column));
+    if (knn_call == nullptr) {
+      query_vector = distance_call->children[1]->vector_values;
+    } else if (distance_call->children[1]->vector_values != query_vector) {
+      return Status::BindError(
+          "distance() vector literal must match the KNN() query vector");
+    }
+  }
+
+  LogicalOpPtr vector_child;
+  if (!query_vector.empty() || knn_call != nullptr ||
+      distance_call != nullptr) {
+    if (indexes->flat_index == nullptr) {
+      return Status::BindError("table '" + scan->table()->name() +
+                               "' has no vector index");
+    }
+    if (query_vector.size() != indexes->flat_index->dim()) {
+      return Status::BindError(
+          "query vector has dimension " +
+          std::to_string(query_vector.size()) + ", index expects " +
+          std::to_string(indexes->flat_index->dim()));
+    }
+    Vecf vec(query_vector.size());
+    for (size_t i = 0; i < query_vector.size(); ++i) {
+      vec[i] = static_cast<float>(query_vector[i]);
+    }
+    vector_child = std::make_shared<LogicalVectorTopK>(
+        alias, indexes->vector_column, std::move(vec), k,
+        indexes->flat_index, indexes->ivf_index, indexes->hnsw_index);
+  }
+  hybrid_query_vector_ = std::move(query_vector);
+
+  // Fusion configuration from score('method', ...) calls; all occurrences
+  // must agree.
+  FusionParams params;
+  bool configured = false;
+  for (const ParsedExpr* call : FindCallsInSelect(sel, "SCORE")) {
+    if (call->children.empty()) continue;
+    FusionParams p;
+    AGORA_RETURN_IF_ERROR(ParseFusionConfig(*call, &p));
+    if (configured &&
+        (p.fusion != params.fusion || p.rrf_k != params.rrf_k ||
+         p.keyword_weight != params.keyword_weight ||
+         p.vector_weight != params.vector_weight)) {
+      return Status::BindError(
+          "conflicting score() fusion configurations in one query");
+    }
+    params = p;
+    configured = true;
+  }
+
+  // Residual attribute filter, bound against the scan schema (column
+  // indexes equal the table's column order, which is what the fusion
+  // operator evaluates row chunks against).
+  ExprPtr filter;
+  if (!residual.empty()) {
+    ParsedExprPtr folded = residual[0];
+    for (size_t i = 1; i < residual.size(); ++i) {
+      folded = MakeParsedBinary("AND", std::move(folded), residual[i]);
+    }
+    if (ContainsAggregate(*folded)) {
+      return Status::BindError("aggregates are not allowed in WHERE");
+    }
+    AGORA_ASSIGN_OR_RETURN(filter,
+                           BindScalarExpr(folded, (*plan)->schema()));
+    if (filter->result_type() != TypeId::kBool) {
+      return Status::TypeError("WHERE clause must be BOOLEAN");
+    }
+  }
+
+  *plan = std::make_shared<LogicalScoreFusion>(
+      scan->table(), alias, k, params, HybridExecOptions{},
+      std::move(filter), std::move(text_child), std::move(vector_child));
+  return true;
+}
+
 Result<LogicalOpPtr> Binder::BindSelect(const SelectStatement& sel) {
   if (!sel.union_parts.empty()) return BindUnion(sel);
   return BindSelectCore(sel, /*bind_order_limit=*/true);
@@ -599,10 +930,14 @@ Result<LogicalOpPtr> Binder::BindUnion(const SelectStatement& sel) {
 Result<LogicalOpPtr> Binder::BindSelectCore(const SelectStatement& sel,
                                             bool bind_order_limit) {
   AGORA_ASSIGN_OR_RETURN(LogicalOpPtr plan, BindFromClause(sel));
+  // Hybrid search: MATCH()/KNN() conjuncts replace the scan with a
+  // ScoreFusion subtree that also consumes the residual WHERE filter.
+  hybrid_query_vector_.clear();
+  AGORA_ASSIGN_OR_RETURN(bool is_hybrid, TryBindHybrid(sel, &plan));
   const Schema input_schema = plan->schema();
 
-  // WHERE.
-  if (sel.where != nullptr) {
+  // WHERE (already consumed by the fusion operator for hybrid queries).
+  if (!is_hybrid && sel.where != nullptr) {
     if (ContainsAggregate(*sel.where)) {
       return Status::BindError("aggregates are not allowed in WHERE");
     }

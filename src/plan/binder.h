@@ -45,6 +45,12 @@ class Binder {
   Result<LogicalOpPtr> BindUnion(const SelectStatement& sel);
 
   Result<LogicalOpPtr> BindFromClause(const SelectStatement& sel);
+  /// Hybrid-search extraction: when the statement uses MATCH()/KNN() in
+  /// WHERE (or distance() in the select list / ORDER BY), replaces the
+  /// single-table scan in `*plan` with a LogicalScoreFusion subtree and
+  /// consumes the hybrid conjuncts plus the residual attribute filter.
+  /// Returns true when the plan was replaced.
+  Result<bool> TryBindHybrid(const SelectStatement& sel, LogicalOpPtr* plan);
   Result<ExprPtr> BindExpr(const ParsedExprPtr& parsed, const Schema& schema,
                            AggBindingContext* agg);
   Result<ExprPtr> BindColumn(const ParsedExpr& parsed, const Schema& schema);
@@ -56,6 +62,10 @@ class Binder {
                                           const Schema& input);
 
   const Catalog& catalog_;
+  /// The KNN/distance() query vector of the SELECT core being bound
+  /// (empty outside hybrid queries). distance() calls are validated
+  /// against it so a mismatched vector literal cannot silently bind.
+  std::vector<double> hybrid_query_vector_;
 };
 
 /// True if `e` contains an aggregate function call (COUNT/SUM/AVG/MIN/MAX).

@@ -1,5 +1,7 @@
 #include "plan/logical_plan.h"
 
+#include <cstdio>
+
 namespace agora {
 
 std::string LogicalOperator::TreeString(int indent) const {
@@ -200,5 +202,147 @@ std::string LogicalUnion::ToString() const {
 }
 
 std::string LogicalDistinct::ToString() const { return "Distinct()"; }
+
+namespace {
+
+std::string FormatCost(double v) {
+  // Costs are unitless row-touch estimates; one decimal is plenty.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", v);
+  return buf;
+}
+
+std::string FormatSelectivity(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
+}
+
+}  // namespace
+
+LogicalTextMatch::LogicalTextMatch(std::string alias, std::string column,
+                                   std::string query,
+                                   const InvertedIndex* index)
+    : LogicalOperator(
+          LogicalOpKind::kTextMatch,
+          Schema({{alias + ".rowid", TypeId::kInt64, false},
+                  {alias + ".keyword_score", TypeId::kDouble, false}})),
+      alias_(std::move(alias)),
+      column_(std::move(column)),
+      query_(std::move(query)),
+      index_(index) {}
+
+std::string LogicalTextMatch::ToString() const {
+  return "TextMatch(" + alias_ + "." + column_ + " MATCH '" + query_ +
+         "', index=inverted[bm25])";
+}
+
+LogicalVectorTopK::LogicalVectorTopK(std::string alias, std::string column,
+                                     Vecf query, size_t k,
+                                     const FlatIndex* flat,
+                                     const IvfFlatIndex* ivf,
+                                     const HnswIndex* hnsw)
+    : LogicalOperator(
+          LogicalOpKind::kVectorTopK,
+          Schema({{alias + ".rowid", TypeId::kInt64, false},
+                  {alias + ".distance", TypeId::kDouble, true}})),
+      alias_(std::move(alias)),
+      column_(std::move(column)),
+      query_(std::move(query)),
+      k_(k),
+      flat_(flat),
+      ivf_(ivf),
+      hnsw_(hnsw) {}
+
+std::string LogicalVectorTopK::ToString() const {
+  std::string out = "VectorTopK(" + alias_ + "." + column_ +
+                    ", k=" + std::to_string(k_) + ", dim=" +
+                    std::to_string(query_.size()) + ", index=";
+  out += VectorIndexChoiceToString(index_choice_);
+  if (index_choice_ == VectorIndexChoice::kIvf && ivf_ != nullptr) {
+    out += "[nprobe=" + std::to_string(ivf_->options().nprobe) + "/" +
+           std::to_string(ivf_->options().nlist) + "]";
+  }
+  return out + ")";
+}
+
+namespace {
+
+Schema FusionSchema(const Table& table, const std::string& alias,
+                    bool has_vector) {
+  std::vector<Field> fields;
+  fields.push_back(Field{alias + ".rowid", TypeId::kInt64, false});
+  for (size_t c = 0; c < table.schema().num_fields(); ++c) {
+    Field f = table.schema().field(c);
+    f.name = alias + "." + f.name;
+    fields.push_back(std::move(f));
+  }
+  fields.push_back(Field{alias + ".score", TypeId::kDouble, false});
+  fields.push_back(Field{alias + ".keyword_score", TypeId::kDouble, false});
+  fields.push_back(Field{alias + ".vector_score", TypeId::kDouble, false});
+  if (has_vector) {
+    // Raw metric distance; NULL for docs ranked by keywords only.
+    fields.push_back(Field{alias + ".distance", TypeId::kDouble, true});
+  }
+  return Schema(std::move(fields));
+}
+
+}  // namespace
+
+LogicalScoreFusion::LogicalScoreFusion(std::shared_ptr<Table> table,
+                                       std::string alias, size_t k,
+                                       FusionParams params,
+                                       HybridExecOptions exec, ExprPtr filter,
+                                       LogicalOpPtr text_child,
+                                       LogicalOpPtr vector_child)
+    : LogicalOperator(LogicalOpKind::kScoreFusion,
+                      FusionSchema(*table, alias, vector_child != nullptr)),
+      table_(std::move(table)),
+      alias_(std::move(alias)),
+      k_(k),
+      params_(params),
+      exec_(exec),
+      filter_(std::move(filter)) {
+  if (text_child != nullptr) children_.push_back(std::move(text_child));
+  if (vector_child != nullptr) children_.push_back(std::move(vector_child));
+}
+
+const LogicalTextMatch* LogicalScoreFusion::text_match() const {
+  for (const LogicalOpPtr& c : children_) {
+    if (c->kind() == LogicalOpKind::kTextMatch) {
+      return static_cast<const LogicalTextMatch*>(c.get());
+    }
+  }
+  return nullptr;
+}
+
+LogicalVectorTopK* LogicalScoreFusion::vector_top_k() const {
+  for (const LogicalOpPtr& c : children_) {
+    if (c->kind() == LogicalOpKind::kVectorTopK) {
+      return static_cast<LogicalVectorTopK*>(c.get());
+    }
+  }
+  return nullptr;
+}
+
+std::string LogicalScoreFusion::ToString() const {
+  std::string out = "ScoreFusion(" + table_->name();
+  if (alias_ != table_->name()) out += " AS " + alias_;
+  out += ", k=" + std::to_string(k_);
+  out += params_.fusion == ScoreFusion::kRrf
+             ? ", fusion=rrf[k=" + std::to_string(params_.rrf_k) + "]"
+             : std::string(", fusion=wsum");
+  out += "[kw=" + FormatCost(params_.keyword_weight) +
+         ",vec=" + FormatCost(params_.vector_weight) + "]";
+  out += ", strategy=";
+  out += HybridStrategyToString(exec_.strategy);
+  if (costed_) {
+    out += ", sel=" + FormatSelectivity(estimated_selectivity_) +
+           ", cost[pre=" + FormatCost(cost_prefilter_) +
+           ", post=" + FormatCost(cost_postfilter_) + "]";
+  }
+  if (filter_ != nullptr) out += ", filter=" + filter_->ToString();
+  return out + ")";
+}
 
 }  // namespace agora

@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "expr/expr.h"
+#include "search/search_types.h"
 #include "storage/table.h"
 #include "types/schema.h"
+#include "vec/distance.h"
 
 namespace agora {
 
@@ -21,6 +23,9 @@ enum class LogicalOpKind {
   kLimit,
   kDistinct,
   kUnion,
+  kTextMatch,    // BM25 keyword ranking leaf (MATCH(col, 'query'))
+  kVectorTopK,   // vector k-NN ranking leaf (KNN(col, [...], k))
+  kScoreFusion,  // combines ranking leaves + attribute filter into top-k
 };
 
 class LogicalOperator;
@@ -247,6 +252,126 @@ class LogicalDistinct : public LogicalOperator {
   }
 
   std::string ToString() const override;
+};
+
+/// Keyword-ranking leaf: BM25 search of `query` over the inverted index
+/// attached to `alias.column`. Always appears as a child of
+/// LogicalScoreFusion, which drives the actual index probes (the fetch
+/// depth depends on the fusion strategy); its schema documents the ranking
+/// it contributes.
+class LogicalTextMatch : public LogicalOperator {
+ public:
+  LogicalTextMatch(std::string alias, std::string column, std::string query,
+                   const InvertedIndex* index);
+
+  const std::string& alias() const { return alias_; }
+  const std::string& column() const { return column_; }
+  const std::string& query() const { return query_; }
+  const InvertedIndex* index() const { return index_; }
+
+  std::string ToString() const override;
+
+ private:
+  std::string alias_;
+  std::string column_;
+  std::string query_;
+  const InvertedIndex* index_;
+};
+
+/// Vector-ranking leaf: k-NN search of `query` over the vector indexes
+/// attached to `alias.column`. The optimizer picks the physical index
+/// (flat for exact pre-filtered plans, IVF/HNSW for post-filtered ANN
+/// plans). Like LogicalTextMatch, it executes inside its parent
+/// LogicalScoreFusion.
+class LogicalVectorTopK : public LogicalOperator {
+ public:
+  LogicalVectorTopK(std::string alias, std::string column, Vecf query,
+                    size_t k, const FlatIndex* flat, const IvfFlatIndex* ivf,
+                    const HnswIndex* hnsw);
+
+  const std::string& alias() const { return alias_; }
+  const std::string& column() const { return column_; }
+  const Vecf& query() const { return query_; }
+  size_t k() const { return k_; }
+  const FlatIndex* flat_index() const { return flat_; }
+  const IvfFlatIndex* ivf_index() const { return ivf_; }
+  const HnswIndex* hnsw_index() const { return hnsw_; }
+
+  VectorIndexChoice index_choice() const { return index_choice_; }
+  void set_index_choice(VectorIndexChoice c) { index_choice_ = c; }
+
+  std::string ToString() const override;
+
+ private:
+  std::string alias_;
+  std::string column_;
+  Vecf query_;
+  size_t k_;
+  const FlatIndex* flat_;
+  const IvfFlatIndex* ivf_;
+  const HnswIndex* hnsw_;
+  VectorIndexChoice index_choice_ = VectorIndexChoice::kUnchosen;
+};
+
+/// Hybrid-search root: fuses the rankings of its leaf children (text
+/// match and/or vector top-k) with an optional attribute filter over
+/// `table`, emitting fused top-k rows sorted by (score desc, id asc):
+///
+///   [alias.rowid, alias.<attrs>..., alias.score, alias.keyword_score,
+///    alias.vector_score, alias.distance (vector plans only)]
+///
+/// `filter` is bound against the table's column order and evaluated by
+/// the chosen strategy: pre-filter materializes the survivor bitmap first
+/// (exact), post-filter probes ANN indexes with an over-fetch loop. The
+/// optimizer resolves HybridStrategy::kAuto cost-based and records the
+/// estimate for EXPLAIN.
+class LogicalScoreFusion : public LogicalOperator {
+ public:
+  LogicalScoreFusion(std::shared_ptr<Table> table, std::string alias,
+                     size_t k, FusionParams params, HybridExecOptions exec,
+                     ExprPtr filter, LogicalOpPtr text_child,
+                     LogicalOpPtr vector_child);
+
+  const std::shared_ptr<Table>& table() const { return table_; }
+  const std::string& alias() const { return alias_; }
+  size_t k() const { return k_; }
+  const FusionParams& params() const { return params_; }
+  const HybridExecOptions& exec_options() const { return exec_; }
+  const ExprPtr& filter() const { return filter_; }
+
+  /// The ranking leaves; null when that modality is absent.
+  const LogicalTextMatch* text_match() const;
+  LogicalVectorTopK* vector_top_k() const;
+
+  HybridStrategy strategy() const { return exec_.strategy; }
+  void set_strategy(HybridStrategy s) { exec_.strategy = s; }
+
+  /// Cost annotations recorded by the optimizer for EXPLAIN.
+  double estimated_selectivity() const { return estimated_selectivity_; }
+  double cost_prefilter() const { return cost_prefilter_; }
+  double cost_postfilter() const { return cost_postfilter_; }
+  bool costed() const { return costed_; }
+  void SetCostEstimates(double selectivity, double cost_pre,
+                        double cost_post) {
+    estimated_selectivity_ = selectivity;
+    cost_prefilter_ = cost_pre;
+    cost_postfilter_ = cost_post;
+    costed_ = true;
+  }
+
+  std::string ToString() const override;
+
+ private:
+  std::shared_ptr<Table> table_;
+  std::string alias_;
+  size_t k_;
+  FusionParams params_;
+  HybridExecOptions exec_;
+  ExprPtr filter_;
+  double estimated_selectivity_ = 1.0;
+  double cost_prefilter_ = 0;
+  double cost_postfilter_ = 0;
+  bool costed_ = false;
 };
 
 }  // namespace agora

@@ -1,0 +1,114 @@
+#include "search/fusion.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace agora {
+
+std::string_view VectorIndexChoiceToString(VectorIndexChoice choice) {
+  switch (choice) {
+    case VectorIndexChoice::kUnchosen:
+      return "unchosen";
+    case VectorIndexChoice::kFlat:
+      return "flat";
+    case VectorIndexChoice::kIvf:
+      return "ivf";
+    case VectorIndexChoice::kHnsw:
+      return "hnsw";
+  }
+  return "?";
+}
+
+std::string_view HybridStrategyToString(HybridStrategy strategy) {
+  switch (strategy) {
+    case HybridStrategy::kAuto:
+      return "auto";
+    case HybridStrategy::kPreFilter:
+      return "prefilter";
+    case HybridStrategy::kPostFilter:
+      return "postfilter";
+  }
+  return "?";
+}
+
+double DistanceToSimilarity(Metric metric, float distance) {
+  switch (metric) {
+    case Metric::kL2:
+      return 1.0 / (1.0 + static_cast<double>(distance));
+    case Metric::kIp:
+    case Metric::kCosine:
+      return static_cast<double>(-distance);
+  }
+  return 0;
+}
+
+std::vector<ScoredDoc> FuseScores(const FusionParams& params, Metric metric,
+                                  const std::vector<SearchHit>& keyword_hits,
+                                  const std::vector<Neighbor>& vector_hits,
+                                  size_t k) {
+  struct Partial {
+    double kw = 0, vec = 0;
+    size_t kw_rank = 0, vec_rank = 0;  // 1-based; 0 = absent
+  };
+  std::unordered_map<int64_t, Partial> partials;
+  double kw_min = 0, kw_max = 0;
+  for (size_t r = 0; r < keyword_hits.size(); ++r) {
+    Partial& p = partials[keyword_hits[r].doc_id];
+    p.kw = keyword_hits[r].score;
+    p.kw_rank = r + 1;
+    if (r == 0) {
+      kw_min = kw_max = p.kw;
+    } else {
+      kw_min = std::min(kw_min, p.kw);
+      kw_max = std::max(kw_max, p.kw);
+    }
+  }
+  double v_min = 0, v_max = 0;
+  for (size_t r = 0; r < vector_hits.size(); ++r) {
+    Partial& p = partials[vector_hits[r].id];
+    p.vec = DistanceToSimilarity(metric, vector_hits[r].distance);
+    p.vec_rank = r + 1;
+    double sim = p.vec;
+    if (r == 0) {
+      v_min = v_max = sim;
+    } else {
+      v_min = std::min(v_min, sim);
+      v_max = std::max(v_max, sim);
+    }
+  }
+
+  std::vector<ScoredDoc> out;
+  out.reserve(partials.size());
+  for (const auto& [id, p] : partials) {
+    double score = 0;
+    if (params.fusion == ScoreFusion::kRrf) {
+      if (p.kw_rank > 0) {
+        score += params.keyword_weight /
+                 static_cast<double>(params.rrf_k + p.kw_rank);
+      }
+      if (p.vec_rank > 0) {
+        score += params.vector_weight /
+                 static_cast<double>(params.rrf_k + p.vec_rank);
+      }
+    } else {
+      double nk = 0, nv = 0;
+      if (p.kw_rank > 0) {
+        nk = kw_max > kw_min ? (p.kw - kw_min) / (kw_max - kw_min) : 1.0;
+      }
+      if (p.vec_rank > 0) {
+        nv = v_max > v_min ? (p.vec - v_min) / (v_max - v_min) : 1.0;
+      }
+      score = params.keyword_weight * nk + params.vector_weight * nv;
+    }
+    out.push_back(ScoredDoc{id, score, p.kw, p.vec});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredDoc& a, const ScoredDoc& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.id < b.id;
+            });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace agora

@@ -1,0 +1,28 @@
+#ifndef AGORA_SEARCH_FUSION_H_
+#define AGORA_SEARCH_FUSION_H_
+
+#include <vector>
+
+#include "search/search_types.h"
+#include "vec/distance.h"
+
+namespace agora {
+
+/// Inverts the index layer's "smaller is closer" distances back to a
+/// similarity in a stable range (L2: 1/(1+d); IP/cosine: the negated
+/// distance, i.e. the raw similarity).
+double DistanceToSimilarity(Metric metric, float distance);
+
+/// Combines a BM25 ranked list and a vector ranked list into fused top-k.
+/// Weighted-sum mode min-max-normalizes each modality over its hit list (a
+/// single-element list normalizes to 1.0); RRF scores are
+/// weight/(rrf_k + rank). Ties break by (score desc, id asc); the result
+/// is truncated to k. Deterministic for fixed inputs.
+std::vector<ScoredDoc> FuseScores(const FusionParams& params, Metric metric,
+                                  const std::vector<SearchHit>& keyword_hits,
+                                  const std::vector<Neighbor>& vector_hits,
+                                  size_t k);
+
+}  // namespace agora
+
+#endif  // AGORA_SEARCH_FUSION_H_

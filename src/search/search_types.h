@@ -1,0 +1,93 @@
+#ifndef AGORA_SEARCH_SEARCH_TYPES_H_
+#define AGORA_SEARCH_SEARCH_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "fts/inverted_index.h"
+#include "vec/flat_index.h"
+#include "vec/hnsw_index.h"
+#include "vec/ivf_index.h"
+
+namespace agora {
+
+/// How keyword and vector rankings are combined.
+enum class ScoreFusion {
+  kWeightedSum,  // min-max-normalized weighted sum
+  kRrf,          // reciprocal rank fusion
+};
+
+/// Execution strategy for fused hybrid search. The optimizer resolves
+/// kAuto into one of the concrete strategies before lowering.
+enum class HybridStrategy {
+  kAuto,        // let the optimizer choose (cost-based)
+  kPreFilter,   // evaluate filter first, exact search over survivors
+  kPostFilter,  // index search with over-fetch, filter the candidates
+};
+
+struct HybridExecOptions {
+  HybridStrategy strategy = HybridStrategy::kAuto;
+  /// Selectivity threshold used by the legacy heuristic (pre-filter when
+  /// estimated selectivity is below this). Only consulted when the
+  /// cost-based strategy rule is disabled (E4 ablations).
+  double prefilter_selectivity_threshold = 0.05;
+  /// Post-filter over-fetch multiplier (fetch k * overfetch candidates).
+  size_t overfetch = 4;
+  /// Max over-fetch doublings before giving up on filling k results.
+  size_t max_retries = 3;
+};
+
+/// Weights and method for combining keyword and vector ranked lists.
+struct FusionParams {
+  double keyword_weight = 0.5;
+  double vector_weight = 0.5;
+  ScoreFusion fusion = ScoreFusion::kWeightedSum;
+  size_t rrf_k = 60;
+};
+
+/// A scored result document.
+struct ScoredDoc {
+  int64_t id;
+  double score;          // fused
+  double keyword_score;  // raw BM25 (0 when no keyword component)
+  double vector_score;   // similarity in [~0..1] (0 when no vector)
+};
+
+/// Which physical vector index serves a LogicalVectorTopK. Chosen by the
+/// optimizer: pre-filtered plans need the exact flat index, post-filtered
+/// plans prefer an ANN structure.
+enum class VectorIndexChoice {
+  kUnchosen,
+  kFlat,  // exact brute force
+  kIvf,   // inverted-file partitions
+  kHnsw,  // navigable small-world graph
+};
+
+std::string_view VectorIndexChoiceToString(VectorIndexChoice choice);
+
+/// "auto" / "prefilter" / "postfilter" (EXPLAIN + stats rendering).
+std::string_view HybridStrategyToString(HybridStrategy strategy);
+
+/// Search access paths attached to a catalog table, making keyword and
+/// vector predicates plannable in the declarative pipeline. The index
+/// objects are owned by whoever built them (e.g. HybridCollection); they
+/// must outlive the catalog attachment. Document ids are row positions in
+/// the attached table.
+struct TableSearchIndexes {
+  /// Text column served by the inverted index ("" = none).
+  std::string text_column;
+  const InvertedIndex* text_index = nullptr;
+
+  /// Embedding column served by the vector indexes ("" = none). flat is
+  /// required when vector search is used; ivf/hnsw are optional ANN
+  /// alternatives over the same vectors.
+  std::string vector_column;
+  const FlatIndex* flat_index = nullptr;
+  const IvfFlatIndex* ivf_index = nullptr;
+  const HnswIndex* hnsw_index = nullptr;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_SEARCH_SEARCH_TYPES_H_

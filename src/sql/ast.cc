@@ -59,6 +59,14 @@ std::string ParsedExpr::ToString() const {
       if (case_has_else) out += " ELSE " + children.back()->ToString();
       return out + " END";
     }
+    case ParsedExprKind::kVectorLiteral: {
+      std::string out = "[";
+      for (size_t i = 0; i < vector_values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(vector_values[i]);
+      }
+      return out + "]";
+    }
   }
   return "?";
 }

@@ -28,6 +28,7 @@ enum class ParsedExprKind {
   kBetween,   // child [NOT] BETWEEN lo AND hi
   kCast,      // CAST(child AS TYPE)
   kCase,      // CASE WHEN ... THEN ... [ELSE ...] END
+  kVectorLiteral,  // [v1, v2, ...] — dense embedding literal for KNN/distance
 };
 
 /// A syntactic expression node. Kept as a single tagged struct (rather than
@@ -57,6 +58,7 @@ struct ParsedExpr {
   std::vector<Value> in_values;  // kInList literal values
   TypeId cast_type = TypeId::kInvalid;  // kCast target
   bool case_has_else = false;           // kCase: children includes ELSE
+  std::vector<double> vector_values;    // kVectorLiteral components
 
   /// Debug rendering, close to SQL.
   std::string ToString() const;
@@ -179,6 +181,7 @@ struct Statement {
                DeleteStatement, CopyStatement>
       node;
   bool explain = false;  // EXPLAIN SELECT ...
+  bool analyze = false;  // EXPLAIN ANALYZE SELECT ... (implies explain)
 };
 
 }  // namespace agora

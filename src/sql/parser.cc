@@ -17,7 +17,10 @@ class Parser {
 
   Result<Statement> Parse() {
     Statement stmt;
-    if (MatchKeyword("EXPLAIN")) stmt.explain = true;
+    if (MatchKeyword("EXPLAIN")) {
+      stmt.explain = true;
+      if (MatchKeyword("ANALYZE")) stmt.analyze = true;
+    }
     if (PeekKeyword("SELECT")) {
       AGORA_ASSIGN_OR_RETURN(SelectStatement sel, ParseSelect());
       stmt.node = std::move(sel);
@@ -607,6 +610,32 @@ class Parser {
       AGORA_ASSIGN_OR_RETURN(ParsedExprPtr inner, ParseExpr());
       AGORA_RETURN_IF_ERROR(ExpectOperator(")"));
       return inner;
+    }
+    // Vector literal: [v1, v2, ...] (numbers, optionally negated).
+    if (MatchOperator("[")) {
+      auto e = std::make_shared<ParsedExpr>();
+      e->kind = ParsedExprKind::kVectorLiteral;
+      if (!PeekOperator("]")) {
+        while (true) {
+          AGORA_ASSIGN_OR_RETURN(ParsedExprPtr comp, ParseUnary());
+          if (comp->kind != ParsedExprKind::kLiteral) {
+            return Status::ParseError(
+                "vector literal components must be numbers");
+          }
+          if (comp->literal.type() == TypeId::kInt64) {
+            e->vector_values.push_back(
+                static_cast<double>(comp->literal.int64_value()));
+          } else if (comp->literal.type() == TypeId::kDouble) {
+            e->vector_values.push_back(comp->literal.double_value());
+          } else {
+            return Status::ParseError(
+                "vector literal components must be numbers");
+          }
+          if (!MatchOperator(",")) break;
+        }
+      }
+      AGORA_RETURN_IF_ERROR(ExpectOperator("]"));
+      return ParsedExprPtr(std::move(e));
     }
     if (t.Is(TokenType::kIdentifier)) {
       if (EqualsIgnoreCase(t.text, "NULL")) {

@@ -124,6 +124,8 @@ Result<std::vector<Token>> Tokenize(std::string_view sql) {
       case ',':
       case '.':
       case ';':
+      case '[':
+      case ']':
         tokens.push_back({TokenType::kOperator, std::string(1, c), start});
         ++i;
         break;

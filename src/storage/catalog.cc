@@ -44,7 +44,24 @@ Status Catalog::DropTable(const std::string& name) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
   tables_.erase(it);
+  search_indexes_.erase(ToLower(name));
   return Status::OK();
+}
+
+Status Catalog::AttachSearchIndexes(const std::string& table,
+                                    TableSearchIndexes indexes) {
+  std::string key = ToLower(table);
+  if (tables_.count(key) == 0) {
+    return Status::NotFound("table '" + table + "' does not exist");
+  }
+  search_indexes_[std::move(key)] = std::move(indexes);
+  return Status::OK();
+}
+
+const TableSearchIndexes* Catalog::GetSearchIndexes(
+    const std::string& table) const {
+  auto it = search_indexes_.find(ToLower(table));
+  return it == search_indexes_.end() ? nullptr : &it->second;
 }
 
 std::vector<std::string> Catalog::TableNames() const {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "search/search_types.h"
 #include "storage/table.h"
 
 namespace agora {
@@ -38,8 +39,19 @@ class Catalog {
 
   size_t num_tables() const { return tables_.size(); }
 
+  /// Attaches hybrid-search access paths (inverted/vector indexes) to a
+  /// registered table, enabling MATCH()/KNN() in SQL over it. The index
+  /// objects stay owned by the caller and must outlive the attachment.
+  /// Overwrites any previous attachment; NotFound if the table is absent.
+  Status AttachSearchIndexes(const std::string& table,
+                             TableSearchIndexes indexes);
+
+  /// Search access paths for `table`; null when none are attached.
+  const TableSearchIndexes* GetSearchIndexes(const std::string& table) const;
+
  private:
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  std::unordered_map<std::string, TableSearchIndexes> search_indexes_;
 };
 
 }  // namespace agora
