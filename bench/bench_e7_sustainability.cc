@@ -7,7 +7,11 @@
 // but also for sustainability)" and treat resource-efficiency as
 // fundamental, not a nice-to-have.
 
+#include <algorithm>
+#include <vector>
+
 #include "bench/bench_common.h"
+#include "common/thread_pool.h"
 
 namespace agora {
 namespace {
@@ -88,6 +92,116 @@ BENCHMARK(BM_QueryWithResourceAccounting)
     ->Unit(benchmark::kMillisecond)
     ->MinTime(0.05);
 
+/// One operator class's aggregated share of a workload.
+struct ClassRow {
+  std::string op_class;
+  int64_t busy_ns = 0;
+  int64_t rows = 0;
+};
+
+/// Collapses a per-operator profile (which may contain several Scans,
+/// Joins, ...) into per-class totals, largest busy time first.
+std::vector<ClassRow> ByOperatorClass(
+    const std::vector<OperatorProfileNode>& profile) {
+  std::map<std::string, ClassRow> by_class;
+  for (const OperatorProfileNode& node : profile) {
+    ClassRow& row = by_class[node.name];
+    row.op_class = node.name;
+    row.busy_ns += node.busy_ns;
+    row.rows += node.rows_out;
+  }
+  std::vector<ClassRow> rows;
+  for (auto& [name, row] : by_class) rows.push_back(std::move(row));
+  std::sort(rows.begin(), rows.end(), [](const ClassRow& a, const ClassRow& b) {
+    return a.busy_ns > b.busy_ns;
+  });
+  return rows;
+}
+
+/// Runs every workload (warm-up + median-of-5) and writes BENCH_e7.json:
+/// per workload the latency, resource counters and joules proxy, plus the
+/// per-operator-class attribution — each class's busy-time share of the
+/// query and the slice of the energy proxy that share attributes to it.
+/// Schema documented in docs/BENCH_SCHEMA.md.
+void WriteE7Json() {
+  const char* path = "BENCH_e7.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("[E7] cannot open %s for writing; skipping JSON\n", path);
+    return;
+  }
+  std::fprintf(out, "{\n  \"experiment\": \"e7_sustainability\",\n");
+  std::fprintf(out, "  \"scale_factor\": %g,\n", kSf);
+  std::fprintf(out, "  \"pool_threads\": %zu,\n",
+               ThreadPool::Global()->size());
+  std::fprintf(out, "  \"results\": [\n");
+  bool first = true;
+  for (const Workload& workload : *GetWorkloads()) {
+    Database* db = GetDbFor(workload.zone_maps);
+    MustExecute(db, workload.sql);  // warm-up
+    std::vector<double> samples;
+    QueryResult last;
+    for (int i = 0; i < 5; ++i) {
+      Timer timer;
+      last = MustExecute(db, workload.sql);
+      samples.push_back(timer.ElapsedSeconds() * 1000.0);
+    }
+    std::sort(samples.begin(), samples.end());
+    const double median_ms = samples[samples.size() / 2];
+    const ExecStats& stats = last.stats();
+    const double joules = stats.JoulesProxy();
+    std::vector<ClassRow> classes = ByOperatorClass(last.profile());
+    int64_t total_busy_ns = 0;
+    for (const ClassRow& row : classes) total_busy_ns += row.busy_ns;
+
+    if (!first) std::fprintf(out, ",\n");
+    first = false;
+    std::fprintf(out,
+                 "    {\"workload\": \"%s\", \"zone_maps\": %s, "
+                 "\"latency_ms\": %.4f, \"mb_materialized\": %.3f, "
+                 "\"rows_scanned\": %lld, \"rows_joined\": %lld, "
+                 "\"joules_proxy\": %.6f,\n     \"operators\": [",
+                 workload.name, workload.zone_maps ? "true" : "false",
+                 median_ms,
+                 static_cast<double>(stats.bytes_materialized) /
+                     (1024.0 * 1024.0),
+                 static_cast<long long>(stats.rows_scanned),
+                 static_cast<long long>(stats.rows_joined), joules);
+    for (size_t c = 0; c < classes.size(); ++c) {
+      const ClassRow& row = classes[c];
+      const double share =
+          total_busy_ns > 0
+              ? static_cast<double>(row.busy_ns) / total_busy_ns
+              : 0.0;
+      std::fprintf(out,
+                   "%s\n      {\"class\": \"%s\", \"busy_ms\": %.4f, "
+                   "\"share\": %.4f, \"rows\": %lld, "
+                   "\"joules_attributed\": %.6f}",
+                   c == 0 ? "" : ",", row.op_class.c_str(),
+                   static_cast<double>(row.busy_ns) / 1e6, share,
+                   static_cast<long long>(row.rows), joules * share);
+    }
+    std::fprintf(out, "]}");
+
+    // Console attribution table mirroring the JSON.
+    std::printf("[E7] %-32s %8.2f ms  %8.4f J-proxy\n", workload.name,
+                median_ms, joules);
+    for (const ClassRow& row : classes) {
+      const double share =
+          total_busy_ns > 0
+              ? static_cast<double>(row.busy_ns) / total_busy_ns
+              : 0.0;
+      std::printf("[E7]   %-16s %8.2f ms  %5.1f%%  %8.4f J-proxy\n",
+                  row.op_class.c_str(),
+                  static_cast<double>(row.busy_ns) / 1e6, 100.0 * share,
+                  joules * share);
+    }
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("[E7] per-operator attribution written to %s\n", path);
+}
+
 }  // namespace
 }  // namespace agora
 
@@ -103,6 +217,7 @@ int main(int argc, char** argv) {
       "misranks plans for efficiency");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
+  agora::WriteE7Json();
   benchmark::Shutdown();
   return 0;
 }

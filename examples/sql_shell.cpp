@@ -6,7 +6,7 @@
 //   agora> INSERT INTO t VALUES (1, 'x'), (2, 'y');
 //   agora> SELECT * FROM t;
 //
-// Meta commands: \tables  \timing  \q
+// Meta commands: \tables  \timing  \metrics [prom]  \q
 
 #include <cstdio>
 #include <iostream>
@@ -50,6 +50,15 @@ int main(int argc, char** argv) {
     if (input == "\\timing") {
       timing = !timing;
       std::printf("timing %s\n", timing ? "on" : "off");
+      continue;
+    }
+    if (input == "\\metrics" || input == "\\metrics prom") {
+      // Engine-wide counters/gauges (see docs/METRICS.md for the schema).
+      std::printf("%s",
+                  db.MetricsSnapshot(input == "\\metrics prom"
+                                         ? agora::MetricsFormat::kPrometheus
+                                         : agora::MetricsFormat::kJson)
+                      .c_str());
       continue;
     }
     if (input == "\\tables") {

@@ -1,0 +1,200 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace agora {
+
+namespace {
+
+bool ValidMetricName(std::string_view name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+/// Shortest round-trippable rendering: integers print without a
+/// fraction, everything else with up to 6 fractional digits trimmed.
+std::string FormatMetricValue(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+}  // namespace
+
+MetricSpan::MetricSpan(std::vector<OpTiming>* timings, MetricSpan** stack_top,
+                       int op_id)
+    : timings_(timings), stack_top_(stack_top), op_id_(op_id) {
+  if (timings_ != nullptr && op_id_ >= 0 && stack_top_ != nullptr) {
+    parent_ = *stack_top_;
+    *stack_top_ = this;
+  } else {
+    timings_ = nullptr;  // disabled
+  }
+  start_ = std::chrono::steady_clock::now();
+}
+
+MetricSpan::~MetricSpan() {
+  if (timings_ == nullptr) return;
+  const int64_t elapsed_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count();
+  // Resolve the slot by index only now: the vector may have been
+  // resized (worker merges register new ops) while the span was open.
+  if (static_cast<size_t>(op_id_) >= timings_->size()) {
+    timings_->resize(op_id_ + 1);
+  }
+  OpTiming& slot = (*timings_)[op_id_];
+  slot.busy_ns += std::max<int64_t>(0, elapsed_ns - child_ns_);
+  slot.rows_out += rows_;
+  slot.invocations += 1;
+  if (parent_ != nullptr) parent_->AddChildTime(elapsed_ns);
+  *stack_top_ = parent_;
+}
+
+std::string RenderProfileTree(const std::vector<OperatorProfileNode>& nodes) {
+  int64_t total_ns = 0;
+  for (const auto& node : nodes) total_ns += node.busy_ns;
+
+  size_t name_width = 0;
+  for (const auto& node : nodes) {
+    name_width = std::max(name_width, 2 * node.depth + node.name.size());
+  }
+
+  std::string out = "[analyze] per-operator profile (self time)";
+  for (const auto& node : nodes) {
+    std::string label(2 * node.depth, ' ');
+    label += node.name;
+    label.resize(std::max(name_width, label.size()), ' ');
+    const double ms = node.busy_ns / 1e6;
+    const double share =
+        total_ns > 0 ? 100.0 * node.busy_ns / total_ns : 0.0;
+    char line[160];
+    std::snprintf(line, sizeof(line), "\n[analyze]   %s  %9.3f ms  %5.1f%%",
+                  label.c_str(), ms, share);
+    out += line;
+    out += "  rows=" + FormatCount(node.rows_out);
+    out += "  calls=" + FormatCount(node.invocations);
+  }
+  return out;
+}
+
+void MetricsRegistry::Add(std::string_view name, double delta) {
+  Add(name, "", delta);
+}
+
+void MetricsRegistry::Add(std::string_view name, std::string_view label,
+                          double delta) {
+  assert(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[std::string(name)][std::string(label)] += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  assert(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+double MetricsRegistry::CounterValue(std::string_view name,
+                                     std::string_view label) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(std::string(name));
+  if (it == counters_.end()) return 0.0;
+  auto jt = it->second.find(std::string(label));
+  return jt == it->second.end() ? 0.0 : jt->second;
+}
+
+double MetricsRegistry::GaugeValue(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(std::string(name));
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+std::vector<std::string> MetricsRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size());
+  for (const auto& [name, series] : counters_) names.push_back(name);
+  for (const auto& [name, value] : gauges_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::string MetricsRegistry::Snapshot(MetricsFormat format) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  if (format == MetricsFormat::kJson) {
+    out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& [name, series] : counters_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      // A counter with only the unlabeled series prints as a scalar;
+      // labeled counters print as an object keyed by label value.
+      if (series.size() == 1 && series.begin()->first.empty()) {
+        out += "    \"" + name +
+               "\": " + FormatMetricValue(series.begin()->second);
+      } else {
+        out += "    \"" + name + "\": {";
+        bool first_label = true;
+        for (const auto& [label, value] : series) {
+          out += first_label ? "" : ", ";
+          first_label = false;
+          out += "\"" + label + "\": " + FormatMetricValue(value);
+        }
+        out += "}";
+      }
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto& [name, value] : gauges_) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "    \"" + name + "\": " + FormatMetricValue(value);
+    }
+    out += "\n  }\n}\n";
+  } else {
+    for (const auto& [name, series] : counters_) {
+      out += "# TYPE agora_" + name + " counter\n";
+      for (const auto& [label, value] : series) {
+        out += "agora_" + name;
+        if (!label.empty()) out += "{op=\"" + label + "\"}";
+        out += " " + FormatMetricValue(value) + "\n";
+      }
+    }
+    for (const auto& [name, value] : gauges_) {
+      out += "# TYPE agora_" + name + " gauge\n";
+      out += "agora_" + name + " " + FormatMetricValue(value) + "\n";
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+}
+
+}  // namespace agora

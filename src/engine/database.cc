@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <fstream>
 
+#include "common/timer.h"
 #include "exec/parallel.h"
 #include "plan/binder.h"
 #include "sql/parser.h"
@@ -66,6 +67,7 @@ Database::Database(DatabaseOptions options)
 Result<QueryResult> Database::Execute(const std::string& sql) {
   AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   ++statements_executed_;
+  metrics_.Add("statements_total", 1.0);
   if (auto* select = std::get_if<SelectStatement>(&stmt.node)) {
     return ExecuteSelect(*select, stmt.explain, stmt.analyze);
   }
@@ -110,17 +112,71 @@ Result<LogicalOpPtr> Database::PlanSelect(const SelectStatement& select) {
 }
 
 Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
+  // Every execution gets a fresh context, so per-query stats (and the
+  // EXPLAIN ANALYZE profile derived from them) start from zero — running
+  // the same analysis back to back reports identical counters. Only the
+  // single Merge below touches the database-wide accumulators.
   ExecContext context;
   AGORA_ASSIGN_OR_RETURN(
       PhysicalOpPtr root,
       CreatePhysicalPlan(plan, &context, options_.physical));
+  Timer timer;
   // The root collector itself runs through the morsel pipeline when the
   // whole plan is pipeline-shaped (e.g. scan-filter queries).
   AGORA_ASSIGN_OR_RETURN(Chunk data,
                          ParallelCollectAll(root.get(), &context));
+  const double seconds = timer.ElapsedSeconds();
+  std::vector<OperatorProfileNode> profile =
+      CollectProfile(root.get(), context.stats);
   // Accumulate into the database-wide counters.
   cumulative_stats_.Merge(context.stats);
-  return QueryResult(plan->schema(), std::move(data), context.stats);
+  RecordQueryMetrics(context.stats, profile, seconds, data.num_rows());
+  return QueryResult(plan->schema(), std::move(data), context.stats,
+                     std::move(profile));
+}
+
+void Database::RecordQueryMetrics(
+    const ExecStats& stats, const std::vector<OperatorProfileNode>& profile,
+    double seconds, size_t result_rows) {
+  // One registry counter per ExecStats field (names are the documented
+  // contract — docs/METRICS.md must list every literal below).
+  metrics_.Add("rows_scanned_total", static_cast<double>(stats.rows_scanned));
+  metrics_.Add("blocks_read_total", static_cast<double>(stats.blocks_read));
+  metrics_.Add("blocks_skipped_total",
+               static_cast<double>(stats.blocks_skipped));
+  metrics_.Add("rows_joined_total", static_cast<double>(stats.rows_joined));
+  metrics_.Add("probe_calls_total", static_cast<double>(stats.probe_calls));
+  metrics_.Add("rows_aggregated_total",
+               static_cast<double>(stats.rows_aggregated));
+  metrics_.Add("rows_sorted_total", static_cast<double>(stats.rows_sorted));
+  metrics_.Add("bytes_materialized_total",
+               static_cast<double>(stats.bytes_materialized));
+  metrics_.Add("chunks_emitted_total",
+               static_cast<double>(stats.chunks_emitted));
+  metrics_.Add("hybrid_filter_rows_total",
+               static_cast<double>(stats.hybrid_filter_rows));
+  metrics_.Add("vector_distances_total",
+               static_cast<double>(stats.vector_distances));
+  metrics_.Add("overfetch_retries_total",
+               static_cast<double>(stats.overfetch_retries));
+  metrics_.Add("fusion_candidates_total",
+               static_cast<double>(stats.fusion_candidates));
+  metrics_.Add("queries_total", 1.0);
+  metrics_.Add("query_seconds_total", seconds);
+  metrics_.Add("joules_proxy_total", stats.JoulesProxy());
+  // Per-operator-class series (label "op"), fed by the timing spans.
+  for (const OperatorProfileNode& node : profile) {
+    metrics_.Add("operator_busy_seconds_total", node.name,
+                 static_cast<double>(node.busy_ns) / 1e9);
+    metrics_.Add("operator_rows_total", node.name,
+                 static_cast<double>(node.rows_out));
+    metrics_.Add("operator_invocations_total", node.name,
+                 static_cast<double>(node.invocations));
+  }
+  metrics_.SetGauge("last_query_seconds", seconds);
+  metrics_.SetGauge("last_query_rows", static_cast<double>(result_rows));
+  metrics_.SetGauge("execution_threads",
+                    static_cast<double>(options_.physical.num_threads));
 }
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
@@ -130,12 +186,15 @@ Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
     std::string text = plan->TreeString();
     ExecStats stats;
     if (analyze) {
-      // EXPLAIN ANALYZE: run the plan for real, then report its counters
-      // under the plan text. The result rows themselves are discarded.
+      // EXPLAIN ANALYZE: run the plan for real (in its own fresh context,
+      // so repeated analyses report identical counters), then report the
+      // per-operator profile and counter totals under the plan text. The
+      // result rows themselves are discarded.
       AGORA_ASSIGN_OR_RETURN(QueryResult executed, ExecutePlan(plan));
       stats = executed.stats();
       text += "\n[analyze] rows=" + std::to_string(executed.num_rows());
-      text += "\n[analyze] " + stats.ToString();
+      text += "\n" + RenderProfileTree(executed.profile());
+      text += "\n[analyze] totals: " + stats.ToString();
     }
     Schema schema({Field{"plan", TypeId::kString, false}});
     Chunk data(schema);

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "exec/physical_op.h"
 #include "exec/physical_planner.h"
@@ -22,18 +23,24 @@ struct DatabaseOptions {
 };
 
 /// A fully materialized query result: schema + rows + the execution
-/// statistics gathered while producing it.
+/// statistics and per-operator profile gathered while producing it.
 class QueryResult {
  public:
   QueryResult() = default;
-  QueryResult(Schema schema, Chunk data, ExecStats stats)
+  QueryResult(Schema schema, Chunk data, ExecStats stats,
+              std::vector<OperatorProfileNode> profile = {})
       : schema_(std::move(schema)),
         data_(std::move(data)),
-        stats_(stats) {}
+        stats_(std::move(stats)),
+        profile_(std::move(profile)) {}
 
   const Schema& schema() const { return schema_; }
   const Chunk& data() const { return data_; }
   const ExecStats& stats() const { return stats_; }
+
+  /// Plan-shaped per-operator timing profile (pre-order; empty for DDL/DML
+  /// and EXPLAIN-without-ANALYZE results). Render with RenderProfileTree.
+  const std::vector<OperatorProfileNode>& profile() const { return profile_; }
 
   size_t num_rows() const { return data_.num_rows(); }
   size_t num_columns() const { return schema_.num_fields(); }
@@ -52,6 +59,7 @@ class QueryResult {
   Schema schema_;
   Chunk data_;
   ExecStats stats_;
+  std::vector<OperatorProfileNode> profile_;
 };
 
 /// The embedded AgoraDB engine: catalog + SQL front end + optimizer +
@@ -89,9 +97,26 @@ class Database {
   /// counts round trips with this).
   int64_t statements_executed() const { return statements_executed_; }
 
-  /// Cumulative execution stats across all statements.
+  /// Cumulative execution stats across all statements. Kept for direct
+  /// struct access; the MetricsRegistry subsumes these counters under
+  /// stable exported names (see docs/METRICS.md).
   const ExecStats& cumulative_stats() const { return cumulative_stats_; }
-  void ResetCumulativeStats() { cumulative_stats_.Reset(); }
+  void ResetCumulativeStats() {
+    cumulative_stats_.Reset();
+    metrics_.Reset();
+  }
+
+  /// Engine-wide named counters and gauges, updated once per executed
+  /// query (never double-counted by EXPLAIN ANALYZE re-renders).
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Serializes the registry: one JSON object or Prometheus text
+  /// exposition (metric names prefixed "agora_"). Schema in
+  /// docs/METRICS.md.
+  std::string MetricsSnapshot(MetricsFormat format = MetricsFormat::kJson) const {
+    return metrics_.Snapshot(format);
+  }
 
   Optimizer& optimizer() { return optimizer_; }
   const DatabaseOptions& options() const { return options_; }
@@ -115,11 +140,18 @@ class Database {
   Result<QueryResult> ExecuteDelete(const DeleteStatement& stmt);
   Result<QueryResult> ExecuteCopy(const CopyStatement& stmt);
 
+  /// Folds one query's stats + profile into the registry (exactly once
+  /// per execution, at the end of ExecutePlan).
+  void RecordQueryMetrics(const ExecStats& stats,
+                          const std::vector<OperatorProfileNode>& profile,
+                          double seconds, size_t result_rows);
+
   DatabaseOptions options_;
   Catalog catalog_;
   Optimizer optimizer_;
   int64_t statements_executed_ = 0;
   ExecStats cumulative_stats_;
+  MetricsRegistry metrics_;
 };
 
 }  // namespace agora

@@ -16,7 +16,7 @@ PhysicalHashAggregate::PhysicalHashAggregate(
       group_by_(std::move(group_by)),
       aggregates_(std::move(aggregates)) {}
 
-Status PhysicalHashAggregate::Open() {
+Status PhysicalHashAggregate::OpenImpl() {
   groups_.map.clear();
   groups_.order.clear();
   next_group_ = 0;
@@ -37,9 +37,12 @@ Status PhysicalHashAggregate::Open() {
         pipeline, context_,
         [this, &partials](int worker, const Morsel& morsel,
                           Chunk&& chunk) -> Status {
-          return AccumulateInto(
-              chunk, &partials[morsel.index],
-              &context_->worker_stats[static_cast<size_t>(worker)]);
+          ExecStats* stats =
+              &context_->worker_stats[static_cast<size_t>(worker)];
+          // Attribute accumulation to this aggregate (nests under the
+          // worker's scan span and subtracts itself from it).
+          MetricSpan span = StatsSpan(stats, op_id());
+          return AccumulateInto(chunk, &partials[morsel.index], stats);
         }));
     for (GroupTable& partial : partials) {
       MergePartial(std::move(partial));
@@ -264,7 +267,7 @@ void PhysicalHashAggregate::FinalizeInto(Chunk* out,
   }
 }
 
-Status PhysicalHashAggregate::Next(Chunk* chunk, bool* done) {
+Status PhysicalHashAggregate::NextImpl(Chunk* chunk, bool* done) {
   Chunk out(schema_);
   size_t emitted = 0;
   while (next_group_ < groups_.order.size() && emitted < kChunkSize) {

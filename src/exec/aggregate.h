@@ -32,9 +32,12 @@ class PhysicalHashAggregate : public PhysicalOperator {
                         std::vector<AggregateSpec> aggregates, Schema schema,
                         ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "HashAggregate"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   struct AggState {

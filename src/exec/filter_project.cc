@@ -10,7 +10,7 @@ PhysicalFilter::PhysicalFilter(PhysicalOpPtr child, ExprPtr predicate,
       child_(std::move(child)),
       predicate_(std::move(predicate)) {}
 
-Status PhysicalFilter::Open() {
+Status PhysicalFilter::OpenImpl() {
   child_done_ = false;
   return child_->Open();
 }
@@ -22,7 +22,7 @@ Status PhysicalFilter::ProcessChunk(const Chunk& input, Chunk* out,
   return Status::OK();
 }
 
-Status PhysicalFilter::Next(Chunk* chunk, bool* done) {
+Status PhysicalFilter::NextImpl(Chunk* chunk, bool* done) {
   while (!child_done_) {
     Chunk input;
     AGORA_RETURN_IF_ERROR(child_->Next(&input, &child_done_));
@@ -47,7 +47,7 @@ PhysicalProject::PhysicalProject(PhysicalOpPtr child,
       child_(std::move(child)),
       exprs_(std::move(exprs)) {}
 
-Status PhysicalProject::Open() { return child_->Open(); }
+Status PhysicalProject::OpenImpl() { return child_->Open(); }
 
 Status PhysicalProject::ProcessChunk(const Chunk& input, Chunk* out,
                                      ExecStats* stats) const {
@@ -63,7 +63,7 @@ Status PhysicalProject::ProcessChunk(const Chunk& input, Chunk* out,
   return Status::OK();
 }
 
-Status PhysicalProject::Next(Chunk* chunk, bool* done) {
+Status PhysicalProject::NextImpl(Chunk* chunk, bool* done) {
   Chunk input;
   AGORA_RETURN_IF_ERROR(child_->Next(&input, done));
   return ProcessChunk(input, chunk, &context_->stats);

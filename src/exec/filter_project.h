@@ -14,9 +14,12 @@ class PhysicalFilter : public PhysicalOperator {
   PhysicalFilter(PhysicalOpPtr child, ExprPtr predicate,
                  ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Filter"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
   /// Stateless per-chunk transform used by the morsel pipeline; safe to
   /// call from multiple workers concurrently.
@@ -37,9 +40,12 @@ class PhysicalProject : public PhysicalOperator {
   PhysicalProject(PhysicalOpPtr child, std::vector<ExprPtr> exprs,
                   Schema schema, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Project"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
   /// Stateless per-chunk transform used by the morsel pipeline; safe to
   /// call from multiple workers concurrently.

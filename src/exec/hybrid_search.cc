@@ -178,7 +178,7 @@ Status PhysicalHybridSearch::RunPostFilter() {
   }
 }
 
-Status PhysicalHybridSearch::Open() {
+Status PhysicalHybridSearch::OpenImpl() {
   if (!has_text_ && !has_vec_) {
     return Status::Internal("hybrid search without any ranking component");
   }
@@ -194,7 +194,7 @@ Status PhysicalHybridSearch::Open() {
       "hybrid strategy unresolved (plan was not optimized)");
 }
 
-Status PhysicalHybridSearch::Next(Chunk* chunk, bool* done) {
+Status PhysicalHybridSearch::NextImpl(Chunk* chunk, bool* done) {
   *chunk = Chunk(schema_);
   size_t batch = std::min(kChunkSize, fused_.size() - emitted_);
   for (size_t i = 0; i < batch; ++i) {

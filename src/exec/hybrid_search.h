@@ -34,8 +34,8 @@ class PhysicalHybridSearch : public PhysicalOperator {
   PhysicalHybridSearch(const LogicalScoreFusion& fusion,
                        ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "HybridSearch"; }
 
   /// The strategy this operator ran ("prefilter"/"postfilter").

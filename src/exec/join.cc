@@ -44,7 +44,7 @@ PhysicalHashJoin::PhysicalHashJoin(PhysicalOpPtr left, PhysicalOpPtr right,
   AGORA_CHECK(!left_keys_.empty() && left_keys_.size() == right_keys_.size());
 }
 
-Status PhysicalHashJoin::Open() {
+Status PhysicalHashJoin::OpenImpl() {
   probe_done_ = false;
   partitions_.clear();
   build_keys_.clear();
@@ -170,7 +170,7 @@ Status PhysicalHashJoin::ProbeChunk(const Chunk& probe, Chunk* out,
   return Status::OK();
 }
 
-Status PhysicalHashJoin::Next(Chunk* chunk, bool* done) {
+Status PhysicalHashJoin::NextImpl(Chunk* chunk, bool* done) {
   while (!probe_done_) {
     Chunk probe;
     AGORA_RETURN_IF_ERROR(left_->Next(&probe, &probe_done_));
@@ -198,7 +198,7 @@ PhysicalNestedLoopJoin::PhysicalNestedLoopJoin(PhysicalOpPtr left,
       condition_(std::move(condition)),
       kind_(kind) {}
 
-Status PhysicalNestedLoopJoin::Open() {
+Status PhysicalNestedLoopJoin::OpenImpl() {
   probe_done_ = false;
   AGORA_RETURN_IF_ERROR(left_->Open());
   AGORA_ASSIGN_OR_RETURN(build_data_,
@@ -208,7 +208,7 @@ Status PhysicalNestedLoopJoin::Open() {
   return Status::OK();
 }
 
-Status PhysicalNestedLoopJoin::Next(Chunk* chunk, bool* done) {
+Status PhysicalNestedLoopJoin::NextImpl(Chunk* chunk, bool* done) {
   size_t build_rows = build_data_.num_rows();
   while (!probe_done_) {
     Chunk probe;

@@ -34,9 +34,12 @@ class PhysicalHashJoin : public PhysicalOperator {
                    std::vector<ExprPtr> right_keys, ExprPtr residual,
                    PhysicalJoinKind kind, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "HashJoin"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
 
   /// Joins one probe chunk against the built table. Thread-safe once
   /// Open() returned; used by both the serial Next() loop and parallel
@@ -78,9 +81,12 @@ class PhysicalNestedLoopJoin : public PhysicalOperator {
                          ExprPtr condition, PhysicalJoinKind kind,
                          ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "NestedLoopJoin"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {left_.get(), right_.get()};
+  }
 
  private:
   PhysicalOpPtr left_;

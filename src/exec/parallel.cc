@@ -1,6 +1,7 @@
 #include "exec/parallel.h"
 
 #include <atomic>
+#include <chrono>
 #include <utility>
 
 #include "common/thread_pool.h"
@@ -22,23 +23,41 @@ bool MorselPipeline::TryBuild(PhysicalOperator* op, MorselPipeline* out) {
       out->source_ = scan;
       break;
     }
+    // Each transform opens a MetricSpan against the worker's stats slot,
+    // so morsel-path work is attributed to the same operator ids as the
+    // serial pull path (the spans nest under the per-morsel scan span).
     if (auto* filter = dynamic_cast<PhysicalFilter*>(cur)) {
-      reversed.push_back([filter](const Chunk& in, Chunk* o, ExecStats* s) {
-        return filter->ProcessChunk(in, o, s);
-      });
+      const int op_id = filter->op_id();
+      reversed.push_back(
+          [filter, op_id](const Chunk& in, Chunk* o, ExecStats* s) {
+            MetricSpan span = StatsSpan(s, op_id);
+            Status st = filter->ProcessChunk(in, o, s);
+            if (st.ok()) span.AddRows(static_cast<int64_t>(o->num_rows()));
+            return st;
+          });
       cur = filter->child();
       continue;
     }
     if (auto* project = dynamic_cast<PhysicalProject*>(cur)) {
-      reversed.push_back([project](const Chunk& in, Chunk* o, ExecStats* s) {
-        return project->ProcessChunk(in, o, s);
-      });
+      const int op_id = project->op_id();
+      reversed.push_back(
+          [project, op_id](const Chunk& in, Chunk* o, ExecStats* s) {
+            MetricSpan span = StatsSpan(s, op_id);
+            Status st = project->ProcessChunk(in, o, s);
+            if (st.ok()) span.AddRows(static_cast<int64_t>(o->num_rows()));
+            return st;
+          });
       cur = project->child();
       continue;
     }
     if (auto* join = dynamic_cast<PhysicalHashJoin*>(cur)) {
-      reversed.push_back([join](const Chunk& in, Chunk* o, ExecStats* s) {
-        return join->ProbeChunk(in, o, s);
+      const int op_id = join->op_id();
+      reversed.push_back([join, op_id](const Chunk& in, Chunk* o,
+                                       ExecStats* s) {
+        MetricSpan span = StatsSpan(s, op_id);
+        Status st = join->ProbeChunk(in, o, s);
+        if (st.ok()) span.AddRows(static_cast<int64_t>(o->num_rows()));
+        return st;
       });
       cur = join->probe_child();
       continue;
@@ -80,21 +99,30 @@ Status DriveMorselPipeline(
   // any worker fails. With no pool (or one worker) TaskGroup runs the
   // single task inline on this thread — same code path, same results.
   std::atomic<bool> failed{false};
+  const int scan_op_id = source->op_id();
   auto worker_body = [&, context](int worker) -> Status {
     ExecStats* stats = &context->worker_stats[static_cast<size_t>(worker)];
     Morsel morsel;
     while (!failed.load(std::memory_order_relaxed) &&
            source->ClaimMorsel(&morsel)) {
-      Status st = source->ScanMorsel(
-          morsel,
-          [&](Chunk&& chunk) -> Status {
-            Chunk out;
-            AGORA_RETURN_IF_ERROR(
-                pipeline.Apply(std::move(chunk), &out, stats));
-            if (out.num_rows() == 0) return Status::OK();
-            return sink(worker, morsel, std::move(out));
-          },
-          stats);
+      Status st;
+      {
+        // Per-morsel scan span on the worker's slot; the transform spans
+        // opened inside Apply() nest under it and subtract themselves,
+        // leaving pure scan time here.
+        MetricSpan scan_span = StatsSpan(stats, scan_op_id);
+        st = source->ScanMorsel(
+            morsel,
+            [&](Chunk&& chunk) -> Status {
+              scan_span.AddRows(static_cast<int64_t>(chunk.num_rows()));
+              Chunk out;
+              AGORA_RETURN_IF_ERROR(
+                  pipeline.Apply(std::move(chunk), &out, stats));
+              if (out.num_rows() == 0) return Status::OK();
+              return sink(worker, morsel, std::move(out));
+            },
+            stats);
+      }
       if (!st.ok()) {
         failed.store(true, std::memory_order_relaxed);
         return st;
@@ -106,12 +134,23 @@ Status DriveMorselPipeline(
   int workers = context->num_workers > 0 ? context->num_workers : 1;
   ThreadPool* pool = (workers > 1) ? context->pool : nullptr;
   if (pool == nullptr) workers = 1;
+  const auto section_start = std::chrono::steady_clock::now();
   TaskGroup group(pool);
   for (int w = 0; w < workers; ++w) {
     group.Spawn([&worker_body, w]() { return worker_body(w); });
   }
   Status status = group.Wait();
   context->MergeWorkerStats();
+  // The workers already booked their busy time into per-worker slots (now
+  // merged), so the section's wall time must not also count as self time
+  // of whichever serial operator (Gather, HashAggregate, HashJoin build)
+  // is driving this pipeline from inside its own span.
+  if (context->stats.active_span != nullptr) {
+    context->stats.active_span->AddChildTime(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - section_start)
+            .count());
+  }
   return status;
 }
 
@@ -152,7 +191,7 @@ Result<Chunk> ParallelCollectAll(PhysicalOperator* op, ExecContext* context) {
 PhysicalGather::PhysicalGather(PhysicalOpPtr child, ExecContext* context)
     : PhysicalOperator(child->schema(), context), child_(std::move(child)) {}
 
-Status PhysicalGather::Open() {
+Status PhysicalGather::OpenImpl() {
   chunks_.clear();
   next_chunk_ = 0;
 
@@ -177,7 +216,7 @@ Status PhysicalGather::Open() {
   return Status::OK();
 }
 
-Status PhysicalGather::Next(Chunk* chunk, bool* done) {
+Status PhysicalGather::NextImpl(Chunk* chunk, bool* done) {
   if (passthrough_) return child_->Next(chunk, done);
   if (next_chunk_ < chunks_.size()) {
     *chunk = std::move(chunks_[next_chunk_]);

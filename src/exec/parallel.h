@@ -87,9 +87,12 @@ class PhysicalGather : public PhysicalOperator {
  public:
   PhysicalGather(PhysicalOpPtr child, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Gather"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   PhysicalOpPtr child_;

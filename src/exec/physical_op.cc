@@ -26,6 +26,49 @@ std::string ExecStats::ToString() const {
   return out;
 }
 
+Status PhysicalOperator::Open() {
+  MetricSpan span =
+      StatsSpan(context_ != nullptr ? &context_->stats : nullptr, op_id_);
+  return OpenImpl();
+}
+
+Status PhysicalOperator::Next(Chunk* chunk, bool* done) {
+  MetricSpan span =
+      StatsSpan(context_ != nullptr ? &context_->stats : nullptr, op_id_);
+  Status status = NextImpl(chunk, done);
+  if (status.ok()) span.AddRows(static_cast<int64_t>(chunk->num_rows()));
+  return status;
+}
+
+namespace {
+
+void WalkProfile(const PhysicalOperator* op, int depth, const ExecStats& stats,
+                 std::vector<OperatorProfileNode>* out) {
+  OperatorProfileNode node;
+  node.name = op->name();
+  node.depth = depth;
+  const int id = op->op_id();
+  if (id >= 0 && static_cast<size_t>(id) < stats.op_timings.size()) {
+    const OpTiming& timing = stats.op_timings[id];
+    node.busy_ns = timing.busy_ns;
+    node.rows_out = timing.rows_out;
+    node.invocations = timing.invocations;
+  }
+  out->push_back(std::move(node));
+  for (const PhysicalOperator* child : op->children()) {
+    WalkProfile(child, depth + 1, stats, out);
+  }
+}
+
+}  // namespace
+
+std::vector<OperatorProfileNode> CollectProfile(const PhysicalOperator* root,
+                                                const ExecStats& stats) {
+  std::vector<OperatorProfileNode> nodes;
+  if (root != nullptr) WalkProfile(root, 0, stats, &nodes);
+  return nodes;
+}
+
 Result<Chunk> CollectAll(PhysicalOperator* op) {
   AGORA_RETURN_IF_ERROR(op->Open());
   Chunk result(op->schema());

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "storage/chunk.h"
 #include "types/schema.h"
@@ -34,6 +35,15 @@ struct ExecStats {
   int64_t overfetch_retries = 0;     // post-filter fetch doublings
   int64_t fusion_candidates = 0;     // docs in the final fused ranking
 
+  /// Per-operator self-time slots, indexed by PhysicalOperator::op_id().
+  /// Additive like every other counter; per-worker copies merge exactly.
+  std::vector<OpTiming> op_timings;
+
+  /// Top of this stats block's open-span stack (see common/metrics.h).
+  /// Transient: only non-null while an operator call is on the stack of
+  /// the thread that owns this block; never set after execution ends.
+  MetricSpan* active_span = nullptr;
+
   void Reset() { *this = ExecStats{}; }
 
   /// Folds another stats block into this one. All counters are additive,
@@ -52,6 +62,12 @@ struct ExecStats {
     vector_distances += other.vector_distances;
     overfetch_retries += other.overfetch_retries;
     fusion_candidates += other.fusion_candidates;
+    if (op_timings.size() < other.op_timings.size()) {
+      op_timings.resize(other.op_timings.size());
+    }
+    for (size_t i = 0; i < other.op_timings.size(); ++i) {
+      op_timings[i].Merge(other.op_timings[i]);
+    }
   }
 
   /// Synthetic energy proxy (arbitrary units): weighted sum of bytes moved
@@ -90,6 +106,14 @@ struct ExecContext {
   /// (exactly — all counters are additive) at the section barrier.
   std::vector<ExecStats> worker_stats;
 
+  /// Number of operator ids handed out for this plan; slot count of
+  /// `stats.op_timings` once every operator has reported.
+  int num_ops = 0;
+
+  /// Hands out the next per-plan operator id (called from the
+  /// PhysicalOperator constructor).
+  int RegisterOp() { return num_ops++; }
+
   void PrepareWorkerStats() {
     worker_stats.assign(static_cast<size_t>(num_workers), ExecStats{});
   }
@@ -99,14 +123,30 @@ struct ExecContext {
   }
 };
 
+/// Opens a self-time span writing into `stats` for operator `op_id`
+/// (no-op when `stats` is null or `op_id` < 0).
+inline MetricSpan StatsSpan(ExecStats* stats, int op_id) {
+  return MetricSpan(stats != nullptr ? &stats->op_timings : nullptr,
+                    stats != nullptr ? &stats->active_span : nullptr, op_id);
+}
+
 /// Base class for vectorized pull-based operators (Volcano with chunks).
 ///
 /// Protocol: `Open()` once, then `Next(&chunk, &done)` until `done`.
 /// A returned chunk may be empty only together with done == true.
+///
+/// Open()/Next() are non-virtual timing wrappers: they record the call's
+/// self time (plus rows and invocations for Next) into the operator's
+/// `ExecStats::op_timings` slot and delegate to OpenImpl()/NextImpl().
+/// Subclasses override the *Impl hooks and never pay for timing twice;
+/// morsel-path entry points (ScanMorsel, the pipeline transforms) open
+/// their own spans against per-worker slots instead.
 class PhysicalOperator {
  public:
   PhysicalOperator(Schema schema, ExecContext* context)
-      : schema_(std::move(schema)), context_(context) {}
+      : schema_(std::move(schema)),
+        context_(context),
+        op_id_(context != nullptr ? context->RegisterOp() : -1) {}
   virtual ~PhysicalOperator() = default;
 
   PhysicalOperator(const PhysicalOperator&) = delete;
@@ -115,20 +155,34 @@ class PhysicalOperator {
   const Schema& schema() const { return schema_; }
   ExecContext* context() const { return context_; }
 
+  /// Per-plan slot index into ExecStats::op_timings (-1 = untimed).
+  int op_id() const { return op_id_; }
+
   /// Prepares the operator (e.g. builds hash tables). Called exactly once
-  /// before the first Next().
-  virtual Status Open() = 0;
+  /// before the first Next(). Times the call; delegates to OpenImpl().
+  Status Open();
 
   /// Produces the next batch. Sets *done = true when the stream ends (the
-  /// chunk returned alongside done may still carry rows).
-  virtual Status Next(Chunk* chunk, bool* done) = 0;
+  /// chunk returned alongside done may still carry rows). Times the call
+  /// and counts emitted rows; delegates to NextImpl().
+  Status Next(Chunk* chunk, bool* done);
 
   /// Operator name for EXPLAIN ANALYZE-style output.
   virtual std::string name() const = 0;
 
+  /// Child operators in plan order (for profile tree walks). Base
+  /// returns none; operators with inputs override.
+  virtual std::vector<const PhysicalOperator*> children() const { return {}; }
+
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Status NextImpl(Chunk* chunk, bool* done) = 0;
+
   Schema schema_;
   ExecContext* context_;
+
+ private:
+  int op_id_;
 };
 
 using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
@@ -136,6 +190,12 @@ using PhysicalOpPtr = std::unique_ptr<PhysicalOperator>;
 /// Drains `op` (Open + Next loop) and concatenates everything into one
 /// chunk. The workhorse behind Database::Execute and the tests.
 Result<Chunk> CollectAll(PhysicalOperator* op);
+
+/// Pre-order walk of the plan rooted at `root`, pairing each operator
+/// with its merged timing slot in `stats`. Input for RenderProfileTree
+/// and the per-operator registry counters.
+std::vector<OperatorProfileNode> CollectProfile(const PhysicalOperator* root,
+                                                const ExecStats& stats);
 
 /// Appends a type-tagged binary encoding of row `row` of `col` to `out`.
 /// Equal values encode equally; used for hash keys in aggregate/distinct.

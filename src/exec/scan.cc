@@ -34,7 +34,7 @@ PhysicalScan::PhysicalScan(std::shared_ptr<Table> table,
       ranges_(std::move(ranges)),
       use_zone_maps_(use_zone_maps) {}
 
-Status PhysicalScan::Open() {
+Status PhysicalScan::OpenImpl() {
   next_row_ = 0;
   morsel_cursor_.store(0, std::memory_order_relaxed);
   if (use_zone_maps_ && !table_->HasZoneMaps()) {
@@ -76,7 +76,7 @@ Status PhysicalScan::ScanBlock(size_t start, size_t count, Chunk* out,
   return Status::OK();
 }
 
-Status PhysicalScan::Next(Chunk* chunk, bool* done) {
+Status PhysicalScan::NextImpl(Chunk* chunk, bool* done) {
   size_t total = table_->num_rows();
   while (next_row_ < total) {
     size_t count = std::min(kChunkSize, total - next_row_);
@@ -134,7 +134,7 @@ PhysicalIndexScan::PhysicalIndexScan(std::shared_ptr<Table> table,
       key_(std::move(key)),
       residual_predicate_(std::move(residual_predicate)) {}
 
-Status PhysicalIndexScan::Open() {
+Status PhysicalIndexScan::OpenImpl() {
   next_match_ = 0;
   matches_.clear();
   const HashIndex* index = table_->GetHashIndex(key_column_);
@@ -155,7 +155,7 @@ Status PhysicalIndexScan::Open() {
   return Status::OK();
 }
 
-Status PhysicalIndexScan::Next(Chunk* chunk, bool* done) {
+Status PhysicalIndexScan::NextImpl(Chunk* chunk, bool* done) {
   Chunk out(schema_);
   size_t emitted = 0;
   while (next_match_ < matches_.size() && emitted < kChunkSize) {

@@ -46,8 +46,8 @@ class PhysicalScan : public PhysicalOperator {
                ExprPtr predicate, std::vector<ColumnRangeConstraint> ranges,
                bool use_zone_maps, Schema schema, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Scan"; }
 
   // -- Morsel-source API (parallel path) --------------------------------
@@ -96,8 +96,8 @@ class PhysicalIndexScan : public PhysicalOperator {
                     Value key, ExprPtr residual_predicate, Schema schema,
                     ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "IndexScan"; }
 
  private:

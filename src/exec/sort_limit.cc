@@ -21,7 +21,7 @@ PhysicalSort::PhysicalSort(PhysicalOpPtr child, std::vector<SortKey> keys,
       child_(std::move(child)),
       keys_(std::move(keys)) {}
 
-Status PhysicalSort::Open() {
+Status PhysicalSort::OpenImpl() {
   next_row_ = 0;
   AGORA_ASSIGN_OR_RETURN(data_, CollectAll(child_.get()));
   size_t rows = data_.num_rows();
@@ -41,7 +41,7 @@ Status PhysicalSort::Open() {
   return Status::OK();
 }
 
-Status PhysicalSort::Next(Chunk* chunk, bool* done) {
+Status PhysicalSort::NextImpl(Chunk* chunk, bool* done) {
   size_t rows = perm_.size();
   size_t count = std::min(kChunkSize, rows - next_row_);
   std::vector<uint32_t> sel(perm_.begin() + static_cast<long>(next_row_),
@@ -60,7 +60,7 @@ PhysicalTopK::PhysicalTopK(PhysicalOpPtr child, std::vector<SortKey> keys,
       k_(k),
       offset_(offset) {}
 
-Status PhysicalTopK::Open() {
+Status PhysicalTopK::OpenImpl() {
   next_row_ = 0;
   result_ = Chunk(schema_);
   AGORA_RETURN_IF_ERROR(child_->Open());
@@ -114,7 +114,7 @@ Status PhysicalTopK::Open() {
   return Status::OK();
 }
 
-Status PhysicalTopK::Next(Chunk* chunk, bool* done) {
+Status PhysicalTopK::NextImpl(Chunk* chunk, bool* done) {
   size_t rows = result_.num_rows();
   size_t count = std::min(kChunkSize, rows - next_row_);
   std::vector<uint32_t> sel;
@@ -135,13 +135,13 @@ PhysicalLimit::PhysicalLimit(PhysicalOpPtr child, int64_t limit,
       limit_(limit),
       offset_(offset) {}
 
-Status PhysicalLimit::Open() {
+Status PhysicalLimit::OpenImpl() {
   skipped_ = 0;
   emitted_ = 0;
   return child_->Open();
 }
 
-Status PhysicalLimit::Next(Chunk* chunk, bool* done) {
+Status PhysicalLimit::NextImpl(Chunk* chunk, bool* done) {
   bool child_done = false;
   while (!child_done) {
     if (limit_ >= 0 && emitted_ >= limit_) break;
@@ -179,13 +179,13 @@ Status PhysicalLimit::Next(Chunk* chunk, bool* done) {
 PhysicalDistinct::PhysicalDistinct(PhysicalOpPtr child, ExecContext* context)
     : PhysicalOperator(child->schema(), context), child_(std::move(child)) {}
 
-Status PhysicalDistinct::Open() {
+Status PhysicalDistinct::OpenImpl() {
   seen_.clear();
   child_done_ = false;
   return child_->Open();
 }
 
-Status PhysicalDistinct::Next(Chunk* chunk, bool* done) {
+Status PhysicalDistinct::NextImpl(Chunk* chunk, bool* done) {
   while (!child_done_) {
     Chunk input;
     AGORA_RETURN_IF_ERROR(child_->Next(&input, &child_done_));

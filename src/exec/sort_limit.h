@@ -18,9 +18,12 @@ class PhysicalSort : public PhysicalOperator {
   PhysicalSort(PhysicalOpPtr child, std::vector<SortKey> keys,
                ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Sort"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -38,9 +41,12 @@ class PhysicalTopK : public PhysicalOperator {
   PhysicalTopK(PhysicalOpPtr child, std::vector<SortKey> keys, int64_t k,
                int64_t offset, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "TopK"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -57,9 +63,12 @@ class PhysicalLimit : public PhysicalOperator {
   PhysicalLimit(PhysicalOpPtr child, int64_t limit, int64_t offset,
                 ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Limit"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   PhysicalOpPtr child_;
@@ -74,9 +83,12 @@ class PhysicalDistinct : public PhysicalOperator {
  public:
   PhysicalDistinct(PhysicalOpPtr child, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "Distinct"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    return {child_.get()};
+  }
 
  private:
   PhysicalOpPtr child_;

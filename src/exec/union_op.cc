@@ -7,7 +7,7 @@ PhysicalUnion::PhysicalUnion(std::vector<PhysicalOpPtr> children,
     : PhysicalOperator(children[0]->schema(), context),
       children_(std::move(children)) {}
 
-Status PhysicalUnion::Open() {
+Status PhysicalUnion::OpenImpl() {
   current_ = 0;
   current_done_ = false;
   for (const PhysicalOpPtr& child : children_) {
@@ -16,7 +16,7 @@ Status PhysicalUnion::Open() {
   return Status::OK();
 }
 
-Status PhysicalUnion::Next(Chunk* chunk, bool* done) {
+Status PhysicalUnion::NextImpl(Chunk* chunk, bool* done) {
   while (current_ < children_.size()) {
     if (current_done_) {
       ++current_;

@@ -13,9 +13,15 @@ class PhysicalUnion : public PhysicalOperator {
  public:
   PhysicalUnion(std::vector<PhysicalOpPtr> children, ExecContext* context);
 
-  Status Open() override;
-  Status Next(Chunk* chunk, bool* done) override;
+  Status OpenImpl() override;
+  Status NextImpl(Chunk* chunk, bool* done) override;
   std::string name() const override { return "UnionAll"; }
+  std::vector<const PhysicalOperator*> children() const override {
+    std::vector<const PhysicalOperator*> out;
+    out.reserve(children_.size());
+    for (const PhysicalOpPtr& c : children_) out.push_back(c.get());
+    return out;
+  }
 
  private:
   std::vector<PhysicalOpPtr> children_;
