@@ -117,16 +117,46 @@ double MeasureLatencyMs(Database* db, const std::string& sql, int threads) {
   return samples[samples.size() / 2];
 }
 
-/// Runs the full query × scale × thread sweep and writes BENCH_e1.json.
-void WriteScalingJson(const std::vector<int>& thread_counts) {
+/// Hash-kernel health figures for one query, from an instrumented run
+/// (see docs/BENCH_SCHEMA.md for the exact definitions).
+struct HashKernelStats {
+  double ht_load_factor = 0.0;       // entries / slots
+  double ht_probes_per_lookup = 0.0; // probe_steps / lookups
+  double bloom_hit_rate = 0.0;       // filtered / checked
+};
+
+HashKernelStats CollectHashStats(Database* db, const std::string& sql,
+                                 int threads) {
+  db->set_execution_threads(threads);
+  QueryResult result = MustExecute(db, sql);
+  db->set_execution_threads(0);
+  const ExecStats& s = result.stats();
+  HashKernelStats h;
+  if (s.hash_table_slots > 0) {
+    h.ht_load_factor = static_cast<double>(s.hash_table_entries) /
+                       static_cast<double>(s.hash_table_slots);
+  }
+  if (s.hash_table_lookups > 0) {
+    h.ht_probes_per_lookup = static_cast<double>(s.hash_table_probe_steps) /
+                             static_cast<double>(s.hash_table_lookups);
+  }
+  if (s.bloom_checked_rows > 0) {
+    h.bloom_hit_rate = static_cast<double>(s.bloom_filtered_rows) /
+                       static_cast<double>(s.bloom_checked_rows);
+  }
+  return h;
+}
+
+/// Runs the query × scale × thread sweep and writes BENCH_e1.json.
+void WriteScalingJson(const std::vector<int>& thread_counts,
+                      const std::vector<double>& scales,
+                      const std::vector<int>& queries) {
   const char* path = "BENCH_e1.json";
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::printf("[E1] cannot open %s for writing; skipping JSON\n", path);
     return;
   }
-  const int queries[] = {1, 3, 5, 6, 10, 12, 14};
-  const double scales[] = {0.01, 0.05, 0.1};
 
   std::fprintf(out, "{\n  \"experiment\": \"e1_small_data\",\n");
   std::fprintf(out, "  \"pool_threads\": %zu,\n",
@@ -141,14 +171,19 @@ void WriteScalingJson(const std::vector<int>& thread_counts) {
       for (int threads : thread_counts) {
         double ms = MeasureLatencyMs(db, sql, threads);
         if (threads == thread_counts.front()) base_ms = ms;
+        HashKernelStats hs = CollectHashStats(db, sql, threads);
         if (!first) std::fprintf(out, ",\n");
         first = false;
         std::fprintf(out,
                      "    {\"query\": \"%s\", \"scale_factor\": %g, "
                      "\"threads\": %d, \"latency_ms\": %.4f, "
-                     "\"speedup_vs_1t\": %.3f}",
+                     "\"speedup_vs_1t\": %.3f, "
+                     "\"ht_load_factor\": %.4f, "
+                     "\"ht_probes_per_lookup\": %.4f, "
+                     "\"bloom_hit_rate\": %.4f}",
                      QueryName(q), sf, threads, ms,
-                     ms > 0.0 ? base_ms / ms : 0.0);
+                     ms > 0.0 ? base_ms / ms : 0.0, hs.ht_load_factor,
+                     hs.ht_probes_per_lookup, hs.bloom_hit_rate);
       }
     }
   }
@@ -162,7 +197,11 @@ void WriteScalingJson(const std::vector<int>& thread_counts) {
 
 int main(int argc, char** argv) {
   // --threads=a,b,c selects the worker counts for the scaling sweep.
+  // --smoke shrinks the run to a CI-sized check: SF 0.01, Q1/Q3/Q5,
+  // one thread, no gbench sweep — it exists to prove the binary runs
+  // and BENCH_e1.json comes out well-formed.
   std::vector<int> thread_counts = {1, 2, 4, 8};
+  bool smoke = false;
   int out_argc = 1;
   for (int i = 1; i < argc; ++i) {
     const char* prefix = "--threads=";
@@ -175,11 +214,20 @@ int main(int argc, char** argv) {
         if (*p == ',') ++p;
       }
       if (thread_counts.empty()) thread_counts = {1};
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
     } else {
       argv[out_argc++] = argv[i];  // pass everything else to gbench
     }
   }
   argc = out_argc;
+  std::vector<double> scales = {0.01, 0.05, 0.1};
+  std::vector<int> queries = {1, 3, 5, 6, 10, 12, 14};
+  if (smoke) {
+    thread_counts = {1};
+    scales = {0.01};
+    queries = {1, 3, 5};
+  }
   // Size the shared pool for the largest requested sweep point unless the
   // user pinned it; must happen before the first query builds the pool.
   int max_threads = 1;
@@ -195,9 +243,15 @@ int main(int argc, char** argv) {
       "minutes on one core — parallel morsel execution divides the "
       "single-core time by the scaling factor in BENCH_e1.json");
   benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  if (!smoke) benchmark::RunSpecifiedBenchmarks();
 
-  agora::WriteScalingJson(thread_counts);
+  agora::WriteScalingJson(thread_counts, scales, queries);
+
+  if (smoke) {
+    std::printf("[E1] smoke run complete\n");
+    benchmark::Shutdown();
+    return 0;
+  }
 
   // Post-run extrapolation using a quick Q6 measurement at SF 0.1.
   agora::Database* db = agora::bench::GetTpchDatabase(0.1);

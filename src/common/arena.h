@@ -57,6 +57,15 @@ class Arena {
     return static_cast<T*>(Allocate(n * sizeof(T), alignof(T)));
   }
 
+  /// Allocates a zero-initialized array of `n` objects of trivial type T.
+  /// Hash-table slot directories use this: all-zero is their empty state.
+  template <typename T>
+  T* AllocateZeroedArray(size_t n) {
+    T* data = AllocateArray<T>(n);
+    std::memset(static_cast<void*>(data), 0, n * sizeof(T));
+    return data;
+  }
+
   /// Drops all blocks; invalidates every pointer previously returned.
   void Reset() {
     blocks_.clear();

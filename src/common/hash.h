@@ -47,6 +47,15 @@ inline uint64_t HashCombine(uint64_t a, uint64_t b) {
   return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 12) + (a >> 4));
 }
 
+/// Hash assigned to NULL rows (matches ColumnVector::HashRow).
+inline constexpr uint64_t kNullHash = 0x6e756c6cULL;
+
+/// Salt folded into every vectorized hash-table key hash
+/// (exec/hash_table.h) so table bucket choice is decoupled from the raw
+/// per-column hashes that other subsystems (stats sketches, hash
+/// indexes) also consume.
+inline constexpr uint64_t kHashTableSalt = 0x7fb5d329728ea185ULL;
+
 }  // namespace agora
 
 #endif  // AGORA_COMMON_HASH_H_

@@ -161,6 +161,18 @@ void Database::RecordQueryMetrics(
                static_cast<double>(stats.overfetch_retries));
   metrics_.Add("fusion_candidates_total",
                static_cast<double>(stats.fusion_candidates));
+  metrics_.Add("hash_table_entries_total",
+               static_cast<double>(stats.hash_table_entries));
+  metrics_.Add("hash_table_slots_total",
+               static_cast<double>(stats.hash_table_slots));
+  metrics_.Add("hash_table_lookups_total",
+               static_cast<double>(stats.hash_table_lookups));
+  metrics_.Add("hash_table_probe_steps_total",
+               static_cast<double>(stats.hash_table_probe_steps));
+  metrics_.Add("bloom_checked_rows_total",
+               static_cast<double>(stats.bloom_checked_rows));
+  metrics_.Add("bloom_filtered_rows_total",
+               static_cast<double>(stats.bloom_filtered_rows));
   metrics_.Add("queries_total", 1.0);
   metrics_.Add("query_seconds_total", seconds);
   metrics_.Add("joules_proxy_total", stats.JoulesProxy());

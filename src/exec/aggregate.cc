@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
+#include "common/hash.h"
 #include "exec/parallel.h"
 
 namespace agora {
@@ -17,9 +19,10 @@ PhysicalHashAggregate::PhysicalHashAggregate(
       aggregates_(std::move(aggregates)) {}
 
 Status PhysicalHashAggregate::OpenImpl() {
-  groups_.map.clear();
-  groups_.order.clear();
+  groups_ = AggTable{};
+  num_groups_ = 0;
   next_group_ = 0;
+  scalar_default_group_ = false;
 
   bool has_distinct = false;
   for (const AggregateSpec& spec : aggregates_) {
@@ -32,7 +35,7 @@ Status PhysicalHashAggregate::OpenImpl() {
     // Parallel accumulate: one partial table per morsel (single-writer),
     // merged below in morsel order — worker count never changes results.
     AGORA_RETURN_IF_ERROR(child_->Open());
-    std::vector<GroupTable> partials(pipeline.source()->MorselCount());
+    std::vector<AggTable> partials(pipeline.source()->MorselCount());
     AGORA_RETURN_IF_ERROR(DriveMorselPipeline(
         pipeline, context_,
         [this, &partials](int worker, const Morsel& morsel,
@@ -44,7 +47,7 @@ Status PhysicalHashAggregate::OpenImpl() {
           MetricSpan span = StatsSpan(stats, op_id());
           return AccumulateInto(chunk, &partials[morsel.index], stats);
         }));
-    for (GroupTable& partial : partials) {
+    for (AggTable& partial : partials) {
       MergePartial(std::move(partial));
     }
   } else {
@@ -60,131 +63,316 @@ Status PhysicalHashAggregate::OpenImpl() {
     }
   }
 
+  num_groups_ = groups_.keys.group_count();
   // Scalar aggregation always yields one group.
-  if (group_by_.empty() && groups_.map.empty()) {
-    auto [it, inserted] = groups_.map.try_emplace("");
-    it->second.aggs.resize(aggregates_.size());
-    groups_.order.emplace_back(&it->first, &it->second);
+  if (group_by_.empty() && num_groups_ == 0) {
+    scalar_default_group_ = true;
+    num_groups_ = 1;
+    groups_.states.assign(aggregates_.size(), AggState{});
+    groups_.minmax_strings.assign(aggregates_.size(), {});
+    for (std::vector<std::string>& ms : groups_.minmax_strings) {
+      ms.assign(1, std::string());
+    }
   }
+  context_->stats.hash_table_entries +=
+      static_cast<int64_t>(groups_.keys.group_count());
+  context_->stats.hash_table_slots +=
+      static_cast<int64_t>(groups_.keys.slot_count());
   return Status::OK();
 }
 
 Status PhysicalHashAggregate::AccumulateInto(const Chunk& input,
-                                             GroupTable* table,
+                                             AggTable* table,
                                              ExecStats* stats) const {
   size_t rows = input.num_rows();
+  size_t num_aggs = aggregates_.size();
   stats->rows_aggregated += static_cast<int64_t>(rows);
+  if (table->minmax_strings.size() != num_aggs) {
+    table->minmax_strings.resize(num_aggs);
+    table->distinct.resize(num_aggs);
+  }
 
   // Evaluate group keys and aggregate arguments once per chunk.
   std::vector<ColumnVector> key_cols(group_by_.size());
   for (size_t g = 0; g < group_by_.size(); ++g) {
     AGORA_RETURN_IF_ERROR(group_by_[g]->Evaluate(input, &key_cols[g]));
   }
-  std::vector<ColumnVector> arg_cols(aggregates_.size());
-  for (size_t a = 0; a < aggregates_.size(); ++a) {
+  std::vector<ColumnVector> arg_cols(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
     if (aggregates_[a].arg != nullptr) {
       AGORA_RETURN_IF_ERROR(
           aggregates_[a].arg->Evaluate(input, &arg_cols[a]));
     }
   }
 
-  std::string key;
-  for (size_t r = 0; r < rows; ++r) {
-    key.clear();
+  HashTableStats ht;
+  if (group_by_.empty()) {
+    // Scalar aggregation: one group, no per-row lookups. One
+    // FindOrCreate call registers the (empty-key) group on first use.
+    uint64_t h = kHashTableSalt;
+    uint32_t gid;
+    uint8_t created;
+    table->keys.FindOrCreate(key_cols, &h, 1, &gid, &created, &ht);
+    table->gid_scratch.assign(rows, 0);
+  } else {
+    // Resolve every row to a dense group id in one vectorized pass.
+    table->hash_scratch.assign(rows, kHashTableSalt);
     for (const ColumnVector& col : key_cols) {
-      AppendKeyBytes(col, r, &key);
+      col.HashBatch(table->hash_scratch.data(), rows, /*combine=*/true,
+                    /*normalize_zero=*/true);
     }
-    auto [it, inserted] = table->map.try_emplace(key);
-    GroupState& group = it->second;
-    if (inserted) {
-      group.keys.reserve(key_cols.size());
-      for (const ColumnVector& col : key_cols) {
-        group.keys.push_back(col.GetValue(r));
+    table->gid_scratch.resize(rows);
+    table->created_scratch.resize(rows);
+    table->keys.FindOrCreate(key_cols, table->hash_scratch.data(), rows,
+                             table->gid_scratch.data(),
+                             table->created_scratch.data(), &ht);
+  }
+  stats->hash_table_lookups += ht.lookups;
+  stats->hash_table_probe_steps += ht.probe_steps;
+  size_t num_groups = table->keys.group_count();
+  table->states.resize(num_groups * num_aggs);
+  const uint32_t* gids = table->gid_scratch.data();
+  AggState* states = table->states.data();
+
+  // Column-at-a-time accumulator updates: one type-dispatched loop per
+  // aggregate, never materializing Values. Row order within each loop
+  // matches the seed row-at-a-time path, so floating-point sums and
+  // MIN/MAX tie-breaks are bit-identical.
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const AggregateSpec& spec = aggregates_[a];
+    if (spec.func == AggFunc::kCountStar) {
+      for (size_t r = 0; r < rows; ++r) {
+        states[gids[r] * num_aggs + a].count++;
       }
-      group.aggs.resize(aggregates_.size());
-      table->order.emplace_back(&it->first, &group);
+      continue;
     }
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      const AggregateSpec& spec = aggregates_[a];
-      AggState& state = group.aggs[a];
-      if (spec.func == AggFunc::kCountStar) {
-        state.count++;
-        continue;
+    const ColumnVector& arg = arg_cols[a];
+    const uint8_t* valid = arg.validity_data();
+    if (spec.distinct) {
+      // DISTINCT: dedup (group id, argument) pairs through a hashed key
+      // table — no per-row key strings — then apply first occurrences
+      // through the row-at-a-time mirror.
+      std::vector<uint32_t> sel;
+      for (size_t r = 0; r < rows; ++r) {
+        if (valid[r] != 0) sel.push_back(static_cast<uint32_t>(r));
       }
-      const ColumnVector& arg = arg_cols[a];
-      if (arg.IsNull(r)) continue;  // SQL: aggregates ignore NULL inputs
-      if (spec.distinct) {
-        std::string dkey;
-        AppendKeyBytes(arg, r, &dkey);
-        if (!state.distinct_seen.insert(std::move(dkey)).second) continue;
+      if (sel.empty()) continue;
+      std::vector<ColumnVector> dkeys;
+      dkeys.emplace_back(TypeId::kInt64);
+      dkeys[0].Reserve(sel.size());
+      for (uint32_t r : sel) {
+        dkeys[0].AppendInt64(static_cast<int64_t>(gids[r]));
       }
-      state.has_value = true;
-      switch (spec.func) {
-        case AggFunc::kCount:
-          state.count++;
-          break;
-        case AggFunc::kSum:
-        case AggFunc::kAvg:
-          state.count++;
-          if (arg.type() == TypeId::kDouble) {
-            state.sum_d += arg.GetDouble(r);
-          } else {
-            state.sum_i += arg.GetInt64(r);
-            state.sum_d += static_cast<double>(arg.GetInt64(r));
+      dkeys.push_back(arg.Gather(sel));
+      std::vector<uint64_t> dhashes(sel.size(), kHashTableSalt);
+      dkeys[0].HashBatch(dhashes.data(), sel.size(), true, true);
+      dkeys[1].HashBatch(dhashes.data(), sel.size(), true, true);
+      if (table->distinct[a] == nullptr) {
+        table->distinct[a] = std::make_unique<GroupKeyTable>();
+      }
+      std::vector<uint32_t> dgids(sel.size());
+      std::vector<uint8_t> dcreated(sel.size());
+      HashTableStats dht;
+      table->distinct[a]->FindOrCreate(dkeys, dhashes.data(), sel.size(),
+                                       dgids.data(), dcreated.data(), &dht);
+      stats->hash_table_lookups += dht.lookups;
+      stats->hash_table_probe_steps += dht.probe_steps;
+      bool is_string = spec.result_type == TypeId::kString &&
+                       (spec.func == AggFunc::kMin ||
+                        spec.func == AggFunc::kMax);
+      if (is_string) table->minmax_strings[a].resize(num_groups);
+      for (size_t j = 0; j < sel.size(); ++j) {
+        if (dcreated[j] == 0) continue;
+        size_t r = sel[j];
+        size_t g = gids[r];
+        ApplyRow(spec, arg, r, &states[g * num_aggs + a],
+                 is_string ? &table->minmax_strings[a][g] : nullptr);
+      }
+      continue;
+    }
+    switch (spec.func) {
+      case AggFunc::kCount:
+        for (size_t r = 0; r < rows; ++r) {
+          if (valid[r] == 0) continue;
+          AggState& st = states[gids[r] * num_aggs + a];
+          st.has_value = true;
+          st.count++;
+        }
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kAvg:
+        if (arg.type() == TypeId::kDouble) {
+          const double* data = arg.double_data();
+          for (size_t r = 0; r < rows; ++r) {
+            if (valid[r] == 0) continue;
+            AggState& st = states[gids[r] * num_aggs + a];
+            st.has_value = true;
+            st.count++;
+            st.sum_d += data[r];
           }
-          break;
-        case AggFunc::kStddev:
-        case AggFunc::kVariance: {
+        } else {
+          const int64_t* data = arg.int64_data();
+          for (size_t r = 0; r < rows; ++r) {
+            if (valid[r] == 0) continue;
+            AggState& st = states[gids[r] * num_aggs + a];
+            st.has_value = true;
+            st.count++;
+            st.sum_i += data[r];
+            st.sum_d += static_cast<double>(data[r]);
+          }
+        }
+        break;
+      case AggFunc::kStddev:
+      case AggFunc::kVariance:
+        for (size_t r = 0; r < rows; ++r) {
+          if (valid[r] == 0) continue;
+          AggState& st = states[gids[r] * num_aggs + a];
           double v = arg.GetNumeric(r);
-          state.count++;
-          state.sum_d += v;
-          state.sum_sq += v * v;
-          break;
+          st.has_value = true;
+          st.count++;
+          st.sum_d += v;
+          st.sum_sq += v * v;
         }
-        case AggFunc::kMin: {
-          Value v = arg.GetValue(r);
-          if (state.count == 0 || v.Compare(state.min_max) < 0) {
-            state.min_max = std::move(v);
+        break;
+      case AggFunc::kMin:
+      case AggFunc::kMax: {
+        const bool is_min = spec.func == AggFunc::kMin;
+        if (arg.type() == TypeId::kString) {
+          std::vector<std::string>& ms = table->minmax_strings[a];
+          ms.resize(num_groups);
+          const std::vector<std::string>& data = arg.string_data();
+          for (size_t r = 0; r < rows; ++r) {
+            if (valid[r] == 0) continue;
+            AggState& st = states[gids[r] * num_aggs + a];
+            st.has_value = true;
+            const std::string& s = data[r];
+            std::string& cur = ms[gids[r]];
+            if (st.count == 0 || (is_min ? s < cur : s > cur)) cur = s;
+            st.count++;
           }
-          state.count++;
-          break;
-        }
-        case AggFunc::kMax: {
-          Value v = arg.GetValue(r);
-          if (state.count == 0 || v.Compare(state.min_max) > 0) {
-            state.min_max = std::move(v);
+        } else if (arg.type() == TypeId::kDouble) {
+          const double* data = arg.double_data();
+          for (size_t r = 0; r < rows; ++r) {
+            if (valid[r] == 0) continue;
+            AggState& st = states[gids[r] * num_aggs + a];
+            st.has_value = true;
+            double v = data[r];
+            if (st.count == 0 ||
+                (is_min ? v < st.minmax_d : v > st.minmax_d)) {
+              st.minmax_d = v;
+            }
+            st.count++;
           }
-          state.count++;
-          break;
+        } else {
+          const int64_t* data = arg.int64_data();
+          for (size_t r = 0; r < rows; ++r) {
+            if (valid[r] == 0) continue;
+            AggState& st = states[gids[r] * num_aggs + a];
+            st.has_value = true;
+            int64_t v = data[r];
+            if (st.count == 0 ||
+                (is_min ? v < st.minmax_i : v > st.minmax_i)) {
+              st.minmax_i = v;
+            }
+            st.count++;
+          }
         }
-        case AggFunc::kCountStar:
-          break;
+        break;
       }
+      case AggFunc::kCountStar:
+        break;
     }
   }
   return Status::OK();
 }
 
-void PhysicalHashAggregate::MergeAggStates(const GroupState& src,
-                                           GroupState* dst) const {
-  for (size_t a = 0; a < aggregates_.size(); ++a) {
-    const AggState& s = src.aggs[a];
-    AggState& d = dst->aggs[a];
+void PhysicalHashAggregate::ApplyRow(const AggregateSpec& spec,
+                                     const ColumnVector& arg, size_t row,
+                                     AggState* state,
+                                     std::string* minmax_str) const {
+  state->has_value = true;
+  switch (spec.func) {
+    case AggFunc::kCount:
+      state->count++;
+      break;
+    case AggFunc::kSum:
+    case AggFunc::kAvg:
+      state->count++;
+      if (arg.type() == TypeId::kDouble) {
+        state->sum_d += arg.GetDouble(row);
+      } else {
+        state->sum_i += arg.GetInt64(row);
+        state->sum_d += static_cast<double>(arg.GetInt64(row));
+      }
+      break;
+    case AggFunc::kStddev:
+    case AggFunc::kVariance: {
+      double v = arg.GetNumeric(row);
+      state->count++;
+      state->sum_d += v;
+      state->sum_sq += v * v;
+      break;
+    }
+    case AggFunc::kMin:
+    case AggFunc::kMax: {
+      const bool is_min = spec.func == AggFunc::kMin;
+      if (arg.type() == TypeId::kString) {
+        const std::string& s = arg.GetString(row);
+        if (state->count == 0 ||
+            (is_min ? s < *minmax_str : s > *minmax_str)) {
+          *minmax_str = s;
+        }
+      } else if (arg.type() == TypeId::kDouble) {
+        double v = arg.GetDouble(row);
+        if (state->count == 0 ||
+            (is_min ? v < state->minmax_d : v > state->minmax_d)) {
+          state->minmax_d = v;
+        }
+      } else {
+        int64_t v = arg.GetInt64(row);
+        if (state->count == 0 ||
+            (is_min ? v < state->minmax_i : v > state->minmax_i)) {
+          state->minmax_i = v;
+        }
+      }
+      state->count++;
+      break;
+    }
+    case AggFunc::kCountStar:
+      break;
+  }
+}
+
+void PhysicalHashAggregate::MergeAggStates(const AggTable& src,
+                                           size_t src_gid, size_t dst_gid) {
+  size_t num_aggs = aggregates_.size();
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const AggState& s = src.states[src_gid * num_aggs + a];
+    AggState& d = groups_.states[dst_gid * num_aggs + a];
     // MIN/MAX compare before the counts fold in (count == 0 means "no
     // value yet" on both sides of the comparison).
     switch (aggregates_[a].func) {
       case AggFunc::kMin:
-        if (s.count > 0 &&
-            (d.count == 0 || s.min_max.Compare(d.min_max) < 0)) {
-          d.min_max = s.min_max;
+      case AggFunc::kMax: {
+        if (s.count == 0) break;
+        const bool is_min = aggregates_[a].func == AggFunc::kMin;
+        if (aggregates_[a].result_type == TypeId::kString) {
+          const std::string& sv = src.minmax_strings[a][src_gid];
+          std::string& dv = groups_.minmax_strings[a][dst_gid];
+          if (d.count == 0 || (is_min ? sv < dv : sv > dv)) dv = sv;
+        } else if (aggregates_[a].result_type == TypeId::kDouble) {
+          if (d.count == 0 ||
+              (is_min ? s.minmax_d < d.minmax_d : s.minmax_d > d.minmax_d)) {
+            d.minmax_d = s.minmax_d;
+          }
+        } else {
+          if (d.count == 0 ||
+              (is_min ? s.minmax_i < d.minmax_i : s.minmax_i > d.minmax_i)) {
+            d.minmax_i = s.minmax_i;
+          }
         }
         break;
-      case AggFunc::kMax:
-        if (s.count > 0 &&
-            (d.count == 0 || s.min_max.Compare(d.min_max) > 0)) {
-          d.min_max = s.min_max;
-        }
-        break;
+      }
       default:
         break;
     }
@@ -196,27 +384,64 @@ void PhysicalHashAggregate::MergeAggStates(const GroupState& src,
   }
 }
 
-void PhysicalHashAggregate::MergePartial(GroupTable&& partial) {
-  for (auto& [key_ptr, state_ptr] : partial.order) {
-    auto [it, inserted] = groups_.map.try_emplace(*key_ptr);
-    if (inserted) {
-      it->second = std::move(*state_ptr);
-      groups_.order.emplace_back(&it->first, &it->second);
+void PhysicalHashAggregate::MergePartial(AggTable&& partial) {
+  size_t n = partial.keys.group_count();
+  if (n == 0) return;
+  size_t num_aggs = aggregates_.size();
+  if (groups_.minmax_strings.size() != num_aggs) {
+    groups_.minmax_strings.resize(num_aggs);
+    groups_.distinct.resize(num_aggs);
+  }
+  // The partial's stored key columns and (already salted) group hashes
+  // feed straight back through FindOrCreate — no re-encoding.
+  std::vector<uint32_t> gids(n);
+  std::vector<uint8_t> created(n);
+  HashTableStats ht;
+  groups_.keys.FindOrCreate(partial.keys.keys(),
+                            partial.keys.group_hashes().data(), n,
+                            gids.data(), created.data(), &ht);
+  context_->stats.hash_table_lookups += ht.lookups;
+  context_->stats.hash_table_probe_steps += ht.probe_steps;
+  size_t total = groups_.keys.group_count();
+  groups_.states.resize(total * num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (!partial.minmax_strings.empty() &&
+        !partial.minmax_strings[a].empty()) {
+      partial.minmax_strings[a].resize(n);
+      groups_.minmax_strings[a].resize(total);
+    } else if (!groups_.minmax_strings[a].empty()) {
+      groups_.minmax_strings[a].resize(total);
+    }
+  }
+  for (size_t g = 0; g < n; ++g) {
+    size_t dst = gids[g];
+    if (created[g] != 0) {
+      for (size_t a = 0; a < num_aggs; ++a) {
+        groups_.states[dst * num_aggs + a] =
+            partial.states[g * num_aggs + a];
+        if (!groups_.minmax_strings[a].empty() &&
+            !partial.minmax_strings.empty() &&
+            !partial.minmax_strings[a].empty()) {
+          groups_.minmax_strings[a][dst] =
+              std::move(partial.minmax_strings[a][g]);
+        }
+      }
     } else {
-      MergeAggStates(*state_ptr, &it->second);
+      MergeAggStates(partial, g, dst);
     }
   }
 }
 
-void PhysicalHashAggregate::FinalizeInto(Chunk* out,
-                                         const GroupState& group) const {
+void PhysicalHashAggregate::FinalizeInto(Chunk* out, size_t gid) const {
   size_t col = 0;
-  for (const Value& key : group.keys) {
-    out->column(col++).AppendValue(key);
+  const std::vector<ColumnVector>& key_cols = groups_.keys.keys();
+  for (const ColumnVector& key : key_cols) {
+    out->column(col++).AppendFrom(key, gid);
   }
-  for (size_t a = 0; a < aggregates_.size(); ++a) {
+  size_t num_aggs = aggregates_.size();
+  for (size_t a = 0; a < num_aggs; ++a) {
     const AggregateSpec& spec = aggregates_[a];
-    const AggState& state = group.aggs[a];
+    const AggState& state = groups_.states[gid * num_aggs + a];
     ColumnVector& target = out->column(col++);
     switch (spec.func) {
       case AggFunc::kCountStar:
@@ -244,8 +469,12 @@ void PhysicalHashAggregate::FinalizeInto(Chunk* out,
       case AggFunc::kMax:
         if (!state.has_value) {
           target.AppendNull();
+        } else if (spec.result_type == TypeId::kString) {
+          target.AppendString(groups_.minmax_strings[a][gid]);
+        } else if (spec.result_type == TypeId::kDouble) {
+          target.AppendDouble(state.minmax_d);
         } else {
-          target.AppendValue(state.min_max);
+          target.AppendInt64(state.minmax_i);
         }
         break;
       case AggFunc::kStddev:
@@ -270,13 +499,13 @@ void PhysicalHashAggregate::FinalizeInto(Chunk* out,
 Status PhysicalHashAggregate::NextImpl(Chunk* chunk, bool* done) {
   Chunk out(schema_);
   size_t emitted = 0;
-  while (next_group_ < groups_.order.size() && emitted < kChunkSize) {
-    FinalizeInto(&out, *groups_.order[next_group_++].second);
+  while (next_group_ < num_groups_ && emitted < kChunkSize) {
+    FinalizeInto(&out, next_group_++);
     ++emitted;
   }
   context_->stats.bytes_materialized += static_cast<int64_t>(out.MemoryBytes());
   *chunk = std::move(out);
-  *done = next_group_ >= groups_.order.size();
+  *done = next_group_ >= num_groups_;
   return Status::OK();
 }
 

@@ -1,12 +1,11 @@
 #ifndef AGORA_EXEC_AGGREGATE_H_
 #define AGORA_EXEC_AGGREGATE_H_
 
-#include <set>
+#include <memory>
 #include <string>
-#include <unordered_map>
-#include <utility>
 #include <vector>
 
+#include "exec/hash_table.h"
 #include "exec/physical_op.h"
 #include "expr/expr.h"
 #include "plan/logical_plan.h"
@@ -17,15 +16,24 @@ namespace agora {
 /// streams result groups. Output schema: [group keys..., aggregates...].
 /// With no group keys, emits exactly one row (SQL scalar-aggregate rule).
 ///
+/// Grouping runs through a GroupKeyTable (exec/hash_table.h): keys are
+/// hashed and verified column-at-a-time and live columnar inside the
+/// table, so the per-row work is a vectorized lookup plus fixed-width
+/// accumulator updates — no per-row key strings, Values, or map nodes.
+/// Accumulators are a flat group-major AggState array; only string
+/// MIN/MAX keeps a side vector of strings.
+///
 /// When the child is an eligible morsel pipeline (see exec/parallel.h) and
 /// no aggregate is DISTINCT, Open() accumulates in parallel: each morsel
-/// gets its own partial group table (written by exactly one worker, no
-/// locks), and the partials are merged in morsel-index order. That fixes
-/// both the group output order (first appearance in table order) and the
+/// gets its own partial table (written by exactly one worker, no locks),
+/// and the partials are merged in morsel-index order. That fixes both the
+/// group output order (first appearance in table order) and the
 /// floating-point addition tree, so results are byte-identical at every
 /// worker count. DISTINCT aggregates cannot merge partial dedup sets
 /// exactly, so they stay on the serial pull path (the planner parallelizes
-/// their input through a Gather exchange instead).
+/// their input through a Gather exchange instead); their dedup runs over
+/// per-aggregate GroupKeyTables keyed on (group id, argument) instead of
+/// per-row key-string sets.
 class PhysicalHashAggregate : public PhysicalOperator {
  public:
   PhysicalHashAggregate(PhysicalOpPtr child, std::vector<ExprPtr> group_by,
@@ -40,44 +48,59 @@ class PhysicalHashAggregate : public PhysicalOperator {
   }
 
  private:
+  /// Fixed-width accumulator for one (group, aggregate) pair.
   struct AggState {
     int64_t count = 0;       // COUNT / AVG / STDDEV denominator
     double sum_d = 0;        // SUM/AVG accumulator (double path)
     double sum_sq = 0;       // STDDEV/VARIANCE accumulator
     int64_t sum_i = 0;       // SUM accumulator (int64 path)
-    Value min_max;           // running MIN or MAX
+    int64_t minmax_i = 0;    // running MIN/MAX (int-family args)
+    double minmax_d = 0;     // running MIN/MAX (double args)
     bool has_value = false;  // any non-null input seen
-    std::set<std::string> distinct_seen;  // DISTINCT dedup keys
   };
 
-  struct GroupState {
-    std::vector<Value> keys;
-    std::vector<AggState> aggs;
+  /// One aggregation table: the key table plus group-major accumulators
+  /// (`states[g * num_aggs + a]`). Per-morsel partials and the global
+  /// table share this shape, so merging is a FindOrCreate over the
+  /// partial's stored key columns.
+  struct AggTable {
+    GroupKeyTable keys;
+    std::vector<AggState> states;
+    /// Running MIN/MAX per group for string-typed aggregates (indexed
+    /// [agg][group]; unused aggregates stay empty).
+    std::vector<std::vector<std::string>> minmax_strings;
+    /// DISTINCT dedup tables keyed on (group id, argument value); only
+    /// allocated for DISTINCT aggregates (serial path only).
+    std::vector<std::unique_ptr<GroupKeyTable>> distinct;
+    // Scratch reused across chunks.
+    std::vector<uint64_t> hash_scratch;
+    std::vector<uint32_t> gid_scratch;
+    std::vector<uint8_t> created_scratch;
   };
 
-  /// Hash table plus first-appearance order. The order entries point into
-  /// the map, which is node-based, so they survive rehashing.
-  struct GroupTable {
-    std::unordered_map<std::string, GroupState> map;
-    std::vector<std::pair<const std::string*, GroupState*>> order;
-  };
-
-  /// Accumulates one chunk into `table`. Const and side-effect free apart
-  /// from its out-params, so parallel workers can run it on disjoint
-  /// tables concurrently.
-  Status AccumulateInto(const Chunk& input, GroupTable* table,
+  /// Accumulates one chunk into `table`. Side-effect free apart from its
+  /// out-params, so parallel workers can run it on disjoint tables
+  /// concurrently.
+  Status AccumulateInto(const Chunk& input, AggTable* table,
                         ExecStats* stats) const;
+  /// Applies one row of aggregate `a` to `state` (post NULL/distinct
+  /// gating) — the row-at-a-time mirror of the columnar kernels, used by
+  /// the DISTINCT path.
+  void ApplyRow(const AggregateSpec& spec, const ColumnVector& arg,
+                size_t row, AggState* state, std::string* minmax_str) const;
   /// Folds one morsel's partial into `groups_`, preserving the partial's
   /// first-appearance order for groups not seen before.
-  void MergePartial(GroupTable&& partial);
-  void MergeAggStates(const GroupState& src, GroupState* dst) const;
-  void FinalizeInto(Chunk* out, const GroupState& group) const;
+  void MergePartial(AggTable&& partial);
+  void MergeAggStates(const AggTable& src, size_t src_gid, size_t dst_gid);
+  void FinalizeInto(Chunk* out, size_t gid) const;
 
   PhysicalOpPtr child_;
   std::vector<ExprPtr> group_by_;
   std::vector<AggregateSpec> aggregates_;
 
-  GroupTable groups_;
+  AggTable groups_;
+  bool scalar_default_group_ = false;  // zero-input scalar aggregation
+  size_t num_groups_ = 0;
   size_t next_group_ = 0;
 };
 

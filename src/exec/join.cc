@@ -40,13 +40,14 @@ PhysicalHashJoin::PhysicalHashJoin(PhysicalOpPtr left, PhysicalOpPtr right,
       left_keys_(std::move(left_keys)),
       right_keys_(std::move(right_keys)),
       residual_(std::move(residual)),
-      kind_(kind) {
+      kind_(kind),
+      build_phase_id_(context != nullptr ? context->RegisterOp() : -1),
+      probe_phase_id_(context != nullptr ? context->RegisterOp() : -1) {
   AGORA_CHECK(!left_keys_.empty() && left_keys_.size() == right_keys_.size());
 }
 
 Status PhysicalHashJoin::OpenImpl() {
   probe_done_ = false;
-  partitions_.clear();
   build_keys_.clear();
   AGORA_RETURN_IF_ERROR(left_->Open());
   // The build side collects through the morsel pipeline when eligible;
@@ -55,6 +56,9 @@ Status PhysicalHashJoin::OpenImpl() {
                          ParallelCollectAll(right_.get(), context_));
   context_->stats.bytes_materialized +=
       static_cast<int64_t>(build_data_.MemoryBytes());
+  // The build phase covers hashing + table fill, not the child collection
+  // above (that time belongs to the child operators).
+  MetricSpan span = StatsSpan(&context_->stats, build_phase_id_);
   return BuildTable();
 }
 
@@ -66,98 +70,114 @@ Status PhysicalHashJoin::BuildTable() {
         right_keys_[k]->Evaluate(build_data_, &build_keys_[k]));
   }
   size_t rows = build_data_.num_rows();
-  build_hashes_.assign(rows, 0);
+  // Column-at-a-time key hashing. The salt only perturbs slot/Bloom bit
+  // choice: both sides fold it in identically, so the match relation is
+  // unchanged. NULL keys (any column) never match.
+  build_hashes_.assign(rows, kHashTableSalt);
   build_valid_.assign(rows, 1);
-  for (size_t r = 0; r < rows; ++r) {
-    uint64_t h = 0;
-    for (const ColumnVector& key : build_keys_) {
-      if (key.IsNull(r)) {
-        build_valid_[r] = 0;
-        break;
-      }
-      h = HashCombine(h, key.HashRow(r));
-    }
-    build_hashes_[r] = h;
+  for (const ColumnVector& key : build_keys_) {
+    key.HashBatch(build_hashes_.data(), rows, /*combine=*/true,
+                  /*normalize_zero=*/false);
+    const uint8_t* key_valid = key.validity_data();
+    for (size_t r = 0; r < rows; ++r) build_valid_[r] &= key_valid[r];
   }
 
   // Partition the insertions across workers: worker p owns partition p
-  // outright, so no locks are needed and the row-id vectors stay in
-  // ascending order — the partition count never changes results.
+  // outright, so no locks are needed and chains stay in ascending row
+  // order — the partition count never changes results.
   size_t num_partitions = 1;
   if (context_->pool != nullptr && context_->num_workers > 1 &&
       rows >= context_->parallel_min_rows) {
     num_partitions = static_cast<size_t>(context_->num_workers);
   }
-  partitions_.assign(num_partitions, Partition{});
-  if (num_partitions == 1) {
-    Partition& part = partitions_[0];
-    part.reserve(rows);
-    for (size_t r = 0; r < rows; ++r) {
-      if (build_valid_[r] != 0) {
-        part[build_hashes_[r]].push_back(static_cast<uint32_t>(r));
-      }
-    }
-    return Status::OK();
-  }
-  TaskGroup group(context_->pool);
-  for (size_t p = 0; p < num_partitions; ++p) {
-    group.Spawn([this, p, num_partitions, rows]() -> Status {
-      Partition& part = partitions_[p];
-      for (size_t r = 0; r < rows; ++r) {
-        if (build_valid_[r] != 0 && build_hashes_[r] % num_partitions == p) {
-          part[build_hashes_[r]].push_back(static_cast<uint32_t>(r));
-        }
-      }
-      return Status::OK();
-    });
-  }
-  return group.Wait();
+  AGORA_RETURN_IF_ERROR(
+      table_.Build(build_hashes_.data(), build_valid_.data(), rows,
+                   num_partitions,
+                   num_partitions > 1 ? context_->pool : nullptr));
+  context_->stats.hash_table_entries += table_.entries();
+  context_->stats.hash_table_slots += table_.slot_count();
+  return Status::OK();
 }
 
 Status PhysicalHashJoin::ProbeChunk(const Chunk& probe, Chunk* out,
                                     ExecStats* stats) const {
+  MetricSpan span = StatsSpan(stats, probe_phase_id_);
   size_t rows = probe.num_rows();
-  // Evaluate probe keys for the whole chunk.
+  // Evaluate probe keys for the whole chunk, then hash column-at-a-time.
   std::vector<ColumnVector> probe_keys(left_keys_.size());
   for (size_t k = 0; k < left_keys_.size(); ++k) {
     AGORA_RETURN_IF_ERROR(left_keys_[k]->Evaluate(probe, &probe_keys[k]));
   }
+  std::vector<uint64_t> hashes(rows, kHashTableSalt);
+  std::vector<uint8_t> valid(rows, 1);
+  for (const ColumnVector& key : probe_keys) {
+    key.HashBatch(hashes.data(), rows, /*combine=*/true,
+                  /*normalize_zero=*/false);
+    const uint8_t* key_valid = key.validity_data();
+    for (size_t r = 0; r < rows; ++r) valid[r] &= key_valid[r];
+  }
 
-  size_t num_partitions = partitions_.size();
-  Chunk result(schema_);
+  // Gather candidate (probe row, build row) pairs: Bloom filter first,
+  // then the hash-chain walk. Pairs are grouped by probe row in row
+  // order, with chains in ascending build-row order.
+  HashTableStats ht;
+  std::vector<uint32_t> pair_l, pair_b;
   for (size_t r = 0; r < rows; ++r) {
-    uint64_t h = 0;
-    bool has_null = false;
-    for (const ColumnVector& key : probe_keys) {
-      if (key.IsNull(r)) {
-        has_null = true;
-        break;
-      }
-      h = HashCombine(h, key.HashRow(r));
+    if (valid[r] == 0) continue;
+    stats->bloom_checked_rows++;
+    uint64_t h = hashes[r];
+    if (!table_.bloom().MightContain(h)) {
+      stats->bloom_filtered_rows++;
+      continue;
     }
+    for (uint32_t ref = table_.Find(h, &ht); ref != 0;
+         ref = table_.Next(ref)) {
+      stats->probe_calls++;
+      pair_l.push_back(static_cast<uint32_t>(r));
+      pair_b.push_back(ref - 1);
+    }
+  }
+  stats->hash_table_lookups += ht.lookups;
+  stats->hash_table_probe_steps += ht.probe_steps;
+
+  // Verify all candidates column-at-a-time against the build keys.
+  size_t m = pair_l.size();
+  std::vector<uint8_t> equal(m, 1);
+  for (size_t k = 0; k < probe_keys.size(); ++k) {
+    probe_keys[k].BatchEqualRows(pair_l.data(), build_keys_[k],
+                                 pair_b.data(), m, /*bitwise_doubles=*/false,
+                                 equal.data());
+  }
+
+  // Emit survivors in probe-row order (UINT32_MAX pads outer-join rows).
+  std::vector<uint32_t> lsel, rsel;
+  size_t ptr = 0;
+  for (size_t r = 0; r < rows; ++r) {
     bool matched = false;
-    if (!has_null) {
-      const Partition& part = partitions_[h % num_partitions];
-      auto it = part.find(h);
-      if (it != part.end()) {
-        for (uint32_t brow : it->second) {
-          stats->probe_calls++;
-          bool equal = true;
-          for (size_t k = 0; k < probe_keys.size(); ++k) {
-            if (probe_keys[k].CompareRows(r, build_keys_[k], brow) != 0) {
-              equal = false;
-              break;
-            }
-          }
-          if (equal) {
-            AppendJoinedRow(probe, r, build_data_, brow, &result);
-            matched = true;
-          }
-        }
+    while (ptr < m && pair_l[ptr] == r) {
+      if (equal[ptr] != 0) {
+        lsel.push_back(static_cast<uint32_t>(r));
+        rsel.push_back(pair_b[ptr]);
+        matched = true;
       }
+      ++ptr;
     }
     if (!matched && kind_ == PhysicalJoinKind::kLeftOuter) {
-      AppendJoinedRow(probe, r, build_data_, -1, &result);
+      lsel.push_back(static_cast<uint32_t>(r));
+      rsel.push_back(UINT32_MAX);
+    }
+  }
+
+  Chunk result(schema_);
+  if (!lsel.empty()) {
+    size_t lcols = probe.num_columns();
+    for (size_t c = 0; c < lcols; ++c) {
+      result.column(c).AppendGatherPadded(probe.column(c), lsel.data(),
+                                          lsel.size());
+    }
+    for (size_t c = 0; c < build_data_.num_columns(); ++c) {
+      result.column(lcols + c).AppendGatherPadded(build_data_.column(c),
+                                                  rsel.data(), rsel.size());
     }
   }
 
@@ -166,6 +186,7 @@ Status PhysicalHashJoin::ProbeChunk(const Chunk& probe, Chunk* out,
     AGORA_ASSIGN_OR_RETURN(result, FilterChunk(result, *residual_));
   }
   stats->rows_joined += static_cast<int64_t>(result.num_rows());
+  span.AddRows(static_cast<int64_t>(result.num_rows()));
   *out = std::move(result);
   return Status::OK();
 }

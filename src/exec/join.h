@@ -1,9 +1,9 @@
 #ifndef AGORA_EXEC_JOIN_H_
 #define AGORA_EXEC_JOIN_H_
 
-#include <unordered_map>
 #include <vector>
 
+#include "exec/hash_table.h"
 #include "exec/physical_op.h"
 #include "expr/expr.h"
 
@@ -16,14 +16,16 @@ enum class PhysicalJoinKind { kInner, kLeftOuter, kCross };
 /// keys never match; kLeftOuter emits unmatched probe rows padded with
 /// NULLs.
 ///
-/// The build side is hash-partitioned: rows land in partition
-/// `hash % P`, and with a worker pool available the P partition tables
-/// are built by parallel workers (each scans the precomputed row hashes
-/// and keeps its own partition — no shared-table locking). Row ids per
-/// hash are stored in insertion (= ascending row) order, so probe output
-/// is identical for every partition and worker count. Probing is
-/// read-only after Open(), exposed per-chunk via ProbeChunk() so the
-/// morsel pipeline can run probes on any worker.
+/// Keys are hashed column-at-a-time into a JoinHashTable whose build-side
+/// rows are hash-partitioned (`hash % P`); with a worker pool available
+/// the P partition directories are filled by parallel workers, each
+/// owning its partition outright. Chains iterate in ascending build-row
+/// order, so probe output is identical for every partition and worker
+/// count. Probing is read-only after Open(), exposed per-chunk via
+/// ProbeChunk() so the morsel pipeline can run probes on any worker; a
+/// build-side Bloom filter rejects most matchless probe rows before they
+/// touch the slot directory. Build and probe book their self time into
+/// separate phase slots (EXPLAIN ANALYZE shows HashJoin::build/::probe).
 class PhysicalHashJoin : public PhysicalOperator {
  public:
   /// `left_keys[i]` (over the left schema) must equal `right_keys[i]`
@@ -48,12 +50,13 @@ class PhysicalHashJoin : public PhysicalOperator {
 
   PhysicalOperator* probe_child() const { return left_.get(); }
 
- private:
-  /// Row ids grouped by full 64-bit key hash, ascending within a group.
-  using Partition = std::unordered_map<uint64_t, std::vector<uint32_t>>;
+  std::vector<OperatorPhase> phases() const override {
+    return {{"build", build_phase_id_}, {"probe", probe_phase_id_}};
+  }
 
+ private:
   /// Evaluates build keys, precomputes row hashes, and fills the
-  /// partition tables (in parallel when a pool is available).
+  /// partitioned table (in parallel when a pool is available).
   Status BuildTable();
 
   PhysicalOpPtr left_;
@@ -62,12 +65,14 @@ class PhysicalHashJoin : public PhysicalOperator {
   std::vector<ExprPtr> right_keys_;
   ExprPtr residual_;
   PhysicalJoinKind kind_;
+  int build_phase_id_ = -1;
+  int probe_phase_id_ = -1;
 
   Chunk build_data_;                      // materialized right side
   std::vector<ColumnVector> build_keys_;  // evaluated right key columns
   std::vector<uint64_t> build_hashes_;    // per-row combined key hash
   std::vector<uint8_t> build_valid_;      // 0 = some key was NULL
-  std::vector<Partition> partitions_;
+  JoinHashTable table_;
   bool probe_done_ = false;
 };
 

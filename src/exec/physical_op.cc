@@ -23,6 +23,15 @@ std::string ExecStats::ToString() const {
     out += " overfetch_retries=" + FormatCount(overfetch_retries);
     out += " fusion_candidates=" + FormatCount(fusion_candidates);
   }
+  if (hash_table_entries > 0 || hash_table_lookups > 0 ||
+      bloom_checked_rows > 0) {
+    out += " hash_table_entries=" + FormatCount(hash_table_entries);
+    out += " hash_table_slots=" + FormatCount(hash_table_slots);
+    out += " hash_table_lookups=" + FormatCount(hash_table_lookups);
+    out += " hash_table_probe_steps=" + FormatCount(hash_table_probe_steps);
+    out += " bloom_checked_rows=" + FormatCount(bloom_checked_rows);
+    out += " bloom_filtered_rows=" + FormatCount(bloom_filtered_rows);
+  }
   return out;
 }
 
@@ -55,6 +64,21 @@ void WalkProfile(const PhysicalOperator* op, int depth, const ExecStats& stats,
     node.invocations = timing.invocations;
   }
   out->push_back(std::move(node));
+  // Phases render as pseudo-children ("HashJoin::build") so EXPLAIN
+  // ANALYZE attributes their self time separately from the operator's.
+  for (const OperatorPhase& phase : op->phases()) {
+    OperatorProfileNode pnode;
+    pnode.name = op->name() + "::" + phase.name;
+    pnode.depth = depth + 1;
+    if (phase.op_id >= 0 &&
+        static_cast<size_t>(phase.op_id) < stats.op_timings.size()) {
+      const OpTiming& timing = stats.op_timings[phase.op_id];
+      pnode.busy_ns = timing.busy_ns;
+      pnode.rows_out = timing.rows_out;
+      pnode.invocations = timing.invocations;
+    }
+    out->push_back(std::move(pnode));
+  }
   for (const PhysicalOperator* child : op->children()) {
     WalkProfile(child, depth + 1, stats, out);
   }

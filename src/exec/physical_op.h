@@ -34,6 +34,16 @@ struct ExecStats {
   int64_t vector_distances = 0;      // distance computations
   int64_t overfetch_retries = 0;     // post-filter fetch doublings
   int64_t fusion_candidates = 0;     // docs in the final fused ranking
+  // Vectorized hash-table counters (exec/hash_table.h). The bloom pair is
+  // thread-invariant; slots and probe_steps depend on the partition count
+  // (= worker count on the join build), so they are reported but excluded
+  // from the determinism contract.
+  int64_t bloom_checked_rows = 0;        // probe rows tested on the filter
+  int64_t bloom_filtered_rows = 0;       // probe rows rejected pre-table
+  int64_t hash_table_entries = 0;        // keys stored across tables built
+  int64_t hash_table_slots = 0;          // slot-directory capacity built
+  int64_t hash_table_lookups = 0;        // key lookups issued
+  int64_t hash_table_probe_steps = 0;    // slot inspections across lookups
 
   /// Per-operator self-time slots, indexed by PhysicalOperator::op_id().
   /// Additive like every other counter; per-worker copies merge exactly.
@@ -62,6 +72,12 @@ struct ExecStats {
     vector_distances += other.vector_distances;
     overfetch_retries += other.overfetch_retries;
     fusion_candidates += other.fusion_candidates;
+    bloom_checked_rows += other.bloom_checked_rows;
+    bloom_filtered_rows += other.bloom_filtered_rows;
+    hash_table_entries += other.hash_table_entries;
+    hash_table_slots += other.hash_table_slots;
+    hash_table_lookups += other.hash_table_lookups;
+    hash_table_probe_steps += other.hash_table_probe_steps;
     if (op_timings.size() < other.op_timings.size()) {
       op_timings.resize(other.op_timings.size());
     }
@@ -130,6 +146,15 @@ inline MetricSpan StatsSpan(ExecStats* stats, int op_id) {
                     stats != nullptr ? &stats->active_span : nullptr, op_id);
 }
 
+/// A named sub-phase of one operator (e.g. HashJoin build vs probe) with
+/// its own timing slot. Phase slots are registered like operator ids, so
+/// MetricSpans write to them directly; CollectProfile renders each phase
+/// as a pseudo-child node "Name::phase" under its operator.
+struct OperatorPhase {
+  std::string name;
+  int op_id = -1;
+};
+
 /// Base class for vectorized pull-based operators (Volcano with chunks).
 ///
 /// Protocol: `Open()` once, then `Next(&chunk, &done)` until `done`.
@@ -173,6 +198,9 @@ class PhysicalOperator {
   /// Child operators in plan order (for profile tree walks). Base
   /// returns none; operators with inputs override.
   virtual std::vector<const PhysicalOperator*> children() const { return {}; }
+
+  /// Timed sub-phases of this operator, if any (see OperatorPhase).
+  virtual std::vector<OperatorPhase> phases() const { return {}; }
 
  protected:
   virtual Status OpenImpl() = 0;

@@ -182,6 +182,134 @@ uint64_t ColumnVector::HashRow(size_t i) const {
   }
 }
 
+void ColumnVector::HashBatch(uint64_t* hashes, size_t n, bool combine,
+                             bool normalize_zero) const {
+  AGORA_DCHECK(n <= size());
+  auto emit = [&](size_t i, uint64_t h) {
+    hashes[i] = combine ? HashCombine(hashes[i], h) : h;
+  };
+  switch (type_) {
+    case TypeId::kString:
+      for (size_t i = 0; i < n; ++i) {
+        emit(i, validity_[i] != 0 ? HashString(strings_[i]) : kNullHash);
+      }
+      break;
+    case TypeId::kDouble:
+      for (size_t i = 0; i < n; ++i) {
+        if (validity_[i] == 0) {
+          emit(i, kNullHash);
+          continue;
+        }
+        double d = doubles_[i];
+        if (normalize_zero && d == 0.0) d = 0.0;
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        emit(i, HashMix64(bits));
+      }
+      break;
+    default:
+      for (size_t i = 0; i < n; ++i) {
+        emit(i, validity_[i] != 0
+                    ? HashMix64(static_cast<uint64_t>(ints_[i]))
+                    : kNullHash);
+      }
+      break;
+  }
+}
+
+void ColumnVector::BatchEqualRows(const uint32_t* rows,
+                                  const ColumnVector& other,
+                                  const uint32_t* other_rows, size_t n,
+                                  bool bitwise_doubles,
+                                  uint8_t* equal) const {
+  AGORA_DCHECK(type_ == other.type_);
+  switch (type_) {
+    case TypeId::kString:
+      for (size_t i = 0; i < n; ++i) {
+        if (equal[i] == 0) continue;
+        size_t a = rows[i], b = other_rows[i];
+        bool an = validity_[a] == 0, bn = other.validity_[b] == 0;
+        equal[i] = (an || bn) ? (an && bn)
+                              : (strings_[a] == other.strings_[b]);
+      }
+      break;
+    case TypeId::kDouble:
+      for (size_t i = 0; i < n; ++i) {
+        if (equal[i] == 0) continue;
+        size_t a = rows[i], b = other_rows[i];
+        bool an = validity_[a] == 0, bn = other.validity_[b] == 0;
+        if (an || bn) {
+          equal[i] = an && bn;
+          continue;
+        }
+        double x = doubles_[a], y = other.doubles_[b];
+        if (bitwise_doubles) {
+          if (x == 0.0) x = 0.0;
+          if (y == 0.0) y = 0.0;
+          uint64_t xb, yb;
+          std::memcpy(&xb, &x, sizeof(xb));
+          std::memcpy(&yb, &y, sizeof(yb));
+          equal[i] = xb == yb;
+        } else {
+          equal[i] = !(x < y) && !(x > y);
+        }
+      }
+      break;
+    default:
+      for (size_t i = 0; i < n; ++i) {
+        if (equal[i] == 0) continue;
+        size_t a = rows[i], b = other_rows[i];
+        bool an = validity_[a] == 0, bn = other.validity_[b] == 0;
+        equal[i] = (an || bn) ? (an && bn) : (ints_[a] == other.ints_[b]);
+      }
+      break;
+  }
+}
+
+void ColumnVector::AppendGatherPadded(const ColumnVector& src,
+                                      const uint32_t* sel, size_t n) {
+  AGORA_DCHECK(type_ == src.type_);
+  constexpr uint32_t kPad = UINT32_MAX;
+  validity_.reserve(validity_.size() + n);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      ints_.reserve(ints_.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t s = sel[i];
+        bool valid = s != kPad && src.validity_[s] != 0;
+        validity_.push_back(valid ? 1 : 0);
+        ints_.push_back(valid ? src.ints_[s] : 0);
+      }
+      break;
+    case TypeId::kDouble:
+      doubles_.reserve(doubles_.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t s = sel[i];
+        bool valid = s != kPad && src.validity_[s] != 0;
+        validity_.push_back(valid ? 1 : 0);
+        doubles_.push_back(valid ? src.doubles_[s] : 0.0);
+      }
+      break;
+    case TypeId::kString:
+      strings_.reserve(strings_.size() + n);
+      for (size_t i = 0; i < n; ++i) {
+        uint32_t s = sel[i];
+        bool valid = s != kPad && src.validity_[s] != 0;
+        validity_.push_back(valid ? 1 : 0);
+        if (valid) {
+          strings_.push_back(src.strings_[s]);
+        } else {
+          strings_.emplace_back();
+        }
+      }
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+}
+
 int ColumnVector::CompareRows(size_t i, const ColumnVector& other,
                               size_t j) const {
   AGORA_DCHECK(type_ == other.type_);

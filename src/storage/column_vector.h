@@ -72,6 +72,33 @@ class ColumnVector {
   /// Hashes row `i` (for hash join/aggregate keys).
   uint64_t HashRow(size_t i) const;
 
+  // -- Batch kernels (exec/hash_table.h consumers) -----------------------
+
+  /// Column-at-a-time hash kernel over rows [0, n). With `combine` false
+  /// writes each row's hash into `hashes[i]`; with `combine` true folds
+  /// it into the existing value via HashCombine (multi-column keys).
+  /// `normalize_zero` hashes -0.0 as +0.0 (aggregate grouping semantics;
+  /// the join path keeps raw bit patterns, matching HashRow). NULL rows
+  /// hash to the fixed kNullHash in both modes.
+  void HashBatch(uint64_t* hashes, size_t n, bool combine,
+                 bool normalize_zero) const;
+
+  /// ANDs per-pair key equality into `equal[0..n)`: equal[i] stays 1 only
+  /// if row `rows[i]` of *this* equals row `other_rows[i]` of `other`.
+  /// NULL equals NULL (grouping semantics). `bitwise_doubles` compares
+  /// doubles by their (−0.0-normalized) bit pattern — the aggregate key
+  /// contract, where NaN groups with bit-identical NaN; otherwise doubles
+  /// compare by value (join CompareRows semantics).
+  void BatchEqualRows(const uint32_t* rows, const ColumnVector& other,
+                      const uint32_t* other_rows, size_t n,
+                      bool bitwise_doubles, uint8_t* equal) const;
+
+  /// Appends rows `sel[0..n)` of `src` in order; the sentinel UINT32_MAX
+  /// appends NULL (outer-join padding). Batch equivalent of AppendFrom —
+  /// the type dispatch happens once per call, not once per row.
+  void AppendGatherPadded(const ColumnVector& src, const uint32_t* sel,
+                          size_t n);
+
   /// Three-way compare of row `i` with row `j` of `other` (same type).
   /// NULLs order first.
   int CompareRows(size_t i, const ColumnVector& other, size_t j) const;

@@ -1,0 +1,466 @@
+// Equivalence tests for the vectorized hash kernels (exec/hash_table.h).
+// The hash join must match the nested-loop oracle (same engine with
+// enable_hash_join=false) cell-for-cell, hash aggregation must match a
+// row-at-a-time reference bit-for-bit, and both must stay byte-identical
+// at every thread count. Runs under `ctest -L kernels` (and in the
+// TSan/ASan CI legs).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+#include "engine/database.h"
+#include "exec/hash_table.h"
+#include "storage/column_vector.h"
+#include "tpch/tpch.h"
+
+namespace agora {
+namespace {
+
+void ExpectIdentical(const QueryResult& a, const QueryResult& b,
+                     const std::string& label) {
+  ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+  ASSERT_EQ(a.num_columns(), b.num_columns()) << label;
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      Value va = a.Get(r, c);
+      Value vb = b.Get(r, c);
+      ASSERT_EQ(va.is_null(), vb.is_null())
+          << label << " (" << r << "," << c << ")";
+      if (va.is_null()) continue;
+      if (va.type() == TypeId::kDouble) {
+        // Exact: the kernels must not change floating-point results.
+        EXPECT_EQ(va.AsDouble(), vb.AsDouble())
+            << label << " (" << r << "," << c << ")";
+      } else {
+        EXPECT_EQ(va.Compare(vb), 0)
+            << label << " (" << r << "," << c << "): " << va.ToString()
+            << " vs " << vb.ToString();
+      }
+    }
+  }
+}
+
+/// Two engines over identical data: `hash_db_` takes the JoinHashTable
+/// path, `nl_db_` plans every join as a nested loop (the oracle).
+class KernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    hash_db_ = std::make_unique<Database>();
+    DatabaseOptions nl_options;
+    nl_options.physical.enable_hash_join = false;
+    nl_db_ = std::make_unique<Database>(nl_options);
+  }
+
+  void ExecBoth(const std::string& sql) {
+    for (Database* db : {hash_db_.get(), nl_db_.get()}) {
+      auto result = db->Execute(sql);
+      ASSERT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    }
+  }
+
+  QueryResult Run(Database* db, const std::string& sql) {
+    auto result = db->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString() << "\n" << sql;
+    return result.ok() ? std::move(*result) : QueryResult();
+  }
+
+  /// Runs `sql` on both engines and requires identical results. Inner
+  /// joins need no ORDER BY: both paths emit probe-row-major output with
+  /// build matches in ascending row order, and that ordering contract is
+  /// part of what this asserts.
+  void ExpectOracleMatch(const std::string& sql) {
+    QueryResult h = Run(hash_db_.get(), sql);
+    QueryResult n = Run(nl_db_.get(), sql);
+    ExpectIdentical(h, n, sql);
+  }
+
+  std::unique_ptr<Database> hash_db_;
+  std::unique_ptr<Database> nl_db_;
+};
+
+TEST_F(KernelsTest, InnerJoinMatchesNestedLoopOracle) {
+  ExecBoth("CREATE TABLE build (k BIGINT, v VARCHAR)");
+  ExecBoth("CREATE TABLE probe (k BIGINT, w BIGINT)");
+  ExecBoth(
+      "INSERT INTO build VALUES (1, 'a'), (2, 'b'), (2, 'c'), (-5, 'd'), "
+      "(NULL, 'n'), (7, 'e')");
+  ExecBoth(
+      "INSERT INTO probe VALUES (2, 10), (1, 20), (3, 30), (NULL, 40), "
+      "(-5, 50), (2, 60), (7, 70)");
+  ExpectOracleMatch(
+      "SELECT p.k, p.w, b.v FROM probe p JOIN build b ON p.k = b.k");
+}
+
+TEST_F(KernelsTest, StringKeyJoinMatchesOracle) {
+  ExecBoth("CREATE TABLE build (k VARCHAR, v BIGINT)");
+  ExecBoth("CREATE TABLE probe (k VARCHAR)");
+  ExecBoth(
+      "INSERT INTO build VALUES ('apple', 1), ('pear', 2), ('apple', 3), "
+      "('', 4), (NULL, 5)");
+  ExecBoth(
+      "INSERT INTO probe VALUES ('apple'), (''), ('plum'), (NULL), ('pear')");
+  ExpectOracleMatch(
+      "SELECT p.k, b.v FROM probe p JOIN build b ON p.k = b.k");
+}
+
+TEST_F(KernelsTest, LeftOuterJoinMatchesOracle) {
+  ExecBoth("CREATE TABLE build (k BIGINT, v VARCHAR)");
+  ExecBoth("CREATE TABLE probe (k BIGINT, w BIGINT)");
+  ExecBoth("INSERT INTO build VALUES (1, 'a'), (2, 'b'), (2, 'c')");
+  ExecBoth(
+      "INSERT INTO probe VALUES (2, 10), (9, 20), (NULL, 30), (1, 40)");
+  // Pad ordering differs between the two paths, so pin it down.
+  ExpectOracleMatch(
+      "SELECT p.k, p.w, b.v FROM probe p LEFT JOIN build b ON p.k = b.k "
+      "ORDER BY p.w, b.v");
+}
+
+TEST_F(KernelsTest, NullKeysNeverMatch) {
+  ExecBoth("CREATE TABLE build (k BIGINT)");
+  ExecBoth("CREATE TABLE probe (k BIGINT)");
+  ExecBoth("INSERT INTO build VALUES (NULL), (NULL), (1)");
+  ExecBoth("INSERT INTO probe VALUES (NULL), (NULL), (2)");
+  QueryResult h = Run(
+      hash_db_.get(),
+      "SELECT p.k FROM probe p JOIN build b ON p.k = b.k");
+  EXPECT_EQ(h.num_rows(), 0u);
+  ExpectOracleMatch("SELECT p.k FROM probe p JOIN build b ON p.k = b.k");
+}
+
+TEST_F(KernelsTest, EmptyBuildSide) {
+  ExecBoth("CREATE TABLE build (k BIGINT, v BIGINT)");
+  ExecBoth("CREATE TABLE probe (k BIGINT)");
+  ExecBoth("INSERT INTO probe VALUES (1), (2), (3)");
+  QueryResult inner = Run(
+      hash_db_.get(),
+      "SELECT p.k, b.v FROM probe p JOIN build b ON p.k = b.k");
+  EXPECT_EQ(inner.num_rows(), 0u);
+  // An empty Bloom filter rejects every probe before the slot directory.
+  EXPECT_EQ(inner.stats().bloom_checked_rows, 3);
+  EXPECT_EQ(inner.stats().bloom_filtered_rows, 3);
+  EXPECT_EQ(inner.stats().hash_table_lookups, 0);
+  ExpectOracleMatch(
+      "SELECT p.k, b.v FROM probe p LEFT JOIN build b ON p.k = b.k "
+      "ORDER BY p.k");
+}
+
+TEST_F(KernelsTest, HighDuplicateKeysAscendingChains) {
+  ExecBoth("CREATE TABLE build (k BIGINT, seq BIGINT)");
+  ExecBoth("CREATE TABLE probe (k BIGINT)");
+  std::string values;
+  for (int i = 0; i < 100; ++i) {
+    values += (i > 0 ? ", (" : "(") + std::to_string(i % 2) + ", " +
+              std::to_string(i) + ")";
+  }
+  ExecBoth("INSERT INTO build VALUES " + values);
+  ExecBoth("INSERT INTO probe VALUES (0), (1), (0)");
+  // No ORDER BY: the 50-element chains must come back in ascending
+  // build-row order, exactly like the nested loop visits them.
+  ExpectOracleMatch(
+      "SELECT p.k, b.seq FROM probe p JOIN build b ON p.k = b.k");
+}
+
+TEST_F(KernelsTest, BloomFiltersNonMatchingProbes) {
+  ExecBoth("CREATE TABLE build (k BIGINT)");
+  ExecBoth("CREATE TABLE probe (k BIGINT)");
+  std::string bvals, pvals;
+  for (int i = 0; i < 100; ++i) {
+    bvals += (i > 0 ? ", (" : "(") + std::to_string(i) + ")";
+  }
+  for (int i = 0; i < 500; ++i) {
+    pvals += (i > 0 ? ", (" : "(") + std::to_string(10000 + i) + ")";
+  }
+  ExecBoth("INSERT INTO build VALUES " + bvals);
+  ExecBoth("INSERT INTO probe VALUES " + pvals);
+  QueryResult h = Run(
+      hash_db_.get(),
+      "SELECT p.k FROM probe p JOIN build b ON p.k = b.k");
+  EXPECT_EQ(h.num_rows(), 0u);
+  EXPECT_EQ(h.stats().bloom_checked_rows, 500);
+  // ~16 bits/key keeps false positives rare; the vast majority of the
+  // matchless probes must be rejected without touching the table.
+  EXPECT_GE(h.stats().bloom_filtered_rows, 450);
+  EXPECT_LE(h.stats().bloom_filtered_rows, 500);
+  EXPECT_GT(h.stats().hash_table_entries, 0);
+  EXPECT_GT(h.stats().hash_table_slots, 0);
+}
+
+TEST_F(KernelsTest, PropertyRandomJoinsMatchOracle) {
+  std::mt19937 rng(20260805);
+  for (int round = 0; round < 3; ++round) {
+    std::string suffix = std::to_string(round);
+    ExecBoth("CREATE TABLE b" + suffix + " (k BIGINT, v BIGINT)");
+    ExecBoth("CREATE TABLE p" + suffix + " (k BIGINT, w BIGINT)");
+    auto random_values = [&](size_t rows, int key_range) {
+      std::string values;
+      for (size_t i = 0; i < rows; ++i) {
+        std::string key =
+            rng() % 10 == 0
+                ? "NULL"
+                : std::to_string(static_cast<int>(rng() % key_range));
+        values += (i > 0 ? ", (" : "(") + key + ", " +
+                  std::to_string(static_cast<int>(rng() % 1000)) + ")";
+      }
+      return values;
+    };
+    ExecBoth("INSERT INTO b" + suffix + " VALUES " +
+             random_values(150 + round * 40, 40));
+    ExecBoth("INSERT INTO p" + suffix + " VALUES " +
+             random_values(250 + round * 60, 60));
+    ExpectOracleMatch("SELECT p.k, p.w, b.v FROM p" + suffix +
+                      " p JOIN b" + suffix + " b ON p.k = b.k");
+    ExpectOracleMatch("SELECT p.k, p.w, b.v FROM p" + suffix + " p LEFT JOIN b" +
+                      suffix + " b ON p.k = b.k ORDER BY p.w, p.k, b.v");
+  }
+}
+
+TEST_F(KernelsTest, NegativeZeroGroupsWithPositiveZero) {
+  ExecBoth("CREATE TABLE t (d DOUBLE)");
+  ExecBoth("INSERT INTO t VALUES (-0.0), (0.0), (1.5)");
+  QueryResult r = Run(hash_db_.get(),
+                      "SELECT d, COUNT(*) FROM t GROUP BY d ORDER BY d");
+  ASSERT_EQ(r.num_rows(), 2u);
+  EXPECT_EQ(r.Get(0, 1).int64_value(), 2);  // -0.0 and +0.0 are one group
+  EXPECT_EQ(r.Get(1, 1).int64_value(), 1);
+}
+
+TEST_F(KernelsTest, AggregatesMatchRowAtATimeReference) {
+  ExecBoth("CREATE TABLE t (g BIGINT, x DOUBLE, i BIGINT)");
+  std::mt19937 rng(7);
+  constexpr size_t kRows = 4000;  // below the morsel floor: serial path
+  struct Ref {
+    int64_t count = 0;
+    double sum = 0;
+    int64_t sum_i = 0;
+    double min = 0, max = 0;
+    bool any = false;
+  };
+  std::map<int64_t, Ref> ref;
+  std::string values;
+  for (size_t r = 0; r < kRows; ++r) {
+    int64_t g = static_cast<int64_t>(rng() % 37);
+    bool null_x = rng() % 11 == 0;
+    double x = (static_cast<double>(rng() % 100000) - 50000.0) / 7.0;
+    int64_t i = static_cast<int64_t>(rng() % 1000);
+    values += (r > 0 ? ", (" : "(") + std::to_string(g) + ", " +
+              (null_x ? "NULL" : std::to_string(x)) + ", " +
+              std::to_string(i) + ")";
+    Ref& s = ref[g];
+    if (!null_x) {
+      // Same accumulation order as the engine's serial path.
+      double parsed = std::stod(std::to_string(x));
+      s.count++;
+      s.sum += parsed;
+      if (!s.any || parsed < s.min) s.min = parsed;
+      if (!s.any || parsed > s.max) s.max = parsed;
+      s.any = true;
+    }
+    s.sum_i += i;
+  }
+  ExecBoth("INSERT INTO t VALUES " + values);
+  QueryResult r = Run(
+      hash_db_.get(),
+      "SELECT g, COUNT(x), SUM(x), MIN(x), MAX(x), SUM(i) FROM t "
+      "GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.num_rows(), ref.size());
+  size_t row = 0;
+  for (const auto& [g, s] : ref) {
+    EXPECT_EQ(r.Get(row, 0).int64_value(), g);
+    EXPECT_EQ(r.Get(row, 1).int64_value(), s.count) << "g=" << g;
+    EXPECT_EQ(r.Get(row, 2).AsDouble(), s.sum) << "g=" << g;
+    EXPECT_EQ(r.Get(row, 3).AsDouble(), s.min) << "g=" << g;
+    EXPECT_EQ(r.Get(row, 4).AsDouble(), s.max) << "g=" << g;
+    EXPECT_EQ(r.Get(row, 5).int64_value(), s.sum_i) << "g=" << g;
+    ++row;
+  }
+}
+
+TEST_F(KernelsTest, DistinctAggregatesDedupPerGroup) {
+  ExecBoth("CREATE TABLE t (g VARCHAR, x BIGINT)");
+  ExecBoth(
+      "INSERT INTO t VALUES ('a', 1), ('a', 1), ('a', 2), ('a', NULL), "
+      "('b', 5), ('b', 5), ('b', 5), ('c', NULL)");
+  QueryResult r = Run(
+      hash_db_.get(),
+      "SELECT g, COUNT(DISTINCT x), SUM(DISTINCT x), COUNT(x) FROM t "
+      "GROUP BY g ORDER BY g");
+  ASSERT_EQ(r.num_rows(), 3u);
+  EXPECT_EQ(r.Get(0, 1).int64_value(), 2);  // a: {1, 2}
+  EXPECT_EQ(r.Get(0, 2).int64_value(), 3);
+  EXPECT_EQ(r.Get(0, 3).int64_value(), 3);
+  EXPECT_EQ(r.Get(1, 1).int64_value(), 1);  // b: {5}
+  EXPECT_EQ(r.Get(1, 2).int64_value(), 5);
+  EXPECT_EQ(r.Get(1, 3).int64_value(), 3);
+  EXPECT_EQ(r.Get(2, 1).int64_value(), 0);  // c: all NULL
+  EXPECT_TRUE(r.Get(2, 2).is_null());
+  EXPECT_EQ(r.Get(2, 3).int64_value(), 0);
+}
+
+TEST_F(KernelsTest, ExplainAnalyzeShowsPhasesAndBloomCounters) {
+  ExecBoth("CREATE TABLE build (k BIGINT)");
+  ExecBoth("CREATE TABLE probe (k BIGINT)");
+  ExecBoth("INSERT INTO build VALUES (1), (2)");
+  ExecBoth("INSERT INTO probe VALUES (1), (3)");
+  QueryResult r = Run(
+      hash_db_.get(),
+      "EXPLAIN ANALYZE SELECT p.k FROM probe p JOIN build b ON p.k = b.k");
+  ASSERT_EQ(r.num_rows(), 1u);
+  std::string text = r.Get(0, 0).string_value();
+  EXPECT_NE(text.find("HashJoin::build"), std::string::npos) << text;
+  EXPECT_NE(text.find("HashJoin::probe"), std::string::npos) << text;
+  EXPECT_NE(text.find("bloom_checked_rows"), std::string::npos) << text;
+  EXPECT_NE(text.find("bloom_filtered_rows"), std::string::npos) << text;
+  EXPECT_NE(text.find("hash_table_entries"), std::string::npos) << text;
+}
+
+// --- Unit-level checks against the table structures themselves. ---
+
+TEST(GroupKeyTableTest, MillionDistinctGroupsExerciseResize) {
+  GroupKeyTable table;
+  constexpr size_t kTotal = 1u << 20;  // 1M+ distinct keys
+  constexpr size_t kBatch = 4096;
+  std::vector<ColumnVector> keys;
+  keys.emplace_back(TypeId::kInt64);
+  std::vector<uint64_t> hashes(kBatch);
+  std::vector<uint32_t> gids(kBatch);
+  std::vector<uint8_t> created(kBatch);
+  HashTableStats stats;
+  for (size_t base = 0; base < kTotal; base += kBatch) {
+    ColumnVector batch(TypeId::kInt64);
+    batch.Reserve(kBatch);
+    for (size_t i = 0; i < kBatch; ++i) {
+      batch.AppendInt64(static_cast<int64_t>(base + i));
+    }
+    std::vector<ColumnVector> batch_keys;
+    batch_keys.push_back(std::move(batch));
+    hashes.assign(kBatch, kHashTableSalt);
+    batch_keys[0].HashBatch(hashes.data(), kBatch, true, true);
+    table.FindOrCreate(batch_keys, hashes.data(), kBatch, gids.data(),
+                       created.data(), &stats);
+    for (size_t i = 0; i < kBatch; ++i) {
+      ASSERT_EQ(created[i], 1u);
+      ASSERT_EQ(gids[i], base + i);  // dense ids in first-appearance order
+    }
+  }
+  EXPECT_EQ(table.group_count(), kTotal);
+  EXPECT_GT(table.resizes(), 8u);  // grew from 256 slots past 2^20
+  EXPECT_GE(table.slot_count() * 3, kTotal * 4);  // load factor <= 3/4
+
+  // Re-probing the first batch must find, not create.
+  ColumnVector again(TypeId::kInt64);
+  again.Reserve(kBatch);
+  for (size_t i = 0; i < kBatch; ++i) again.AppendInt64((int64_t)i);
+  std::vector<ColumnVector> again_keys;
+  again_keys.push_back(std::move(again));
+  hashes.assign(kBatch, kHashTableSalt);
+  again_keys[0].HashBatch(hashes.data(), kBatch, true, true);
+  table.FindOrCreate(again_keys, hashes.data(), kBatch, gids.data(),
+                     created.data(), &stats);
+  for (size_t i = 0; i < kBatch; ++i) {
+    ASSERT_EQ(created[i], 0u);
+    ASSERT_EQ(gids[i], i);
+  }
+  EXPECT_EQ(table.group_count(), kTotal);
+}
+
+TEST(JoinHashTableTest, PartitionCountDoesNotChangeChains) {
+  // Duplicate-heavy key set: chains must iterate in ascending row order
+  // regardless of how many partitions built the table.
+  constexpr size_t kRows = 10000;
+  std::vector<uint64_t> hashes(kRows);
+  std::vector<uint8_t> valid(kRows, 1);
+  for (size_t r = 0; r < kRows; ++r) {
+    uint64_t h = kHashTableSalt;
+    hashes[r] = HashCombine(h, HashMix64(r % 257));  // ~39 rows per key
+    if (r % 101 == 0) valid[r] = 0;                  // sprinkle NULLs
+  }
+  auto chain_of = [](const JoinHashTable& t, uint64_t h) {
+    std::vector<uint32_t> rows;
+    HashTableStats stats;
+    for (uint32_t ref = t.Find(h, &stats); ref != 0; ref = t.Next(ref)) {
+      rows.push_back(ref - 1);
+    }
+    return rows;
+  };
+  JoinHashTable serial, partitioned;
+  ASSERT_TRUE(serial.Build(hashes.data(), valid.data(), kRows, 1, nullptr)
+                  .ok());
+  ASSERT_TRUE(
+      partitioned.Build(hashes.data(), valid.data(), kRows, 4, nullptr)
+          .ok());
+  EXPECT_EQ(serial.entries(), partitioned.entries());
+  for (size_t key = 0; key < 257; ++key) {
+    uint64_t h = HashCombine(kHashTableSalt, HashMix64(key));
+    std::vector<uint32_t> a = chain_of(serial, h);
+    std::vector<uint32_t> b = chain_of(partitioned, h);
+    ASSERT_EQ(a, b) << "key " << key;
+    for (size_t i = 0; i + 1 < a.size(); ++i) {
+      ASSERT_LT(a[i], a[i + 1]) << "chain not ascending for key " << key;
+    }
+    for (uint32_t row : a) {
+      ASSERT_TRUE(valid[row]) << "NULL row " << row << " entered the table";
+    }
+    EXPECT_TRUE(serial.bloom().MightContain(h));
+  }
+}
+
+// --- Thread-count invariance through the full TPC-H pipelines. ---
+
+class KernelsParallelTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    setenv("AGORA_THREADS", "4", 0);
+    db_ = new Database();
+    TpchOptions options;
+    options.scale_factor = 0.002;
+    Status s = GenerateTpch(options, &db_->catalog());
+    ASSERT_TRUE(s.ok()) << s.ToString();
+  }
+  static void TearDownTestSuite() {
+    delete db_;
+    db_ = nullptr;
+  }
+
+  static QueryResult RunAt(int threads, const std::string& sql) {
+    db_->set_execution_threads(threads);
+    auto result = db_->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    db_->set_execution_threads(0);
+    return result.ok() ? std::move(*result) : QueryResult();
+  }
+
+  static Database* db_;
+};
+
+Database* KernelsParallelTest::db_ = nullptr;
+
+TEST_F(KernelsParallelTest, JoinAndAggregateByteIdenticalAcrossThreads) {
+  for (const std::string& sql : {TpchQ1(), TpchQ3()}) {
+    QueryResult serial = RunAt(1, sql);
+    ASSERT_GT(serial.num_rows(), 0u);
+    QueryResult parallel = RunAt(8, sql);
+    ExpectIdentical(serial, parallel, sql);
+    EXPECT_EQ(serial.stats().rows_joined, parallel.stats().rows_joined);
+    EXPECT_EQ(serial.stats().probe_calls, parallel.stats().probe_calls);
+    EXPECT_EQ(serial.stats().rows_aggregated,
+              parallel.stats().rows_aggregated);
+    // The Bloom pair is thread-invariant too (the probe stream is the
+    // same chunk sequence at every worker count).
+    EXPECT_EQ(serial.stats().bloom_checked_rows,
+              parallel.stats().bloom_checked_rows);
+    EXPECT_EQ(serial.stats().bloom_filtered_rows,
+              parallel.stats().bloom_filtered_rows);
+  }
+}
+
+}  // namespace
+}  // namespace agora
