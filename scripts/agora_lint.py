@@ -1,0 +1,355 @@
+#!/usr/bin/env python3
+"""AgoraDB repo-specific lint.
+
+Machine-checks the engine's source-level invariants that generic tooling
+cannot express (docs/ANALYSIS.md has the full rationale):
+
+  open-next-contract      Open()/Next() are the *only* entry points into an
+                          operator: the non-virtual wrappers in
+                          src/exec/physical_op.cc own instrumentation and
+                          debug verification, so calling OpenImpl()/
+                          NextImpl() directly anywhere else silently skips
+                          both. Declarations and definitions are fine;
+                          calls are not.
+  exec-node-container     src/exec is the vectorized hot path: node-based
+                          std containers (map/set/unordered_map/
+                          unordered_set) there regress the flat-hash kernel
+                          work. Use JoinHashTable/GroupKeyTable or sorted
+                          vectors.
+  exec-per-row-string-key src/exec must not build per-row std::string keys
+                          (AppendKeyBytes loops); key comparisons go
+                          through HashBatch/BatchEqualRows.
+  raw-new-delete          Operators and optimizer passes own memory via
+                          unique_ptr/shared_ptr/Arena only; raw new/delete
+                          is banned in src/exec and src/optimizer.
+  metrics-doc-drift       Every counter name registered in
+                          src/engine/database.cc must be documented in
+                          docs/METRICS.md (the enforced metric contract).
+  compile-commands        Every src/*.cc must appear in the build tree's
+                          compile_commands.json, so clang-tidy and editors
+                          see the same translation units this lint does.
+
+A finding can be suppressed for one line with a justification comment:
+
+    std::map<K, V> cold_path_;  // agora-lint: allow(exec-node-container) why
+
+Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+
+Self-test mode (`--self-test`) lints the golden-violation fixtures under
+tests/lint_fixtures/ instead of the tree: each fixture declares the path
+it should be judged as (`// lint-as: src/exec/...`) and the rules it must
+trip (`// expect-violation: <rule>`); the self-test fails unless every
+expectation fires and nothing unexpected does. This proves each rule
+still catches its target pattern.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = (
+    "open-next-contract",
+    "exec-node-container",
+    "exec-per-row-string-key",
+    "raw-new-delete",
+    "metrics-doc-drift",
+    "compile-commands",
+)
+
+# Files exempt from the Open/Next wrapper rule: the wrapper itself and the
+# header that declares the protocol.
+OPEN_NEXT_EXEMPT = ("src/exec/physical_op.cc", "src/exec/physical_op.h")
+
+ALLOW_RE = re.compile(r"agora-lint:\s*allow\(([a-z-]+)\)")
+LINT_AS_RE = re.compile(r"//\s*lint-as:\s*(\S+)")
+EXPECT_RE = re.compile(r"//\s*expect-violation:\s*([a-z-]+)")
+
+METRIC_NAME_RE = re.compile(
+    r'"([a-z][a-z0-9_]*(?:_total|_seconds|_rows|_threads))"')
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Replaces comment/string contents with spaces, preserving newlines
+    and column positions, so rule regexes never match quoted or
+    commented-out code."""
+    out = []
+    i, n = 0, len(text)
+    NORMAL, LINE, BLOCK, STR, CHR = range(5)
+    state = NORMAL
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = STR
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = CHR
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == LINE:
+            if c == "\n":
+                state = NORMAL
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == BLOCK:
+            if c == "*" and nxt == "/":
+                state = NORMAL
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in (STR, CHR):
+            quote = '"' if state == STR else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = NORMAL
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def collect_allows(raw_lines):
+    """Maps 1-based line number -> set of rule names allowed on it."""
+    allows = {}
+    for idx, line in enumerate(raw_lines, 1):
+        for m in ALLOW_RE.finditer(line):
+            allows.setdefault(idx, set()).add(m.group(1))
+    return allows
+
+
+def line_findings(rel_path, raw_text):
+    """Runs the per-line rules against one file. `rel_path` decides which
+    rules apply (fixtures override it with a lint-as directive)."""
+    raw_lines = raw_text.splitlines()
+    allows = collect_allows(raw_lines)
+    stripped_lines = strip_comments_and_strings(raw_text).splitlines()
+    findings = []
+
+    def add(lineno, rule, message):
+        if rule in allows.get(lineno, ()):
+            return
+        findings.append(Finding(rel_path, lineno, rule, message))
+
+    in_exec = rel_path.startswith("src/exec/")
+    in_opt = rel_path.startswith("src/optimizer/")
+    open_next_applies = (rel_path.startswith("src/")
+                         and rel_path not in OPEN_NEXT_EXEMPT)
+
+    decl_re = re.compile(r"(virtual\s+)?Status\s+(OpenImpl|NextImpl)\s*\(")
+    defn_re = re.compile(r"::\s*(OpenImpl|NextImpl)\s*\(")
+    call_re = re.compile(r"(OpenImpl|NextImpl)\s*\(")
+    container_re = re.compile(
+        r"std\s*::\s*(unordered_map|unordered_set|map|set)\s*<")
+    key_bytes_re = re.compile(r"\bAppendKeyBytes\s*\(")
+    new_re = re.compile(r"\bnew\s+[A-Za-z_(:]")
+    delete_re = re.compile(r"\bdelete\s*(\[\s*\]\s*)?[A-Za-z_(*]")
+
+    for lineno, line in enumerate(stripped_lines, 1):
+        if open_next_applies and call_re.search(line):
+            if not decl_re.search(line) and not defn_re.search(line):
+                add(lineno, "open-next-contract",
+                    "direct OpenImpl/NextImpl call bypasses the "
+                    "instrumented Open()/Next() wrappers "
+                    "(src/exec/physical_op.cc owns that layer)")
+        if in_exec:
+            m = container_re.search(line)
+            if m:
+                add(lineno, "exec-node-container",
+                    f"std::{m.group(1)} in the vectorized hot path; use "
+                    "the flat hash tables (exec/hash_table.h) or a sorted "
+                    "vector")
+            if (key_bytes_re.search(line)
+                    and rel_path not in OPEN_NEXT_EXEMPT):
+                add(lineno, "exec-per-row-string-key",
+                    "per-row string key encoding in src/exec; use "
+                    "HashBatch/BatchEqualRows or GroupKeyTable")
+        if in_exec or in_opt:
+            if new_re.search(line):
+                add(lineno, "raw-new-delete",
+                    "raw `new` in operator/optimizer code; use "
+                    "make_unique/make_shared or the Arena")
+            if delete_re.search(line):
+                add(lineno, "raw-new-delete",
+                    "raw `delete` in operator/optimizer code; ownership "
+                    "belongs to smart pointers or the Arena")
+    return findings
+
+
+def metrics_doc_findings(database_cc_path, database_cc_text, metrics_md_text):
+    """Every counter/gauge name registered in database.cc must appear in
+    docs/METRICS.md (same name set the CI grep and test_metrics enforce)."""
+    findings = []
+    seen = set()
+    for lineno, line in enumerate(database_cc_text.splitlines(), 1):
+        for m in METRIC_NAME_RE.finditer(line):
+            name = m.group(1)
+            if name in seen:
+                continue
+            seen.add(name)
+            if f"`{name}`" not in metrics_md_text \
+                    and name not in metrics_md_text:
+                findings.append(Finding(
+                    database_cc_path, lineno, "metrics-doc-drift",
+                    f"metric '{name}' is registered but undocumented in "
+                    "docs/METRICS.md"))
+    return findings
+
+
+def load_compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        return None
+    with open(path, encoding="utf-8") as f:
+        entries = json.load(f)
+    return {os.path.realpath(e["file"]) for e in entries}
+
+
+def iter_source_files(repo):
+    for root in ("src",):
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(repo, root)):
+            for name in sorted(filenames):
+                if name.endswith((".cc", ".h")):
+                    full = os.path.join(dirpath, name)
+                    yield os.path.relpath(full, repo).replace(os.sep, "/")
+
+
+def lint_tree(repo, build_dir):
+    findings = []
+    compiled = load_compile_commands(build_dir)
+    if compiled is None:
+        findings.append(Finding(
+            os.path.join(build_dir, "compile_commands.json"), 0,
+            "compile-commands",
+            "missing compilation database; configure with CMake (the tree "
+            "sets CMAKE_EXPORT_COMPILE_COMMANDS=ON)"))
+    for rel in iter_source_files(repo):
+        full = os.path.join(repo, rel)
+        with open(full, encoding="utf-8") as f:
+            text = f.read()
+        findings.extend(line_findings(rel, text))
+        if (compiled is not None and rel.endswith(".cc")
+                and os.path.realpath(full) not in compiled):
+            findings.append(Finding(
+                rel, 0, "compile-commands",
+                "translation unit missing from compile_commands.json "
+                "(stale build tree? re-run cmake)"))
+    database_cc = "src/engine/database.cc"
+    metrics_md = os.path.join(repo, "docs", "METRICS.md")
+    with open(os.path.join(repo, database_cc), encoding="utf-8") as f:
+        db_text = f.read()
+    with open(metrics_md, encoding="utf-8") as f:
+        md_text = f.read()
+    findings.extend(metrics_doc_findings(database_cc, db_text, md_text))
+    return findings
+
+
+def self_test(repo):
+    """Lints tests/lint_fixtures/*; every `expect-violation` must fire and
+    nothing else may. Returns a list of human-readable failures."""
+    fixtures_dir = os.path.join(repo, "tests", "lint_fixtures")
+    failures = []
+    fixture_files = sorted(
+        f for f in os.listdir(fixtures_dir) if f.endswith(".cc"))
+    if not fixture_files:
+        return ["no fixtures found in tests/lint_fixtures"]
+    with open(os.path.join(repo, "docs", "METRICS.md"),
+              encoding="utf-8") as f:
+        md_text = f.read()
+    for name in fixture_files:
+        path = os.path.join(fixtures_dir, name)
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        m = LINT_AS_RE.search(text)
+        lint_as = m.group(1) if m else f"tests/lint_fixtures/{name}"
+        expected = sorted(EXPECT_RE.findall(text))
+        findings = line_findings(lint_as, text)
+        if lint_as.endswith("database.cc"):
+            findings.extend(metrics_doc_findings(lint_as, text, md_text))
+        got = sorted({f.rule for f in findings})
+        missing = [r for r in expected if r not in got]
+        unexpected = [r for r in got if r not in expected]
+        for rule in missing:
+            failures.append(
+                f"{name}: expected rule '{rule}' did not fire (judged as "
+                f"{lint_as})")
+        for rule in unexpected:
+            failures.append(
+                f"{name}: rule '{rule}' fired but was not expected")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repo", default=None,
+                        help="repository root (default: parent of scripts/)")
+    parser.add_argument("--build-dir", default="build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--self-test", action="store_true",
+                        help="lint the golden-violation fixtures instead of "
+                             "the tree and verify every rule fires")
+    args = parser.parse_args()
+
+    repo = args.repo or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if not os.path.isdir(os.path.join(repo, "src")):
+        print(f"agora_lint: no src/ under {repo}", file=sys.stderr)
+        return 2
+
+    if args.self_test:
+        failures = self_test(repo)
+        if failures:
+            for f in failures:
+                print(f"agora_lint self-test FAILED: {f}")
+            return 1
+        print("agora_lint self-test: all fixture violations detected")
+        return 0
+
+    build_dir = args.build_dir
+    if not os.path.isabs(build_dir):
+        build_dir = os.path.join(repo, build_dir)
+    findings = lint_tree(repo, build_dir)
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"agora_lint: {len(findings)} finding(s)")
+        return 1
+    print("agora_lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

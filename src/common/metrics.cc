@@ -11,7 +11,8 @@ namespace agora {
 
 namespace {
 
-bool ValidMetricName(std::string_view name) {
+// Referenced only from assert(), which NDEBUG builds compile out.
+[[maybe_unused]] bool ValidMetricName(std::string_view name) {
   if (name.empty()) return false;
   auto head = [](char c) {
     return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';

@@ -1,0 +1,34 @@
+#include "common/verify.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace agora {
+namespace {
+
+// -1 = not yet resolved from the environment.
+std::atomic<int> g_verify_enabled{-1};
+
+bool ReadEnv() {
+  const char* v = std::getenv("AGORA_VERIFY");
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "on") == 0;
+}
+
+}  // namespace
+
+bool VerificationEnabled() {
+  int state = g_verify_enabled.load(std::memory_order_relaxed);
+  if (state >= 0) return state != 0;
+  bool enabled = ReadEnv();
+  g_verify_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+  return enabled;
+}
+
+void SetVerificationEnabled(bool enabled) {
+  g_verify_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+}  // namespace agora

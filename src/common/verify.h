@@ -1,0 +1,20 @@
+#ifndef AGORA_COMMON_VERIFY_H_
+#define AGORA_COMMON_VERIFY_H_
+
+namespace agora {
+
+/// Runtime switch for the debug verification layer (chunk checks at
+/// operator boundaries, optimizer plan invariants). Off by default;
+/// enabled by exporting AGORA_VERIFY=1 (also "true"/"on") before the
+/// first check runs, or programmatically via SetVerificationEnabled.
+/// The flag is process-wide and cached after the first read, so the
+/// hot-path cost when disabled is a single relaxed atomic load.
+bool VerificationEnabled();
+
+/// Overrides the environment. Tests flip verification on and off around
+/// deliberately corrupted chunks and plans.
+void SetVerificationEnabled(bool enabled);
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_VERIFY_H_

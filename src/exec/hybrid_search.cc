@@ -1,7 +1,6 @@
 #include "exec/hybrid_search.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "common/thread_pool.h"
 
@@ -63,33 +62,46 @@ Result<std::vector<uint8_t>> PhysicalHybridSearch::EvaluateFilterBitmap() {
 Status PhysicalHybridSearch::RunPreFilter() {
   AGORA_ASSIGN_OR_RETURN(std::vector<uint8_t> bitmap,
                          EvaluateFilterBitmap());
-  std::unordered_set<int64_t> allowed;
-  for (size_t i = 0; i < bitmap.size(); ++i) {
-    if (bitmap[i] != 0) allowed.insert(static_cast<int64_t>(i));
-  }
-  context_->stats.fusion_candidates = static_cast<int64_t>(allowed.size());
+  // The bitmap itself is the membership structure: O(1) lookups with no
+  // per-survivor set build.
+  size_t allowed_count = 0;
+  for (uint8_t b : bitmap) allowed_count += b;
+  auto allowed = [&bitmap](int64_t id) {
+    return id >= 0 && static_cast<size_t>(id) < bitmap.size() &&
+           bitmap[static_cast<size_t>(id)] != 0;
+  };
+  context_->stats.fusion_candidates = static_cast<int64_t>(allowed_count);
   // Rank the full survivor set (all distances are computed anyway);
   // fusing over complete lists makes pre-filtered search exact.
   std::vector<Neighbor> vector_hits;
   if (has_vec_) {
-    context_->stats.vector_distances += static_cast<int64_t>(allowed.size());
+    context_->stats.vector_distances += static_cast<int64_t>(allowed_count);
     AGORA_ASSIGN_OR_RETURN(
         vector_hits,
-        flat_index_->SearchFiltered(vec_query_, allowed.size(),
-                                    [&allowed](int64_t id) {
-                                      return allowed.count(id) > 0;
-                                    }));
+        flat_index_->SearchFiltered(vec_query_, allowed_count, allowed));
   }
   std::vector<SearchHit> keyword_hits;
   if (has_text_) {
     keyword_hits =
-        text_index_->SearchFiltered(text_query_, allowed.size(), allowed);
+        text_index_->SearchFiltered(text_query_, allowed_count, allowed);
   }
-  for (const Neighbor& hit : vector_hits) {
-    final_distances_[hit.id] = hit.distance;
-  }
+  StoreFinalDistances(vector_hits);
   fused_ = FuseScores(params_, metric_, keyword_hits, vector_hits, k_);
   return Status::OK();
+}
+
+void PhysicalHybridSearch::StoreFinalDistances(
+    const std::vector<Neighbor>& hits) {
+  final_distances_.clear();
+  final_distances_.reserve(hits.size());
+  for (const Neighbor& hit : hits) {
+    final_distances_.emplace_back(hit.id, hit.distance);
+  }
+  std::sort(final_distances_.begin(), final_distances_.end(),
+            [](const std::pair<int64_t, float>& a,
+               const std::pair<int64_t, float>& b) {
+              return a.first < b.first;
+            });
 }
 
 Status PhysicalHybridSearch::RunPostFilter() {
@@ -130,15 +142,18 @@ Status PhysicalHybridSearch::RunPostFilter() {
     }
 
     if (filter_ != nullptr) {
-      // Evaluate the predicate only on candidate rows.
-      std::unordered_set<int64_t> candidate_ids;
-      for (const Neighbor& hit : vector_hits) candidate_ids.insert(hit.id);
+      // Evaluate the predicate only on candidate rows. Candidate ids are
+      // deduplicated by sort+unique; the passing set stays a sorted
+      // vector (subset of `ordered`), probed by binary search.
+      std::vector<int64_t> ordered;
+      ordered.reserve(vector_hits.size() + keyword_hits.size());
+      for (const Neighbor& hit : vector_hits) ordered.push_back(hit.id);
       for (const SearchHit& hit : keyword_hits) {
-        candidate_ids.insert(hit.doc_id);
+        ordered.push_back(hit.doc_id);
       }
-      std::vector<int64_t> ordered(candidate_ids.begin(),
-                                   candidate_ids.end());
       std::sort(ordered.begin(), ordered.end());
+      ordered.erase(std::unique(ordered.begin(), ordered.end()),
+                    ordered.end());
       Chunk chunk(table_->schema());
       for (int64_t id : ordered) {
         chunk.AppendRow(table_->GetRow(static_cast<size_t>(id)));
@@ -147,17 +162,21 @@ Status PhysicalHybridSearch::RunPostFilter() {
       AGORA_RETURN_IF_ERROR(filter_->Evaluate(chunk, &mask));
       context_->stats.hybrid_filter_rows +=
           static_cast<int64_t>(ordered.size());
-      std::unordered_set<int64_t> passing;
+      std::vector<int64_t> passing;
+      passing.reserve(ordered.size());
       for (size_t i = 0; i < ordered.size(); ++i) {
-        if (!mask.IsNull(i) && mask.GetBool(i)) passing.insert(ordered[i]);
+        if (!mask.IsNull(i) && mask.GetBool(i)) passing.push_back(ordered[i]);
       }
+      auto passes = [&passing](int64_t id) {
+        return std::binary_search(passing.begin(), passing.end(), id);
+      };
       std::vector<Neighbor> fv;
       for (const Neighbor& hit : vector_hits) {
-        if (passing.count(hit.id) > 0) fv.push_back(hit);
+        if (passes(hit.id)) fv.push_back(hit);
       }
       std::vector<SearchHit> fk;
       for (const SearchHit& hit : keyword_hits) {
-        if (passing.count(hit.doc_id) > 0) fk.push_back(hit);
+        if (passes(hit.doc_id)) fk.push_back(hit);
       }
       vector_hits = std::move(fv);
       keyword_hits = std::move(fk);
@@ -167,10 +186,7 @@ Status PhysicalHybridSearch::RunPostFilter() {
     context_->stats.fusion_candidates = static_cast<int64_t>(fused_.size());
     bool exhausted = fetch >= n;
     if (fused_.size() >= k_ || exhausted || attempt >= exec_.max_retries) {
-      final_distances_.clear();
-      for (const Neighbor& hit : vector_hits) {
-        final_distances_[hit.id] = hit.distance;
-      }
+      StoreFinalDistances(vector_hits);
       return Status::OK();
     }
     fetch *= 2;
@@ -208,10 +224,14 @@ Status PhysicalHybridSearch::NextImpl(Chunk* chunk, bool* done) {
     row.push_back(Value::Double(doc.keyword_score));
     row.push_back(Value::Double(doc.vector_score));
     if (has_vec_) {
-      auto it = final_distances_.find(doc.id);
-      row.push_back(it == final_distances_.end()
-                        ? Value::Null(TypeId::kDouble)
-                        : Value::Double(static_cast<double>(it->second)));
+      auto it = std::lower_bound(
+          final_distances_.begin(), final_distances_.end(), doc.id,
+          [](const std::pair<int64_t, float>& e, int64_t id) {
+            return e.first < id;
+          });
+      bool found = it != final_distances_.end() && it->first == doc.id;
+      row.push_back(found ? Value::Double(static_cast<double>(it->second))
+                          : Value::Null(TypeId::kDouble));
     }
     chunk->AppendRow(row);
   }

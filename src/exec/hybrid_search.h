@@ -1,7 +1,8 @@
 #ifndef AGORA_EXEC_HYBRID_SEARCH_H_
 #define AGORA_EXEC_HYBRID_SEARCH_H_
 
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "exec/physical_op.h"
 #include "expr/expr.h"
@@ -46,6 +47,9 @@ class PhysicalHybridSearch : public PhysicalOperator {
  private:
   Status RunPreFilter();
   Status RunPostFilter();
+  /// Records the final vector ranking's distances, sorted by doc id, for
+  /// binary-search lookup while emitting rows.
+  void StoreFinalDistances(const std::vector<Neighbor>& hits);
   /// Evaluates `filter_` over every table row (parallel over disjoint
   /// kChunkSize ranges). Adds the table's row count to
   /// stats.hybrid_filter_rows, exactly like the legacy full bitmap pass.
@@ -70,9 +74,10 @@ class PhysicalHybridSearch : public PhysicalOperator {
   Metric metric_ = Metric::kL2;
 
   std::vector<ScoredDoc> fused_;
-  /// Raw metric distance of each doc in the final vector ranking (docs
-  /// ranked by keywords only are absent -> NULL distance column).
-  std::unordered_map<int64_t, float> final_distances_;
+  /// Raw metric distance of each doc in the final vector ranking, sorted
+  /// by doc id (docs ranked by keywords only are absent -> NULL distance
+  /// column).
+  std::vector<std::pair<int64_t, float>> final_distances_;
   size_t emitted_ = 0;
 };
 

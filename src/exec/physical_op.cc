@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/string_util.h"
+#include "common/verify.h"
+#include "storage/chunk_verify.h"
 
 namespace agora {
 
@@ -45,7 +47,15 @@ Status PhysicalOperator::Next(Chunk* chunk, bool* done) {
   MetricSpan span =
       StatsSpan(context_ != nullptr ? &context_->stats : nullptr, op_id_);
   Status status = NextImpl(chunk, done);
-  if (status.ok()) span.AddRows(static_cast<int64_t>(chunk->num_rows()));
+  if (status.ok()) {
+    // AGORA_VERIFY: every chunk crossing an operator boundary is checked
+    // against the producer's declared schema here, in the one non-virtual
+    // wrapper all pulls go through.
+    if (VerificationEnabled()) {
+      AGORA_RETURN_IF_ERROR(VerifyChunk(*chunk, schema_, name(), *done));
+    }
+    span.AddRows(static_cast<int64_t>(chunk->num_rows()));
+  }
   return status;
 }
 

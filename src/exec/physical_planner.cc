@@ -264,7 +264,7 @@ class PlannerImpl {
     size_t left_arity = join.children()[0]->schema().num_fields();
     size_t total_arity = join.schema().num_fields();
 
-    PhysicalJoinKind kind;
+    PhysicalJoinKind kind = PhysicalJoinKind::kInner;
     switch (join.join_kind()) {
       case LogicalJoin::Kind::kInner:
         kind = PhysicalJoinKind::kInner;

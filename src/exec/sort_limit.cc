@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <numeric>
 
+#include "common/hash.h"
+
 namespace agora {
 
-bool SortRowLess(const Chunk& data,
-                 const std::vector<ColumnVector>& key_cols,
+bool SortRowLess(const std::vector<ColumnVector>& key_cols,
                  const std::vector<SortKey>& keys, uint32_t a, uint32_t b) {
   for (size_t k = 0; k < keys.size(); ++k) {
     int cmp = key_cols[k].CompareRows(a, key_cols[k], b);
@@ -36,7 +37,7 @@ Status PhysicalSort::OpenImpl() {
   std::iota(perm_.begin(), perm_.end(), 0);
   std::stable_sort(perm_.begin(), perm_.end(),
                    [&](uint32_t a, uint32_t b) {
-                     return SortRowLess(data_, key_cols, keys_, a, b);
+                     return SortRowLess(key_cols, keys_, a, b);
                    });
   return Status::OK();
 }
@@ -89,7 +90,7 @@ Status PhysicalTopK::OpenImpl() {
       size_t keep = std::min(cap, perm.size());
       std::partial_sort(perm.begin(), perm.begin() + static_cast<long>(keep),
                         perm.end(), [&](uint32_t a, uint32_t b) {
-                          return SortRowLess(heap_data, key_cols, keys_, a, b);
+                          return SortRowLess(key_cols, keys_, a, b);
                         });
       perm.resize(keep);
       heap_data = heap_data.GatherRows(perm);
@@ -104,7 +105,7 @@ Status PhysicalTopK::OpenImpl() {
   std::vector<uint32_t> perm(heap_data.num_rows());
   std::iota(perm.begin(), perm.end(), 0);
   std::stable_sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t b) {
-    return SortRowLess(heap_data, key_cols, keys_, a, b);
+    return SortRowLess(key_cols, keys_, a, b);
   });
   size_t begin = std::min(static_cast<size_t>(offset_), perm.size());
   size_t end = std::min(begin + static_cast<size_t>(k_), perm.size());
@@ -180,9 +181,18 @@ PhysicalDistinct::PhysicalDistinct(PhysicalOpPtr child, ExecContext* context)
     : PhysicalOperator(child->schema(), context), child_(std::move(child)) {}
 
 Status PhysicalDistinct::OpenImpl() {
-  seen_.clear();
+  seen_ = GroupKeyTable();
   child_done_ = false;
+  stats_reported_ = false;
   return child_->Open();
+}
+
+void PhysicalDistinct::ReportTableStats() {
+  if (stats_reported_) return;
+  stats_reported_ = true;
+  context_->stats.hash_table_entries +=
+      static_cast<int64_t>(seen_.group_count());
+  context_->stats.hash_table_slots += static_cast<int64_t>(seen_.slot_count());
 }
 
 Status PhysicalDistinct::NextImpl(Chunk* chunk, bool* done) {
@@ -192,24 +202,32 @@ Status PhysicalDistinct::NextImpl(Chunk* chunk, bool* done) {
     size_t rows = input.num_rows();
     if (rows == 0) continue;
 
+    hash_scratch_.assign(rows, kHashTableSalt);
+    for (size_t c = 0; c < input.num_columns(); ++c) {
+      input.column(c).HashBatch(hash_scratch_.data(), rows, /*combine=*/true,
+                                /*normalize_zero=*/true);
+    }
+    gid_scratch_.resize(rows);
+    created_scratch_.resize(rows);
+    HashTableStats ht;
+    seen_.FindOrCreate(input.columns(), hash_scratch_.data(), rows,
+                       gid_scratch_.data(), created_scratch_.data(), &ht);
+    context_->stats.hash_table_lookups += ht.lookups;
+    context_->stats.hash_table_probe_steps += ht.probe_steps;
+
     std::vector<uint32_t> sel;
-    std::string key;
     for (size_t r = 0; r < rows; ++r) {
-      key.clear();
-      for (size_t c = 0; c < input.num_columns(); ++c) {
-        AppendKeyBytes(input.column(c), r, &key);
-      }
-      if (seen_.insert(key).second) {
-        sel.push_back(static_cast<uint32_t>(r));
-      }
+      if (created_scratch_[r] != 0) sel.push_back(static_cast<uint32_t>(r));
     }
     if (sel.empty()) continue;
     *chunk = input.GatherRows(sel);
     *done = child_done_;
+    if (*done) ReportTableStats();
     return Status::OK();
   }
   *chunk = Chunk(schema_);
   *done = true;
+  ReportTableStats();
   return Status::OK();
 }
 

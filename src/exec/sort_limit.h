@@ -2,9 +2,9 @@
 #define AGORA_EXEC_SORT_LIMIT_H_
 
 #include <string>
-#include <unordered_set>
 #include <vector>
 
+#include "exec/hash_table.h"
 #include "exec/physical_op.h"
 #include "expr/expr.h"
 #include "plan/logical_plan.h"
@@ -78,7 +78,11 @@ class PhysicalLimit : public PhysicalOperator {
   int64_t emitted_ = 0;
 };
 
-/// Hash-based duplicate elimination over all columns.
+/// Hash-based duplicate elimination over all columns, backed by the same
+/// flat GroupKeyTable the aggregate kernels use: rows hash column-at-a-time
+/// (HashBatch) and only first-appearance rows survive. Key semantics are
+/// the grouping contract (NULL == NULL, -0.0 merges with +0.0, doubles
+/// otherwise bitwise) — identical to the retired per-row string-key path.
 class PhysicalDistinct : public PhysicalOperator {
  public:
   PhysicalDistinct(PhysicalOpPtr child, ExecContext* context);
@@ -91,15 +95,22 @@ class PhysicalDistinct : public PhysicalOperator {
   }
 
  private:
+  /// Folds the table's build-side numbers into ExecStats exactly once,
+  /// when the stream ends.
+  void ReportTableStats();
+
   PhysicalOpPtr child_;
-  std::unordered_set<std::string> seen_;
+  GroupKeyTable seen_;
+  std::vector<uint64_t> hash_scratch_;
+  std::vector<uint32_t> gid_scratch_;
+  std::vector<uint8_t> created_scratch_;
   bool child_done_ = false;
+  bool stats_reported_ = false;
 };
 
-/// Compares row `a` with row `b` of `data` under `keys`; used by Sort and
-/// TopK. Returns true when `a` orders strictly before `b`.
-bool SortRowLess(const Chunk& data,
-                 const std::vector<ColumnVector>& key_cols,
+/// Compares row `a` with row `b` of the evaluated `key_cols` under `keys`;
+/// used by Sort and TopK. Returns true when `a` orders strictly before `b`.
+bool SortRowLess(const std::vector<ColumnVector>& key_cols,
                  const std::vector<SortKey>& keys, uint32_t a, uint32_t b);
 
 }  // namespace agora

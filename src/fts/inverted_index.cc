@@ -186,11 +186,18 @@ std::vector<SearchHit> InvertedIndex::SearchFiltered(
     std::string_view query, size_t k,
     const std::unordered_set<int64_t>& allowed,
     const Bm25Options& options) const {
+  return SearchFiltered(
+      query, k, [&allowed](int64_t id) { return allowed.count(id) > 0; },
+      options);
+}
+
+std::vector<SearchHit> InvertedIndex::SearchFiltered(
+    std::string_view query, size_t k,
+    const std::function<bool(int64_t)>& allowed,
+    const Bm25Options& options) const {
   std::vector<std::string> terms = AnalyzeText(query, analyzer_);
   std::unordered_map<int64_t, double> scores;
-  AccumulateScores(
-      terms, options,
-      [&allowed](int64_t id) { return allowed.count(id) > 0; }, &scores);
+  AccumulateScores(terms, options, allowed, &scores);
   return TopK(std::move(scores), k);
 }
 

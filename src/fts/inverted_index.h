@@ -85,6 +85,15 @@ class InvertedIndex {
       const std::unordered_set<int64_t>& allowed,
       const Bm25Options& options = {}) const;
 
+  /// Predicate form of SearchFiltered: only documents for which
+  /// `allowed(id)` returns true score. Lets callers test membership
+  /// against whatever structure they already hold (e.g. a filter
+  /// bitmap) without materializing a set.
+  std::vector<SearchHit> SearchFiltered(
+      std::string_view query, size_t k,
+      const std::function<bool(int64_t)>& allowed,
+      const Bm25Options& options = {}) const;
+
   /// BM25 score of one specific document for `query` (0 when no term
   /// matches). Used by fused executors that already have a candidate.
   double ScoreDocument(std::string_view query, int64_t doc_id,

@@ -2,8 +2,10 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/verify.h"
 #include "expr/expr_rewrite.h"
 #include "optimizer/optimizer.h"
+#include "optimizer/plan_verify.h"
 
 namespace agora {
 namespace optimizer_internal {
@@ -50,7 +52,7 @@ class JoinOrderer {
     }
     if (region.leaves.size() < 3) {
       // Nothing to reorder; still rebuild (children were recursed).
-      return RebuildOriginal(node, region);
+      return RebuildOriginal(region);
     }
     return Order(region, node->schema());
   }
@@ -144,8 +146,7 @@ class JoinOrderer {
 
   /// Rebuilds the original shape (used when < 3 leaves): left-deep over
   /// leaves in order with all conjuncts at the top join.
-  LogicalOpPtr RebuildOriginal(const LogicalOpPtr& original,
-                               const JoinRegion& region) {
+  LogicalOpPtr RebuildOriginal(const JoinRegion& region) {
     if (region.leaves.size() == 1) {
       ExprPtr cond = CombineConjuncts(region.conjuncts);
       LogicalOpPtr out = region.leaves[0];
@@ -488,23 +489,49 @@ LogicalOpPtr ReorderJoins(const LogicalOpPtr& node,
 
 Result<LogicalOpPtr> Optimizer::Optimize(LogicalOpPtr plan) {
   using namespace optimizer_internal;
+  // AGORA_VERIFY: check plan invariants before the pipeline and after
+  // every pass, so a pass that breaks the plan is named in the error
+  // instead of surfacing as a downstream crash.
+  const bool verify = VerificationEnabled();
+  if (verify) {
+    AGORA_RETURN_IF_ERROR(VerifyPlan(plan.get(), "before optimization"));
+  }
   // Not optional: the executor requires every fusion node to carry a
   // concrete strategy. Only the *rule* (cost vs threshold) is switchable.
   ResolveHybridStrategies(plan, options_, &estimator_);
+  if (verify) {
+    AGORA_RETURN_IF_ERROR(
+        VerifyPlan(plan.get(), "after ResolveHybridStrategies"));
+  }
   if (options_.enable_constant_folding) {
     plan = FoldPlanConstants(plan);
+    if (verify) {
+      AGORA_RETURN_IF_ERROR(VerifyPlan(plan.get(), "after FoldPlanConstants"));
+    }
   }
   if (options_.enable_predicate_pushdown) {
     plan = PushDownPredicates(plan, {});
+    if (verify) {
+      AGORA_RETURN_IF_ERROR(VerifyPlan(plan.get(), "after PushDownPredicates"));
+    }
   }
   if (options_.enable_join_reorder) {
     plan = ReorderJoins(plan, &estimator_);
+    if (verify) {
+      AGORA_RETURN_IF_ERROR(VerifyPlan(plan.get(), "after ReorderJoins"));
+    }
   }
   if (options_.enable_projection_pruning) {
     plan = PruneColumns(plan);
+    if (verify) {
+      AGORA_RETURN_IF_ERROR(VerifyPlan(plan.get(), "after PruneColumns"));
+    }
   }
   if (options_.enable_zone_maps) {
     FlagZoneMaps(plan);
+    if (verify) {
+      AGORA_RETURN_IF_ERROR(VerifyPlan(plan.get(), "after FlagZoneMaps"));
+    }
   }
   return plan;
 }

@@ -1,0 +1,31 @@
+#ifndef AGORA_OPTIMIZER_PLAN_VERIFY_H_
+#define AGORA_OPTIMIZER_PLAN_VERIFY_H_
+
+#include <string_view>
+
+#include "common/status.h"
+#include "plan/logical_plan.h"
+
+namespace agora {
+
+/// Debug verification of a logical plan's structural invariants
+/// (AGORA_VERIFY; the optimizer runs it before the pass pipeline and
+/// after every pass, naming the pass that broke the plan). Per node:
+///  * children are present, non-null, and of the arity the node kind
+///    requires;
+///  * every column reference in the node's expressions resolves inside
+///    its input arity (filter/sort/distinct/project/aggregate bind over
+///    the child, joins over left ⊕ right, scans over their own output);
+///  * derived schemas have the arity their inputs imply (project = expr
+///    count, join = left + right, aggregate = groups + aggregates,
+///    union/limit/distinct/filter/sort = child schema);
+///  * LogicalScoreFusion carries at least one ranking leaf, its output
+///    arity is rowid + table attrs + 3 score columns (+ distance when a
+///    vector leaf exists), and recorded cost annotations are
+///    non-negative with selectivity in [0, 1].
+/// `phase` labels the error message ("after PushDownPredicates", ...).
+Status VerifyPlan(const LogicalOperator* root, std::string_view phase);
+
+}  // namespace agora
+
+#endif  // AGORA_OPTIMIZER_PLAN_VERIFY_H_

@@ -460,6 +460,11 @@ Result<ExprPtr> Binder::BindExpr(const ParsedExprPtr& parsed,
           std::move(conds), std::move(results), std::move(else_result),
           result_type));
     }
+    case ParsedExprKind::kVectorLiteral:
+      // Vector literals only appear inside KNN()/distance() calls, which
+      // the hybrid conjunct extraction consumes before scalar binding.
+      return Status::BindError(
+          "vector literal is not a scalar expression outside KNN/distance");
   }
   return Status::Internal("unhandled parsed expression kind");
 }
@@ -498,7 +503,7 @@ Result<LogicalOpPtr> Binder::BindFromClause(const SelectStatement& sel) {
     AGORA_ASSIGN_OR_RETURN(LogicalOpPtr right, make_scan(join.table));
     Schema combined = plan->schema().Concat(right->schema());
     ExprPtr condition;
-    LogicalJoin::Kind kind;
+    LogicalJoin::Kind kind = LogicalJoin::Kind::kInner;
     switch (join.kind) {
       case JoinKind::kInner:
         kind = LogicalJoin::Kind::kInner;

@@ -1,5 +1,8 @@
 #include "storage/chunk.h"
 
+#include "common/verify.h"
+#include "storage/chunk_verify.h"
+
 namespace agora {
 
 Chunk::Chunk(const Schema& schema) {
@@ -24,6 +27,10 @@ void Chunk::AppendRowFrom(const Chunk& other, size_t row) {
 }
 
 Chunk Chunk::GatherRows(const std::vector<uint32_t>& sel) const {
+  if (VerificationEnabled()) {
+    Status bounds = VerifySelection(sel, num_rows(), "Chunk::GatherRows");
+    AGORA_CHECK(bounds.ok()) << bounds.message();
+  }
   Chunk out;
   out.columns_.reserve(columns_.size());
   for (const auto& col : columns_) {

@@ -28,6 +28,9 @@ class Chunk {
 
   const ColumnVector& column(size_t i) const { return columns_[i]; }
   ColumnVector& column(size_t i) { return columns_[i]; }
+  /// All columns at once (batch kernels like GroupKeyTable::FindOrCreate
+  /// take the key columns as one vector).
+  const std::vector<ColumnVector>& columns() const { return columns_; }
   void AddColumn(ColumnVector col) { columns_.push_back(std::move(col)); }
 
   /// For zero-column results (e.g. COUNT(*) pipelines) the row count must

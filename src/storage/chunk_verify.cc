@@ -1,0 +1,85 @@
+#include "storage/chunk_verify.h"
+
+#include <string>
+
+#include "types/type.h"
+
+namespace agora {
+namespace {
+
+std::string Prefix(std::string_view op_name) {
+  return "chunk verification failed after " + std::string(op_name) + ": ";
+}
+
+}  // namespace
+
+Status VerifyChunk(const Chunk& chunk, const Schema& schema,
+                   std::string_view op_name, bool done) {
+  if (schema.num_fields() == 0) {
+    if (chunk.num_columns() != 0) {
+      return Status::Internal(Prefix(op_name) +
+                              "zero-field schema but chunk carries " +
+                              std::to_string(chunk.num_columns()) +
+                              " columns");
+    }
+    return Status::OK();
+  }
+  if (chunk.num_columns() == 0) {
+    // Default-constructed chunks are the end-of-stream sentinel.
+    if (!done) {
+      return Status::Internal(Prefix(op_name) +
+                              "columnless chunk before end of stream");
+    }
+    return Status::OK();
+  }
+  if (chunk.num_columns() != schema.num_fields()) {
+    return Status::Internal(
+        Prefix(op_name) + "chunk has " + std::to_string(chunk.num_columns()) +
+        " columns but the operator schema declares " +
+        std::to_string(schema.num_fields()));
+  }
+  size_t rows = chunk.num_rows();
+  for (size_t c = 0; c < chunk.num_columns(); ++c) {
+    const ColumnVector& col = chunk.column(c);
+    if (col.type() != schema.field(c).type) {
+      return Status::Internal(
+          Prefix(op_name) + "column " + std::to_string(c) + " has type " +
+          std::string(TypeIdToString(col.type())) + " but the schema field '" +
+          schema.field(c).name + "' declares " +
+          std::string(TypeIdToString(schema.field(c).type)));
+    }
+    Status consistent = col.CheckConsistency();
+    if (!consistent.ok()) {
+      return Status::Internal(Prefix(op_name) + "column " + std::to_string(c) +
+                              ": " + consistent.message());
+    }
+    if (col.size() != rows) {
+      return Status::Internal(
+          Prefix(op_name) + "column " + std::to_string(c) + " has " +
+          std::to_string(col.size()) + " rows but column 0 has " +
+          std::to_string(rows));
+    }
+  }
+  if (rows == 0 && !done) {
+    return Status::Internal(
+        Prefix(op_name) +
+        "empty chunk without done (producer protocol violation)");
+  }
+  return Status::OK();
+}
+
+Status VerifySelection(const std::vector<uint32_t>& sel, size_t input_rows,
+                       std::string_view op_name) {
+  for (size_t i = 0; i < sel.size(); ++i) {
+    if (sel[i] >= input_rows) {
+      return Status::Internal(
+          "selection verification failed in " + std::string(op_name) +
+          ": index " + std::to_string(sel[i]) + " at position " +
+          std::to_string(i) + " exceeds input row count " +
+          std::to_string(input_rows));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace agora

@@ -1,0 +1,38 @@
+#ifndef AGORA_STORAGE_CHUNK_VERIFY_H_
+#define AGORA_STORAGE_CHUNK_VERIFY_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/chunk.h"
+#include "types/schema.h"
+
+namespace agora {
+
+/// Debug verification of one chunk crossing an operator boundary
+/// (AGORA_VERIFY; called from the non-virtual PhysicalOperator::Next
+/// wrapper). Checks, in order:
+///  * a columnless chunk is only legal as the end-of-stream sentinel
+///    (`done` set) or under a zero-field schema (COUNT(*) pipelines);
+///  * the column count matches the operator's declared schema;
+///  * each column's type matches its schema field;
+///  * each column's payload array covers the rows its validity vector
+///    declares (ColumnVector::CheckConsistency);
+///  * every column agrees on the row count;
+///  * the producer protocol "a chunk may be empty only together with
+///    done" holds.
+/// `op_name` labels the failing operator in the error message.
+Status VerifyChunk(const Chunk& chunk, const Schema& schema,
+                   std::string_view op_name, bool done);
+
+/// Debug verification of a selection vector: every index must address a
+/// row of the input, i.e. lie in [0, input_rows). Chunk::GatherRows runs
+/// this when verification is on.
+Status VerifySelection(const std::vector<uint32_t>& sel, size_t input_rows,
+                       std::string_view op_name);
+
+}  // namespace agora
+
+#endif  // AGORA_STORAGE_CHUNK_VERIFY_H_

@@ -357,4 +357,37 @@ size_t ColumnVector::MemoryBytes() const {
   return bytes;
 }
 
+Status ColumnVector::CheckConsistency() const {
+  size_t rows = validity_.size();
+  size_t payload = 0;
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      payload = ints_.size();
+      break;
+    case TypeId::kDouble:
+      payload = doubles_.size();
+      break;
+    case TypeId::kString:
+      payload = strings_.size();
+      break;
+    default:
+      if (rows != 0) {
+        return Status::Internal(
+            "column vector of invalid type declares " + std::to_string(rows) +
+            " rows");
+      }
+      return Status::OK();
+  }
+  if (payload != rows) {
+    return Status::Internal(
+        std::string("column vector payload/validity mismatch: type ") +
+        std::string(TypeIdToString(type_)) + " has " +
+        std::to_string(payload) + " payload rows but validity declares " +
+        std::to_string(rows));
+  }
+  return Status::OK();
+}
+
 }  // namespace agora

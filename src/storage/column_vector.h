@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "types/type.h"
 #include "types/value.h"
 
@@ -111,6 +112,12 @@ class ColumnVector {
 
   /// Approximate heap bytes used (for resource accounting).
   size_t MemoryBytes() const;
+
+  /// Debug verification (AGORA_VERIFY): checks that the payload array for
+  /// the column's physical type covers every row the validity vector
+  /// declares, so element accessors can never read past the payload.
+  /// Returns an Internal status naming the mismatch.
+  Status CheckConsistency() const;
 
  private:
   TypeId type_;

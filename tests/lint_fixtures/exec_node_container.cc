@@ -1,0 +1,17 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// node-based std containers in src/exec regress the flat-hash kernel
+// work; operators must use JoinHashTable/GroupKeyTable or sorted
+// vectors.
+// lint-as: src/exec/bad_container.cc
+// expect-violation: exec-node-container
+
+#include <cstdint>
+#include <unordered_map>
+
+namespace agora {
+
+struct BadOperatorState {
+  std::unordered_map<int64_t, double> per_group_sums;
+};
+
+}  // namespace agora

@@ -1,0 +1,15 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// a counter registered in src/engine/database.cc whose name is absent
+// from docs/METRICS.md is documentation drift.
+// lint-as: src/engine/database.cc
+// expect-violation: metrics-doc-drift
+
+namespace agora {
+
+void RegisterGhostMetric(void* registry) {
+  (void)registry;
+  const char* name = "lint_fixture_ghost_total";
+  (void)name;
+}
+
+}  // namespace agora

@@ -1,0 +1,17 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// calling NextImpl() directly bypasses the instrumented non-virtual
+// Next() wrapper, skipping per-operator timing and AGORA_VERIFY chunk
+// checks.
+// lint-as: src/exec/bad_direct_call.cc
+// expect-violation: open-next-contract
+
+#include "exec/physical_op.h"
+
+namespace agora {
+
+Status DrainWithoutInstrumentation(PhysicalOperator* op, Chunk* chunk,
+                                   bool* done) {
+  return op->NextImpl(chunk, done);
+}
+
+}  // namespace agora

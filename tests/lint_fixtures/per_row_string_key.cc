@@ -1,0 +1,23 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// per-row std::string key encoding in src/exec; key comparisons belong
+// in HashBatch/BatchEqualRows (or GroupKeyTable, which wraps them).
+// lint-as: src/exec/bad_string_key.cc
+// expect-violation: exec-per-row-string-key
+
+#include <string>
+
+#include "exec/physical_op.h"
+
+namespace agora {
+
+void EncodeRowKeys(const Chunk& input) {
+  std::string key;
+  for (size_t r = 0; r < input.num_rows(); ++r) {
+    key.clear();
+    for (size_t c = 0; c < input.num_columns(); ++c) {
+      AppendKeyBytes(input.column(c), r, &key);
+    }
+  }
+}
+
+}  // namespace agora

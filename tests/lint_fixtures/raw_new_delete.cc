@@ -1,0 +1,15 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// raw new/delete in operator/optimizer code; ownership belongs to
+// unique_ptr/shared_ptr or the Arena.
+// lint-as: src/optimizer/bad_alloc.cc
+// expect-violation: raw-new-delete
+
+namespace agora {
+
+void LeakProneScratch() {
+  int* buffer = new int[1024];
+  buffer[0] = 0;
+  delete[] buffer;
+}
+
+}  // namespace agora

@@ -60,8 +60,12 @@ TEST_F(InvertedIndexTest, PostingsAndDocFrequency) {
   ASSERT_EQ(postings.size(), 2u);
   // Doc 0 has tf=2, doc 3 has tf=3.
   for (const Posting& p : postings) {
-    if (p.doc_id == 0) EXPECT_EQ(p.term_frequency, 2u);
-    if (p.doc_id == 3) EXPECT_EQ(p.term_frequency, 3u);
+    if (p.doc_id == 0) {
+      EXPECT_EQ(p.term_frequency, 2u);
+    }
+    if (p.doc_id == 3) {
+      EXPECT_EQ(p.term_frequency, 3u);
+    }
   }
 }
 
