@@ -117,12 +117,14 @@ double MeasureLatencyMs(Database* db, const std::string& sql, int threads) {
   return samples[samples.size() / 2];
 }
 
-/// Hash-kernel health figures for one query, from an instrumented run
-/// (see docs/BENCH_SCHEMA.md for the exact definitions).
+/// Hash-kernel and expression-engine health figures for one query, from
+/// an instrumented run (see docs/BENCH_SCHEMA.md for the exact
+/// definitions).
 struct HashKernelStats {
   double ht_load_factor = 0.0;       // entries / slots
   double ht_probes_per_lookup = 0.0; // probe_steps / lookups
   double bloom_hit_rate = 0.0;       // filtered / checked
+  int64_t expr_rows_evaluated = 0;   // rows through non-leaf expr kernels
 };
 
 HashKernelStats CollectHashStats(Database* db, const std::string& sql,
@@ -132,6 +134,7 @@ HashKernelStats CollectHashStats(Database* db, const std::string& sql,
   db->set_execution_threads(0);
   const ExecStats& s = result.stats();
   HashKernelStats h;
+  h.expr_rows_evaluated = s.expr_rows_evaluated;
   if (s.hash_table_slots > 0) {
     h.ht_load_factor = static_cast<double>(s.hash_table_entries) /
                        static_cast<double>(s.hash_table_slots);
@@ -172,6 +175,21 @@ void WriteScalingJson(const std::vector<int>& thread_counts,
         double ms = MeasureLatencyMs(db, sql, threads);
         if (threads == thread_counts.front()) base_ms = ms;
         HashKernelStats hs = CollectHashStats(db, sql, threads);
+        // Expression throughput: kernel-rows per wall second. Counts
+        // every row flowing through a non-leaf expression kernel, so a
+        // selective fused filter (fewer kernel rows per scanned row)
+        // and a faster engine both move it.
+        double expr_mrows_per_s =
+            ms > 0.0 ? static_cast<double>(hs.expr_rows_evaluated) /
+                           (ms / 1000.0) / 1e6
+                     : 0.0;
+        if (threads == thread_counts.front()) {
+          std::printf("[E1] expr throughput %s SF %g: %lld kernel rows, "
+                      "%.1f Mrows/s\n",
+                      QueryName(q), sf,
+                      static_cast<long long>(hs.expr_rows_evaluated),
+                      expr_mrows_per_s);
+        }
         if (!first) std::fprintf(out, ",\n");
         first = false;
         std::fprintf(out,
@@ -180,10 +198,14 @@ void WriteScalingJson(const std::vector<int>& thread_counts,
                      "\"speedup_vs_1t\": %.3f, "
                      "\"ht_load_factor\": %.4f, "
                      "\"ht_probes_per_lookup\": %.4f, "
-                     "\"bloom_hit_rate\": %.4f}",
+                     "\"bloom_hit_rate\": %.4f, "
+                     "\"expr_rows_evaluated\": %lld, "
+                     "\"expr_mrows_per_s\": %.2f}",
                      QueryName(q), sf, threads, ms,
                      ms > 0.0 ? base_ms / ms : 0.0, hs.ht_load_factor,
-                     hs.ht_probes_per_lookup, hs.bloom_hit_rate);
+                     hs.ht_probes_per_lookup, hs.bloom_hit_rate,
+                     static_cast<long long>(hs.expr_rows_evaluated),
+                     expr_mrows_per_s);
       }
     }
   }

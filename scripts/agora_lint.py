@@ -19,6 +19,12 @@ cannot express (docs/ANALYSIS.md has the full rationale):
   exec-per-row-string-key src/exec must not build per-row std::string keys
                           (AppendKeyBytes loops); key comparisons go
                           through HashBatch/BatchEqualRows.
+  expr-per-row-value      src/expr is the expression hot path: boxing rows
+                          through Value (per-row AppendValue/GetValue on
+                          eval paths) undoes the vectorized kernels. Write
+                          through ResizeForOverwrite + mutable_*_data, or
+                          justify the boxed slow path with an allow
+                          comment.
   raw-new-delete          Operators and optimizer passes own memory via
                           unique_ptr/shared_ptr/Arena only; raw new/delete
                           is banned in src/exec and src/optimizer.
@@ -29,7 +35,9 @@ cannot express (docs/ANALYSIS.md has the full rationale):
                           compile_commands.json, so clang-tidy and editors
                           see the same translation units this lint does.
 
-A finding can be suppressed for one line with a justification comment:
+A finding can be suppressed for one line with a justification comment,
+either trailing the offending line or on a comment-only line directly
+above it:
 
     std::map<K, V> cold_path_;  // agora-lint: allow(exec-node-container) why
 
@@ -53,6 +61,7 @@ RULES = (
     "open-next-contract",
     "exec-node-container",
     "exec-per-row-string-key",
+    "expr-per-row-value",
     "raw-new-delete",
     "metrics-doc-drift",
     "compile-commands",
@@ -142,12 +151,18 @@ def strip_comments_and_strings(text):
     return "".join(out)
 
 
-def collect_allows(raw_lines):
-    """Maps 1-based line number -> set of rule names allowed on it."""
+def collect_allows(raw_lines, stripped_lines):
+    """Maps 1-based line number -> set of rule names allowed on it. An
+    allow on a comment-only line (no code once comments/strings are
+    stripped) also covers the next line, NOLINTNEXTLINE-style."""
     allows = {}
     for idx, line in enumerate(raw_lines, 1):
         for m in ALLOW_RE.finditer(line):
             allows.setdefault(idx, set()).add(m.group(1))
+            comment_only = (idx <= len(stripped_lines)
+                            and not stripped_lines[idx - 1].strip())
+            if comment_only:
+                allows.setdefault(idx + 1, set()).add(m.group(1))
     return allows
 
 
@@ -155,8 +170,8 @@ def line_findings(rel_path, raw_text):
     """Runs the per-line rules against one file. `rel_path` decides which
     rules apply (fixtures override it with a lint-as directive)."""
     raw_lines = raw_text.splitlines()
-    allows = collect_allows(raw_lines)
     stripped_lines = strip_comments_and_strings(raw_text).splitlines()
+    allows = collect_allows(raw_lines, stripped_lines)
     findings = []
 
     def add(lineno, rule, message):
@@ -166,6 +181,7 @@ def line_findings(rel_path, raw_text):
 
     in_exec = rel_path.startswith("src/exec/")
     in_opt = rel_path.startswith("src/optimizer/")
+    in_expr = rel_path.startswith("src/expr/")
     open_next_applies = (rel_path.startswith("src/")
                          and rel_path not in OPEN_NEXT_EXEMPT)
 
@@ -175,6 +191,7 @@ def line_findings(rel_path, raw_text):
     container_re = re.compile(
         r"std\s*::\s*(unordered_map|unordered_set|map|set)\s*<")
     key_bytes_re = re.compile(r"\bAppendKeyBytes\s*\(")
+    per_row_value_re = re.compile(r"\.\s*(AppendValue|GetValue)\s*\(")
     new_re = re.compile(r"\bnew\s+[A-Za-z_(:]")
     delete_re = re.compile(r"\bdelete\s*(\[\s*\]\s*)?[A-Za-z_(*]")
 
@@ -197,6 +214,14 @@ def line_findings(rel_path, raw_text):
                 add(lineno, "exec-per-row-string-key",
                     "per-row string key encoding in src/exec; use "
                     "HashBatch/BatchEqualRows or GroupKeyTable")
+        if in_expr:
+            m = per_row_value_re.search(line)
+            if m:
+                add(lineno, "expr-per-row-value",
+                    f"per-row Value boxing ({m.group(1)}) on the expression "
+                    "eval path; use the typed batch kernels "
+                    "(ResizeForOverwrite + mutable_*_data) or justify the "
+                    "slow path")
         if in_exec or in_opt:
             if new_re.search(line):
                 add(lineno, "raw-new-delete",

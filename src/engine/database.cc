@@ -173,6 +173,12 @@ void Database::RecordQueryMetrics(
                static_cast<double>(stats.bloom_checked_rows));
   metrics_.Add("bloom_filtered_rows_total",
                static_cast<double>(stats.bloom_filtered_rows));
+  metrics_.Add("expr_rows_evaluated_total",
+               static_cast<double>(stats.expr_rows_evaluated));
+  metrics_.Add("sel_vector_hits_total",
+               static_cast<double>(stats.sel_vector_hits));
+  metrics_.Add("filter_gathers_avoided_total",
+               static_cast<double>(stats.filter_gathers_avoided));
   metrics_.Add("queries_total", 1.0);
   metrics_.Add("query_seconds_total", seconds);
   metrics_.Add("joules_proxy_total", stats.JoulesProxy());

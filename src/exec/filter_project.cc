@@ -17,8 +17,7 @@ Status PhysicalFilter::OpenImpl() {
 
 Status PhysicalFilter::ProcessChunk(const Chunk& input, Chunk* out,
                                     ExecStats* stats) const {
-  (void)stats;  // filtering materializes nothing new
-  AGORA_ASSIGN_OR_RETURN(*out, FilterChunk(input, *predicate_));
+  AGORA_ASSIGN_OR_RETURN(*out, FilterChunk(input, *predicate_, stats));
   return Status::OK();
 }
 
@@ -52,12 +51,19 @@ Status PhysicalProject::OpenImpl() { return child_->Open(); }
 Status PhysicalProject::ProcessChunk(const Chunk& input, Chunk* out,
                                      ExecStats* stats) const {
   Chunk result;
+  EvalContext ctx;
+  ctx.chunk = &input;
+  ExprCounters counters;
+  ctx.counters = &counters;
   for (const ExprPtr& expr : exprs_) {
     ColumnVector col;
-    AGORA_RETURN_IF_ERROR(expr->Evaluate(input, &col));
+    AGORA_RETURN_IF_ERROR(expr->EvalBatch(ctx, &col));
+    col.Flatten();
     result.AddColumn(std::move(col));
   }
   result.SetExplicitRowCount(input.num_rows());
+  stats->expr_rows_evaluated += counters.rows_evaluated;
+  stats->sel_vector_hits += counters.sel_hits;
   stats->bytes_materialized += static_cast<int64_t>(result.MemoryBytes());
   *out = std::move(result);
   return Status::OK();

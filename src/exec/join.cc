@@ -183,7 +183,7 @@ Status PhysicalHashJoin::ProbeChunk(const Chunk& probe, Chunk* out,
 
   if (residual_ != nullptr && result.num_rows() > 0 &&
       kind_ != PhysicalJoinKind::kLeftOuter) {
-    AGORA_ASSIGN_OR_RETURN(result, FilterChunk(result, *residual_));
+    AGORA_ASSIGN_OR_RETURN(result, FilterChunk(result, *residual_, stats));
   }
   stats->rows_joined += static_cast<int64_t>(result.num_rows());
   span.AddRows(static_cast<int64_t>(result.num_rows()));
@@ -267,7 +267,8 @@ Status PhysicalNestedLoopJoin::NextImpl(Chunk* chunk, bool* done) {
         }
       }
     } else {
-      AGORA_ASSIGN_OR_RETURN(out, FilterChunk(paired, *condition_));
+      AGORA_ASSIGN_OR_RETURN(
+          out, FilterChunk(paired, *condition_, &context_->stats));
     }
     if (kind_ == PhysicalJoinKind::kLeftOuter && build_rows == 0) {
       // Empty build side: every probe row survives, NULL-padded.

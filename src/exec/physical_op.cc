@@ -34,6 +34,12 @@ std::string ExecStats::ToString() const {
     out += " bloom_checked_rows=" + FormatCount(bloom_checked_rows);
     out += " bloom_filtered_rows=" + FormatCount(bloom_filtered_rows);
   }
+  if (expr_rows_evaluated > 0 || sel_vector_hits > 0 ||
+      filter_gathers_avoided > 0) {
+    out += " expr_rows_evaluated=" + FormatCount(expr_rows_evaluated);
+    out += " sel_vector_hits=" + FormatCount(sel_vector_hits);
+    out += " filter_gathers_avoided=" + FormatCount(filter_gathers_avoided);
+  }
   return out;
 }
 

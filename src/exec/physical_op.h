@@ -44,6 +44,12 @@ struct ExecStats {
   int64_t hash_table_slots = 0;          // slot-directory capacity built
   int64_t hash_table_lookups = 0;        // key lookups issued
   int64_t hash_table_probe_steps = 0;    // slot inspections across lookups
+  // Vectorized expression-engine counters (expr/expr.h ExprCounters,
+  // folded in by filter/project/scan). Thread-invariant: batch sizes
+  // depend only on block layout and the predicate, never worker count.
+  int64_t expr_rows_evaluated = 0;   // rows through non-leaf expr kernels
+  int64_t sel_vector_hits = 0;       // kernel calls under a narrowed selection
+  int64_t filter_gathers_avoided = 0;  // filter outputs reused without gather
 
   /// Per-operator self-time slots, indexed by PhysicalOperator::op_id().
   /// Additive like every other counter; per-worker copies merge exactly.
@@ -78,6 +84,9 @@ struct ExecStats {
     hash_table_slots += other.hash_table_slots;
     hash_table_lookups += other.hash_table_lookups;
     hash_table_probe_steps += other.hash_table_probe_steps;
+    expr_rows_evaluated += other.expr_rows_evaluated;
+    sel_vector_hits += other.sel_vector_hits;
+    filter_gathers_avoided += other.filter_gathers_avoided;
     if (op_timings.size() < other.op_timings.size()) {
       op_timings.resize(other.op_timings.size());
     }

@@ -4,22 +4,25 @@
 
 namespace agora {
 
-Result<Chunk> FilterChunk(const Chunk& chunk, const Expr& predicate) {
-  ColumnVector mask;
-  AGORA_RETURN_IF_ERROR(predicate.Evaluate(chunk, &mask));
-  if (mask.type() != TypeId::kBool) {
-    return Status::TypeError("filter predicate is not BOOLEAN");
+Result<Chunk> FilterChunk(const Chunk& chunk, const Expr& predicate,
+                          ExecStats* stats) {
+  Selection sel;
+  ExprCounters counters;
+  AGORA_RETURN_IF_ERROR(
+      RefineSelection(predicate, chunk, &sel, &counters));
+  if (stats != nullptr) {
+    stats->expr_rows_evaluated += counters.rows_evaluated;
+    stats->sel_vector_hits += counters.sel_hits;
   }
-  std::vector<uint32_t> sel;
-  size_t n = chunk.num_rows();
-  sel.reserve(n);
-  for (size_t i = 0; i < n; ++i) {
-    if (!mask.IsNull(i) && mask.GetBool(i)) {
-      sel.push_back(static_cast<uint32_t>(i));
-    }
+  if (sel.all) {
+    if (stats != nullptr) stats->filter_gathers_avoided++;
+    return chunk;
   }
-  if (sel.size() == n) return chunk;
-  return chunk.GatherRows(sel);
+  if (sel.rows.size() == chunk.num_rows()) {
+    if (stats != nullptr) stats->filter_gathers_avoided++;
+    return chunk;
+  }
+  return chunk.GatherRows(sel.rows);
 }
 
 PhysicalScan::PhysicalScan(std::shared_ptr<Table> table,
@@ -41,6 +44,9 @@ Status PhysicalScan::OpenImpl() {
     // Zone maps were requested by the planner but not built yet; build
     // them now (idempotent, amortized across queries on static tables).
     table_->BuildZoneMaps();
+  }
+  if (predicate_ != nullptr) {
+    scan_view_ = table_->GetChunkView(projection_);
   }
   return Status::OK();
 }
@@ -64,14 +70,43 @@ Status PhysicalScan::ScanBlock(size_t start, size_t count, Chunk* out,
     }
   }
 
+  size_t end = std::min(start + count, table_->num_rows());
+  size_t n = end > start ? end - start : 0;
+
+  if (predicate_ != nullptr) {
+    // Fused scan filter: refine a selection of absolute row ids over
+    // the zero-copy table view, then gather survivors once. The raw
+    // block is never materialized.
+    Selection sel;
+    sel.all = false;
+    sel.rows.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      sel.rows[i] = static_cast<uint32_t>(start + i);
+    }
+    ExprCounters counters;
+    AGORA_RETURN_IF_ERROR(
+        RefineSelection(*predicate_, scan_view_, &sel, &counters));
+    stats->blocks_read++;
+    stats->rows_scanned += static_cast<int64_t>(n);
+    stats->expr_rows_evaluated += counters.rows_evaluated;
+    stats->sel_vector_hits += counters.sel_hits;
+    Chunk res;
+    if (sel.rows.size() == n) {
+      // Whole block passes: a contiguous slice beats a gather.
+      res = table_->GetChunk(start, count, projection_);
+      stats->filter_gathers_avoided++;
+    } else {
+      res = scan_view_.GatherRows(sel.rows);
+    }
+    stats->bytes_materialized += static_cast<int64_t>(res.MemoryBytes());
+    *out = std::move(res);
+    return Status::OK();
+  }
+
   Chunk raw = table_->GetChunk(start, count, projection_);
   stats->blocks_read++;
   stats->rows_scanned += static_cast<int64_t>(raw.num_rows());
   stats->bytes_materialized += static_cast<int64_t>(raw.MemoryBytes());
-
-  if (predicate_ != nullptr) {
-    AGORA_ASSIGN_OR_RETURN(raw, FilterChunk(raw, *predicate_));
-  }
   *out = std::move(raw);
   return Status::OK();
 }
@@ -156,25 +191,33 @@ Status PhysicalIndexScan::OpenImpl() {
 }
 
 Status PhysicalIndexScan::NextImpl(Chunk* chunk, bool* done) {
+  // Batch-gather the next block of matched row ids column-at-a-time,
+  // the same columnar path Table::GetChunk uses — one type dispatch per
+  // column instead of boxing every cell through Value.
+  size_t take = std::min(kChunkSize, matches_.size() - next_match_);
   Chunk out(schema_);
-  size_t emitted = 0;
-  while (next_match_ < matches_.size() && emitted < kChunkSize) {
-    size_t row = static_cast<size_t>(matches_[next_match_++]);
-    std::vector<Value> values;
+  if (take > 0) {
+    std::vector<uint32_t> sel(take);
+    for (size_t i = 0; i < take; ++i) {
+      sel[i] = static_cast<uint32_t>(matches_[next_match_ + i]);
+    }
+    next_match_ += take;
     if (projection_.empty()) {
-      values = table_->GetRow(row);
+      for (size_t c = 0; c < table_->num_columns(); ++c) {
+        out.column(c).AppendGatherPadded(table_->column(c), sel.data(),
+                                         take);
+      }
     } else {
-      values.reserve(projection_.size());
-      for (size_t c : projection_) {
-        values.push_back(table_->column(c).GetValue(row));
+      for (size_t c = 0; c < projection_.size(); ++c) {
+        out.column(c).AppendGatherPadded(table_->column(projection_[c]),
+                                         sel.data(), take);
       }
     }
-    out.AppendRow(values);
-    ++emitted;
   }
-  context_->stats.rows_scanned += static_cast<int64_t>(emitted);
+  context_->stats.rows_scanned += static_cast<int64_t>(take);
   if (residual_predicate_ != nullptr && out.num_rows() > 0) {
-    AGORA_ASSIGN_OR_RETURN(out, FilterChunk(out, *residual_predicate_));
+    AGORA_ASSIGN_OR_RETURN(
+        out, FilterChunk(out, *residual_predicate_, &context_->stats));
   }
   *chunk = std::move(out);
   *done = next_match_ >= matches_.size();

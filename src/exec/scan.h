@@ -84,6 +84,11 @@ class PhysicalScan : public PhysicalOperator {
   bool use_zone_maps_;
   size_t next_row_ = 0;                  // serial pull cursor
   std::atomic<size_t> morsel_cursor_{0};  // parallel claim cursor
+  /// Zero-copy whole-table view (built in Open when a predicate is
+  /// pushed down). The fused filter refines a selection of absolute row
+  /// ids against it and gathers once per block; read-only, so safe to
+  /// share across morsel workers.
+  Chunk scan_view_;
 };
 
 /// Point-lookup scan through a hash index: emits only rows whose indexed
@@ -110,9 +115,15 @@ class PhysicalIndexScan : public PhysicalOperator {
   size_t next_match_ = 0;
 };
 
-/// Applies a boolean selection vector produced by evaluating `predicate`
-/// over `chunk`, keeping only TRUE rows. Shared by scan and filter.
-Result<Chunk> FilterChunk(const Chunk& chunk, const Expr& predicate);
+/// Applies `predicate` to `chunk`, keeping only TRUE rows. Refines a
+/// selection vector (AND/OR short-circuit via RefineSelection) and
+/// gathers once — or not at all when every row passes. Shared by scan,
+/// filter, and join residuals. When `stats` is given, folds the
+/// expression counters (expr_rows_evaluated, sel_vector_hits) into it
+/// and counts chunks returned without a gather copy
+/// (filter_gathers_avoided).
+Result<Chunk> FilterChunk(const Chunk& chunk, const Expr& predicate,
+                          ExecStats* stats = nullptr);
 
 }  // namespace agora
 

@@ -101,6 +101,7 @@ Result<Value> Expr::EvaluateScalar() const {
     return Status::Internal("scalar evaluation produced " +
                             std::to_string(out.size()) + " rows");
   }
+  // agora-lint: allow(expr-per-row-value) one-row scalar fold, not a row loop
   return out.GetValue(0);
 }
 

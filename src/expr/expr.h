@@ -43,14 +43,52 @@ CompareOp SwapCompareOp(CompareOp op);
 /// Logical negation: a < b  <=>  !(a >= b).
 CompareOp NegateCompareOp(CompareOp op);
 
+/// Counters filled in by the vectorized evaluator; the caller (an
+/// operator) folds them into its ExecStats slot. Lives here because the
+/// expr layer must not depend on exec.
+struct ExprCounters {
+  /// Sum of batch sizes processed by non-leaf expression kernels.
+  int64_t rows_evaluated = 0;
+  /// Kernel invocations that ran under a narrowed selection vector
+  /// (fewer rows touched than the chunk holds).
+  int64_t sel_hits = 0;
+};
+
+/// Input to vectorized evaluation: the chunk, an optional selection
+/// vector naming the live rows (ascending chunk-row indexes), and
+/// optional counters. With a selection of k rows, EvalBatch produces a
+/// *dense* k-row output — result row i corresponds to chunk row sel[i].
+/// Without one, all chunk rows are evaluated in order.
+struct EvalContext {
+  const Chunk* chunk = nullptr;
+  const std::vector<uint32_t>* sel = nullptr;
+  ExprCounters* counters = nullptr;
+
+  /// Number of rows this evaluation produces.
+  size_t NumRows() const { return sel ? sel->size() : chunk->num_rows(); }
+};
+
+/// A set of live rows of one chunk, as refined by filter predicates.
+/// `all == true` means every row (rows is ignored); otherwise `rows`
+/// holds the surviving chunk-row indexes in ascending order.
+struct Selection {
+  std::vector<uint32_t> rows;
+  bool all = true;
+
+  size_t Count(size_t chunk_rows) const {
+    return all ? chunk_rows : rows.size();
+  }
+};
+
 /// Base class for bound (executable) expressions. Expressions are
 /// immutable after construction and shared via ExprPtr; Clone produces a
 /// deep copy for rewrites that change children.
 ///
-/// Evaluation is vectorized: `Evaluate` computes the expression for every
-/// row of the input chunk and returns a column of results. SQL three-valued
-/// logic is honored (NULL propagates through comparisons/arithmetic; AND/OR
-/// use Kleene semantics).
+/// Evaluation is vectorized: `EvalBatch` computes the expression for the
+/// rows named by the EvalContext and returns a column of results, which
+/// may use the constant vector form. SQL three-valued logic is honored
+/// (NULL propagates through comparisons/arithmetic; AND/OR use Kleene
+/// semantics).
 class Expr {
  public:
   explicit Expr(ExprKind kind, TypeId result_type)
@@ -60,8 +98,14 @@ class Expr {
   ExprKind kind() const { return kind_; }
   TypeId result_type() const { return result_type_; }
 
-  /// Vectorized evaluation over `chunk` into `out` (freshly sized).
-  virtual Status Evaluate(const Chunk& chunk, ColumnVector* out) const = 0;
+  /// Vectorized evaluation of the context's live rows into `out`
+  /// (freshly sized, possibly constant-form or buffer-sharing).
+  virtual Status EvalBatch(const EvalContext& ctx,
+                           ColumnVector* out) const = 0;
+
+  /// Evaluates every row of `chunk` into a flat `out` vector. Wrapper
+  /// over EvalBatch for callers that need plain dense output.
+  Status Evaluate(const Chunk& chunk, ColumnVector* out) const;
 
   /// SQL-ish rendering for plans and diagnostics.
   virtual std::string ToString() const = 0;
@@ -85,6 +129,15 @@ class Expr {
   TypeId result_type_;
 };
 
+/// Narrows `sel` to the rows of `chunk` where `pred` evaluates to TRUE
+/// (filter semantics: NULL rejects). AND conjuncts short-circuit by
+/// iterative refinement — each conjunct evaluates only rows its
+/// predecessors kept; OR takes the union of per-child acceptances,
+/// evaluating each child only over rows no earlier child accepted.
+/// `counters` may be null.
+Status RefineSelection(const Expr& pred, const Chunk& chunk, Selection* sel,
+                       ExprCounters* counters);
+
 /// Reference to column `index` of the operator's input schema.
 class ColumnRefExpr : public Expr {
  public:
@@ -97,7 +150,7 @@ class ColumnRefExpr : public Expr {
   const std::string& name() const { return name_; }
   void set_index(size_t index) { index_ = index; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<ColumnRefExpr>(index_, result_type_, name_);
@@ -116,7 +169,7 @@ class LiteralExpr : public Expr {
 
   const Value& value() const { return value_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<LiteralExpr>(value_);
@@ -139,7 +192,7 @@ class ComparisonExpr : public Expr {
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<ComparisonExpr>(op_, left_->Clone(),
@@ -167,7 +220,7 @@ class ArithmeticExpr : public Expr {
   const ExprPtr& left() const { return left_; }
   const ExprPtr& right() const { return right_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<ArithmeticExpr>(op_, left_->Clone(),
@@ -192,7 +245,7 @@ class LogicalExpr : public Expr {
   LogicalOp op() const { return op_; }
   const std::vector<ExprPtr>& children() const { return children_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override;
   std::vector<ExprPtr> Children() const override { return children_; }
@@ -210,7 +263,7 @@ class NotExpr : public Expr {
 
   const ExprPtr& child() const { return child_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<NotExpr>(child_->Clone());
@@ -232,7 +285,7 @@ class IsNullExpr : public Expr {
   const ExprPtr& child() const { return child_; }
   bool negated() const { return negated_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<IsNullExpr>(child_->Clone(), negated_);
@@ -257,7 +310,7 @@ class LikeExpr : public Expr {
   const std::string& pattern() const { return pattern_; }
   bool negated() const { return negated_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<LikeExpr>(child_->Clone(), pattern_, negated_);
@@ -283,7 +336,7 @@ class InListExpr : public Expr {
   const std::vector<Value>& values() const { return values_; }
   bool negated() const { return negated_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<InListExpr>(child_->Clone(), values_, negated_);
@@ -304,7 +357,7 @@ class CastExpr : public Expr {
 
   const ExprPtr& child() const { return child_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<CastExpr>(child_->Clone(), result_type_);
@@ -347,7 +400,7 @@ class FunctionExpr : public Expr {
   ScalarFunc func() const { return func_; }
   const ExprPtr& arg() const { return arg_; }
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override {
     return std::make_shared<FunctionExpr>(func_, arg_->Clone(), result_type_);
@@ -369,7 +422,7 @@ class CaseExpr : public Expr {
         results_(std::move(results)),
         else_result_(std::move(else_result)) {}
 
-  Status Evaluate(const Chunk& chunk, ColumnVector* out) const override;
+  Status EvalBatch(const EvalContext& ctx, ColumnVector* out) const override;
   std::string ToString() const override;
   ExprPtr Clone() const override;
   std::vector<ExprPtr> Children() const override;

@@ -126,6 +126,44 @@ bool RefsWithin(const ExprPtr& e, size_t lo, size_t hi) {
   return true;
 }
 
+namespace {
+
+/// True if `e` is a BOOLEAN literal equal to `value` (NULL never matches).
+bool IsBoolLiteral(const ExprPtr& e, bool value) {
+  if (e->kind() != ExprKind::kLiteral) return false;
+  const Value& v = static_cast<const LiteralExpr*>(e.get())->value();
+  return !v.is_null() && v.type() == TypeId::kBool && v.bool_value() == value;
+}
+
+/// Kleene-correct simplification of AND/OR children against TRUE/FALSE
+/// literals left behind by per-branch constant folding:
+///   AND: a FALSE child dominates (even over NULL); TRUE children drop.
+///   OR:  a TRUE child dominates; FALSE children drop.
+/// Only applies when every child is statically BOOLEAN (or an untyped
+/// NULL literal) so ill-typed trees keep their runtime type errors.
+ExprPtr SimplifyLogical(const ExprPtr& e) {
+  const auto* n = static_cast<const LogicalExpr*>(e.get());
+  const bool is_and = n->op() == LogicalOp::kAnd;
+  for (const ExprPtr& c : n->children()) {
+    bool untyped_null = c->kind() == ExprKind::kLiteral &&
+                        static_cast<const LiteralExpr*>(c.get())
+                            ->value().is_null();
+    if (c->result_type() != TypeId::kBool && !untyped_null) return e;
+  }
+  std::vector<ExprPtr> kept;
+  for (const ExprPtr& c : n->children()) {
+    if (IsBoolLiteral(c, !is_and)) {
+      return MakeLiteral(Value::Bool(!is_and));  // dominant literal
+    }
+    if (!IsBoolLiteral(c, is_and)) kept.push_back(c);  // drop identities
+  }
+  if (kept.size() == n->children().size()) return e;
+  if (kept.empty()) return MakeLiteral(Value::Bool(is_and));
+  return std::make_shared<LogicalExpr>(n->op(), std::move(kept));
+}
+
+}  // namespace
+
 ExprPtr FoldConstants(const ExprPtr& e) {
   if (e->kind() == ExprKind::kLiteral) return e;
   std::function<ExprPtr(const ExprPtr&)> recurse =
@@ -134,6 +172,9 @@ ExprPtr FoldConstants(const ExprPtr& e) {
   if (rebuilt->kind() != ExprKind::kColumnRef && rebuilt->IsConstant()) {
     auto v = rebuilt->EvaluateScalar();
     if (v.ok()) return MakeLiteral(std::move(*v));
+  }
+  if (rebuilt->kind() == ExprKind::kLogical) {
+    return SimplifyLogical(rebuilt);
   }
   return rebuilt;
 }

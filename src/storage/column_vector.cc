@@ -4,19 +4,70 @@
 
 namespace agora {
 
-void ColumnVector::Reserve(size_t n) {
-  validity_.reserve(n);
+const std::vector<std::string>& ColumnVector::EmptyStrings() {
+  static const std::vector<std::string> kEmpty;
+  return kEmpty;
+}
+
+ColumnVector::Rep* ColumnVector::EnsureUnique() {
+  if (!rep_) {
+    rep_ = std::make_shared<Rep>();
+  } else if (rep_.use_count() > 1) {
+    rep_ = std::make_shared<Rep>(*rep_);
+  }
+  if (constant_) Flatten();
+  return rep_.get();
+}
+
+ColumnVector ColumnVector::MakeConstant(TypeId type, const Value& v,
+                                        size_t n) {
+  ColumnVector out(type);
+  out.AppendValue(v);
+  out.constant_ = true;
+  out.logical_size_ = n;
+  return out;
+}
+
+void ColumnVector::Flatten() {
+  if (!constant_) return;
+  size_t n = logical_size_;
+  auto flat = std::make_shared<Rep>();
+  const Rep& one = *rep_;
+  flat->validity.assign(n, one.validity[0]);
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      ints_.reserve(n);
+      flat->ints.assign(n, one.ints[0]);
       break;
     case TypeId::kDouble:
-      doubles_.reserve(n);
+      flat->doubles.assign(n, one.doubles[0]);
       break;
     case TypeId::kString:
-      strings_.reserve(n);
+      flat->strings.assign(n, one.strings[0]);
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+  rep_ = std::move(flat);
+  constant_ = false;
+  logical_size_ = 0;
+}
+
+void ColumnVector::Reserve(size_t n) {
+  Rep* rep = EnsureUnique();
+  rep->validity.reserve(n);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      rep->ints.reserve(n);
+      break;
+    case TypeId::kDouble:
+      rep->doubles.reserve(n);
+      break;
+    case TypeId::kString:
+      rep->strings.reserve(n);
       break;
     case TypeId::kInvalid:
       break;
@@ -24,25 +75,53 @@ void ColumnVector::Reserve(size_t n) {
 }
 
 void ColumnVector::Clear() {
-  validity_.clear();
-  ints_.clear();
-  doubles_.clear();
-  strings_.clear();
+  rep_.reset();
+  constant_ = false;
+  logical_size_ = 0;
 }
 
-void ColumnVector::AppendNull() {
-  validity_.push_back(0);
+void ColumnVector::ResizeForOverwrite(size_t n) {
+  // A shared rep is dropped rather than cloned: the contents are about to
+  // be overwritten, so copying them would be pure waste.
+  if (!rep_ || rep_.use_count() > 1) rep_ = std::make_shared<Rep>();
+  constant_ = false;
+  logical_size_ = 0;
+  Rep* rep = rep_.get();
+  rep->validity.resize(n);
+  rep->ints.clear();
+  rep->doubles.clear();
+  rep->strings.clear();
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      ints_.push_back(0);
+      rep->ints.resize(n);
       break;
     case TypeId::kDouble:
-      doubles_.push_back(0.0);
+      rep->doubles.resize(n);
       break;
     case TypeId::kString:
-      strings_.emplace_back();
+      rep->strings.resize(n);
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
+}
+
+void ColumnVector::AppendNull() {
+  Rep* rep = EnsureUnique();
+  rep->validity.push_back(0);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      rep->ints.push_back(0);
+      break;
+    case TypeId::kDouble:
+      rep->doubles.push_back(0.0);
+      break;
+    case TypeId::kString:
+      rep->strings.emplace_back();
       break;
     case TypeId::kInvalid:
       break;
@@ -52,20 +131,23 @@ void ColumnVector::AppendNull() {
 void ColumnVector::AppendInt64(int64_t v) {
   AGORA_DCHECK(type_ == TypeId::kInt64 || type_ == TypeId::kDate ||
                type_ == TypeId::kBool);
-  validity_.push_back(1);
-  ints_.push_back(v);
+  Rep* rep = EnsureUnique();
+  rep->validity.push_back(1);
+  rep->ints.push_back(v);
 }
 
 void ColumnVector::AppendDouble(double v) {
   AGORA_DCHECK(type_ == TypeId::kDouble);
-  validity_.push_back(1);
-  doubles_.push_back(v);
+  Rep* rep = EnsureUnique();
+  rep->validity.push_back(1);
+  rep->doubles.push_back(v);
 }
 
 void ColumnVector::AppendString(std::string v) {
   AGORA_DCHECK(type_ == TypeId::kString);
-  validity_.push_back(1);
-  strings_.push_back(std::move(v));
+  Rep* rep = EnsureUnique();
+  rep->validity.push_back(1);
+  rep->strings.push_back(std::move(v));
 }
 
 void ColumnVector::AppendValue(const Value& v) {
@@ -99,17 +181,18 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
     AppendNull();
     return;
   }
+  size_t p = other.PhysRow(row);
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      AppendInt64(other.ints_[row]);
+      AppendInt64(other.rep_->ints[p]);
       break;
     case TypeId::kDouble:
-      AppendDouble(other.doubles_[row]);
+      AppendDouble(other.rep_->doubles[p]);
       break;
     case TypeId::kString:
-      AppendString(other.strings_[row]);
+      AppendString(other.rep_->strings[p]);
       break;
     case TypeId::kInvalid:
       break;
@@ -118,17 +201,18 @@ void ColumnVector::AppendFrom(const ColumnVector& other, size_t row) {
 
 Value ColumnVector::GetValue(size_t i) const {
   if (IsNull(i)) return Value::Null(type_);
+  size_t p = PhysRow(i);
   switch (type_) {
     case TypeId::kBool:
-      return Value::Bool(ints_[i] != 0);
+      return Value::Bool(rep_->ints[p] != 0);
     case TypeId::kInt64:
-      return Value::Int64(ints_[i]);
+      return Value::Int64(rep_->ints[p]);
     case TypeId::kDate:
-      return Value::Date(ints_[i]);
+      return Value::Date(rep_->ints[p]);
     case TypeId::kDouble:
-      return Value::Double(doubles_[i]);
+      return Value::Double(rep_->doubles[p]);
     case TypeId::kString:
-      return Value::String(strings_[i]);
+      return Value::String(rep_->strings[p]);
     case TypeId::kInvalid:
       return Value::Null();
   }
@@ -137,23 +221,24 @@ Value ColumnVector::GetValue(size_t i) const {
 
 void ColumnVector::SetValue(size_t i, const Value& v) {
   AGORA_DCHECK(i < size());
+  Rep* rep = EnsureUnique();
   if (v.is_null()) {
-    validity_[i] = 0;
+    rep->validity[i] = 0;
     return;
   }
-  validity_[i] = 1;
+  rep->validity[i] = 1;
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      ints_[i] = v.int64_value();
+      rep->ints[i] = v.int64_value();
       break;
     case TypeId::kDouble:
-      doubles_[i] = v.type() == TypeId::kDouble ? v.double_value()
-                                                : v.AsDouble();
+      rep->doubles[i] = v.type() == TypeId::kDouble ? v.double_value()
+                                                    : v.AsDouble();
       break;
     case TypeId::kString:
-      strings_[i] = v.string_value();
+      rep->strings[i] = v.string_value();
       break;
     case TypeId::kInvalid:
       break;
@@ -161,7 +246,8 @@ void ColumnVector::SetValue(size_t i, const Value& v) {
 }
 
 bool ColumnVector::AllValid() const {
-  for (uint8_t v : validity_) {
+  if (!rep_) return true;
+  for (uint8_t v : rep_->validity) {
     if (v == 0) return false;
   }
   return true;
@@ -169,38 +255,43 @@ bool ColumnVector::AllValid() const {
 
 uint64_t ColumnVector::HashRow(size_t i) const {
   if (IsNull(i)) return 0x6e756c6cULL;
+  size_t p = PhysRow(i);
   switch (type_) {
     case TypeId::kString:
-      return HashString(strings_[i]);
+      return HashString(rep_->strings[p]);
     case TypeId::kDouble: {
       uint64_t bits;
-      std::memcpy(&bits, &doubles_[i], sizeof(bits));
+      std::memcpy(&bits, &rep_->doubles[p], sizeof(bits));
       return HashMix64(bits);
     }
     default:
-      return HashMix64(static_cast<uint64_t>(ints_[i]));
+      return HashMix64(static_cast<uint64_t>(rep_->ints[p]));
   }
 }
 
 void ColumnVector::HashBatch(uint64_t* hashes, size_t n, bool combine,
                              bool normalize_zero) const {
+  AGORA_DCHECK(!constant_);
   AGORA_DCHECK(n <= size());
+  if (!rep_) return;  // empty vector: size() == 0, so n == 0
+  const Rep& rep = *rep_;
   auto emit = [&](size_t i, uint64_t h) {
     hashes[i] = combine ? HashCombine(hashes[i], h) : h;
   };
   switch (type_) {
     case TypeId::kString:
       for (size_t i = 0; i < n; ++i) {
-        emit(i, validity_[i] != 0 ? HashString(strings_[i]) : kNullHash);
+        emit(i,
+             rep.validity[i] != 0 ? HashString(rep.strings[i]) : kNullHash);
       }
       break;
     case TypeId::kDouble:
       for (size_t i = 0; i < n; ++i) {
-        if (validity_[i] == 0) {
+        if (rep.validity[i] == 0) {
           emit(i, kNullHash);
           continue;
         }
-        double d = doubles_[i];
+        double d = rep.doubles[i];
         if (normalize_zero && d == 0.0) d = 0.0;
         uint64_t bits;
         std::memcpy(&bits, &d, sizeof(bits));
@@ -209,8 +300,8 @@ void ColumnVector::HashBatch(uint64_t* hashes, size_t n, bool combine,
       break;
     default:
       for (size_t i = 0; i < n; ++i) {
-        emit(i, validity_[i] != 0
-                    ? HashMix64(static_cast<uint64_t>(ints_[i]))
+        emit(i, rep.validity[i] != 0
+                    ? HashMix64(static_cast<uint64_t>(rep.ints[i]))
                     : kNullHash);
       }
       break;
@@ -223,26 +314,30 @@ void ColumnVector::BatchEqualRows(const uint32_t* rows,
                                   bool bitwise_doubles,
                                   uint8_t* equal) const {
   AGORA_DCHECK(type_ == other.type_);
+  AGORA_DCHECK(!constant_ && !other.constant_);
+  if (!rep_ || !other.rep_) return;  // an empty side means n == 0
+  const Rep& lhs = *rep_;
+  const Rep& rhs = *other.rep_;
   switch (type_) {
     case TypeId::kString:
       for (size_t i = 0; i < n; ++i) {
         if (equal[i] == 0) continue;
         size_t a = rows[i], b = other_rows[i];
-        bool an = validity_[a] == 0, bn = other.validity_[b] == 0;
+        bool an = lhs.validity[a] == 0, bn = rhs.validity[b] == 0;
         equal[i] = (an || bn) ? (an && bn)
-                              : (strings_[a] == other.strings_[b]);
+                              : (lhs.strings[a] == rhs.strings[b]);
       }
       break;
     case TypeId::kDouble:
       for (size_t i = 0; i < n; ++i) {
         if (equal[i] == 0) continue;
         size_t a = rows[i], b = other_rows[i];
-        bool an = validity_[a] == 0, bn = other.validity_[b] == 0;
+        bool an = lhs.validity[a] == 0, bn = rhs.validity[b] == 0;
         if (an || bn) {
           equal[i] = an && bn;
           continue;
         }
-        double x = doubles_[a], y = other.doubles_[b];
+        double x = lhs.doubles[a], y = rhs.doubles[b];
         if (bitwise_doubles) {
           if (x == 0.0) x = 0.0;
           if (y == 0.0) y = 0.0;
@@ -259,8 +354,8 @@ void ColumnVector::BatchEqualRows(const uint32_t* rows,
       for (size_t i = 0; i < n; ++i) {
         if (equal[i] == 0) continue;
         size_t a = rows[i], b = other_rows[i];
-        bool an = validity_[a] == 0, bn = other.validity_[b] == 0;
-        equal[i] = (an || bn) ? (an && bn) : (ints_[a] == other.ints_[b]);
+        bool an = lhs.validity[a] == 0, bn = rhs.validity[b] == 0;
+        equal[i] = (an || bn) ? (an && bn) : (lhs.ints[a] == rhs.ints[b]);
       }
       break;
   }
@@ -269,39 +364,46 @@ void ColumnVector::BatchEqualRows(const uint32_t* rows,
 void ColumnVector::AppendGatherPadded(const ColumnVector& src,
                                       const uint32_t* sel, size_t n) {
   AGORA_DCHECK(type_ == src.type_);
+  AGORA_DCHECK(!src.constant_);
+  if (n == 0) return;
   constexpr uint32_t kPad = UINT32_MAX;
-  validity_.reserve(validity_.size() + n);
+  Rep* out = EnsureUnique();
+  // An empty src is legal when every sel entry is kPad (NULL padding from
+  // an empty build side); fall back to an empty Rep so no entry can index it.
+  static const Rep kEmptyRep;
+  const Rep& in = src.rep_ ? *src.rep_ : kEmptyRep;
+  out->validity.reserve(out->validity.size() + n);
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      ints_.reserve(ints_.size() + n);
+      out->ints.reserve(out->ints.size() + n);
       for (size_t i = 0; i < n; ++i) {
         uint32_t s = sel[i];
-        bool valid = s != kPad && src.validity_[s] != 0;
-        validity_.push_back(valid ? 1 : 0);
-        ints_.push_back(valid ? src.ints_[s] : 0);
+        bool valid = s != kPad && in.validity[s] != 0;
+        out->validity.push_back(valid ? 1 : 0);
+        out->ints.push_back(valid ? in.ints[s] : 0);
       }
       break;
     case TypeId::kDouble:
-      doubles_.reserve(doubles_.size() + n);
+      out->doubles.reserve(out->doubles.size() + n);
       for (size_t i = 0; i < n; ++i) {
         uint32_t s = sel[i];
-        bool valid = s != kPad && src.validity_[s] != 0;
-        validity_.push_back(valid ? 1 : 0);
-        doubles_.push_back(valid ? src.doubles_[s] : 0.0);
+        bool valid = s != kPad && in.validity[s] != 0;
+        out->validity.push_back(valid ? 1 : 0);
+        out->doubles.push_back(valid ? in.doubles[s] : 0.0);
       }
       break;
     case TypeId::kString:
-      strings_.reserve(strings_.size() + n);
+      out->strings.reserve(out->strings.size() + n);
       for (size_t i = 0; i < n; ++i) {
         uint32_t s = sel[i];
-        bool valid = s != kPad && src.validity_[s] != 0;
-        validity_.push_back(valid ? 1 : 0);
+        bool valid = s != kPad && in.validity[s] != 0;
+        out->validity.push_back(valid ? 1 : 0);
         if (valid) {
-          strings_.push_back(src.strings_[s]);
+          out->strings.push_back(in.strings[s]);
         } else {
-          strings_.emplace_back();
+          out->strings.emplace_back();
         }
       }
       break;
@@ -318,59 +420,104 @@ int ColumnVector::CompareRows(size_t i, const ColumnVector& other,
     if (an && bn) return 0;
     return an ? -1 : 1;
   }
+  size_t p = PhysRow(i), q = other.PhysRow(j);
   switch (type_) {
     case TypeId::kString: {
-      int c = strings_[i].compare(other.strings_[j]);
+      int c = rep_->strings[p].compare(other.rep_->strings[q]);
       return c < 0 ? -1 : (c > 0 ? 1 : 0);
     }
     case TypeId::kDouble: {
-      double a = doubles_[i], b = other.doubles_[j];
+      double a = rep_->doubles[p], b = other.rep_->doubles[q];
       return a < b ? -1 : (a > b ? 1 : 0);
     }
     default: {
-      int64_t a = ints_[i], b = other.ints_[j];
+      int64_t a = rep_->ints[p], b = other.rep_->ints[q];
       return a < b ? -1 : (a > b ? 1 : 0);
     }
   }
 }
 
 ColumnVector ColumnVector::Gather(const std::vector<uint32_t>& sel) const {
+  if (constant_) {
+    // Gathering from a constant yields the same constant, resized.
+    ColumnVector out = *this;
+    out.logical_size_ = sel.size();
+    if (sel.empty()) out.Clear();
+    return out;
+  }
   ColumnVector out(type_);
-  out.Reserve(sel.size());
-  for (uint32_t idx : sel) out.AppendFrom(*this, idx);
+  out.AppendGatherPadded(*this, sel.data(), sel.size());
   return out;
 }
 
 ColumnVector ColumnVector::Slice(size_t begin, size_t count) const {
-  ColumnVector out(type_);
-  out.Reserve(count);
   size_t end = begin + count;
   AGORA_DCHECK(end <= size());
-  for (size_t i = begin; i < end; ++i) out.AppendFrom(*this, i);
+  if (begin == 0 && count == size()) return *this;  // zero-copy share
+  if (constant_) {
+    ColumnVector out = *this;
+    out.logical_size_ = count;
+    if (count == 0) out.Clear();
+    return out;
+  }
+  ColumnVector out(type_);
+  if (count == 0) return out;
+  Rep* dst = out.EnsureUnique();
+  const Rep& src = *rep_;
+  dst->validity.assign(src.validity.begin() + begin,
+                       src.validity.begin() + end);
+  switch (type_) {
+    case TypeId::kBool:
+    case TypeId::kInt64:
+    case TypeId::kDate:
+      dst->ints.assign(src.ints.begin() + begin, src.ints.begin() + end);
+      break;
+    case TypeId::kDouble:
+      dst->doubles.assign(src.doubles.begin() + begin,
+                          src.doubles.begin() + end);
+      break;
+    case TypeId::kString:
+      dst->strings.assign(src.strings.begin() + begin,
+                          src.strings.begin() + end);
+      break;
+    case TypeId::kInvalid:
+      break;
+  }
   return out;
 }
 
 size_t ColumnVector::MemoryBytes() const {
-  size_t bytes = validity_.capacity() + ints_.capacity() * sizeof(int64_t) +
-                 doubles_.capacity() * sizeof(double);
-  for (const auto& s : strings_) bytes += sizeof(std::string) + s.capacity();
+  if (!rep_) return 0;
+  const Rep& rep = *rep_;
+  size_t bytes = rep.validity.capacity() +
+                 rep.ints.capacity() * sizeof(int64_t) +
+                 rep.doubles.capacity() * sizeof(double);
+  for (const auto& s : rep.strings) bytes += sizeof(std::string) + s.capacity();
   return bytes;
 }
 
 Status ColumnVector::CheckConsistency() const {
-  size_t rows = validity_.size();
+  size_t rows = rep_ ? rep_->validity.size() : 0;
+  if (constant_) {
+    if (rows != 1) {
+      return Status::Internal(
+          "constant column vector must hold exactly one physical row, has " +
+          std::to_string(rows));
+    }
+    rows = 1;  // payload check below covers the single physical row
+  }
   size_t payload = 0;
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
     case TypeId::kDate:
-      payload = ints_.size();
+      payload = rep_ ? rep_->ints.size() : 0;
       break;
     case TypeId::kDouble:
-      payload = doubles_.size();
+      payload = rep_ ? rep_->doubles.size() : 0;
       break;
     case TypeId::kString:
-      payload = strings_.size();
+      payload = rep_ ? rep_->strings.size() : 0;
       break;
     default:
       if (rows != 0) {

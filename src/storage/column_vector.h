@@ -2,6 +2,7 @@
 #define AGORA_STORAGE_COLUMN_VECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,17 +19,49 @@ namespace agora {
 /// a double array; kString uses a std::string array. A byte-per-row
 /// validity vector tracks NULLs (1 = valid). This trades some space for
 /// simple, branch-light kernels.
+///
+/// Two representation axes keep the expression engine zero-copy:
+///
+/// *Shared buffers (copy-on-write).* The payload lives in a refcounted
+/// `Rep`; copying a ColumnVector shares it (O(1)), and every mutating
+/// entry point calls EnsureUnique() to clone first when the buffer is
+/// shared. A column reference in an expression is therefore a pointer
+/// bump, and Table::GetChunk can hand out whole-column views safely:
+/// a later Table mutation clones its own copy, never the reader's.
+///
+/// *Constant form.* A vector may represent `n` logical repetitions of a
+/// single physical row (literals, folded expressions). Element accessors
+/// are constant-transparent (they read physical row 0); raw-pointer and
+/// batch-kernel entry points require flat vectors — callers flatten at
+/// the boundary (Expr::Evaluate does this) or DCHECK-fail.
 class ColumnVector {
  public:
   ColumnVector() : type_(TypeId::kInvalid) {}
   explicit ColumnVector(TypeId type) : type_(type) {}
 
   TypeId type() const { return type_; }
-  size_t size() const { return validity_.size(); }
-  bool empty() const { return validity_.empty(); }
+  size_t size() const {
+    if (constant_) return logical_size_;
+    return rep_ ? rep_->validity.size() : 0;
+  }
+  bool empty() const { return size() == 0; }
+
+  /// True for the constant form: one physical row, `size()` logical rows.
+  bool is_constant() const { return constant_; }
+
+  /// Builds an `n`-row constant vector holding `v` (one physical row).
+  static ColumnVector MakeConstant(TypeId type, const Value& v, size_t n);
+
+  /// Expands the constant form into `size()` physical rows. No-op when
+  /// already flat. Required before raw-pointer access or batch kernels.
+  void Flatten();
 
   void Reserve(size_t n);
   void Clear();
+
+  /// Makes this a flat, uniquely-owned vector of exactly `n` rows whose
+  /// payload and validity are about to be overwritten (kernel outputs).
+  void ResizeForOverwrite(size_t n);
 
   // -- Appends ---------------------------------------------------------
   void AppendNull();
@@ -42,16 +75,21 @@ class ColumnVector {
   void AppendFrom(const ColumnVector& other, size_t row);
 
   // -- Element access ---------------------------------------------------
-  bool IsNull(size_t i) const { return validity_[i] == 0; }
-  bool IsValid(size_t i) const { return validity_[i] != 0; }
-  int64_t GetInt64(size_t i) const { return ints_[i]; }
-  double GetDouble(size_t i) const { return doubles_[i]; }
-  const std::string& GetString(size_t i) const { return strings_[i]; }
-  bool GetBool(size_t i) const { return ints_[i] != 0; }
+  // Constant-transparent: logical row `i` maps to physical row 0 in the
+  // constant form.
+  bool IsNull(size_t i) const { return rep_->validity[PhysRow(i)] == 0; }
+  bool IsValid(size_t i) const { return rep_->validity[PhysRow(i)] != 0; }
+  int64_t GetInt64(size_t i) const { return rep_->ints[PhysRow(i)]; }
+  double GetDouble(size_t i) const { return rep_->doubles[PhysRow(i)]; }
+  const std::string& GetString(size_t i) const {
+    return rep_->strings[PhysRow(i)];
+  }
+  bool GetBool(size_t i) const { return rep_->ints[PhysRow(i)] != 0; }
   /// Numeric view of row `i` regardless of int/double/date physical type.
   double GetNumeric(size_t i) const {
-    return type_ == TypeId::kDouble ? doubles_[i]
-                                    : static_cast<double>(ints_[i]);
+    size_t p = PhysRow(i);
+    return type_ == TypeId::kDouble ? rep_->doubles[p]
+                                    : static_cast<double>(rep_->ints[p]);
   }
   /// Boxes row `i` as a Value (allocates for strings).
   Value GetValue(size_t i) const;
@@ -59,13 +97,28 @@ class ColumnVector {
   /// Mutates row `i` in place (same type; row must exist).
   void SetValue(size_t i, const Value& v);
 
-  // -- Raw data (hot loops) ----------------------------------------------
-  const int64_t* int64_data() const { return ints_.data(); }
-  const double* double_data() const { return doubles_.data(); }
-  const std::vector<std::string>& string_data() const { return strings_; }
-  const uint8_t* validity_data() const { return validity_.data(); }
-  int64_t* mutable_int64_data() { return ints_.data(); }
-  double* mutable_double_data() { return doubles_.data(); }
+  // -- Raw data (hot loops; flat vectors only) ---------------------------
+  const int64_t* int64_data() const {
+    AGORA_DCHECK(!constant_);
+    return rep_ ? rep_->ints.data() : nullptr;
+  }
+  const double* double_data() const {
+    AGORA_DCHECK(!constant_);
+    return rep_ ? rep_->doubles.data() : nullptr;
+  }
+  const std::vector<std::string>& string_data() const {
+    AGORA_DCHECK(!constant_);
+    return rep_ ? rep_->strings : EmptyStrings();
+  }
+  const uint8_t* validity_data() const {
+    AGORA_DCHECK(!constant_);
+    return rep_ ? rep_->validity.data() : nullptr;
+  }
+  int64_t* mutable_int64_data() { return EnsureUnique()->ints.data(); }
+  double* mutable_double_data() { return EnsureUnique()->doubles.data(); }
+  uint8_t* mutable_validity_data() {
+    return EnsureUnique()->validity.data();
+  }
 
   /// True if no row is NULL (fast path for kernels).
   bool AllValid() const;
@@ -107,10 +160,13 @@ class ColumnVector {
   /// Gathers `sel[0..n)` rows into a new vector (selection apply).
   ColumnVector Gather(const std::vector<uint32_t>& sel) const;
 
-  /// Copies rows [begin, begin+count) into a new vector.
+  /// Copies rows [begin, begin+count) into a new vector. A whole-vector
+  /// slice of a flat vector shares the buffer (zero copy).
   ColumnVector Slice(size_t begin, size_t count) const;
 
-  /// Approximate heap bytes used (for resource accounting).
+  /// Approximate heap bytes used (for resource accounting). Shared
+  /// buffers are counted once per referencing vector, matching the
+  /// deep-copy accounting this replaced.
   size_t MemoryBytes() const;
 
   /// Debug verification (AGORA_VERIFY): checks that the payload array for
@@ -120,11 +176,28 @@ class ColumnVector {
   Status CheckConsistency() const;
 
  private:
+  /// Refcounted payload. A null rep_ means an empty vector; every
+  /// accessor that indexes rows may assume rep_ is set because row
+  /// indexes only exist once something was appended.
+  struct Rep {
+    std::vector<uint8_t> validity;
+    std::vector<int64_t> ints;
+    std::vector<double> doubles;
+    std::vector<std::string> strings;
+  };
+
+  size_t PhysRow(size_t i) const { return constant_ ? 0 : i; }
+
+  /// Clones the rep when shared, creates it when absent, and flattens the
+  /// constant form — after this call mutation is safe.
+  Rep* EnsureUnique();
+
+  static const std::vector<std::string>& EmptyStrings();
+
   TypeId type_;
-  std::vector<uint8_t> validity_;
-  std::vector<int64_t> ints_;
-  std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  std::shared_ptr<Rep> rep_;
+  bool constant_ = false;
+  size_t logical_size_ = 0;  // meaningful only when constant_
 };
 
 }  // namespace agora

@@ -97,6 +97,12 @@ class Table {
   Chunk GetChunk(size_t start, size_t count,
                  const std::vector<size_t>& projection = {}) const;
 
+  /// Zero-copy view of the whole table as one Chunk: columns share the
+  /// table's buffers (copy-on-write protects readers from later table
+  /// mutations). Used by the fused scan-filter path, which refines a
+  /// selection over the view and gathers surviving rows once per block.
+  Chunk GetChunkView(const std::vector<size_t>& projection = {}) const;
+
   /// Boxes one row (slow path).
   std::vector<Value> GetRow(size_t row) const;
 

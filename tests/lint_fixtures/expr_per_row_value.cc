@@ -1,0 +1,18 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// a per-row Value-boxing loop on the expression eval path undoes the
+// vectorized kernels — evaluation must go through the typed batch
+// kernels (ResizeForOverwrite + mutable_*_data).
+// lint-as: src/expr/bad_eval.cc
+// expect-violation: expr-per-row-value
+
+#include "storage/column_vector.h"
+
+namespace agora {
+
+void BadRowAtATimeEval(const ColumnVector& in, ColumnVector* out) {
+  for (size_t i = 0; i < in.size(); ++i) {
+    out->AppendValue(in.GetValue(i));
+  }
+}
+
+}  // namespace agora
