@@ -28,6 +28,13 @@ cannot express (docs/ANALYSIS.md has the full rationale):
   raw-new-delete          Operators and optimizer passes own memory via
                           unique_ptr/shared_ptr/Arena only; raw new/delete
                           is banned in src/exec and src/optimizer.
+  file-io-outside-storage Direct file IO (fopen, std::ofstream/ifstream/
+                          fstream, ::open, .open) is confined to
+                          src/storage/ and src/txn/: everything else goes
+                          through the storage-layer helpers (ReadCsvFile/
+                          WriteCsvFile, SpillManager), which own error
+                          handling, temp-file cleanup, and the spill IO
+                          accounting.
   metrics-doc-drift       Every counter name registered in
                           src/engine/database.cc must be documented in
                           docs/METRICS.md (the enforced metric contract).
@@ -63,6 +70,7 @@ RULES = (
     "exec-per-row-string-key",
     "expr-per-row-value",
     "raw-new-delete",
+    "file-io-outside-storage",
     "metrics-doc-drift",
     "compile-commands",
 )
@@ -182,6 +190,9 @@ def line_findings(rel_path, raw_text):
     in_exec = rel_path.startswith("src/exec/")
     in_opt = rel_path.startswith("src/optimizer/")
     in_expr = rel_path.startswith("src/expr/")
+    file_io_applies = (rel_path.startswith("src/")
+                       and not rel_path.startswith("src/storage/")
+                       and not rel_path.startswith("src/txn/"))
     open_next_applies = (rel_path.startswith("src/")
                          and rel_path not in OPEN_NEXT_EXEMPT)
 
@@ -194,6 +205,8 @@ def line_findings(rel_path, raw_text):
     per_row_value_re = re.compile(r"\.\s*(AppendValue|GetValue)\s*\(")
     new_re = re.compile(r"\bnew\s+[A-Za-z_(:]")
     delete_re = re.compile(r"\bdelete\s*(\[\s*\]\s*)?[A-Za-z_(*]")
+    file_io_re = re.compile(
+        r"\bfopen\s*\(|std\s*::\s*[oi]?fstream\b|::open\s*\(|\.\s*open\s*\(")
 
     for lineno, line in enumerate(stripped_lines, 1):
         if open_next_applies and call_re.search(line):
@@ -231,6 +244,12 @@ def line_findings(rel_path, raw_text):
                 add(lineno, "raw-new-delete",
                     "raw `delete` in operator/optimizer code; ownership "
                     "belongs to smart pointers or the Arena")
+        if file_io_applies and file_io_re.search(line):
+            add(lineno, "file-io-outside-storage",
+                "direct file IO outside src/storage//src/txn; go through "
+                "the storage helpers (ReadCsvFile/WriteCsvFile, "
+                "SpillManager) so error handling, cleanup, and spill "
+                "accounting stay in one layer")
     return findings
 
 

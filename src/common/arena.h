@@ -8,12 +8,17 @@
 #include <string_view>
 #include <vector>
 
+#include "common/memory_tracker.h"
+
 namespace agora {
 
 /// Bump-pointer allocator for short-lived, same-lifetime allocations on
 /// query hot paths (string payloads in chunks, hash-table rows). All memory
 /// is released at once on destruction or `Reset()`; individual allocations
 /// are never freed.
+///
+/// Block reservations are charged to the thread's current MemoryTracker
+/// captured at construction (no-op when constructed outside a query).
 class Arena {
  public:
   static constexpr size_t kDefaultBlockSize = 64 * 1024;
@@ -69,6 +74,7 @@ class Arena {
   /// Drops all blocks; invalidates every pointer previously returned.
   void Reset() {
     blocks_.clear();
+    charge_.Update(0);
     ptr_ = nullptr;
     remaining_ = 0;
     allocated_bytes_ = 0;
@@ -92,11 +98,13 @@ class Arena {
   void NewBlock(size_t min_size) {
     size_t size = min_size > block_size_ ? min_size : block_size_;
     blocks_.push_back(Block{std::make_unique<char[]>(size), size});
+    charge_.Update(charge_.amount() + size);
     ptr_ = blocks_.back().data.get();
     remaining_ = size;
   }
 
   size_t block_size_;
+  MemoryCharge charge_;
   std::vector<Block> blocks_;
   char* ptr_ = nullptr;
   size_t remaining_ = 0;

@@ -1,0 +1,27 @@
+#include "common/memory_tracker.h"
+
+namespace agora {
+namespace {
+
+std::shared_ptr<MemoryTracker>& ThreadTracker() {
+  thread_local std::shared_ptr<MemoryTracker> tracker;
+  return tracker;
+}
+
+}  // namespace
+
+const std::shared_ptr<MemoryTracker>& CurrentMemoryTracker() {
+  return ThreadTracker();
+}
+
+ScopedMemoryTracker::ScopedMemoryTracker(
+    std::shared_ptr<MemoryTracker> tracker)
+    : previous_(std::move(ThreadTracker())) {
+  ThreadTracker() = std::move(tracker);
+}
+
+ScopedMemoryTracker::~ScopedMemoryTracker() {
+  ThreadTracker() = std::move(previous_);
+}
+
+}  // namespace agora

@@ -1,0 +1,187 @@
+#ifndef AGORA_COMMON_MEMORY_TRACKER_H_
+#define AGORA_COMMON_MEMORY_TRACKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace agora {
+
+/// Hierarchical memory accounting: one engine-wide root tracker owned by
+/// the Database, one child per running query. Charges propagate up the
+/// parent chain, so the root always sees the whole engine's reservation
+/// and a per-query child sees just that query.
+///
+/// The budget is *soft*: owners charge unconditionally (a charge never
+/// fails mid-allocation) and operators call `CheckBudget()` /
+/// `over_budget()` at chunk boundaries, where they can react — spill a
+/// partition, or fail the query with a ResourceExhausted Status. This
+/// keeps the hot path branch-light and guarantees the process never
+/// aborts on budget pressure.
+///
+/// Thread safety: all counters are atomics; trackers may be charged from
+/// concurrent morsel workers.
+class MemoryTracker {
+ public:
+  explicit MemoryTracker(std::string label,
+                         std::shared_ptr<MemoryTracker> parent = nullptr)
+      : label_(std::move(label)), parent_(std::move(parent)) {}
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  /// Charges `bytes` (may be negative) to this tracker and every
+  /// ancestor, updating each peak.
+  void Consume(int64_t bytes) {
+    for (MemoryTracker* t = this; t != nullptr; t = t->parent_.get()) {
+      int64_t now =
+          t->reserved_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+      if (bytes > 0) {
+        int64_t peak = t->peak_.load(std::memory_order_relaxed);
+        while (now > peak && !t->peak_.compare_exchange_weak(
+                                 peak, now, std::memory_order_relaxed)) {
+        }
+      }
+    }
+  }
+  void Release(int64_t bytes) { Consume(-bytes); }
+
+  /// Bytes currently reserved under this tracker (self + descendants).
+  int64_t reserved() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
+  /// High-water mark of `reserved()` since construction.
+  int64_t peak() const { return peak_.load(std::memory_order_relaxed); }
+
+  /// Sets the budget in bytes; 0 means unlimited.
+  void set_budget(int64_t bytes) {
+    budget_.store(bytes, std::memory_order_relaxed);
+  }
+  int64_t budget() const { return budget_.load(std::memory_order_relaxed); }
+
+  /// True if this tracker or any ancestor enforces a budget. Operators
+  /// use this to pick the spill-capable execution mode up front.
+  bool budget_limited() const {
+    for (const MemoryTracker* t = this; t != nullptr;
+         t = t->parent_.get()) {
+      if (t->budget() > 0) return true;
+    }
+    return false;
+  }
+
+  /// True if this tracker or any ancestor is over its budget.
+  bool over_budget() const { return FindOverBudget() != nullptr; }
+
+  /// OK while under budget everywhere up the chain; otherwise a
+  /// ResourceExhausted Status naming the exhausted tracker. `who` names
+  /// the operator asking, for actionable error messages.
+  Status CheckBudget(const char* who) const {
+    const MemoryTracker* t = FindOverBudget();
+    if (t == nullptr) return Status::OK();
+    return Status::ResourceExhausted(
+        std::string(who) + ": memory budget exceeded on tracker '" +
+        t->label_ + "' (" + std::to_string(t->reserved()) + " bytes held, " +
+        std::to_string(t->budget()) + " byte budget)");
+  }
+
+  const std::string& label() const { return label_; }
+  const std::shared_ptr<MemoryTracker>& parent() const { return parent_; }
+
+ private:
+  const MemoryTracker* FindOverBudget() const {
+    for (const MemoryTracker* t = this; t != nullptr;
+         t = t->parent_.get()) {
+      int64_t b = t->budget();
+      if (b > 0 && t->reserved() > b) return t;
+    }
+    return nullptr;
+  }
+
+  std::string label_;
+  std::shared_ptr<MemoryTracker> parent_;
+  std::atomic<int64_t> reserved_{0};
+  std::atomic<int64_t> peak_{0};
+  std::atomic<int64_t> budget_{0};  // 0 = unlimited
+};
+
+/// The calling thread's active tracker (null outside query execution).
+/// Allocation owners capture it at construction so memory charged on a
+/// worker thread lands on the query that spawned the work, and so owners
+/// created outside any query (table loads, tests) stay untracked.
+const std::shared_ptr<MemoryTracker>& CurrentMemoryTracker();
+
+/// Installs `tracker` as the calling thread's active tracker for the
+/// scope's lifetime; restores the previous one on exit.
+class ScopedMemoryTracker {
+ public:
+  explicit ScopedMemoryTracker(std::shared_ptr<MemoryTracker> tracker);
+  ~ScopedMemoryTracker();
+
+  ScopedMemoryTracker(const ScopedMemoryTracker&) = delete;
+  ScopedMemoryTracker& operator=(const ScopedMemoryTracker&) = delete;
+
+ private:
+  std::shared_ptr<MemoryTracker> previous_;
+};
+
+/// RAII charge against one tracker: `Update(now)` adjusts the reservation
+/// to `now` bytes, the destructor releases whatever is still charged.
+/// Move-aware (the source drops its charge without releasing), so owners
+/// like GroupKeyTable stay movable. Default-construction captures the
+/// thread's current tracker; a null tracker makes every call a no-op.
+class MemoryCharge {
+ public:
+  MemoryCharge() : tracker_(CurrentMemoryTracker()) {}
+  explicit MemoryCharge(std::shared_ptr<MemoryTracker> tracker)
+      : tracker_(std::move(tracker)) {}
+  ~MemoryCharge() { Reset(); }
+
+  MemoryCharge(MemoryCharge&& other) noexcept
+      : tracker_(std::move(other.tracker_)), amount_(other.amount_) {
+    other.tracker_ = nullptr;
+    other.amount_ = 0;
+  }
+  MemoryCharge& operator=(MemoryCharge&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      tracker_ = std::move(other.tracker_);
+      amount_ = other.amount_;
+      other.tracker_ = nullptr;
+      other.amount_ = 0;
+    }
+    return *this;
+  }
+  MemoryCharge(const MemoryCharge&) = delete;
+  MemoryCharge& operator=(const MemoryCharge&) = delete;
+
+  /// Adjusts the outstanding charge to exactly `now` bytes.
+  void Update(size_t now) {
+    if (tracker_ == nullptr || now == amount_) return;
+    tracker_->Consume(static_cast<int64_t>(now) -
+                      static_cast<int64_t>(amount_));
+    amount_ = now;
+  }
+
+  /// Releases the full outstanding charge.
+  void Reset() {
+    if (tracker_ != nullptr && amount_ != 0) {
+      tracker_->Release(static_cast<int64_t>(amount_));
+    }
+    amount_ = 0;
+  }
+
+  size_t amount() const { return amount_; }
+  MemoryTracker* tracker() const { return tracker_.get(); }
+
+ private:
+  std::shared_ptr<MemoryTracker> tracker_;
+  size_t amount_ = 0;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_COMMON_MEMORY_TRACKER_H_

@@ -28,6 +28,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "TypeError";
     case StatusCode::kIoError:
       return "IoError";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -23,6 +23,7 @@ enum class StatusCode {
   kBindError,     // semantic analysis errors
   kTypeError,     // type mismatches
   kIoError,
+  kResourceExhausted,  // memory/disk budget exceeded
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -70,6 +71,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

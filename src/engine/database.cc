@@ -1,7 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
-#include <fstream>
+#include <cstdlib>
 
 #include "common/timer.h"
 #include "exec/parallel.h"
@@ -61,8 +61,32 @@ std::string QueryResult::ToString(size_t max_rows) const {
   return out;
 }
 
+namespace {
+
+/// Parses a byte-size string: plain bytes with an optional k/m/g suffix
+/// (case-insensitive, powers of 1024). Returns 0 (= unlimited) on empty
+/// or malformed input — a bad knob must never make the engine reject
+/// every query.
+int64_t ParseByteSize(const char* text) {
+  if (text == nullptr || *text == '\0') return 0;
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || value < 0) return 0;
+  int64_t scale = 1;
+  if (*end == 'k' || *end == 'K') scale = int64_t{1} << 10;
+  if (*end == 'm' || *end == 'M') scale = int64_t{1} << 20;
+  if (*end == 'g' || *end == 'G') scale = int64_t{1} << 30;
+  return static_cast<int64_t>(value) * scale;
+}
+
+}  // namespace
+
 Database::Database(DatabaseOptions options)
-    : options_(options), optimizer_(options.optimizer) {}
+    : options_(options),
+      optimizer_(options.optimizer),
+      memory_root_(std::make_shared<MemoryTracker>("engine")) {
+  memory_root_->set_budget(ParseByteSize(std::getenv("AGORA_MEM_BUDGET")));
+}
 
 Result<QueryResult> Database::Execute(const std::string& sql) {
   AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
@@ -112,20 +136,62 @@ Result<LogicalOpPtr> Database::PlanSelect(const SelectStatement& select) {
 }
 
 Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
+  // Admission: with the engine already over its budget (previous results
+  // still pinned), reject up front with the same Status operators return
+  // mid-query — a cheap check that keeps an overcommitted engine from
+  // digging deeper before the first chunk.
+  Status admit = memory_root_->CheckBudget("admission");
+  if (!admit.ok()) {
+    cumulative_stats_.mem_budget_rejections += 1;
+    metrics_.Add("mem_budget_rejections_total", 1.0);
+    return admit;
+  }
   // Every execution gets a fresh context, so per-query stats (and the
   // EXPLAIN ANALYZE profile derived from them) start from zero — running
   // the same analysis back to back reports identical counters. Only the
   // single Merge below touches the database-wide accumulators.
   ExecContext context;
+  // Per-query tracker: a child of the engine root, installed as the
+  // thread's current tracker so every allocation owner built during plan
+  // creation and execution charges this query. Result chunks keep the
+  // tracker alive (their charges reference it); the root reservation
+  // drops back once the QueryResult is destroyed.
+  auto query_tracker =
+      std::make_shared<MemoryTracker>("query", memory_root_);
+  context.memory = query_tracker;
+  if (query_tracker->budget_limited()) {
+    if (spill_ == nullptr) {
+      spill_ = std::make_unique<SpillManager>(spill_dir_);
+    }
+    context.spill = spill_.get();
+  }
+  context.spill_partitions = spill_partitions_;
+  ScopedMemoryTracker tracker_scope(query_tracker);
   AGORA_ASSIGN_OR_RETURN(
       PhysicalOpPtr root,
       CreatePhysicalPlan(plan, &context, options_.physical));
   Timer timer;
   // The root collector itself runs through the morsel pipeline when the
   // whole plan is pipeline-shaped (e.g. scan-filter queries).
-  AGORA_ASSIGN_OR_RETURN(Chunk data,
-                         ParallelCollectAll(root.get(), &context));
+  Result<Chunk> collected = ParallelCollectAll(root.get(), &context);
+  if (!collected.ok()) {
+    // Budget exhaustion is a per-query failure, never a process failure:
+    // count it, fold the partial stats in, and hand the Status back with
+    // the engine fully usable for the next statement.
+    if (collected.status().code() == StatusCode::kResourceExhausted) {
+      context.stats.mem_budget_rejections += 1;
+      metrics_.Add("mem_budget_rejections_total", 1.0);
+    }
+    context.stats.mem_bytes_reserved_peak =
+        std::max(context.stats.mem_bytes_reserved_peak,
+                 query_tracker->peak());
+    cumulative_stats_.Merge(context.stats);
+    return collected.status();
+  }
+  Chunk data = std::move(collected).value();
   const double seconds = timer.ElapsedSeconds();
+  context.stats.mem_bytes_reserved_peak = std::max(
+      context.stats.mem_bytes_reserved_peak, query_tracker->peak());
   std::vector<OperatorProfileNode> profile =
       CollectProfile(root.get(), context.stats);
   // Accumulate into the database-wide counters.
@@ -179,6 +245,12 @@ void Database::RecordQueryMetrics(
                static_cast<double>(stats.sel_vector_hits));
   metrics_.Add("filter_gathers_avoided_total",
                static_cast<double>(stats.filter_gathers_avoided));
+  metrics_.Add("spill_partitions_total",
+               static_cast<double>(stats.spill_partitions));
+  metrics_.Add("spill_bytes_written_total",
+               static_cast<double>(stats.spill_bytes_written));
+  metrics_.Add("spill_bytes_read_total",
+               static_cast<double>(stats.spill_bytes_read));
   metrics_.Add("queries_total", 1.0);
   metrics_.Add("query_seconds_total", seconds);
   metrics_.Add("joules_proxy_total", stats.JoulesProxy());
@@ -193,6 +265,8 @@ void Database::RecordQueryMetrics(
   }
   metrics_.SetGauge("last_query_seconds", seconds);
   metrics_.SetGauge("last_query_rows", static_cast<double>(result_rows));
+  metrics_.SetGauge("mem_bytes_reserved_peak",
+                    static_cast<double>(stats.mem_bytes_reserved_peak));
   metrics_.SetGauge("execution_threads",
                     static_cast<double>(options_.physical.num_threads));
 }
@@ -410,11 +484,7 @@ Result<QueryResult> Database::ExecuteCopy(const CopyStatement& stmt) {
   }
   AGORA_ASSIGN_OR_RETURN(std::shared_ptr<Table> table,
                          catalog_.GetTable(stmt.table));
-  std::ofstream out(stmt.path);
-  if (!out.is_open()) {
-    return Status::IoError("cannot open '" + stmt.path + "' for writing");
-  }
-  AGORA_RETURN_IF_ERROR(WriteCsv(*table, out));
+  AGORA_RETURN_IF_ERROR(WriteCsvFile(*table, stmt.path));
   return RowsAffected(static_cast<int64_t>(table->num_rows()));
 }
 

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "exec/physical_op.h"
@@ -12,6 +13,7 @@
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
+#include "storage/spill.h"
 
 namespace agora {
 
@@ -129,6 +131,35 @@ class Database {
   /// every setting. Benchmarks use this for thread-scaling sweeps.
   void set_execution_threads(int n) { options_.physical.num_threads = n; }
 
+  /// Engine-wide memory budget in bytes (0 = unlimited). Seeded from
+  /// AGORA_MEM_BUDGET at construction (plain bytes, optional k/m/g
+  /// suffix); this setter overrides it at runtime. Under a budget,
+  /// blocking operators run the spill-capable path; queries that cannot
+  /// fit even with spilling fail with a ResourceExhausted Status — the
+  /// process never aborts on memory pressure.
+  void set_memory_budget(int64_t bytes) { memory_root_->set_budget(bytes); }
+  int64_t memory_budget() const { return memory_root_->budget(); }
+
+  /// The engine root of the tracker hierarchy. Each query charges a child
+  /// of this tracker; root.reserved() returns to zero once all
+  /// QueryResults are destroyed.
+  const std::shared_ptr<MemoryTracker>& memory_tracker() const {
+    return memory_root_;
+  }
+
+  /// Partition count for budgeted (spill-capable) joins/aggregates.
+  /// Results are byte-identical at every value (tests sweep it); it only
+  /// moves the spill granularity.
+  void set_spill_partitions(size_t n) { spill_partitions_ = n; }
+
+  /// Directory for spill temp files (empty = AGORA_SPILL_DIR, then
+  /// TMPDIR, then /tmp). Takes effect on the next budgeted query; tests
+  /// point this at a scratch dir to assert temp-file cleanup.
+  void set_spill_dir(std::string dir) {
+    spill_dir_ = std::move(dir);
+    spill_.reset();
+  }
+
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& select,
                                     bool explain, bool analyze);
@@ -152,6 +183,10 @@ class Database {
   int64_t statements_executed_ = 0;
   ExecStats cumulative_stats_;
   MetricsRegistry metrics_;
+  std::shared_ptr<MemoryTracker> memory_root_;
+  std::unique_ptr<SpillManager> spill_;  // created on first budgeted query
+  std::string spill_dir_;
+  size_t spill_partitions_ = 8;
 };
 
 }  // namespace agora

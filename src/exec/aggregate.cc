@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <numeric>
 #include <utility>
 
 #include "common/hash.h"
 #include "exec/parallel.h"
+#include "exec/spill_util.h"
 
 namespace agora {
 
@@ -16,13 +19,28 @@ PhysicalHashAggregate::PhysicalHashAggregate(
     : PhysicalOperator(std::move(schema), context),
       child_(std::move(child)),
       group_by_(std::move(group_by)),
-      aggregates_(std::move(aggregates)) {}
+      aggregates_(std::move(aggregates)) {
+  bool has_distinct = false;
+  for (const AggregateSpec& spec : aggregates_) {
+    has_distinct = has_distinct || spec.distinct;
+  }
+  // Budgeted grouped aggregation takes the spill-capable path. Scalar
+  // aggregation holds O(1) state (nothing to spill) and DISTINCT dedup
+  // sets cannot be partially spilled exactly; both stay on the in-memory
+  // path, failing gracefully via the per-chunk budget checks instead.
+  // Like the join, the decision depends only on the budget configuration,
+  // never on worker count or data.
+  spill_mode_ = context != nullptr && context->spill != nullptr &&
+                context->memory_limited() && !group_by_.empty() &&
+                !has_distinct;
+}
 
 Status PhysicalHashAggregate::OpenImpl() {
   groups_ = AggTable{};
   num_groups_ = 0;
   next_group_ = 0;
   scalar_default_group_ = false;
+  if (spill_mode_) return OpenSpill();
 
   bool has_distinct = false;
   for (const AggregateSpec& spec : aggregates_) {
@@ -56,6 +74,9 @@ Status PhysicalHashAggregate::OpenImpl() {
     while (!done) {
       Chunk input;
       AGORA_RETURN_IF_ERROR(child_->Next(&input, &done));
+      // The in-memory table can only grow; fail gracefully at chunk
+      // granularity when a budget is set (DISTINCT/scalar paths).
+      AGORA_RETURN_IF_ERROR(context_->CheckMemoryBudget("HashAggregate"));
       if (input.num_rows() > 0) {
         AGORA_RETURN_IF_ERROR(
             AccumulateInto(input, &groups_, &context_->stats));
@@ -129,9 +150,16 @@ Status PhysicalHashAggregate::AccumulateInto(const Chunk& input,
   }
   stats->hash_table_lookups += ht.lookups;
   stats->hash_table_probe_steps += ht.probe_steps;
+  table->states.resize(table->keys.group_count() * num_aggs);
+  return ApplyAccumulators(arg_cols, table->gid_scratch.data(), rows, table,
+                           stats);
+}
+
+Status PhysicalHashAggregate::ApplyAccumulators(
+    const std::vector<ColumnVector>& arg_cols, const uint32_t* gids,
+    size_t rows, AggTable* table, ExecStats* stats) const {
+  size_t num_aggs = aggregates_.size();
   size_t num_groups = table->keys.group_count();
-  table->states.resize(num_groups * num_aggs);
-  const uint32_t* gids = table->gid_scratch.data();
   AggState* states = table->states.data();
 
   // Column-at-a-time accumulator updates: one type-dispatched loop per
@@ -432,16 +460,17 @@ void PhysicalHashAggregate::MergePartial(AggTable&& partial) {
   }
 }
 
-void PhysicalHashAggregate::FinalizeInto(Chunk* out, size_t gid) const {
+void PhysicalHashAggregate::FinalizeInto(const AggTable& table, Chunk* out,
+                                         size_t gid) const {
   size_t col = 0;
-  const std::vector<ColumnVector>& key_cols = groups_.keys.keys();
+  const std::vector<ColumnVector>& key_cols = table.keys.keys();
   for (const ColumnVector& key : key_cols) {
     out->column(col++).AppendFrom(key, gid);
   }
   size_t num_aggs = aggregates_.size();
   for (size_t a = 0; a < num_aggs; ++a) {
     const AggregateSpec& spec = aggregates_[a];
-    const AggState& state = groups_.states[gid * num_aggs + a];
+    const AggState& state = table.states[gid * num_aggs + a];
     ColumnVector& target = out->column(col++);
     switch (spec.func) {
       case AggFunc::kCountStar:
@@ -470,7 +499,7 @@ void PhysicalHashAggregate::FinalizeInto(Chunk* out, size_t gid) const {
         if (!state.has_value) {
           target.AppendNull();
         } else if (spec.result_type == TypeId::kString) {
-          target.AppendString(groups_.minmax_strings[a][gid]);
+          target.AppendString(table.minmax_strings[a][gid]);
         } else if (spec.result_type == TypeId::kDouble) {
           target.AppendDouble(state.minmax_d);
         } else {
@@ -496,11 +525,475 @@ void PhysicalHashAggregate::FinalizeInto(Chunk* out, size_t gid) const {
   }
 }
 
+Status PhysicalHashAggregate::OpenSpill() {
+  parts_.clear();
+  streams_.clear();
+  const size_t num_parts = std::max<size_t>(1, context_->spill_partitions);
+  parts_.resize(num_parts);
+
+  // Serial input drain; the serial chunk order equals the morsel order,
+  // so results match the parallel in-memory path by construction.
+  AGORA_RETURN_IF_ERROR(child_->Open());
+  int64_t base_idx = 0;
+  bool done = false;
+  while (!done) {
+    Chunk input;
+    AGORA_RETURN_IF_ERROR(child_->Next(&input, &done));
+    size_t rows = input.num_rows();
+    if (rows == 0) continue;
+    AGORA_RETURN_IF_ERROR(AccumulatePartitioned(input, base_idx));
+    base_idx += static_cast<int64_t>(rows);
+    while (context_->memory->over_budget()) {
+      size_t resident = 0;
+      for (const AggPartition& part : parts_) {
+        resident += part.table.keys.group_count();
+      }
+      if (resident == 0) break;  // nothing to shed; reload checks decide
+      AGORA_RETURN_IF_ERROR(SpillAggVictim());
+    }
+  }
+
+  // Finalize resident partitions first (frees their tables), then reload
+  // spilled partitions one at a time into the freed headroom. Once any
+  // partition spilled, resident output spools to disk too: keeping it in
+  // memory would shrink the headroom the reloads were spilled to create.
+  bool any_spilled = false;
+  for (const AggPartition& part : parts_) {
+    any_spilled = any_spilled || part.spilled;
+  }
+  for (AggPartition& part : parts_) {
+    if (part.spilled) continue;
+    if (part.table.keys.group_count() > 0) {
+      AGORA_RETURN_IF_ERROR(
+          FinalizePartition(part.table, part.first_idx, &part, any_spilled));
+    }
+    part.table = AggTable{};
+    std::vector<int64_t>().swap(part.first_idx);
+  }
+  for (AggPartition& part : parts_) {
+    if (!part.spilled) continue;
+    AggTable table;
+    std::vector<int64_t> first_idx;
+    AGORA_RETURN_IF_ERROR(ReloadAndReplay(&part, &table, &first_idx));
+    AGORA_RETURN_IF_ERROR(
+        FinalizePartition(table, first_idx, &part, /*to_disk=*/true));
+  }
+
+  // Arm the first-appearance merge: one stream per non-empty partition.
+  for (AggPartition& part : parts_) {
+    if (part.out_file != nullptr) {
+      AggStream s;
+      s.file = part.out_file.get();
+      AGORA_RETURN_IF_ERROR(s.file->Rewind());
+      streams_.push_back(std::move(s));
+    } else if (!part.finalized.empty()) {
+      AggStream s;
+      s.mem = std::move(part.finalized);
+      streams_.push_back(std::move(s));
+    }
+  }
+  for (AggStream& s : streams_) {
+    AGORA_RETURN_IF_ERROR(AdvanceAggStream(&s));
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::AccumulatePartitioned(const Chunk& input,
+                                                    int64_t base_idx) {
+  const size_t num_parts = parts_.size();
+  size_t rows = input.num_rows();
+  size_t num_aggs = aggregates_.size();
+  ExecStats* stats = &context_->stats;
+  stats->rows_aggregated += static_cast<int64_t>(rows);
+
+  // Evaluate keys and arguments once, then scatter rows to their group-
+  // hash partition. All rows of a group share a partition, so per-group
+  // accumulation order is the global arrival order — unchanged.
+  std::vector<ColumnVector> key_cols(group_by_.size());
+  for (size_t g = 0; g < group_by_.size(); ++g) {
+    AGORA_RETURN_IF_ERROR(group_by_[g]->Evaluate(input, &key_cols[g]));
+  }
+  std::vector<ColumnVector> arg_cols(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    if (aggregates_[a].arg != nullptr) {
+      AGORA_RETURN_IF_ERROR(aggregates_[a].arg->Evaluate(input, &arg_cols[a]));
+    }
+  }
+  std::vector<uint64_t> hashes(rows, kHashTableSalt);
+  for (const ColumnVector& col : key_cols) {
+    col.HashBatch(hashes.data(), rows, /*combine=*/true,
+                  /*normalize_zero=*/true);
+  }
+  std::vector<std::vector<uint32_t>> psel(num_parts);
+  for (size_t r = 0; r < rows; ++r) {
+    psel[hashes[r] % num_parts].push_back(static_cast<uint32_t>(r));
+  }
+
+  for (size_t p = 0; p < num_parts; ++p) {
+    const std::vector<uint32_t>& sel = psel[p];
+    if (sel.empty()) continue;
+    AggPartition& part = parts_[p];
+    size_t n = sel.size();
+    std::vector<ColumnVector> pkeys;
+    pkeys.reserve(key_cols.size());
+    for (const ColumnVector& col : key_cols) pkeys.push_back(col.Gather(sel));
+    std::vector<uint64_t> phashes(n);
+    for (size_t i = 0; i < n; ++i) phashes[i] = hashes[sel[i]];
+
+    if (part.spilled) {
+      // Append to the partition's replay log:
+      // [keys..., args (non-null specs)..., hash, global index].
+      Chunk rc;
+      for (ColumnVector& col : pkeys) rc.AddColumn(std::move(col));
+      for (size_t a = 0; a < num_aggs; ++a) {
+        if (aggregates_[a].arg != nullptr) {
+          rc.AddColumn(arg_cols[a].Gather(sel));
+        }
+      }
+      ColumnVector hcol(TypeId::kInt64);
+      ColumnVector icol(TypeId::kInt64);
+      for (size_t i = 0; i < n; ++i) {
+        hcol.AppendInt64(static_cast<int64_t>(phashes[i]));
+        icol.AppendInt64(base_idx + sel[i]);
+      }
+      rc.AddColumn(std::move(hcol));
+      rc.AddColumn(std::move(icol));
+      AGORA_RETURN_IF_ERROR(SpillWriteChunk(part.file.get(), rc, stats));
+      continue;
+    }
+
+    AggTable& table = part.table;
+    if (table.minmax_strings.size() != num_aggs) {
+      table.minmax_strings.resize(num_aggs);
+      table.distinct.resize(num_aggs);
+    }
+    std::vector<uint32_t> gids(n);
+    std::vector<uint8_t> created(n);
+    HashTableStats ht;
+    table.keys.FindOrCreate(pkeys, phashes.data(), n, gids.data(),
+                            created.data(), &ht);
+    stats->hash_table_lookups += ht.lookups;
+    stats->hash_table_probe_steps += ht.probe_steps;
+    for (size_t i = 0; i < n; ++i) {
+      if (created[i] != 0) {
+        part.first_idx.push_back(base_idx + sel[i]);
+      }
+    }
+    table.states.resize(table.keys.group_count() * num_aggs);
+    std::vector<ColumnVector> pargs(num_aggs);
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (aggregates_[a].arg != nullptr) pargs[a] = arg_cols[a].Gather(sel);
+    }
+    AGORA_RETURN_IF_ERROR(
+        ApplyAccumulators(pargs, gids.data(), n, &table, stats));
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::SpillAggVictim() {
+  size_t victim = SIZE_MAX;
+  size_t best = 0;
+  for (size_t p = 0; p < parts_.size(); ++p) {
+    size_t n = parts_[p].table.keys.group_count();
+    if (!parts_[p].spilled && n > best) {
+      victim = p;
+      best = n;
+    }
+  }
+  AGORA_CHECK(victim != SIZE_MAX);
+  AggPartition& part = parts_[victim];
+  const AggTable& table = part.table;
+  size_t n = table.keys.group_count();
+  size_t num_aggs = aggregates_.size();
+  if (part.file == nullptr) {
+    AGORA_ASSIGN_OR_RETURN(part.file, context_->spill->Create());
+  }
+
+  // Snapshot record 1: the stored group keys, hashes, and first-
+  // appearance indices as one group-major chunk.
+  Chunk snap;
+  for (const ColumnVector& key : table.keys.keys()) snap.AddColumn(key);
+  ColumnVector hcol(TypeId::kInt64);
+  ColumnVector icol(TypeId::kInt64);
+  for (size_t g = 0; g < n; ++g) {
+    hcol.AppendInt64(static_cast<int64_t>(table.keys.group_hashes()[g]));
+    icol.AppendInt64(part.first_idx[g]);
+  }
+  snap.AddColumn(std::move(hcol));
+  snap.AddColumn(std::move(icol));
+  AGORA_RETURN_IF_ERROR(
+      SpillWriteChunk(part.file.get(), snap, &context_->stats));
+
+  // Snapshot record 2: the accumulators, raw (AggState is trivially
+  // copyable, and raw bytes round-trip doubles bit-exactly).
+  AGORA_RETURN_IF_ERROR(SpillWriteBlob(part.file.get(), table.states.data(),
+                                       n * num_aggs * sizeof(AggState),
+                                       &context_->stats));
+
+  // Snapshot record 3: string MIN/MAX side state, one column per
+  // aggregate (all-NULL when the aggregate keeps none).
+  Chunk mm;
+  for (size_t a = 0; a < num_aggs; ++a) {
+    ColumnVector col(TypeId::kString);
+    if (table.minmax_strings.size() > a &&
+        table.minmax_strings[a].size() == n) {
+      for (size_t g = 0; g < n; ++g) {
+        col.AppendString(table.minmax_strings[a][g]);
+      }
+    } else {
+      for (size_t g = 0; g < n; ++g) col.AppendNull();
+    }
+    mm.AddColumn(std::move(col));
+  }
+  if (num_aggs == 0) mm.SetExplicitRowCount(n);
+  AGORA_RETURN_IF_ERROR(
+      SpillWriteChunk(part.file.get(), mm, &context_->stats));
+
+  part.table = AggTable{};
+  std::vector<int64_t>().swap(part.first_idx);
+  part.spilled = true;
+  context_->stats.spill_partitions++;
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::ReloadAndReplay(AggPartition* part,
+                                              AggTable* table,
+                                              std::vector<int64_t>* first_idx) {
+  size_t num_aggs = aggregates_.size();
+  size_t num_keys = group_by_.size();
+  AGORA_RETURN_IF_ERROR(part->file->Rewind());
+
+  // Snapshot: rebuild the key table from the stored keys (a fresh table
+  // assigns identity group ids in row order), then overlay the raw
+  // accumulators and string MIN/MAX state.
+  Chunk snap;
+  bool eof = false;
+  AGORA_RETURN_IF_ERROR(
+      SpillReadChunk(part->file.get(), &snap, &eof, &context_->stats));
+  if (eof) {
+    return Status::IoError("spill file missing aggregate state snapshot");
+  }
+  size_t n = snap.num_rows();
+  std::vector<ColumnVector> kcols;
+  kcols.reserve(num_keys);
+  for (size_t k = 0; k < num_keys; ++k) kcols.push_back(snap.column(k));
+  std::vector<uint64_t> hashes(n);
+  const int64_t* hdata = snap.column(num_keys).int64_data();
+  for (size_t g = 0; g < n; ++g) hashes[g] = static_cast<uint64_t>(hdata[g]);
+  std::vector<uint32_t> gids(n);
+  std::vector<uint8_t> created(n);
+  HashTableStats ht;
+  table->keys.FindOrCreate(kcols, hashes.data(), n, gids.data(),
+                           created.data(), &ht);
+  const int64_t* idata = snap.column(num_keys + 1).int64_data();
+  first_idx->assign(idata, idata + n);
+  // The table now owns its own copy of the keys; drop the snapshot and
+  // the scratch arrays before reading the accumulators so the reload
+  // never holds two copies of the partition at once.
+  kcols.clear();
+  snap = Chunk();
+  std::vector<uint64_t>().swap(hashes);
+  std::vector<uint32_t>().swap(gids);
+  std::vector<uint8_t>().swap(created);
+
+  std::string blob;
+  AGORA_RETURN_IF_ERROR(
+      SpillReadBlob(part->file.get(), &blob, &context_->stats));
+  if (blob.size() != n * num_aggs * sizeof(AggState)) {
+    return Status::IoError("spill snapshot accumulator size mismatch");
+  }
+  table->states.resize(n * num_aggs);
+  if (!blob.empty()) {
+    std::memcpy(table->states.data(), blob.data(), blob.size());
+  }
+  std::string().swap(blob);
+  Chunk mm;
+  AGORA_RETURN_IF_ERROR(
+      SpillReadChunk(part->file.get(), &mm, &eof, &context_->stats));
+  if (eof) return Status::IoError("spill file missing MIN/MAX snapshot");
+  table->minmax_strings.resize(num_aggs);
+  table->distinct.resize(num_aggs);
+  for (size_t a = 0; a < num_aggs; ++a) {
+    const AggregateSpec& spec = aggregates_[a];
+    if (spec.result_type != TypeId::kString ||
+        (spec.func != AggFunc::kMin && spec.func != AggFunc::kMax)) {
+      continue;
+    }
+    std::vector<std::string>& ms = table->minmax_strings[a];
+    ms.resize(n);
+    for (size_t g = 0; g < n; ++g) {
+      if (!mm.column(a).IsNull(g)) ms[g] = mm.column(a).GetString(g);
+    }
+  }
+  mm = Chunk();
+
+  // Replay the logged rows in arrival order: identical per-group
+  // accumulation sequence to the never-spilled execution.
+  for (;;) {
+    Chunk rc;
+    AGORA_RETURN_IF_ERROR(
+        SpillReadChunk(part->file.get(), &rc, &eof, &context_->stats));
+    if (eof) break;
+    size_t rows = rc.num_rows();
+    std::vector<ColumnVector> rkeys;
+    rkeys.reserve(num_keys);
+    for (size_t k = 0; k < num_keys; ++k) rkeys.push_back(rc.column(k));
+    std::vector<ColumnVector> rargs(num_aggs);
+    size_t c = num_keys;
+    for (size_t a = 0; a < num_aggs; ++a) {
+      if (aggregates_[a].arg != nullptr) rargs[a] = rc.column(c++);
+    }
+    const int64_t* rh = rc.column(c).int64_data();
+    const int64_t* ri = rc.column(c + 1).int64_data();
+    std::vector<uint64_t> rhashes(rows);
+    for (size_t r = 0; r < rows; ++r) {
+      rhashes[r] = static_cast<uint64_t>(rh[r]);
+    }
+    std::vector<uint32_t> rgids(rows);
+    std::vector<uint8_t> rcreated(rows);
+    HashTableStats rht;
+    table->keys.FindOrCreate(rkeys, rhashes.data(), rows, rgids.data(),
+                             rcreated.data(), &rht);
+    context_->stats.hash_table_lookups += rht.lookups;
+    context_->stats.hash_table_probe_steps += rht.probe_steps;
+    for (size_t r = 0; r < rows; ++r) {
+      if (rcreated[r] != 0) first_idx->push_back(ri[r]);
+    }
+    table->states.resize(table->keys.group_count() * num_aggs);
+    AGORA_RETURN_IF_ERROR(
+        ApplyAccumulators(rargs, rgids.data(), rows, table, &context_->stats));
+  }
+  context_->spill->Recycle(std::move(part->file));
+  // A partition that cannot fit alone even after spilling is the scheme's
+  // graceful-failure point.
+  return context_->CheckMemoryBudget("HashAggregate::spill-reload");
+}
+
+Status PhysicalHashAggregate::FinalizePartition(
+    const AggTable& table, const std::vector<int64_t>& first_idx,
+    AggPartition* part, bool to_disk) {
+  size_t n = table.keys.group_count();
+  context_->stats.hash_table_entries += static_cast<int64_t>(n);
+  context_->stats.hash_table_slots +=
+      static_cast<int64_t>(table.keys.slot_count());
+  if (to_disk) {
+    AGORA_ASSIGN_OR_RETURN(part->out_file, context_->spill->Create());
+  }
+  // Output is batched far below kChunkSize: the k-way merge later holds
+  // one loaded batch per disk stream — and frees a memory stream's batch
+  // only once fully consumed — *while the result chunk is accumulating*,
+  // so the batch size is the merge's memory floor either way.
+  const size_t batch = std::min<size_t>(kChunkSize, 256);
+  for (size_t start = 0; start < n; start += batch) {
+    size_t count = std::min(batch, n - start);
+    Chunk out(schema_);
+    ColumnVector idx(TypeId::kInt64);
+    for (size_t g = start; g < start + count; ++g) {
+      FinalizeInto(table, &out, g);
+      idx.AppendInt64(first_idx[g]);
+    }
+    out.AddColumn(std::move(idx));
+    if (to_disk) {
+      AGORA_RETURN_IF_ERROR(
+          SpillWriteChunk(part->out_file.get(), out, &context_->stats));
+    } else {
+      part->finalized.push_back(std::move(out));
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::AdvanceAggStream(AggStream* s) {
+  while (!s->exhausted && s->row >= s->chunk.num_rows()) {
+    s->row = 0;
+    if (s->file != nullptr) {
+      Chunk next;
+      bool eof = false;
+      AGORA_RETURN_IF_ERROR(
+          SpillReadChunk(s->file, &next, &eof, &context_->stats));
+      if (eof) {
+        s->exhausted = true;
+        s->chunk = Chunk();
+      } else {
+        s->chunk = std::move(next);
+      }
+    } else if (s->mem_pos < s->mem.size()) {
+      s->chunk = std::move(s->mem[s->mem_pos++]);
+    } else {
+      s->exhausted = true;
+      s->chunk = Chunk();
+    }
+  }
+  return Status::OK();
+}
+
+Status PhysicalHashAggregate::EmitMerged(Chunk* chunk, bool* done) {
+  const size_t ncols = schema_.num_fields();
+  Chunk out(schema_);
+  std::vector<uint32_t> sel;
+  while (out.num_rows() < kChunkSize) {
+    // Smallest head index wins (indices are disjoint across partitions —
+    // a group is created by exactly one global row).
+    size_t best = SIZE_MAX;
+    int64_t best_idx = 0;
+    int64_t second = INT64_MAX;
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      AggStream& s = streams_[i];
+      if (s.exhausted) continue;
+      int64_t idx = s.chunk.column(ncols).GetInt64(s.row);
+      if (best == SIZE_MAX) {
+        best = i;
+        best_idx = idx;
+      } else if (idx < best_idx) {
+        second = best_idx;
+        best = i;
+        best_idx = idx;
+      } else if (idx < second) {
+        second = idx;
+      }
+    }
+    if (best == SIZE_MAX) break;
+    AggStream& s = streams_[best];
+    const int64_t* idxs = s.chunk.column(ncols).int64_data();
+    size_t room = kChunkSize - out.num_rows();
+    size_t end = s.row + 1;
+    while (end < s.chunk.num_rows() && idxs[end] < second &&
+           end - s.row < room) {
+      ++end;
+    }
+    sel.resize(end - s.row);
+    std::iota(sel.begin(), sel.end(), static_cast<uint32_t>(s.row));
+    for (size_t c = 0; c < ncols; ++c) {
+      out.column(c).AppendGatherPadded(s.chunk.column(c), sel.data(),
+                                       sel.size());
+    }
+    s.row = end;
+    AGORA_RETURN_IF_ERROR(AdvanceAggStream(&s));
+  }
+
+  bool drained = true;
+  for (const AggStream& s : streams_) drained &= s.exhausted;
+  if (drained) {
+    streams_.clear();
+    for (AggPartition& part : parts_) {
+      if (part.out_file != nullptr) {
+        context_->spill->Recycle(std::move(part.out_file));
+      }
+    }
+  }
+  context_->stats.bytes_materialized +=
+      static_cast<int64_t>(out.MemoryBytes());
+  *chunk = std::move(out);
+  *done = drained;
+  return Status::OK();
+}
+
 Status PhysicalHashAggregate::NextImpl(Chunk* chunk, bool* done) {
+  if (spill_mode_) return EmitMerged(chunk, done);
   Chunk out(schema_);
   size_t emitted = 0;
   while (next_group_ < num_groups_ && emitted < kChunkSize) {
-    FinalizeInto(&out, next_group_++);
+    FinalizeInto(groups_, &out, next_group_++);
     ++emitted;
   }
   context_->stats.bytes_materialized += static_cast<int64_t>(out.MemoryBytes());

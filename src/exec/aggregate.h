@@ -9,6 +9,7 @@
 #include "exec/physical_op.h"
 #include "expr/expr.h"
 #include "plan/logical_plan.h"
+#include "storage/spill.h"
 
 namespace agora {
 
@@ -83,6 +84,12 @@ class PhysicalHashAggregate : public PhysicalOperator {
   /// concurrently.
   Status AccumulateInto(const Chunk& input, AggTable* table,
                         ExecStats* stats) const;
+  /// The columnar accumulator kernels: applies rows [0, n) of the already-
+  /// evaluated argument columns to `table` under the given group ids.
+  /// Shared by the global, per-morsel, and per-spill-partition paths.
+  Status ApplyAccumulators(const std::vector<ColumnVector>& arg_cols,
+                           const uint32_t* gids, size_t rows, AggTable* table,
+                           ExecStats* stats) const;
   /// Applies one row of aggregate `a` to `state` (post NULL/distinct
   /// gating) — the row-at-a-time mirror of the columnar kernels, used by
   /// the DISTINCT path.
@@ -92,7 +99,54 @@ class PhysicalHashAggregate : public PhysicalOperator {
   /// first-appearance order for groups not seen before.
   void MergePartial(AggTable&& partial);
   void MergeAggStates(const AggTable& src, size_t src_gid, size_t dst_gid);
-  void FinalizeInto(Chunk* out, size_t gid) const;
+  void FinalizeInto(const AggTable& table, Chunk* out, size_t gid) const;
+
+  // --- budgeted (spill-capable) execution -------------------------------
+  //
+  // Groups partition by `group_hash % P`, one AggTable per partition, and
+  // every group remembers the global input-row index that created it.
+  // When the tracker crosses its budget the largest partition's state is
+  // snapshotted to a temp file (stored keys + raw AggState blob) and its
+  // later rows append to the same file as [keys, args, hash, index]
+  // chunks. After the drain each spilled partition is reloaded alone and
+  // the logged rows replay in arrival order — the per-group accumulation
+  // sequence (and thus every float sum and MIN/MAX tie-break) is
+  // identical to the in-memory path. Finalized groups merge across
+  // partitions by first-appearance index, restoring the exact global
+  // emission order. See DESIGN.md "Memory governance".
+
+  /// One group-hash partition of the aggregation state.
+  struct AggPartition {
+    AggTable table;
+    std::vector<int64_t> first_idx;  // global row that created group g
+    bool spilled = false;
+    std::unique_ptr<SpillFile> file;      // snapshot + row replay log
+    std::unique_ptr<SpillFile> out_file;  // finalized groups (+index)
+    std::vector<Chunk> finalized;         // resident partitions
+  };
+
+  /// Cursor over one finalized stream (in-memory or spooled) during the
+  /// first-appearance k-way merge.
+  struct AggStream {
+    std::vector<Chunk> mem;
+    size_t mem_pos = 0;
+    SpillFile* file = nullptr;
+    Chunk chunk;
+    size_t row = 0;
+    bool exhausted = false;
+  };
+
+  Status OpenSpill();
+  Status AccumulatePartitioned(const Chunk& input, int64_t base_idx);
+  /// Snapshots the largest resident partition to disk and frees it.
+  Status SpillAggVictim();
+  Status ReloadAndReplay(AggPartition* part, AggTable* table,
+                         std::vector<int64_t>* first_idx);
+  Status FinalizePartition(const AggTable& table,
+                           const std::vector<int64_t>& first_idx,
+                           AggPartition* part, bool to_disk);
+  Status AdvanceAggStream(AggStream* s);
+  Status EmitMerged(Chunk* chunk, bool* done);
 
   PhysicalOpPtr child_;
   std::vector<ExprPtr> group_by_;
@@ -102,6 +156,10 @@ class PhysicalHashAggregate : public PhysicalOperator {
   bool scalar_default_group_ = false;  // zero-input scalar aggregation
   size_t num_groups_ = 0;
   size_t next_group_ = 0;
+
+  bool spill_mode_ = false;
+  std::vector<AggPartition> parts_;
+  std::vector<AggStream> streams_;
 };
 
 }  // namespace agora

@@ -60,6 +60,10 @@ Status JoinHashTable::Build(const uint64_t* hashes, const uint8_t* valid,
   }
 
   bloom_.Build(hashes, valid, rows);
+  // Arena blocks (next + slot directories) charge themselves; the bloom
+  // words and the partition directory are accounted here.
+  charge_.Update(bloom_.word_count() * sizeof(uint64_t) +
+                 partitions_.capacity() * sizeof(Partition));
 
   // Fill pass: partition p is written only by task p, so the parallel
   // fills need no locks and produce the exact serial layout.
@@ -147,6 +151,9 @@ void GroupKeyTable::FindOrCreate(const std::vector<ColumnVector>& key_cols,
     }
   }
 
+  charge_.Update(slots_.capacity() * sizeof(Slot) +
+                 group_hashes_.capacity() * sizeof(uint64_t));
+
   // Pass 2: verify all deferred candidates column-at-a-time against the
   // stored keys. With zero key columns every candidate trivially matches
   // (the scalar-aggregate single group).
@@ -170,6 +177,8 @@ void GroupKeyTable::FindOrCreate(const std::vector<ColumnVector>& key_cols,
       gids[i] = SlowFindOrCreate(key_cols, i, hashes[i], &created[i], stats);
     }
   }
+  charge_.Update(slots_.capacity() * sizeof(Slot) +
+                 group_hashes_.capacity() * sizeof(uint64_t));
 }
 
 uint32_t GroupKeyTable::CreateGroup(const std::vector<ColumnVector>& key_cols,

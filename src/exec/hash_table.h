@@ -118,10 +118,11 @@ class JoinHashTable {
   void FillPartition(size_t p, const uint64_t* hashes, const uint8_t* valid,
                      size_t rows);
 
-  Arena arena_;
+  Arena arena_;  // charges the creating query's MemoryTracker per block
   std::vector<Partition> partitions_;
   uint32_t* next_ = nullptr;
   BloomFilter bloom_;
+  MemoryCharge charge_;  // bloom words + partition directory
   int64_t entries_ = 0;
   int64_t slot_count_ = 0;
 };
@@ -183,6 +184,9 @@ class GroupKeyTable {
   uint64_t mask_ = 0;
   std::vector<ColumnVector> keys_;  // typed lazily on first FindOrCreate
   std::vector<uint64_t> group_hashes_;
+  // Slot directory + group-hash storage charge against the creating
+  // query's MemoryTracker (the key columns charge through their Reps).
+  MemoryCharge charge_;
   int64_t resizes_ = 0;
   // Deferred-verification scratch, reused across calls.
   std::vector<uint32_t> pend_rows_;

@@ -154,10 +154,13 @@ Status PhysicalHybridSearch::RunPostFilter() {
       std::sort(ordered.begin(), ordered.end());
       ordered.erase(std::unique(ordered.begin(), ordered.end()),
                     ordered.end());
-      Chunk chunk(table_->schema());
-      for (int64_t id : ordered) {
-        chunk.AppendRow(table_->GetRow(static_cast<size_t>(id)));
-      }
+      // Batch-gather the candidate rows through the columnar path: one
+      // zero-copy view plus one gather, instead of boxing each row into
+      // Values with per-cell appends.
+      std::vector<uint32_t> sel;
+      sel.reserve(ordered.size());
+      for (int64_t id : ordered) sel.push_back(static_cast<uint32_t>(id));
+      Chunk chunk = table_->GetChunkView().GatherRows(sel);
       ColumnVector mask;
       AGORA_RETURN_IF_ERROR(filter_->Evaluate(chunk, &mask));
       context_->stats.hybrid_filter_rows +=

@@ -1,11 +1,13 @@
 #ifndef AGORA_EXEC_JOIN_H_
 #define AGORA_EXEC_JOIN_H_
 
+#include <memory>
 #include <vector>
 
 #include "exec/hash_table.h"
 #include "exec/physical_op.h"
 #include "expr/expr.h"
+#include "storage/spill.h"
 
 namespace agora {
 
@@ -50,6 +52,12 @@ class PhysicalHashJoin : public PhysicalOperator {
 
   PhysicalOperator* probe_child() const { return left_.get(); }
 
+  /// True when this join runs the budgeted (spill-capable) path. Decided
+  /// at construction from the budget configuration alone — never from the
+  /// worker count — so plan shape and pipeline eligibility stay identical
+  /// at every thread count.
+  bool spill_mode() const { return spill_mode_; }
+
   std::vector<OperatorPhase> phases() const override {
     return {{"build", build_phase_id_}, {"probe", probe_phase_id_}};
   }
@@ -58,6 +66,71 @@ class PhysicalHashJoin : public PhysicalOperator {
   /// Evaluates build keys, precomputes row hashes, and fills the
   /// partitioned table (in parallel when a pool is available).
   Status BuildTable();
+
+  // --- budgeted (spill-capable) execution -------------------------------
+  //
+  // Build rows are partitioned by `hash % P`; when the query tracker
+  // crosses its budget the largest resident partition is written to a
+  // temp file. Probe rows of spilled partitions divert to per-partition
+  // files tagged with their global probe-row index; everything else joins
+  // immediately into a spooled "immediate" stream. Each spilled partition
+  // is then reloaded alone, probed from its file, and its output spooled.
+  // NextImpl k-way-merges the streams by probe-row index, which restores
+  // exactly the order the in-memory path emits — output is byte-identical
+  // regardless of which partitions spilled. See DESIGN.md.
+
+  /// One hash partition of the build side. While resident, rows sit in
+  /// `buffered` chunks (right columns + a trailing int64 hash column);
+  /// once spilled they live in `build_file` in the same layout.
+  struct SpillPartition {
+    std::vector<Chunk> buffered;
+    size_t rows = 0;        // resident row count (0 once spilled)
+    size_t bytes = 0;       // resident bytes while buffered
+    size_t base = 0;        // offset into the resident concatenation
+    bool spilled = false;
+    std::unique_ptr<JoinHashTable> table;  // resident partitions only
+    std::unique_ptr<SpillFile> build_file;
+    std::unique_ptr<SpillFile> probe_file;  // diverted probe rows (+index)
+    std::unique_ptr<SpillFile> out_file;    // deferred join output (+index)
+  };
+
+  /// Cursor over one spooled output stream during the k-way merge.
+  struct MergeStream {
+    SpillFile* file = nullptr;
+    Chunk chunk;
+    size_t row = 0;
+    bool exhausted = false;
+  };
+
+  Status OpenSpill();
+  /// Largest resident partition, or SIZE_MAX when none remains.
+  size_t PickVictim() const;
+  /// Drain-phase shedding: flushes the victim's buffered chunks to disk.
+  Status SpillBufferedVictim();
+  /// Concatenates resident partitions, sheds further victims while over
+  /// budget, and builds one hash table per surviving partition.
+  Status PrepareResident();
+  Status SpillResidentVictim(size_t victim);
+  Status ReconcatResident();
+  /// Probes one chunk against the resident partition tables. With spilled
+  /// partitions present, appends a global-row-index column to `*out` and
+  /// diverts rows of spilled partitions to their probe files.
+  Status ProbePartitionedChunk(const Chunk& probe, int64_t base_idx,
+                               Chunk* out, ExecStats* stats);
+  Status DrainProbeToStreams();
+  Status ProcessDeferredPartition(SpillPartition* part);
+  Status AdvanceStream(MergeStream* s);
+  Status EmitMerged(Chunk* chunk, bool* done);
+
+  bool spill_mode_ = false;
+  bool any_spilled_ = false;
+  std::vector<SpillPartition> parts_;
+  Chunk resident_data_;  // concatenation of resident partitions
+  std::vector<ColumnVector> resident_keys_;
+  std::vector<uint64_t> resident_hashes_;
+  std::vector<uint8_t> resident_valid_;  // all ones (NULL keys dropped)
+  std::unique_ptr<SpillFile> immediate_file_;
+  std::vector<MergeStream> merge_;
 
   PhysicalOpPtr left_;
   PhysicalOpPtr right_;

@@ -51,6 +51,12 @@ bool MorselPipeline::TryBuild(PhysicalOperator* op, MorselPipeline* out) {
       continue;
     }
     if (auto* join = dynamic_cast<PhysicalHashJoin*>(cur)) {
+      // A budgeted (spill-capable) join drives its own probe loop so it
+      // can divert rows of spilled partitions to disk; it cannot act as
+      // a stateless morsel transform. Spill mode depends only on the
+      // budget configuration, never on the worker count, so pipeline
+      // eligibility stays deterministic across thread counts.
+      if (join->spill_mode()) return false;
       const int op_id = join->op_id();
       reversed.push_back([join, op_id](const Chunk& in, Chunk* o,
                                        ExecStats* s) {
@@ -101,6 +107,10 @@ Status DriveMorselPipeline(
   std::atomic<bool> failed{false};
   const int scan_op_id = source->op_id();
   auto worker_body = [&, context](int worker) -> Status {
+    // Workers run on pool threads that have no tracker installed; adopt
+    // the query's tracker so ColumnVectors the morsel pipeline creates
+    // charge the right budget (tracker counters are atomics).
+    ScopedMemoryTracker tracker_scope(context->memory);
     ExecStats* stats = &context->worker_stats[static_cast<size_t>(worker)];
     Morsel morsel;
     while (!failed.load(std::memory_order_relaxed) &&
@@ -167,8 +177,10 @@ Result<Chunk> ParallelCollectAll(PhysicalOperator* op, ExecContext* context) {
   std::vector<std::vector<Chunk>> by_morsel(pipeline.source()->MorselCount());
   AGORA_RETURN_IF_ERROR(DriveMorselPipeline(
       pipeline, context,
-      [&by_morsel](int /*worker*/, const Morsel& morsel,
-                   Chunk&& chunk) -> Status {
+      [&by_morsel, context](int /*worker*/, const Morsel& morsel,
+                            Chunk&& chunk) -> Status {
+        AGORA_RETURN_IF_ERROR(
+            context->CheckMemoryBudget("ParallelCollectAll"));
         by_morsel[morsel.index].push_back(std::move(chunk));
         return Status::OK();
       }));

@@ -40,6 +40,17 @@ std::string ExecStats::ToString() const {
     out += " sel_vector_hits=" + FormatCount(sel_vector_hits);
     out += " filter_gathers_avoided=" + FormatCount(filter_gathers_avoided);
   }
+  if (mem_bytes_reserved_peak > 0) {
+    out += " mem_bytes_reserved_peak=" + FormatCount(mem_bytes_reserved_peak);
+  }
+  if (mem_budget_rejections > 0) {
+    out += " mem_budget_rejections=" + FormatCount(mem_budget_rejections);
+  }
+  if (spill_partitions > 0 || spill_bytes_written > 0) {
+    out += " spill_partitions=" + FormatCount(spill_partitions);
+    out += " spill_bytes_written=" + FormatCount(spill_bytes_written);
+    out += " spill_bytes_read=" + FormatCount(spill_bytes_read);
+  }
   return out;
 }
 
@@ -112,10 +123,14 @@ std::vector<OperatorProfileNode> CollectProfile(const PhysicalOperator* root,
 Result<Chunk> CollectAll(PhysicalOperator* op) {
   AGORA_RETURN_IF_ERROR(op->Open());
   Chunk result(op->schema());
+  ExecContext* context = op->context();
   bool done = false;
   while (!done) {
     Chunk chunk;
     AGORA_RETURN_IF_ERROR(op->Next(&chunk, &done));
+    if (context != nullptr) {
+      AGORA_RETURN_IF_ERROR(context->CheckMemoryBudget("CollectAll"));
+    }
     size_t rows = chunk.num_rows();
     for (size_t r = 0; r < rows; ++r) {
       result.AppendRowFrom(chunk, r);

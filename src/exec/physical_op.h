@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "storage/chunk.h"
@@ -13,6 +14,7 @@
 
 namespace agora {
 
+class SpillManager;
 class ThreadPool;
 
 /// Counters collected while a query runs. Also the basis of the
@@ -50,6 +52,15 @@ struct ExecStats {
   int64_t expr_rows_evaluated = 0;   // rows through non-leaf expr kernels
   int64_t sel_vector_hits = 0;       // kernel calls under a narrowed selection
   int64_t filter_gathers_avoided = 0;  // filter outputs reused without gather
+  // Memory-governance counters (common/memory_tracker.h, storage/spill.h).
+  // The peak merges via max (it is a high-water mark, not additive); the
+  // spill triple is additive and nonzero only when a budgeted operator
+  // actually parked partitions on disk.
+  int64_t mem_bytes_reserved_peak = 0;  // query tracker high-water mark
+  int64_t mem_budget_rejections = 0;    // queries failed on budget pressure
+  int64_t spill_partitions = 0;         // partitions parked on disk
+  int64_t spill_bytes_written = 0;      // bytes serialized to spill files
+  int64_t spill_bytes_read = 0;         // bytes read back from spill files
 
   /// Per-operator self-time slots, indexed by PhysicalOperator::op_id().
   /// Additive like every other counter; per-worker copies merge exactly.
@@ -87,6 +98,13 @@ struct ExecStats {
     expr_rows_evaluated += other.expr_rows_evaluated;
     sel_vector_hits += other.sel_vector_hits;
     filter_gathers_avoided += other.filter_gathers_avoided;
+    if (other.mem_bytes_reserved_peak > mem_bytes_reserved_peak) {
+      mem_bytes_reserved_peak = other.mem_bytes_reserved_peak;
+    }
+    mem_budget_rejections += other.mem_budget_rejections;
+    spill_partitions += other.spill_partitions;
+    spill_bytes_written += other.spill_bytes_written;
+    spill_bytes_read += other.spill_bytes_read;
     if (op_timings.size() < other.op_timings.size()) {
       op_timings.resize(other.op_timings.size());
     }
@@ -131,9 +149,34 @@ struct ExecContext {
   /// (exactly — all counters are additive) at the section barrier.
   std::vector<ExecStats> worker_stats;
 
+  /// Per-query memory tracker (child of the engine root). Null when the
+  /// plan runs outside Database::ExecutePlan (unit tests build contexts
+  /// directly); all budget checks treat null as unlimited.
+  std::shared_ptr<MemoryTracker> memory;
+  /// Spill-file provider for budgeted joins/aggregates; null disables
+  /// spilling (budget violations then fail the query outright).
+  SpillManager* spill = nullptr;
+  /// Partition count used by budgeted (spill-capable) operators. Results
+  /// are byte-identical at every value; it only moves the spill
+  /// granularity.
+  size_t spill_partitions = 8;
+
   /// Number of operator ids handed out for this plan; slot count of
   /// `stats.op_timings` once every operator has reported.
   int num_ops = 0;
+
+  /// OK while the query is under its memory budget; otherwise the
+  /// ResourceExhausted status operators propagate. Called at chunk
+  /// boundaries, never per row.
+  Status CheckMemoryBudget(const char* who) const {
+    if (memory == nullptr) return Status::OK();
+    return memory->CheckBudget(who);
+  }
+
+  /// True when operators must run in budget-aware (spill-capable) mode.
+  bool memory_limited() const {
+    return memory != nullptr && memory->budget_limited();
+  }
 
   /// Hands out the next per-plan operator id (called from the
   /// PhysicalOperator constructor).

@@ -24,6 +24,8 @@ PhysicalSort::PhysicalSort(PhysicalOpPtr child, std::vector<SortKey> keys,
 
 Status PhysicalSort::OpenImpl() {
   next_row_ = 0;
+  // CollectAll checks the budget per input chunk; the extra checks below
+  // cover the key columns and permutation this operator adds on top.
   AGORA_ASSIGN_OR_RETURN(data_, CollectAll(child_.get()));
   size_t rows = data_.num_rows();
   context_->stats.rows_sorted += static_cast<int64_t>(rows);
@@ -33,6 +35,7 @@ Status PhysicalSort::OpenImpl() {
   for (size_t k = 0; k < keys_.size(); ++k) {
     AGORA_RETURN_IF_ERROR(keys_[k].expr->Evaluate(data_, &key_cols[k]));
   }
+  AGORA_RETURN_IF_ERROR(context_->CheckMemoryBudget("Sort"));
   perm_.resize(rows);
   std::iota(perm_.begin(), perm_.end(), 0);
   std::stable_sort(perm_.begin(), perm_.end(),
@@ -72,6 +75,9 @@ Status PhysicalTopK::OpenImpl() {
   while (!done) {
     Chunk input;
     AGORA_RETURN_IF_ERROR(child_->Next(&input, &done));
+    // The candidate set is bounded by O(k + offset), but that bound can
+    // itself exceed a small budget — check at chunk granularity.
+    AGORA_RETURN_IF_ERROR(context_->CheckMemoryBudget("TopK"));
     size_t rows = input.num_rows();
     context_->stats.rows_sorted += static_cast<int64_t>(rows);
     for (size_t r = 0; r < rows; ++r) {
@@ -199,6 +205,8 @@ Status PhysicalDistinct::NextImpl(Chunk* chunk, bool* done) {
   while (!child_done_) {
     Chunk input;
     AGORA_RETURN_IF_ERROR(child_->Next(&input, &child_done_));
+    // The dedup table only grows; fail gracefully under a budget.
+    AGORA_RETURN_IF_ERROR(context_->CheckMemoryBudget("Distinct"));
     size_t rows = input.num_rows();
     if (rows == 0) continue;
 

@@ -1,0 +1,49 @@
+#ifndef AGORA_EXEC_SPILL_UTIL_H_
+#define AGORA_EXEC_SPILL_UTIL_H_
+
+#include <string>
+
+#include "exec/physical_op.h"
+#include "storage/spill.h"
+
+namespace agora {
+
+/// Counted wrappers around SpillFile IO: identical semantics, plus the
+/// byte deltas land in the query's ExecStats so EXPLAIN ANALYZE and the
+/// metrics registry see spill volume.
+
+inline Status SpillWriteChunk(SpillFile* file, const Chunk& chunk,
+                              ExecStats* stats) {
+  int64_t before = file->bytes_written();
+  AGORA_RETURN_IF_ERROR(file->WriteChunk(chunk));
+  stats->spill_bytes_written += file->bytes_written() - before;
+  return Status::OK();
+}
+
+inline Status SpillWriteBlob(SpillFile* file, const void* data, size_t size,
+                             ExecStats* stats) {
+  int64_t before = file->bytes_written();
+  AGORA_RETURN_IF_ERROR(file->WriteBlob(data, size));
+  stats->spill_bytes_written += file->bytes_written() - before;
+  return Status::OK();
+}
+
+inline Status SpillReadChunk(SpillFile* file, Chunk* out, bool* eof,
+                             ExecStats* stats) {
+  int64_t before = file->bytes_read();
+  AGORA_RETURN_IF_ERROR(file->ReadChunk(out, eof));
+  stats->spill_bytes_read += file->bytes_read() - before;
+  return Status::OK();
+}
+
+inline Status SpillReadBlob(SpillFile* file, std::string* out,
+                            ExecStats* stats) {
+  int64_t before = file->bytes_read();
+  AGORA_RETURN_IF_ERROR(file->ReadBlob(out));
+  stats->spill_bytes_read += file->bytes_read() - before;
+  return Status::OK();
+}
+
+}  // namespace agora
+
+#endif  // AGORA_EXEC_SPILL_UTIL_H_

@@ -3,6 +3,39 @@
 #include "common/hash.h"
 
 namespace agora {
+namespace {
+
+/// Heap cost attributed to one element of a string column.
+inline size_t StrCost(const std::string& s) {
+  return sizeof(std::string) + s.capacity();
+}
+
+/// Reps refresh their tracker charge only when the payload drifted this
+/// many bytes, so per-row appends pay a compare, not an atomic RMW.
+constexpr size_t kChargeGranularity = 16 * 1024;
+
+}  // namespace
+
+ColumnVector::Rep::Rep(const Rep& other)
+    : validity(other.validity),
+      ints(other.ints),
+      doubles(other.doubles),
+      strings(other.strings) {
+  // The copies' string capacities may differ from the source's, so the
+  // incremental counter is recomputed rather than copied.
+  for (const auto& s : strings) string_bytes += StrCost(s);
+  Recharge();
+}
+
+void ColumnVector::Rep::Recharge() {
+  if (charge.tracker() == nullptr) return;
+  size_t now = validity.capacity() + ints.capacity() * sizeof(int64_t) +
+               doubles.capacity() * sizeof(double) + string_bytes;
+  size_t cur = charge.amount();
+  if (now > cur + kChargeGranularity || now + kChargeGranularity < cur) {
+    charge.Update(now);
+  }
+}
 
 const std::vector<std::string>& ColumnVector::EmptyStrings() {
   static const std::vector<std::string> kEmpty;
@@ -45,10 +78,12 @@ void ColumnVector::Flatten() {
       break;
     case TypeId::kString:
       flat->strings.assign(n, one.strings[0]);
+      for (const auto& s : flat->strings) flat->string_bytes += StrCost(s);
       break;
     case TypeId::kInvalid:
       break;
   }
+  flat->Recharge();
   rep_ = std::move(flat);
   constant_ = false;
   logical_size_ = 0;
@@ -72,6 +107,7 @@ void ColumnVector::Reserve(size_t n) {
     case TypeId::kInvalid:
       break;
   }
+  rep->Recharge();
 }
 
 void ColumnVector::Clear() {
@@ -91,6 +127,7 @@ void ColumnVector::ResizeForOverwrite(size_t n) {
   rep->ints.clear();
   rep->doubles.clear();
   rep->strings.clear();
+  rep->string_bytes = 0;
   switch (type_) {
     case TypeId::kBool:
     case TypeId::kInt64:
@@ -102,10 +139,12 @@ void ColumnVector::ResizeForOverwrite(size_t n) {
       break;
     case TypeId::kString:
       rep->strings.resize(n);
+      if (n != 0) rep->string_bytes = n * StrCost(rep->strings.front());
       break;
     case TypeId::kInvalid:
       break;
   }
+  rep->Recharge();
 }
 
 void ColumnVector::AppendNull() {
@@ -122,10 +161,12 @@ void ColumnVector::AppendNull() {
       break;
     case TypeId::kString:
       rep->strings.emplace_back();
+      rep->string_bytes += StrCost(rep->strings.back());
       break;
     case TypeId::kInvalid:
       break;
   }
+  rep->Recharge();
 }
 
 void ColumnVector::AppendInt64(int64_t v) {
@@ -134,6 +175,7 @@ void ColumnVector::AppendInt64(int64_t v) {
   Rep* rep = EnsureUnique();
   rep->validity.push_back(1);
   rep->ints.push_back(v);
+  rep->Recharge();
 }
 
 void ColumnVector::AppendDouble(double v) {
@@ -141,6 +183,7 @@ void ColumnVector::AppendDouble(double v) {
   Rep* rep = EnsureUnique();
   rep->validity.push_back(1);
   rep->doubles.push_back(v);
+  rep->Recharge();
 }
 
 void ColumnVector::AppendString(std::string v) {
@@ -148,6 +191,8 @@ void ColumnVector::AppendString(std::string v) {
   Rep* rep = EnsureUnique();
   rep->validity.push_back(1);
   rep->strings.push_back(std::move(v));
+  rep->string_bytes += StrCost(rep->strings.back());
+  rep->Recharge();
 }
 
 void ColumnVector::AppendValue(const Value& v) {
@@ -238,11 +283,14 @@ void ColumnVector::SetValue(size_t i, const Value& v) {
                                                     : v.AsDouble();
       break;
     case TypeId::kString:
+      rep->string_bytes -= StrCost(rep->strings[i]);
       rep->strings[i] = v.string_value();
+      rep->string_bytes += StrCost(rep->strings[i]);
       break;
     case TypeId::kInvalid:
       break;
   }
+  rep->Recharge();
 }
 
 bool ColumnVector::AllValid() const {
@@ -370,7 +418,7 @@ void ColumnVector::AppendGatherPadded(const ColumnVector& src,
   Rep* out = EnsureUnique();
   // An empty src is legal when every sel entry is kPad (NULL padding from
   // an empty build side); fall back to an empty Rep so no entry can index it.
-  static const Rep kEmptyRep;
+  static const Rep kEmptyRep(nullptr);
   const Rep& in = src.rep_ ? *src.rep_ : kEmptyRep;
   out->validity.reserve(out->validity.size() + n);
   switch (type_) {
@@ -405,11 +453,13 @@ void ColumnVector::AppendGatherPadded(const ColumnVector& src,
         } else {
           out->strings.emplace_back();
         }
+        out->string_bytes += StrCost(out->strings.back());
       }
       break;
     case TypeId::kInvalid:
       break;
   }
+  out->Recharge();
 }
 
 int ColumnVector::CompareRows(size_t i, const ColumnVector& other,
@@ -479,21 +529,20 @@ ColumnVector ColumnVector::Slice(size_t begin, size_t count) const {
     case TypeId::kString:
       dst->strings.assign(src.strings.begin() + begin,
                           src.strings.begin() + end);
+      for (const auto& s : dst->strings) dst->string_bytes += StrCost(s);
       break;
     case TypeId::kInvalid:
       break;
   }
+  dst->Recharge();
   return out;
 }
 
 size_t ColumnVector::MemoryBytes() const {
   if (!rep_) return 0;
   const Rep& rep = *rep_;
-  size_t bytes = rep.validity.capacity() +
-                 rep.ints.capacity() * sizeof(int64_t) +
-                 rep.doubles.capacity() * sizeof(double);
-  for (const auto& s : rep.strings) bytes += sizeof(std::string) + s.capacity();
-  return bytes;
+  return rep.validity.capacity() + rep.ints.capacity() * sizeof(int64_t) +
+         rep.doubles.capacity() * sizeof(double) + rep.string_bytes;
 }
 
 Status ColumnVector::CheckConsistency() const {

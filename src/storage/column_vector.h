@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/memory_tracker.h"
 #include "common/status.h"
 #include "types/type.h"
 #include "types/value.h"
@@ -179,11 +180,36 @@ class ColumnVector {
   /// Refcounted payload. A null rep_ means an empty vector; every
   /// accessor that indexes rows may assume rep_ is set because row
   /// indexes only exist once something was appended.
+  ///
+  /// Each Rep charges its payload bytes to the MemoryTracker that was
+  /// active on the creating thread (ScopedMemoryTracker installs the
+  /// per-query tracker during execution; table loads and tests run
+  /// untracked). Charges are refreshed at mutation sites with a small
+  /// granularity so per-row appends stay cheap, and the exact amount is
+  /// released when the Rep dies — shared buffers are charged once per
+  /// Rep, not per referencing vector.
   struct Rep {
+    Rep() = default;
+    /// Untracked Rep (function-local statics must not pin a query
+    /// tracker).
+    explicit Rep(std::nullptr_t)
+        : charge(std::shared_ptr<MemoryTracker>(nullptr)) {}
+    Rep(const Rep& other);
+    Rep& operator=(const Rep&) = delete;
+
+    /// Refreshes `charge` to the current payload size when it drifted
+    /// more than the charge granularity.
+    void Recharge();
+
     std::vector<uint8_t> validity;
     std::vector<int64_t> ints;
     std::vector<double> doubles;
     std::vector<std::string> strings;
+    /// Incremental sum over `strings` of sizeof(std::string) +
+    /// capacity(), maintained at every string mutation site so
+    /// MemoryBytes() and Recharge() are O(1).
+    size_t string_bytes = 0;
+    MemoryCharge charge;
   };
 
   size_t PhysRow(size_t i) const { return constant_ ? 0 : i; }

@@ -149,4 +149,13 @@ Status WriteCsv(const Table& table, std::ostream& out,
   return Status::OK();
 }
 
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::IoError("cannot open '" + path + "' for writing");
+  }
+  return WriteCsv(table, out, options);
+}
+
 }  // namespace agora

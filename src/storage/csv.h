@@ -35,6 +35,12 @@ Result<std::shared_ptr<Table>> ReadCsvFile(const std::string& path,
 Status WriteCsv(const Table& table, std::ostream& out,
                 const CsvOptions& options = {});
 
+/// Convenience wrapper over a file path. Callers outside storage/ must
+/// use this rather than opening the file themselves (the lint bans
+/// direct file IO outside storage/ and txn/).
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
 }  // namespace agora
 
 #endif  // AGORA_STORAGE_CSV_H_

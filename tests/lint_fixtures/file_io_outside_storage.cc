@@ -1,0 +1,24 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// direct file IO outside src/storage/ and src/txn/ bypasses the
+// storage-layer helpers that own error handling, temp-file cleanup, and
+// spill IO accounting (ReadCsvFile/WriteCsvFile, SpillManager).
+// lint-as: src/engine/bad_file_io.cc
+// expect-violation: file-io-outside-storage
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace agora {
+
+void DumpDebugState(const std::string& path) {
+  std::ofstream out(path);
+  out << "state\n";
+}
+
+void AppendLog(const std::string& path) {
+  std::FILE* f = fopen(path.c_str(), "a");
+  if (f != nullptr) fclose(f);
+}
+
+}  // namespace agora

@@ -1,0 +1,409 @@
+// Memory governance: tracker accounting, spill-file round trips, and —
+// the load-bearing contract — budgeted execution that spills to disk
+// yet emits byte-identical results. A budget changes *where* join build
+// partitions and aggregation state live, never *what* the query
+// returns: every test here compares a budgeted run cell-for-cell
+// (doubles bitwise) against an unlimited-budget reference, across
+// partition counts and worker counts. Queries that cannot fit even by
+// spilling must fail with a ResourceExhausted Status and leave the
+// engine fully usable.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/memory_tracker.h"
+#include "engine/database.h"
+#include "storage/spill.h"
+#include "tpch/tpch.h"
+
+namespace agora {
+namespace {
+
+// ---------------------------------------------------------------------
+// MemoryTracker unit tests
+// ---------------------------------------------------------------------
+
+TEST(MemoryTrackerTest, ChargesPropagateToAncestors) {
+  auto root = std::make_shared<MemoryTracker>("root");
+  auto child = std::make_shared<MemoryTracker>("child", root);
+  child->Consume(100);
+  EXPECT_EQ(child->reserved(), 100);
+  EXPECT_EQ(root->reserved(), 100);
+  child->Consume(50);
+  EXPECT_EQ(root->reserved(), 150);
+  child->Release(150);
+  EXPECT_EQ(child->reserved(), 0);
+  EXPECT_EQ(root->reserved(), 0);
+  // Peak is a high-water mark; releases never lower it.
+  EXPECT_EQ(child->peak(), 150);
+  EXPECT_EQ(root->peak(), 150);
+}
+
+TEST(MemoryTrackerTest, BudgetLimitedWalksTheChain) {
+  auto root = std::make_shared<MemoryTracker>("root");
+  auto child = std::make_shared<MemoryTracker>("child", root);
+  EXPECT_FALSE(child->budget_limited());
+  root->set_budget(1000);
+  EXPECT_TRUE(child->budget_limited());
+  EXPECT_TRUE(root->budget_limited());
+  root->set_budget(0);
+  EXPECT_FALSE(child->budget_limited());
+}
+
+TEST(MemoryTrackerTest, CheckBudgetNamesTheExhaustedTracker) {
+  auto root = std::make_shared<MemoryTracker>("engine");
+  auto child = std::make_shared<MemoryTracker>("query", root);
+  root->set_budget(100);
+  child->Consume(150);
+  EXPECT_TRUE(child->over_budget());
+  Status s = child->CheckBudget("HashJoin");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(s.ToString().find("HashJoin"), std::string::npos);
+  EXPECT_NE(s.ToString().find("engine"), std::string::npos);
+  child->Release(150);
+  EXPECT_TRUE(child->CheckBudget("HashJoin").ok());
+}
+
+TEST(MemoryTrackerTest, MemoryChargeAdjustsAndReleasesOnDestruction) {
+  auto tracker = std::make_shared<MemoryTracker>("t");
+  {
+    MemoryCharge charge(tracker);
+    charge.Update(64);
+    EXPECT_EQ(tracker->reserved(), 64);
+    charge.Update(32);  // shrink releases the delta
+    EXPECT_EQ(tracker->reserved(), 32);
+    MemoryCharge moved = std::move(charge);
+    EXPECT_EQ(tracker->reserved(), 32);  // move transfers, not doubles
+  }
+  EXPECT_EQ(tracker->reserved(), 0);  // destructor released everything
+}
+
+TEST(MemoryTrackerTest, ScopedTrackerInstallsAndRestores) {
+  auto tracker = std::make_shared<MemoryTracker>("scoped");
+  EXPECT_EQ(CurrentMemoryTracker(), nullptr);
+  {
+    ScopedMemoryTracker scope(tracker);
+    EXPECT_EQ(CurrentMemoryTracker().get(), tracker.get());
+    MemoryCharge charge;  // default-constructed: captures the scope
+    charge.Update(16);
+    EXPECT_EQ(tracker->reserved(), 16);
+  }
+  EXPECT_EQ(CurrentMemoryTracker(), nullptr);
+  EXPECT_EQ(tracker->reserved(), 0);
+}
+
+// ---------------------------------------------------------------------
+// Spill-file round trips and cleanup
+// ---------------------------------------------------------------------
+
+size_t CountSpillFiles(const std::string& dir) {
+  size_t n = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind("agora_spill_", 0) == 0) ++n;
+  }
+  return n;
+}
+
+std::string MakeScratchDir(const char* tag) {
+  std::string dir = (std::filesystem::temp_directory_path() /
+                     (std::string("agora_spill_test_") + tag))
+                        .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(SpillFileTest, ChunkAndBlobRoundTripBitExact) {
+  std::string dir = MakeScratchDir("roundtrip");
+  {
+    SpillManager manager(dir);
+    auto created = manager.Create();
+    ASSERT_TRUE(created.ok()) << created.status().ToString();
+    std::unique_ptr<SpillFile> file = std::move(created).value();
+
+    Schema schema({Field{"i", TypeId::kInt64, true},
+                   Field{"d", TypeId::kDouble, true},
+                   Field{"s", TypeId::kString, true}});
+    Chunk chunk(schema);
+    chunk.AppendRow({Value::Int64(1), Value::Double(0.1), Value::String("a")});
+    chunk.AppendRow({Value::Null(), Value::Double(-0.0), Value::String("")});
+    chunk.AppendRow({Value::Int64(-7), Value::Null(), Value::Null()});
+    ASSERT_TRUE(file->WriteChunk(chunk).ok());
+    const std::string blob = "raw accumulator bytes \x00\x01\x02";
+    ASSERT_TRUE(file->WriteBlob(blob.data(), blob.size()).ok());
+    ASSERT_TRUE(file->Rewind().ok());
+
+    Chunk back;
+    bool eof = false;
+    ASSERT_TRUE(file->ReadChunk(&back, &eof).ok());
+    ASSERT_FALSE(eof);
+    ASSERT_EQ(back.num_rows(), chunk.num_rows());
+    for (size_t r = 0; r < chunk.num_rows(); ++r) {
+      for (size_t c = 0; c < chunk.num_columns(); ++c) {
+        Value a = chunk.column(c).GetValue(r);
+        Value b = back.column(c).GetValue(r);
+        ASSERT_EQ(a.is_null(), b.is_null()) << r << "," << c;
+        if (a.is_null()) continue;
+        if (a.type() == TypeId::kDouble) {
+          EXPECT_EQ(a.AsDouble(), b.AsDouble()) << r << "," << c;
+        } else {
+          EXPECT_EQ(a.Compare(b), 0) << r << "," << c;
+        }
+      }
+    }
+    std::string blob_back;
+    ASSERT_TRUE(file->ReadBlob(&blob_back).ok());
+    EXPECT_EQ(blob_back, blob);
+    Chunk past_end;
+    ASSERT_TRUE(file->ReadChunk(&past_end, &eof).ok());
+    EXPECT_TRUE(eof);
+
+    EXPECT_EQ(CountSpillFiles(dir), 1u);
+    manager.Recycle(std::move(file));
+    EXPECT_EQ(CountSpillFiles(dir), 1u);  // recycled, not yet unlinked
+  }
+  // Manager destruction unlinks every file it ever handed out.
+  EXPECT_EQ(CountSpillFiles(dir), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Budgeted end-to-end execution
+// ---------------------------------------------------------------------
+
+/// Two engines over identical TPC-H data (the generator is
+/// deterministic): `ref_` always runs unlimited, `budgeted_` gets its
+/// budget/partition/thread knobs twiddled per test and reset after.
+class SpillExecTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // Force a multi-core pool even in single-core containers, so the
+    // thread sweep actually schedules parallel morsels. Must precede the
+    // first query (the global pool is constructed lazily).
+    setenv("AGORA_THREADS", "4", 0);
+    TpchOptions options;
+    options.scale_factor = 0.005;
+    ref_ = new Database();
+    ASSERT_TRUE(GenerateTpch(options, &ref_->catalog()).ok());
+    budgeted_ = new Database();
+    ASSERT_TRUE(GenerateTpch(options, &budgeted_->catalog()).ok());
+  }
+  static void TearDownTestSuite() {
+    delete budgeted_;
+    delete ref_;
+    budgeted_ = nullptr;
+    ref_ = nullptr;
+  }
+  void TearDown() override {
+    budgeted_->set_memory_budget(0);
+    budgeted_->set_spill_partitions(8);
+    budgeted_->set_execution_threads(0);
+  }
+
+  static QueryResult Run(Database* db, const std::string& sql) {
+    auto result = db->Execute(sql);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? std::move(*result) : QueryResult();
+  }
+
+  /// Cell-exact equality; doubles compared with operator== (the
+  /// byte-identity contract allows no tolerance).
+  static void ExpectIdentical(const QueryResult& a, const QueryResult& b,
+                              const std::string& label) {
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << label;
+    ASSERT_EQ(a.num_columns(), b.num_columns()) << label;
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      for (size_t c = 0; c < a.num_columns(); ++c) {
+        Value va = a.Get(r, c);
+        Value vb = b.Get(r, c);
+        ASSERT_EQ(va.is_null(), vb.is_null())
+            << label << " (" << r << "," << c << ")";
+        if (va.is_null()) continue;
+        if (va.type() == TypeId::kDouble) {
+          ASSERT_EQ(va.AsDouble(), vb.AsDouble())
+              << label << " (" << r << "," << c << ")";
+        } else {
+          ASSERT_EQ(va.Compare(vb), 0)
+              << label << " (" << r << "," << c << "): " << va.ToString()
+              << " vs " << vb.ToString();
+        }
+      }
+    }
+  }
+
+  /// Unlimited-run peak for `sql`, used to size budgets relative to the
+  /// actual working set instead of hard-coding byte counts.
+  static int64_t UnlimitedPeak(const std::string& sql) {
+    QueryResult r = Run(budgeted_, sql);
+    return r.stats().mem_bytes_reserved_peak;
+  }
+
+  /// Runs `sql` under `budget` across partition counts and worker
+  /// counts, requiring byte-identical results every time; returns the
+  /// total spilled partitions observed.
+  int64_t SweepAndCompare(const std::string& sql, int64_t budget,
+                          const QueryResult& reference) {
+    int64_t spilled = 0;
+    for (size_t partitions : {2u, 4u, 8u}) {
+      for (int threads : {1, 4}) {
+        budgeted_->set_memory_budget(budget);
+        budgeted_->set_spill_partitions(partitions);
+        budgeted_->set_execution_threads(threads);
+        std::string label = "P=" + std::to_string(partitions) +
+                            " T=" + std::to_string(threads) +
+                            " budget=" + std::to_string(budget);
+        QueryResult got = Run(budgeted_, sql);
+        ExpectIdentical(reference, got, label);
+        spilled += got.stats().spill_partitions;
+        if (got.stats().spill_partitions > 0) {
+          EXPECT_GT(got.stats().spill_bytes_written, 0) << label;
+          EXPECT_GT(got.stats().spill_bytes_read, 0) << label;
+        }
+        EXPECT_GT(got.stats().mem_bytes_reserved_peak, 0) << label;
+      }
+    }
+    return spilled;
+  }
+
+  static Database* ref_;
+  static Database* budgeted_;
+};
+
+Database* SpillExecTest::ref_ = nullptr;
+Database* SpillExecTest::budgeted_ = nullptr;
+
+// A join whose build side dominates the working set and whose result is
+// one row: shrinking the budget *must* push build partitions to disk.
+const char kBuildHeavyJoin[] =
+    "SELECT COUNT(*), SUM(l_quantity) FROM orders, lineitem "
+    "WHERE o_orderkey = l_orderkey";
+
+// An aggregation with one group per order: the group table dominates,
+// so a sub-working-set budget must snapshot partitions to disk. The
+// double SUM makes float accumulation order observable.
+const char kGroupHeavyAgg[] =
+    "SELECT l_orderkey, COUNT(*), SUM(l_quantity), "
+    "SUM(l_extendedprice * (1.0 - l_discount)) "
+    "FROM lineitem GROUP BY l_orderkey";
+
+TEST_F(SpillExecTest, JoinSpillsAndStaysByteIdentical) {
+  QueryResult reference = Run(ref_, kBuildHeavyJoin);
+  int64_t peak = UnlimitedPeak(kBuildHeavyJoin);
+  ASSERT_GT(peak, 0);
+  int64_t spilled =
+      SweepAndCompare(kBuildHeavyJoin, std::max<int64_t>(peak / 4, 1 << 16),
+                      reference);
+  EXPECT_GT(spilled, 0) << "budget " << peak / 4
+                        << " never forced a build partition to disk";
+}
+
+TEST_F(SpillExecTest, AggregateSpillsAndStaysByteIdentical) {
+  QueryResult reference = Run(ref_, kGroupHeavyAgg);
+  int64_t peak = UnlimitedPeak(kGroupHeavyAgg);
+  ASSERT_GT(peak, 0);
+  // A grouped aggregation's budget must at least cover its own result
+  // chunk (the output is not spillable); headroom beyond that is what
+  // spilling trades away, so grant the result plus one chunk's worth.
+  int64_t result_bytes = static_cast<int64_t>(reference.data().MemoryBytes());
+  int64_t budget =
+      std::max<int64_t>(peak / 4, result_bytes + (int64_t{64} << 10));
+  int64_t spilled = SweepAndCompare(kGroupHeavyAgg, budget, reference);
+  EXPECT_GT(spilled, 0) << "budget " << budget
+                        << " never snapshotted an aggregation partition";
+}
+
+TEST_F(SpillExecTest, TpchQueriesByteIdenticalUnderBudget) {
+  for (const std::string& sql : {TpchQ5(), TpchQ10()}) {
+    QueryResult reference = Run(ref_, sql);
+    int64_t peak = UnlimitedPeak(sql);
+    ASSERT_GT(peak, 0);
+    SweepAndCompare(sql, std::max<int64_t>(peak / 3, 1 << 16), reference);
+  }
+}
+
+TEST_F(SpillExecTest, InfeasibleBudgetFailsGracefullyAndEngineSurvives) {
+  // 16 KiB is below a single lineitem chunk: not feasible even with
+  // every partition spilled. The query must fail with a Status — no
+  // abort, no crash — and the engine must serve the next query.
+  budgeted_->set_memory_budget(16 << 10);
+  int64_t rejections_before = budgeted_->cumulative_stats().mem_budget_rejections;
+  auto result = budgeted_->Execute(kGroupHeavyAgg);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted)
+      << result.status().ToString();
+  EXPECT_NE(result.status().ToString().find("memory budget exceeded"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_GT(budgeted_->cumulative_stats().mem_budget_rejections,
+            rejections_before);
+  // Same engine, budget lifted: the query runs fine.
+  budgeted_->set_memory_budget(0);
+  QueryResult ok = Run(budgeted_, kGroupHeavyAgg);
+  QueryResult reference = Run(ref_, kGroupHeavyAgg);
+  ExpectIdentical(reference, ok, "post-failure recovery");
+}
+
+TEST_F(SpillExecTest, RootReservationReturnsToZero) {
+  ASSERT_EQ(budgeted_->memory_tracker()->reserved(), 0);
+  QueryResult reference = Run(ref_, kGroupHeavyAgg);
+  int64_t result_bytes = static_cast<int64_t>(reference.data().MemoryBytes());
+  int64_t peak = UnlimitedPeak(kGroupHeavyAgg);
+  {
+    // Half the unlimited peak with two partitions: tight enough that the
+    // aggregation sheds a partition, roomy enough to hold the result
+    // (whose accumulation is the feasibility floor of any budget).
+    budgeted_->set_spill_partitions(2);
+    budgeted_->set_memory_budget(
+        std::max<int64_t>(peak / 2, result_bytes + (int64_t{64} << 10)));
+    QueryResult held = Run(budgeted_, kGroupHeavyAgg);
+    EXPECT_GT(held.num_rows(), 0u);
+  }
+  // Every charge is owned by RAII holders inside operators or result
+  // chunks; with the result gone the engine root must read exactly zero
+  // (a leak here means some owner forgot its tracker).
+  EXPECT_EQ(budgeted_->memory_tracker()->reserved(), 0);
+  EXPECT_GT(budgeted_->memory_tracker()->peak(), 0);
+}
+
+TEST_F(SpillExecTest, SpillTempFilesAreCleanedUp) {
+  std::string dir = MakeScratchDir("exec");
+  {
+    Database db;
+    TpchOptions options;
+    options.scale_factor = 0.005;
+    ASSERT_TRUE(GenerateTpch(options, &db.catalog()).ok());
+    db.set_spill_dir(dir);
+    QueryResult unlimited = Run(&db, kBuildHeavyJoin);
+    db.set_memory_budget(
+        std::max<int64_t>(unlimited.stats().mem_bytes_reserved_peak / 4,
+                          1 << 16));
+    QueryResult got = Run(&db, kBuildHeavyJoin);
+    EXPECT_GT(got.stats().spill_partitions, 0);
+    ExpectIdentical(unlimited, got, "spill-dir run");
+  }
+  // The SpillManager dies with the database and unlinks every temp file
+  // — success path and error path alike.
+  EXPECT_EQ(CountSpillFiles(dir), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST_F(SpillExecTest, MetricsExposeSpillCounters) {
+  int64_t peak = UnlimitedPeak(kBuildHeavyJoin);
+  budgeted_->set_memory_budget(std::max<int64_t>(peak / 4, 1 << 16));
+  QueryResult got = Run(budgeted_, kBuildHeavyJoin);
+  ASSERT_GT(got.stats().spill_partitions, 0);
+  std::string snapshot = budgeted_->MetricsSnapshot();
+  EXPECT_NE(snapshot.find("spill_partitions_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("spill_bytes_written_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("spill_bytes_read_total"), std::string::npos);
+  EXPECT_NE(snapshot.find("mem_bytes_reserved_peak"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace agora
