@@ -1,0 +1,298 @@
+// HTTP front-end benchmark: a closed-loop client fleet against the
+// AgoraDB server, measuring end-to-end request latency (p50/p99) and
+// throughput for a mixed relational + hybrid workload, while asserting
+// that every served response is byte-identical to embedded execution.
+// Results go to BENCH_http.json (schema in docs/BENCH_SCHEMA.md).
+//
+// Modes:
+//   bench_http [--clients=8] [--requests=25] [--tpch-sf=0.01]
+//              [--hybrid-docs=2000]
+//       Boots an in-process server on an ephemeral port, runs the
+//       closed loop, writes BENCH_http.json. Exit 1 on any failed
+//       request or byte divergence.
+//   bench_http --connect=127.0.0.1:7878 --smoke
+//       CI smoke client against an externally booted agora_serve:
+//       waits for the port, runs three queries, scrapes /metrics.
+//
+// This is a plain main() binary (no google-benchmark harness): a
+// closed-loop multi-client driver doesn't fit the single-threaded
+// benchmark-loop model.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "server/bootstrap.h"
+#include "server/http_client.h"
+#include "server/json_util.h"
+#include "server/query_handler.h"
+#include "server/server.h"
+#include "tpch/tpch.h"
+
+namespace agora {
+namespace {
+
+struct Options {
+  int clients = 8;
+  int requests_per_client = 25;
+  double tpch_sf = 0.01;
+  size_t hybrid_docs = 2000;
+  std::string connect;  // "host:port"; empty = in-process server
+  bool smoke = false;
+};
+
+/// The mixed workload: relational TPC-H, hybrid-document aggregation and
+/// a keyword-search query against the same served engine. Every query
+/// is deterministic (ORDER BY or aggregate-only) so responses can be
+/// compared byte-for-byte against embedded execution.
+std::vector<std::string> MixedWorkload() {
+  return {
+      TpchQ6(),
+      TpchQ1(),
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag",
+      "SELECT category, COUNT(*) AS c, SUM(price) AS s FROM docs "
+      "GROUP BY category ORDER BY category",
+      "SELECT rowid, category, price FROM docs "
+      "WHERE MATCH(text, 'astronomy') LIMIT 10",
+      "SELECT COUNT(*) AS n FROM docs WHERE price < 50",
+  };
+}
+
+struct ClientStats {
+  std::vector<double> latencies_ms;
+  int failures = 0;
+  int divergences = 0;
+};
+
+double Percentile(std::vector<double>* sorted, double p) {
+  if (sorted->empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted->size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted->size())));
+  return (*sorted)[idx];
+}
+
+int RunClosedLoop(const Options& options) {
+  std::printf("[http] booting in-process server: tpch sf=%.3f, docs=%zu\n",
+              options.tpch_sf, options.hybrid_docs);
+  auto data = MakeServedData(options.tpch_sf, options.hybrid_docs);
+  if (!data.ok()) {
+    std::printf("[http] bootstrap failed: %s\n",
+                data.status().ToString().c_str());
+    return 1;
+  }
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.max_connections = options.clients + 8;
+  HttpServer server(data->db(), server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("[http] %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> workload = MixedWorkload();
+  std::vector<std::string> expected;
+  for (const auto& sql : workload) {
+    auto result = data->db()->Execute(sql);
+    if (!result.ok()) {
+      std::printf("[http] embedded reference failed: %s -> %s\n", sql.c_str(),
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(QueryHandler::SerializeResultJson(*result));
+  }
+
+  std::printf("[http] closed loop: %d clients x %d requests, %zu queries\n",
+              options.clients, options.requests_per_client, workload.size());
+  std::vector<ClientStats> stats(options.clients);
+  std::vector<std::thread> threads;
+  threads.reserve(options.clients);
+  const auto wall_start = std::chrono::steady_clock::now();
+  for (int c = 0; c < options.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientStats& mine = stats[c];
+      HttpClient client("127.0.0.1", server.port());
+      for (int r = 0; r < options.requests_per_client; ++r) {
+        const size_t q = static_cast<size_t>(c + r) % workload.size();
+        const std::string body = "{\"sql\": " + JsonQuote(workload[q]) + "}";
+        const auto t0 = std::chrono::steady_clock::now();
+        auto response = client.Post("/query", body);
+        const auto t1 = std::chrono::steady_clock::now();
+        if (!response.ok() || response->status != 200) {
+          ++mine.failures;
+          continue;
+        }
+        if (response->body != expected[q]) {
+          ++mine.divergences;
+          continue;
+        }
+        mine.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  server.Stop();
+
+  std::vector<double> all;
+  int failures = 0, divergences = 0;
+  for (const auto& s : stats) {
+    all.insert(all.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+    failures += s.failures;
+    divergences += s.divergences;
+  }
+  std::sort(all.begin(), all.end());
+  const double p50 = Percentile(&all, 0.50);
+  const double p99 = Percentile(&all, 0.99);
+  const double throughput = wall_s > 0.0 ? all.size() / wall_s : 0.0;
+
+  std::printf("[http] %zu ok, %d failed, %d divergent | p50 %.2f ms, "
+              "p99 %.2f ms, %.1f req/s\n",
+              all.size(), failures, divergences, p50, p99, throughput);
+
+  const char* path = "BENCH_http.json";
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::printf("[http] cannot open %s for writing; skipping JSON\n", path);
+  } else {
+    std::fprintf(out, "{\n  \"experiment\": \"http_serving\",\n");
+    std::fprintf(out, "  \"pool_threads\": %zu,\n",
+                 ThreadPool::Global()->size());
+    std::fprintf(out, "  \"clients\": %d,\n", options.clients);
+    std::fprintf(out, "  \"requests_per_client\": %d,\n",
+                 options.requests_per_client);
+    std::fprintf(out, "  \"tpch_sf\": %.4f,\n", options.tpch_sf);
+    std::fprintf(out, "  \"hybrid_docs\": %zu,\n", options.hybrid_docs);
+    std::fprintf(out, "  \"results\": [\n");
+    std::fprintf(out,
+                 "    {\"requests_ok\": %zu, \"requests_failed\": %d, "
+                 "\"responses_divergent\": %d, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"throughput_rps\": %.2f, "
+                 "\"wall_seconds\": %.3f}\n",
+                 all.size(), failures, divergences, p50, p99, throughput,
+                 wall_s);
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    std::printf("[http] results written to %s\n", path);
+  }
+
+  if (failures > 0 || divergences > 0) {
+    std::printf("[http verdict] FAILED: %d failed requests, %d divergent "
+                "responses (served bytes must match embedded execution).\n",
+                failures, divergences);
+    return 1;
+  }
+  std::printf("[http verdict] all %zu responses byte-identical to embedded "
+              "execution under %d concurrent clients.\n",
+              all.size(), options.clients);
+  return 0;
+}
+
+/// CI smoke mode: poll until the external server accepts connections,
+/// run a few queries, scrape /metrics.
+int RunSmoke(const Options& options) {
+  const size_t colon = options.connect.rfind(':');
+  if (colon == std::string::npos) {
+    std::printf("[http] --connect needs host:port, got '%s'\n",
+                options.connect.c_str());
+    return 2;
+  }
+  const std::string host = options.connect.substr(0, colon);
+  const int port = std::atoi(options.connect.c_str() + colon + 1);
+
+  HttpClient client(host, port);
+  Status up = Status::IoError("never tried");
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    up = client.Connect();
+    if (up.ok()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (!up.ok()) {
+    std::printf("[http] server at %s never came up: %s\n",
+                options.connect.c_str(), up.ToString().c_str());
+    return 1;
+  }
+
+  const std::string queries[] = {
+      "SELECT COUNT(*) AS n FROM lineitem",
+      "SELECT l_returnflag, COUNT(*) AS c FROM lineitem "
+      "GROUP BY l_returnflag ORDER BY l_returnflag",
+      "SELECT category, COUNT(*) AS c FROM docs "
+      "GROUP BY category ORDER BY category",
+  };
+  for (const auto& sql : queries) {
+    auto response = client.Post("/query", "{\"sql\": " + JsonQuote(sql) + "}");
+    if (!response.ok() || response->status != 200) {
+      std::printf("[http] smoke query failed (%s): %s\n", sql.c_str(),
+                  response.ok() ? std::to_string(response->status).c_str()
+                                : response.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("[http] smoke ok: %s\n", sql.c_str());
+  }
+  auto health = client.Get("/healthz");
+  if (!health.ok() || health->status != 200) {
+    std::printf("[http] /healthz failed\n");
+    return 1;
+  }
+  auto metrics = client.Get("/metrics");
+  if (!metrics.ok() || metrics->status != 200 ||
+      metrics->body.find("agora_server_requests_total") == std::string::npos) {
+    std::printf("[http] /metrics scrape failed or missing server counters\n");
+    return 1;
+  }
+  std::printf("[http] smoke passed: 3 queries, healthz, metrics scrape.\n");
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* name) -> const char* {
+      const size_t len = std::strlen(name);
+      if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+        return arg + len + 1;
+      }
+      return nullptr;
+    };
+    if (const char* v = value("--clients")) {
+      options.clients = std::atoi(v);
+    } else if (const char* v = value("--requests")) {
+      options.requests_per_client = std::atoi(v);
+    } else if (const char* v = value("--tpch-sf")) {
+      options.tpch_sf = std::atof(v);
+    } else if (const char* v = value("--hybrid-docs")) {
+      options.hybrid_docs = static_cast<size_t>(std::atoll(v));
+    } else if (const char* v = value("--connect")) {
+      options.connect = v;
+    } else if (std::strcmp(arg, "--smoke") == 0) {
+      options.smoke = true;
+    } else {
+      std::printf("usage: bench_http [--clients=N] [--requests=N] "
+                  "[--tpch-sf=F] [--hybrid-docs=N] | "
+                  "--connect=host:port --smoke\n");
+      return 2;
+    }
+  }
+  if (!options.connect.empty()) return RunSmoke(options);
+  return RunClosedLoop(options);
+}
+
+}  // namespace
+}  // namespace agora
+
+int main(int argc, char** argv) { return agora::Run(argc, argv); }

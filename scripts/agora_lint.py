@@ -38,6 +38,12 @@ cannot express (docs/ANALYSIS.md has the full rationale):
   metrics-doc-drift       Every counter name registered in
                           src/engine/database.cc must be documented in
                           docs/METRICS.md (the enforced metric contract).
+  env-doc-drift           Every AGORA_* environment knob read via getenv()
+                          or an Env* wrapper anywhere in src/ must be
+                          documented in docs/OPERATIONS.md (the operator
+                          runbook is the enforced knob contract; a knob you
+                          cannot find in the runbook does not exist to an
+                          operator).
   compile-commands        Every src/*.cc must appear in the build tree's
                           compile_commands.json, so clang-tidy and editors
                           see the same translation units this lint does.
@@ -72,6 +78,7 @@ RULES = (
     "raw-new-delete",
     "file-io-outside-storage",
     "metrics-doc-drift",
+    "env-doc-drift",
     "compile-commands",
 )
 
@@ -85,6 +92,11 @@ EXPECT_RE = re.compile(r"//\s*expect-violation:\s*([a-z-]+)")
 
 METRIC_NAME_RE = re.compile(
     r'"([a-z][a-z0-9_]*(?:_total|_seconds|_rows|_threads))"')
+
+# The knob name is the first argument of getenv() or of an Env* helper
+# that wraps it (EnvInt("AGORA_PORT", ...) in src/server/server.cc).
+ENV_KNOB_RE = re.compile(r'(?:getenv|\bEnv[A-Z]\w*)\s*\(\s*"(AGORA_[A-Z0-9_]+)"')
+ENV_CALL_RE = re.compile(r"\bgetenv\s*\(|\bEnv[A-Z]\w*\s*\(")
 
 
 class Finding:
@@ -273,6 +285,38 @@ def metrics_doc_findings(database_cc_path, database_cc_text, metrics_md_text):
     return findings
 
 
+def env_doc_findings(rel_path, raw_text, operations_md_text):
+    """Every AGORA_* env knob read via getenv() in src/ must appear in
+    docs/OPERATIONS.md. Knob names live inside string literals, so this
+    rule reads raw lines (unlike the stripped-line rules) but still
+    requires the getenv call itself to survive comment stripping, and it
+    honors the same allow() suppressions."""
+    findings = []
+    if not rel_path.startswith("src/"):
+        return findings
+    raw_lines = raw_text.splitlines()
+    stripped_lines = strip_comments_and_strings(raw_text).splitlines()
+    allows = collect_allows(raw_lines, stripped_lines)
+    seen = set()
+    for lineno, stripped in enumerate(stripped_lines, 1):
+        if not ENV_CALL_RE.search(stripped):
+            continue
+        for m in ENV_KNOB_RE.finditer(raw_lines[lineno - 1]):
+            name = m.group(1)
+            if name in seen:
+                continue
+            seen.add(name)
+            if "env-doc-drift" in allows.get(lineno, ()):
+                continue
+            if f"`{name}`" not in operations_md_text \
+                    and name not in operations_md_text:
+                findings.append(Finding(
+                    rel_path, lineno, "env-doc-drift",
+                    f"env knob '{name}' is read here but undocumented in "
+                    "docs/OPERATIONS.md (the operator runbook)"))
+    return findings
+
+
 def load_compile_commands(build_dir):
     path = os.path.join(build_dir, "compile_commands.json")
     if not os.path.isfile(path):
@@ -300,11 +344,17 @@ def lint_tree(repo, build_dir):
             "compile-commands",
             "missing compilation database; configure with CMake (the tree "
             "sets CMAKE_EXPORT_COMPILE_COMMANDS=ON)"))
+    operations_md = os.path.join(repo, "docs", "OPERATIONS.md")
+    ops_text = ""
+    if os.path.isfile(operations_md):
+        with open(operations_md, encoding="utf-8") as f:
+            ops_text = f.read()
     for rel in iter_source_files(repo):
         full = os.path.join(repo, rel)
         with open(full, encoding="utf-8") as f:
             text = f.read()
         findings.extend(line_findings(rel, text))
+        findings.extend(env_doc_findings(rel, text, ops_text))
         if (compiled is not None and rel.endswith(".cc")
                 and os.path.realpath(full) not in compiled):
             findings.append(Finding(
@@ -333,6 +383,11 @@ def self_test(repo):
     with open(os.path.join(repo, "docs", "METRICS.md"),
               encoding="utf-8") as f:
         md_text = f.read()
+    ops_path = os.path.join(repo, "docs", "OPERATIONS.md")
+    ops_text = ""
+    if os.path.isfile(ops_path):
+        with open(ops_path, encoding="utf-8") as f:
+            ops_text = f.read()
     for name in fixture_files:
         path = os.path.join(fixtures_dir, name)
         with open(path, encoding="utf-8") as f:
@@ -341,6 +396,7 @@ def self_test(repo):
         lint_as = m.group(1) if m else f"tests/lint_fixtures/{name}"
         expected = sorted(EXPECT_RE.findall(text))
         findings = line_findings(lint_as, text)
+        findings.extend(env_doc_findings(lint_as, text, ops_text))
         if lint_as.endswith("database.cc"):
             findings.extend(metrics_doc_findings(lint_as, text, md_text))
         got = sorted({f.rule for f in findings})

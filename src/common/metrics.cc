@@ -126,6 +126,48 @@ double MetricsRegistry::CounterValue(std::string_view name,
   return jt == it->second.end() ? 0.0 : jt->second;
 }
 
+void MetricsRegistry::Observe(std::string_view name, double value) {
+  assert(ValidMetricName(name));
+  std::lock_guard<std::mutex> lock(mu_);
+  Histogram& h = histograms_[std::string(name)];
+  size_t bucket = kHistogramBuckets - 1;  // +Inf
+  for (size_t i = 0; i < kHistogramBuckets - 1; ++i) {
+    if (value <= kHistogramBounds[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  h.buckets[bucket] += 1;
+  h.sum += value;
+  h.count += 1;
+}
+
+int64_t MetricsRegistry::HistogramCount(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? 0 : it->second.count;
+}
+
+double MetricsRegistry::HistogramSum(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  return it == histograms_.end() ? 0.0 : it->second.sum;
+}
+
+std::vector<int64_t> MetricsRegistry::HistogramBucketCounts(
+    std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(std::string(name));
+  if (it == histograms_.end()) return {};
+  std::vector<int64_t> cumulative(kHistogramBuckets, 0);
+  int64_t running = 0;
+  for (size_t i = 0; i < kHistogramBuckets; ++i) {
+    running += it->second.buckets[i];
+    cumulative[i] = running;
+  }
+  return cumulative;
+}
+
 double MetricsRegistry::GaugeValue(std::string_view name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauges_.find(std::string(name));
@@ -135,9 +177,10 @@ double MetricsRegistry::GaugeValue(std::string_view name) const {
 std::vector<std::string> MetricsRegistry::Names() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
-  names.reserve(counters_.size() + gauges_.size());
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, series] : counters_) names.push_back(name);
   for (const auto& [name, value] : gauges_) names.push_back(name);
+  for (const auto& [name, hist] : histograms_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }
@@ -174,7 +217,34 @@ std::string MetricsRegistry::Snapshot(MetricsFormat format) const {
       first = false;
       out += "    \"" + name + "\": " + FormatMetricValue(value);
     }
-    out += "\n  }\n}\n";
+    out += "\n  }";
+    // The histograms key appears only once a histogram exists, so
+    // counter/gauge-only snapshots keep the PR 3 document shape.
+    if (!histograms_.empty()) {
+      out += ",\n  \"histograms\": {";
+      first = true;
+      for (const auto& [name, hist] : histograms_) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + name + "\": {\"count\": " +
+               FormatMetricValue(static_cast<double>(hist.count)) +
+               ", \"sum\": " + FormatMetricValue(hist.sum) +
+               ", \"buckets\": {";
+        int64_t cumulative = 0;
+        for (size_t i = 0; i < kHistogramBuckets; ++i) {
+          cumulative += hist.buckets[i];
+          if (i > 0) out += ", ";
+          out += "\"";
+          out += i + 1 < kHistogramBuckets
+                     ? FormatMetricValue(kHistogramBounds[i])
+                     : std::string("+Inf");
+          out += "\": " + FormatMetricValue(static_cast<double>(cumulative));
+        }
+        out += "}}";
+      }
+      out += "\n  }";
+    }
+    out += "\n}\n";
   } else {
     for (const auto& [name, series] : counters_) {
       out += "# TYPE agora_" + name + " counter\n";
@@ -188,6 +258,21 @@ std::string MetricsRegistry::Snapshot(MetricsFormat format) const {
       out += "# TYPE agora_" + name + " gauge\n";
       out += "agora_" + name + " " + FormatMetricValue(value) + "\n";
     }
+    for (const auto& [name, hist] : histograms_) {
+      out += "# TYPE agora_" + name + " histogram\n";
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < kHistogramBuckets; ++i) {
+        cumulative += hist.buckets[i];
+        const std::string le = i + 1 < kHistogramBuckets
+                                   ? FormatMetricValue(kHistogramBounds[i])
+                                   : std::string("+Inf");
+        out += "agora_" + name + "_bucket{le=\"" + le + "\"} " +
+               FormatMetricValue(static_cast<double>(cumulative)) + "\n";
+      }
+      out += "agora_" + name + "_sum " + FormatMetricValue(hist.sum) + "\n";
+      out += "agora_" + name + "_count " +
+             FormatMetricValue(static_cast<double>(hist.count)) + "\n";
+    }
   }
   return out;
 }
@@ -196,6 +281,7 @@ void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
 }
 
 }  // namespace agora

@@ -21,10 +21,12 @@
 //      the merged timings used by EXPLAIN ANALYZE (time, rows, % of
 //      total busy time per operator).
 //
-//   3. MetricsRegistry — named counters and gauges owned by Database,
-//      exported as a JSON document or Prometheus text exposition.
-//      Counters are monotonic doubles (Prometheus counters are floats);
-//      an optional label distinguishes per-operator series.
+//   3. MetricsRegistry — named counters, gauges and fixed-bucket
+//      histograms owned by Database, exported as a JSON document or
+//      Prometheus text exposition. Counters are monotonic doubles
+//      (Prometheus counters are floats); an optional label distinguishes
+//      per-operator series. Histograms use one registry-wide bucket
+//      ladder tuned for request latencies in seconds.
 
 #include <chrono>
 #include <cstdint>
@@ -107,12 +109,20 @@ enum class MetricsFormat {
   kPrometheus,  ///< Prometheus text exposition format (version 0.0.4)
 };
 
-/// Thread-safe named counters and gauges. Counter series may carry one
-/// label value (used for per-operator breakdowns, label key "op"); the
-/// empty label is the unlabeled series. Names must match
+/// Thread-safe named counters, gauges and histograms. Counter series may
+/// carry one label value (used for per-operator breakdowns, label key
+/// "op"); the empty label is the unlabeled series. Names must match
 /// [a-zA-Z_][a-zA-Z0-9_]* — enforced in debug builds only.
 class MetricsRegistry {
  public:
+  /// Upper bounds (inclusive, seconds) of the shared histogram bucket
+  /// ladder; every histogram gets one extra implicit +Inf bucket. Spans
+  /// sub-millisecond point lookups to multi-second analytical scans.
+  static constexpr double kHistogramBounds[] = {0.001, 0.005, 0.025,
+                                                0.1,   0.5,   2.5};
+  static constexpr size_t kHistogramBuckets =
+      sizeof(kHistogramBounds) / sizeof(kHistogramBounds[0]) + 1;  // +Inf
+
   /// Adds `delta` to counter `name` (label ""). Creates it at zero first.
   void Add(std::string_view name, double delta);
 
@@ -121,6 +131,21 @@ class MetricsRegistry {
 
   /// Sets gauge `name` to `value` (last-write-wins).
   void SetGauge(std::string_view name, double value);
+
+  /// Records one observation into histogram `name` (created on first
+  /// use). Buckets are cumulative Prometheus-style: the observation
+  /// lands in every bucket whose bound is >= `value`, plus +Inf.
+  void Observe(std::string_view name, double value);
+
+  /// Observation count of histogram `name`; 0 if absent.
+  int64_t HistogramCount(std::string_view name) const;
+
+  /// Sum of all observations of histogram `name`; 0 if absent.
+  double HistogramSum(std::string_view name) const;
+
+  /// Cumulative per-bucket counts of histogram `name` (kHistogramBuckets
+  /// entries, last = +Inf); empty if absent.
+  std::vector<int64_t> HistogramBucketCounts(std::string_view name) const;
 
   /// Current value of counter `name` with `label` ("" = unlabeled);
   /// 0 if absent.
@@ -143,10 +168,17 @@ class MetricsRegistry {
   void Reset();
 
  private:
+  struct Histogram {
+    int64_t buckets[kHistogramBuckets] = {};  // non-cumulative per bucket
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+
   mutable std::mutex mu_;
   // name -> (label -> value); "" is the unlabeled series.
   std::map<std::string, std::map<std::string, double>> counters_;
   std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 }  // namespace agora

@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

@@ -24,6 +24,7 @@ enum class StatusCode {
   kTypeError,     // type mismatches
   kIoError,
   kResourceExhausted,  // memory/disk budget exceeded
+  kDeadlineExceeded,   // per-query timeout or cooperative cancellation
 };
 
 /// Returns a stable human-readable name for `code` ("OK", "InvalidArgument",
@@ -74,6 +75,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -88,12 +88,13 @@ Database::Database(DatabaseOptions options)
   memory_root_->set_budget(ParseByteSize(std::getenv("AGORA_MEM_BUDGET")));
 }
 
-Result<QueryResult> Database::Execute(const std::string& sql) {
+Result<QueryResult> Database::Execute(const std::string& sql,
+                                      const QueryControl* control) {
   AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   ++statements_executed_;
   metrics_.Add("statements_total", 1.0);
   if (auto* select = std::get_if<SelectStatement>(&stmt.node)) {
-    return ExecuteSelect(*select, stmt.explain, stmt.analyze);
+    return ExecuteSelect(*select, stmt.explain, stmt.analyze, control);
   }
   if (auto* create = std::get_if<CreateTableStatement>(&stmt.node)) {
     return ExecuteCreateTable(*create);
@@ -135,7 +136,8 @@ Result<LogicalOpPtr> Database::PlanSelect(const SelectStatement& select) {
   return optimizer_.Optimize(std::move(plan));
 }
 
-Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
+Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
+                                          const QueryControl* control) {
   // Admission: with the engine already over its budget (previous results
   // still pinned), reject up front with the same Status operators return
   // mid-query — a cheap check that keeps an overcommitted engine from
@@ -146,11 +148,21 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
     metrics_.Add("mem_budget_rejections_total", 1.0);
     return admit;
   }
+  // A control that is already expired fails here instead of paying for
+  // plan creation (the server's timed-out-in-queue path).
+  if (control != nullptr) {
+    Status alive = control->Check("admission");
+    if (!alive.ok()) {
+      metrics_.Add("queries_cancelled_total", 1.0);
+      return alive;
+    }
+  }
   // Every execution gets a fresh context, so per-query stats (and the
   // EXPLAIN ANALYZE profile derived from them) start from zero — running
   // the same analysis back to back reports identical counters. Only the
   // single Merge below touches the database-wide accumulators.
   ExecContext context;
+  context.control = control;
   // Per-query tracker: a child of the engine root, installed as the
   // thread's current tracker so every allocation owner built during plan
   // creation and execution charges this query. Result chunks keep the
@@ -181,6 +193,9 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan) {
     if (collected.status().code() == StatusCode::kResourceExhausted) {
       context.stats.mem_budget_rejections += 1;
       metrics_.Add("mem_budget_rejections_total", 1.0);
+    }
+    if (collected.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics_.Add("queries_cancelled_total", 1.0);
     }
     context.stats.mem_bytes_reserved_peak =
         std::max(context.stats.mem_bytes_reserved_peak,
@@ -272,7 +287,8 @@ void Database::RecordQueryMetrics(
 }
 
 Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
-                                            bool explain, bool analyze) {
+                                            bool explain, bool analyze,
+                                            const QueryControl* control) {
   AGORA_ASSIGN_OR_RETURN(LogicalOpPtr plan, PlanSelect(select));
   if (explain) {
     std::string text = plan->TreeString();
@@ -282,7 +298,8 @@ Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
       // so repeated analyses report identical counters), then report the
       // per-operator profile and counter totals under the plan text. The
       // result rows themselves are discarded.
-      AGORA_ASSIGN_OR_RETURN(QueryResult executed, ExecutePlan(plan));
+      AGORA_ASSIGN_OR_RETURN(QueryResult executed,
+                             ExecutePlan(plan, control));
       stats = executed.stats();
       text += "\n[analyze] rows=" + std::to_string(executed.num_rows());
       text += "\n" + RenderProfileTree(executed.profile());
@@ -293,7 +310,7 @@ Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
     data.AppendRow({Value::String(std::move(text))});
     return QueryResult(std::move(schema), std::move(data), stats);
   }
-  return ExecutePlan(plan);
+  return ExecutePlan(plan, control);
 }
 
 Result<QueryResult> Database::ExecuteCreateTable(

@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/deadline.h"
 #include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -83,7 +84,17 @@ class Database {
 
   /// Parses and runs one statement. DDL/DML return an empty result;
   /// EXPLAIN returns the plan as a one-column result.
-  Result<QueryResult> Execute(const std::string& sql);
+  Result<QueryResult> Execute(const std::string& sql) {
+    return Execute(sql, nullptr);
+  }
+
+  /// Execute with cooperative interruption: `control` (may be null) is
+  /// polled at chunk boundaries while a SELECT plan runs; once its
+  /// deadline passes or cancellation is requested, execution unwinds
+  /// with a DeadlineExceeded Status and the engine stays fully usable.
+  /// The HTTP front end (src/server/) arms per-request timeouts here.
+  Result<QueryResult> Execute(const std::string& sql,
+                              const QueryControl* control);
 
   /// Returns the optimized logical plan text for a SELECT.
   Result<std::string> Explain(const std::string& sql);
@@ -92,8 +103,13 @@ class Database {
   Result<LogicalOpPtr> PlanSelect(const SelectStatement& select);
 
   /// Executes a pre-built logical plan (benchmark hook for hand-written
-  /// plans and ablations).
-  Result<QueryResult> ExecutePlan(const LogicalOpPtr& plan);
+  /// plans and ablations). The two-argument form attaches a cooperative
+  /// interruption control (see Execute above).
+  Result<QueryResult> ExecutePlan(const LogicalOpPtr& plan) {
+    return ExecutePlan(plan, nullptr);
+  }
+  Result<QueryResult> ExecutePlan(const LogicalOpPtr& plan,
+                                  const QueryControl* control);
 
   /// Number of statements executed since construction (the ORM experiment
   /// counts round trips with this).
@@ -162,7 +178,8 @@ class Database {
 
  private:
   Result<QueryResult> ExecuteSelect(const SelectStatement& select,
-                                    bool explain, bool analyze);
+                                    bool explain, bool analyze,
+                                    const QueryControl* control);
   Result<QueryResult> ExecuteCreateTable(const CreateTableStatement& stmt);
   Result<QueryResult> ExecuteDropTable(const DropTableStatement& stmt);
   Result<QueryResult> ExecuteInsert(const InsertStatement& stmt);

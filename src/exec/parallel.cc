@@ -181,6 +181,8 @@ Result<Chunk> ParallelCollectAll(PhysicalOperator* op, ExecContext* context) {
                             Chunk&& chunk) -> Status {
         AGORA_RETURN_IF_ERROR(
             context->CheckMemoryBudget("ParallelCollectAll"));
+        AGORA_RETURN_IF_ERROR(
+            context->CheckControl("ParallelCollectAll"));
         by_morsel[morsel.index].push_back(std::move(chunk));
         return Status::OK();
       }));

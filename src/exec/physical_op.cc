@@ -61,6 +61,16 @@ Status PhysicalOperator::Open() {
 }
 
 Status PhysicalOperator::Next(Chunk* chunk, bool* done) {
+  // Deadline/cancel checks live in the same non-virtual wrapper as
+  // verification: every serial pull passes here, so a timed-out query
+  // unwinds at the next chunk boundary no matter which operator is on
+  // top. The happy path is two loads (and a clock read when a deadline
+  // is armed); name() is only rendered once the query is already dead.
+  if (context_ != nullptr && context_->control != nullptr &&
+      (context_->control->cancel_requested() ||
+       context_->control->deadline_passed())) {
+    return context_->control->Check(name().c_str());
+  }
   MetricSpan span =
       StatsSpan(context_ != nullptr ? &context_->stats : nullptr, op_id_);
   Status status = NextImpl(chunk, done);

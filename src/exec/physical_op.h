@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/memory_tracker.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -165,6 +166,11 @@ struct ExecContext {
   /// `stats.op_timings` once every operator has reported.
   int num_ops = 0;
 
+  /// Cooperative interruption for this query (deadline + cancel flag);
+  /// null means uninterruptible. Shared with the issuing side (the HTTP
+  /// front end arms timeouts here), polled at chunk boundaries.
+  const QueryControl* control = nullptr;
+
   /// OK while the query is under its memory budget; otherwise the
   /// ResourceExhausted status operators propagate. Called at chunk
   /// boundaries, never per row.
@@ -176,6 +182,14 @@ struct ExecContext {
   /// True when operators must run in budget-aware (spill-capable) mode.
   bool memory_limited() const {
     return memory != nullptr && memory->budget_limited();
+  }
+
+  /// OK while the query is neither cancelled nor past its deadline.
+  /// Called at chunk boundaries alongside CheckMemoryBudget; free when no
+  /// control is attached.
+  Status CheckControl(const char* who) const {
+    if (control == nullptr) return Status::OK();
+    return control->Check(who);
   }
 
   /// Hands out the next per-plan operator id (called from the

@@ -1,0 +1,71 @@
+#include "server/admission.h"
+
+namespace agora {
+
+AdmissionController::Outcome AdmissionController::Admit(
+    std::chrono::steady_clock::time_point deadline, bool has_deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (draining_) return Outcome::kDraining;
+  if (active_ < max_concurrent_) {
+    ++active_;
+    return Outcome::kAdmitted;
+  }
+  if (queued_ >= max_queued_) return Outcome::kQueueFull;
+  ++queued_;
+  Outcome outcome = Outcome::kAdmitted;
+  auto ready = [this] { return draining_ || active_ < max_concurrent_; };
+  while (true) {
+    if (has_deadline) {
+      if (!cv_.wait_until(lock, deadline, ready)) {
+        outcome = Outcome::kTimedOut;
+        break;
+      }
+    } else {
+      cv_.wait(lock, ready);
+    }
+    if (draining_) {
+      outcome = Outcome::kDraining;
+      break;
+    }
+    if (active_ < max_concurrent_) {
+      ++active_;
+      break;
+    }
+    // Lost the race to another waiter; go back to waiting.
+  }
+  --queued_;
+  return outcome;
+}
+
+void AdmissionController::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionController::BeginDrain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  cv_.notify_all();
+}
+
+int AdmissionController::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+int AdmissionController::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+bool AdmissionController::WaitIdle(std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return cv_.wait_for(lock, timeout, [this] { return active_ == 0; });
+}
+
+}  // namespace agora

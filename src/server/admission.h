@@ -1,0 +1,68 @@
+#ifndef AGORA_SERVER_ADMISSION_H_
+#define AGORA_SERVER_ADMISSION_H_
+
+// Per-query admission control for the HTTP front end. The embedded
+// Database parallelizes each query internally across the morsel pool,
+// so running many queries at once multiplies memory pressure without
+// adding throughput; the controller bounds concurrent execution slots
+// and holds a bounded overflow queue whose waiters time out against the
+// same per-request deadline the query itself would run under. This
+// composes with the engine memory budget (PR 7): admission bounds how
+// many queries charge the budget at once, the budget bounds how much
+// each may charge.
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+namespace agora {
+
+class AdmissionController {
+ public:
+  enum class Outcome {
+    kAdmitted,          // caller owns a slot; must call Release()
+    kQueueFull,         // slots busy and the wait queue is at capacity
+    kTimedOut,          // deadline passed while queued
+    kDraining,          // server is shutting down; no new queries
+  };
+
+  /// `max_concurrent` execution slots; up to `max_queued` callers may
+  /// block waiting for one. Both must be >= 1.
+  AdmissionController(int max_concurrent, int max_queued)
+      : max_concurrent_(max_concurrent < 1 ? 1 : max_concurrent),
+        max_queued_(max_queued < 0 ? 0 : max_queued) {}
+
+  /// Acquires an execution slot, blocking until one frees, `deadline`
+  /// passes (when `has_deadline`), or drain begins. On kAdmitted the
+  /// caller must pair with Release().
+  Outcome Admit(std::chrono::steady_clock::time_point deadline,
+                bool has_deadline);
+
+  /// Returns the slot taken by a successful Admit().
+  void Release();
+
+  /// Rejects all future Admit() calls (and wakes queued waiters) with
+  /// kDraining. In-flight slots drain naturally via Release().
+  void BeginDrain();
+
+  /// Blocks until every admitted query has released its slot. Returns
+  /// false if `timeout` elapses first.
+  bool WaitIdle(std::chrono::milliseconds timeout);
+
+  int active() const;
+  int queued() const;
+  int max_concurrent() const { return max_concurrent_; }
+
+ private:
+  const int max_concurrent_;
+  const int max_queued_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int active_ = 0;
+  int queued_ = 0;
+  bool draining_ = false;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_SERVER_ADMISSION_H_

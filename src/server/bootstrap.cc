@@ -1,0 +1,39 @@
+#include "server/bootstrap.h"
+
+#include <utility>
+
+#include "tpch/tpch.h"
+
+namespace agora {
+
+Result<ServedData> MakeServedData(double tpch_sf, size_t hybrid_docs,
+                                  size_t dim) {
+  ServedData data;
+  if (hybrid_docs > 0) {
+    SyntheticHybridData synthetic =
+        MakeSyntheticHybridData(hybrid_docs, dim);
+    data.collection =
+        std::make_unique<HybridCollection>(synthetic.attr_schema, dim);
+    for (auto& doc : synthetic.docs) {
+      auto id = data.collection->Add(std::move(doc));
+      if (!id.ok()) return id.status();
+    }
+    AGORA_RETURN_IF_ERROR(data.collection->BuildIndexes());
+  } else {
+    // Relational-only serving still goes through an (empty) collection
+    // so the ownership story stays uniform. BuildIndexes rejects empty
+    // collections, so it is skipped — MATCH()/KNN() just have no rows.
+    Schema attr_schema;
+    attr_schema.AddField({"id", TypeId::kInt64, false});
+    data.collection = std::make_unique<HybridCollection>(attr_schema, dim);
+  }
+  if (tpch_sf > 0.0) {
+    TpchOptions options;
+    options.scale_factor = tpch_sf;
+    AGORA_RETURN_IF_ERROR(
+        GenerateTpch(options, &data.collection->database().catalog()));
+  }
+  return data;
+}
+
+}  // namespace agora

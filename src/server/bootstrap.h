@@ -1,0 +1,38 @@
+#ifndef AGORA_SERVER_BOOTSTRAP_H_
+#define AGORA_SERVER_BOOTSTRAP_H_
+
+// Data bootstrap for agora_serve and bench_http: one embedded Database
+// loaded with both workload families the paper's "diverse workloads"
+// argument combines — TPC-H relational tables and a hybrid document
+// collection (keyword + vector + attributes) with its search indexes
+// attached, so served SQL can mix joins, MATCH() and KNN() against the
+// same engine.
+
+#include <cstddef>
+#include <memory>
+
+#include "common/result.h"
+#include "engine/database.h"
+#include "hybrid/collection.h"
+
+namespace agora {
+
+/// The served dataset. The HybridCollection owns the Database (its
+/// catalog holds pointers into the collection's indexes, so the
+/// collection is not movable and must outlive the server).
+struct ServedData {
+  std::unique_ptr<HybridCollection> collection;
+
+  Database* db() { return &collection->database(); }
+};
+
+/// Builds the served dataset: `hybrid_docs` synthetic documents with
+/// `dim`-dimensional embeddings (deterministic, seed 42) plus TPC-H at
+/// `tpch_sf` generated into the same catalog. Either part can be
+/// skipped with 0.
+Result<ServedData> MakeServedData(double tpch_sf, size_t hybrid_docs,
+                                  size_t dim = 32);
+
+}  // namespace agora
+
+#endif  // AGORA_SERVER_BOOTSTRAP_H_

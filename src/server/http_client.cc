@@ -1,0 +1,213 @@
+#include "server/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace agora {
+
+namespace {
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+const std::string* HttpClientResponse::FindHeader(
+    std::string_view name) const {
+  for (const auto& [key, value] : headers) {
+    if (EqualsIgnoreCase(key, name)) return &value;
+  }
+  return nullptr;
+}
+
+Status HttpClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("not an IPv4 address: '" + host_ + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int err = errno;
+    Close();
+    return Status::IoError("connect(" + host_ + ":" + std::to_string(port_) +
+                           "): " + std::strerror(err));
+  }
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status HttpClient::SendRaw(const std::string& bytes) {
+  AGORA_RETURN_IF_ERROR(Connect());
+  if (!SendAll(fd_, bytes)) {
+    Close();
+    return Status::IoError("send failed");
+  }
+  ::shutdown(fd_, SHUT_WR);
+  return Status::OK();
+}
+
+Result<HttpClientResponse> HttpClient::SendRawAndRead(
+    const std::string& bytes) {
+  AGORA_RETURN_IF_ERROR(Connect());
+  if (!SendAll(fd_, bytes)) {
+    Close();
+    return Status::IoError("send failed");
+  }
+  auto response = ReadResponse();
+  Close();
+  return response;
+}
+
+Result<HttpClientResponse> HttpClient::Get(const std::string& target) {
+  return RoundTrip("GET", target, "");
+}
+
+Result<HttpClientResponse> HttpClient::Post(const std::string& target,
+                                            const std::string& body) {
+  return RoundTrip("POST", target, body);
+}
+
+Result<HttpClientResponse> HttpClient::RoundTrip(const std::string& method,
+                                                 const std::string& target,
+                                                 const std::string& body) {
+  std::string wire = method + " " + target + " HTTP/1.1\r\n";
+  wire += "Host: " + host_ + ":" + std::to_string(port_) + "\r\n";
+  if (!body.empty() || method == "POST") {
+    wire += "Content-Type: application/json\r\n";
+    wire += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  }
+  wire += "\r\n";
+  wire += body;
+
+  // First attempt may hit a keep-alive connection the server already
+  // closed (drain, idle timeout); retry once on a fresh connection.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    AGORA_RETURN_IF_ERROR(Connect());
+    if (!SendAll(fd_, wire)) {
+      Close();
+      continue;
+    }
+    auto response = ReadResponse();
+    if (response.ok()) return response;
+    Close();
+    if (attempt == 1) return response.status();
+  }
+  return Status::IoError("request failed after reconnect");
+}
+
+Result<HttpClientResponse> HttpClient::ReadResponse() {
+  std::string buffer;
+  char chunk[4096];
+  size_t header_end = std::string::npos;
+  while (header_end == std::string::npos) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed before response headers");
+    }
+    buffer.append(chunk, static_cast<size_t>(n));
+    header_end = buffer.find("\r\n\r\n");
+  }
+
+  HttpClientResponse response;
+  const std::string head = buffer.substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  const std::string status_line =
+      line_end == std::string::npos ? head : head.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    return Status::IoError("malformed status line: '" + status_line + "'");
+  }
+  response.status = std::atoi(status_line.c_str() + sp + 1);
+  if (response.status < 100 || response.status > 599) {
+    return Status::IoError("malformed status line: '" + status_line + "'");
+  }
+  size_t pos = line_end == std::string::npos ? head.size() : line_end + 2;
+  while (pos < head.size()) {
+    size_t eol = head.find("\r\n", pos);
+    const std::string line = eol == std::string::npos
+                                 ? head.substr(pos)
+                                 : head.substr(pos, eol - pos);
+    pos = eol == std::string::npos ? head.size() : eol + 2;
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string key = line.substr(0, colon);
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ' || value.front() == '\t')) {
+      value.erase(value.begin());
+    }
+    response.headers.emplace_back(std::move(key), std::move(value));
+  }
+
+  size_t content_length = 0;
+  if (const std::string* cl = response.FindHeader("Content-Length")) {
+    content_length = static_cast<size_t>(std::strtoull(cl->c_str(), nullptr, 10));
+  }
+  std::string body = buffer.substr(header_end + 4);
+  while (body.size() < content_length) {
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("recv(): ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed mid-body");
+    }
+    body.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = body.substr(0, content_length);
+
+  // Respect a server-initiated close so the next request reconnects.
+  if (const std::string* conn = response.FindHeader("Connection")) {
+    if (EqualsIgnoreCase(*conn, "close")) Close();
+  }
+  return response;
+}
+
+}  // namespace agora

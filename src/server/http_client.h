@@ -1,0 +1,71 @@
+#ifndef AGORA_SERVER_HTTP_CLIENT_H_
+#define AGORA_SERVER_HTTP_CLIENT_H_
+
+// Minimal blocking HTTP/1.1 client used by the server tests and
+// bench_http's closed-loop driver. One client = one keep-alive
+// connection; round trips are strictly sequential. Not a general HTTP
+// client — it speaks exactly the dialect the AgoraDB server emits
+// (status line + headers + Content-Length body).
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace agora {
+
+/// One response as received off the wire.
+struct HttpClientResponse {
+  int status = 0;
+  std::vector<std::pair<std::string, std::string>> headers;
+  std::string body;
+
+  const std::string* FindHeader(std::string_view name) const;
+};
+
+class HttpClient {
+ public:
+  /// Does not connect; call Connect() (or let the first request do it).
+  HttpClient(std::string host, int port)
+      : host_(std::move(host)), port_(port) {}
+  ~HttpClient() { Close(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Opens the TCP connection; IoError on refusal. Safe to call when
+  /// already connected (no-op).
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One full round trip. Reconnects once transparently if the server
+  /// closed the keep-alive connection between requests.
+  Result<HttpClientResponse> Get(const std::string& target);
+  Result<HttpClientResponse> Post(const std::string& target,
+                                  const std::string& body);
+
+  /// Sends raw bytes and closes the write side without reading — test
+  /// hook for truncated-frame handling.
+  Status SendRaw(const std::string& bytes);
+
+  /// Sends raw (possibly malformed) bytes and reads one response — test
+  /// hook for wire-level error handling. Closes the connection after.
+  Result<HttpClientResponse> SendRawAndRead(const std::string& bytes);
+
+ private:
+  Result<HttpClientResponse> RoundTrip(const std::string& method,
+                                       const std::string& target,
+                                       const std::string& body);
+  Result<HttpClientResponse> ReadResponse();
+
+  std::string host_;
+  int port_;
+  int fd_ = -1;
+};
+
+}  // namespace agora
+
+#endif  // AGORA_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,300 @@
+#include "server/query_handler.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "server/json_util.h"
+
+namespace agora {
+
+namespace {
+
+/// Shortest decimal rendering that round-trips the double: %.15g when it
+/// re-parses exactly, else %.17g. Deterministic, so served bytes match
+/// embedded serialization byte for byte.
+void AppendDoubleJson(std::string* out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.15g", v);
+  if (std::strtod(buf, nullptr) != v) {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+void AppendValueJson(std::string* out, const Value& v) {
+  if (v.is_null()) {
+    *out += "null";
+    return;
+  }
+  switch (v.type()) {
+    case TypeId::kBool:
+      *out += v.bool_value() ? "true" : "false";
+      break;
+    case TypeId::kInt64:
+      *out += std::to_string(v.int64_value());
+      break;
+    case TypeId::kDouble:
+      AppendDoubleJson(out, v.double_value());
+      break;
+    case TypeId::kDate:
+    case TypeId::kString:
+      AppendJsonString(out, v.ToString());
+      break;
+    default:
+      *out += "null";
+  }
+}
+
+HttpResponse JsonResponse(int status, std::string body) {
+  HttpResponse response;
+  response.status = status;
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = std::move(body);
+  return response;
+}
+
+}  // namespace
+
+void DeadlineLock::Lock() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !held_; });
+  held_ = true;
+}
+
+bool DeadlineLock::TryLockUntil(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_until(lock, deadline, [this] { return !held_; })) {
+    return false;
+  }
+  held_ = true;
+  return true;
+}
+
+void DeadlineLock::Unlock() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    held_ = false;
+  }
+  cv_.notify_one();
+}
+
+int QueryHandler::HttpStatusForStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kParseError:
+    case StatusCode::kBindError:
+    case StatusCode::kTypeError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kAborted:
+      return 409;
+    case StatusCode::kDeadlineExceeded:
+      return 408;
+    case StatusCode::kResourceExhausted:
+      return 503;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+    default:
+      return 500;
+  }
+}
+
+HttpResponse QueryHandler::MakeErrorResponse(int http_status,
+                                             const Status& status) {
+  std::string body = "{\"error\": {\"status\": ";
+  AppendJsonString(&body, StatusCodeToString(status.code()));
+  body += ", \"message\": ";
+  AppendJsonString(&body, status.message());
+  body += "}}\n";
+  return JsonResponse(http_status, std::move(body));
+}
+
+std::string QueryHandler::SerializeResultJson(const QueryResult& result) {
+  std::string out = "{\"columns\": [";
+  const Schema& schema = result.schema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    if (i > 0) out += ", ";
+    out += "{\"name\": ";
+    AppendJsonString(&out, schema.field(i).name);
+    out += ", \"type\": ";
+    AppendJsonString(&out, TypeIdToString(schema.field(i).type));
+    out += "}";
+  }
+  out += "], \"rows\": [";
+  for (size_t row = 0; row < result.num_rows(); ++row) {
+    out += row == 0 ? "\n" : ",\n";
+    out += "  [";
+    for (size_t col = 0; col < result.num_columns(); ++col) {
+      if (col > 0) out += ", ";
+      AppendValueJson(&out, result.Get(row, col));
+    }
+    out += "]";
+  }
+  if (result.num_rows() > 0) out += "\n";
+  out += "], \"row_count\": " + std::to_string(result.num_rows()) + "}\n";
+  return out;
+}
+
+HttpResponse QueryHandler::Handle(const HttpRequest& request) {
+  if (request.target == "/query") {
+    if (request.method != "POST") {
+      return MakeErrorResponse(
+          405, Status::InvalidArgument("/query requires POST"));
+    }
+    return HandleQuery(request);
+  }
+  if (request.target == "/metrics") {
+    if (request.method != "GET") {
+      return MakeErrorResponse(
+          405, Status::InvalidArgument("/metrics requires GET"));
+    }
+    return HandleMetrics();
+  }
+  if (request.target == "/healthz") {
+    if (request.method != "GET") {
+      return MakeErrorResponse(
+          405, Status::InvalidArgument("/healthz requires GET"));
+    }
+    return HandleHealthz();
+  }
+  db_->metrics().Add("server_requests_total", "other", 1.0);
+  return MakeErrorResponse(
+      404, Status::NotFound("no route for '" + request.target +
+                            "'; try /query, /metrics or /healthz"));
+}
+
+HttpResponse QueryHandler::HandleMetrics() {
+  db_->metrics().Add("server_requests_total", "metrics", 1.0);
+  HttpResponse response;
+  response.headers.emplace_back("Content-Type",
+                                "text/plain; version=0.0.4; charset=utf-8");
+  response.body = db_->MetricsSnapshot(MetricsFormat::kPrometheus);
+  return response;
+}
+
+HttpResponse QueryHandler::HandleHealthz() {
+  db_->metrics().Add("server_requests_total", "healthz", 1.0);
+  if (draining()) {
+    return JsonResponse(503, "{\"status\": \"draining\"}\n");
+  }
+  return JsonResponse(200, "{\"status\": \"ok\"}\n");
+}
+
+HttpResponse QueryHandler::HandleQuery(const HttpRequest& request) {
+  MetricsRegistry& metrics = db_->metrics();
+  metrics.Add("server_requests_total", "query", 1.0);
+  const auto start = std::chrono::steady_clock::now();
+
+  if (draining()) {
+    metrics.Add("server_queries_rejected_total", 1.0);
+    return MakeErrorResponse(
+        503, Status::ResourceExhausted("server is draining"));
+  }
+
+  // Body: {"sql": "...", "timeout_ms": n?}.
+  auto doc = ParseJson(request.body);
+  if (!doc.ok()) {
+    return MakeErrorResponse(400, doc.status());
+  }
+  if (!doc->is_object()) {
+    return MakeErrorResponse(
+        400, Status::InvalidArgument("request body must be a JSON object"));
+  }
+  const JsonValue* sql = doc->Find("sql");
+  if (sql == nullptr || !sql->is_string()) {
+    return MakeErrorResponse(
+        400, Status::InvalidArgument(
+                 "request body needs a string \"sql\" member"));
+  }
+  int64_t timeout_ms = options_.default_timeout_ms;
+  if (const JsonValue* t = doc->Find("timeout_ms")) {
+    if (!t->is_number() || t->number_value < 0) {
+      return MakeErrorResponse(
+          400, Status::InvalidArgument(
+                   "\"timeout_ms\" must be a non-negative number"));
+    }
+    timeout_ms = static_cast<int64_t>(t->number_value);
+  }
+  if (options_.max_timeout_ms > 0 &&
+      (timeout_ms == 0 || timeout_ms > options_.max_timeout_ms)) {
+    timeout_ms = options_.max_timeout_ms;
+  }
+
+  QueryControl control;
+  control.set_timeout(std::chrono::milliseconds(timeout_ms));
+
+  const auto admit_deadline = control.has_deadline()
+                                  ? control.deadline()
+                                  : std::chrono::steady_clock::time_point{};
+  switch (admission_.Admit(admit_deadline, control.has_deadline())) {
+    case AdmissionController::Outcome::kAdmitted:
+      break;
+    case AdmissionController::Outcome::kQueueFull:
+      metrics.Add("server_queries_rejected_total", 1.0);
+      return MakeErrorResponse(
+          503, Status::ResourceExhausted(
+                   "admission queue full (" +
+                   std::to_string(admission_.max_concurrent()) +
+                   " running, " + std::to_string(options_.max_queued_queries) +
+                   " queued); retry later"));
+    case AdmissionController::Outcome::kTimedOut:
+      metrics.Add("server_queries_timed_out_total", 1.0);
+      return MakeErrorResponse(
+          408, Status::DeadlineExceeded(
+                   "query deadline expired while queued for admission"));
+    case AdmissionController::Outcome::kDraining:
+      metrics.Add("server_queries_rejected_total", 1.0);
+      return MakeErrorResponse(
+          503, Status::ResourceExhausted("server is draining"));
+  }
+  metrics.Add("server_queries_admitted_total", 1.0);
+  metrics.SetGauge("server_queries_active", admission_.active());
+
+  // The engine runs one query at a time (it parallelizes internally);
+  // admitted requests queue on the deadline lock under their own
+  // deadline.
+  Result<QueryResult> result =
+      Status::Internal("query did not run");  // overwritten below
+  bool engine_acquired = true;
+  if (control.has_deadline()) {
+    engine_acquired = engine_mu_.TryLockUntil(control.deadline());
+  } else {
+    engine_mu_.Lock();
+  }
+  if (!engine_acquired) {
+    result = Status::DeadlineExceeded(
+        "query deadline expired while waiting for the engine");
+  } else {
+    result = db_->Execute(sql->string_value, &control);
+    engine_mu_.Unlock();
+  }
+  admission_.Release();
+  metrics.SetGauge("server_queries_active", admission_.active());
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  metrics.Observe("server_request_seconds", seconds);
+
+  if (!result.ok()) {
+    if (result.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics.Add("server_queries_timed_out_total", 1.0);
+    }
+    return MakeErrorResponse(HttpStatusForStatus(result.status()),
+                             result.status());
+  }
+  return JsonResponse(200, SerializeResultJson(*result));
+}
+
+void QueryHandler::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  admission_.BeginDrain();
+}
+
+}  // namespace agora

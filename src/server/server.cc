@@ -1,0 +1,252 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace agora {
+
+namespace {
+
+/// Integer env knob with fallback: unset or malformed values yield
+/// `fallback` so a bad environment degrades to defaults instead of
+/// refusing to boot.
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return v;
+}
+
+/// send() until the whole buffer is on the wire; false on a dead peer.
+bool SendAll(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool HeaderValueIs(const HttpRequest& request, std::string_view name,
+                   std::string_view expected) {
+  const std::string* value = request.FindHeader(name);
+  if (value == nullptr || value->size() != expected.size()) return false;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>((*value)[i])) !=
+        std::tolower(static_cast<unsigned char>(expected[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+ServerOptions ServerOptions::FromEnv() {
+  ServerOptions options;
+  options.port = static_cast<int>(EnvInt("AGORA_PORT", options.port));
+  options.max_connections = static_cast<int>(
+      EnvInt("AGORA_MAX_CONNECTIONS", options.max_connections));
+  options.max_concurrent_queries = static_cast<int>(
+      EnvInt("AGORA_MAX_CONCURRENT_QUERIES", options.max_concurrent_queries));
+  options.max_queued_queries = static_cast<int>(
+      EnvInt("AGORA_MAX_QUEUED_QUERIES", options.max_queued_queries));
+  options.query_timeout_ms =
+      EnvInt("AGORA_QUERY_TIMEOUT_MS", options.query_timeout_ms);
+  return options;
+}
+
+HttpServer::HttpServer(Database* db, ServerOptions options)
+    : db_(db), options_(options), handler_(db, options.handler_options()) {}
+
+HttpServer::~HttpServer() {
+  if (running()) Stop();
+}
+
+Status HttpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(std::string("socket(): ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  // Loopback by default: AgoraDB speaks plaintext HTTP with no
+  // authentication, so exposure beyond the host is an explicit
+  // deployment decision (front it with a proxy; see docs/SERVER.md).
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("bind(port " + std::to_string(options_.port) +
+                           "): " + std::strerror(err));
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(std::string("listen(): ") + std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = ntohs(bound.sin_port);
+  } else {
+    port_ = options_.port;
+  }
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread(&HttpServer::AcceptLoop, this);
+  return Status::OK();
+}
+
+void HttpServer::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (drain) or fatal; exit either way
+    }
+    ReapFinished(/*join_all=*/false);
+    if (draining_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      db_->metrics().Add("server_connections_rejected_total", 1.0);
+      HttpResponse busy = QueryHandler::MakeErrorResponse(
+          503, Status::ResourceExhausted(
+                   "connection limit of " +
+                   std::to_string(options_.max_connections) + " reached"));
+      SendAll(fd, SerializeHttpResponse(busy, /*close_connection=*/true));
+      ::close(fd);
+      continue;
+    }
+    // Bounded read timeout: connection threads wake every poll interval
+    // to notice drain instead of blocking in recv() forever.
+    timeval tv{};
+    tv.tv_sec = options_.poll_interval_ms / 1000;
+    tv.tv_usec = (options_.poll_interval_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+    db_->metrics().Add("server_connections_total", 1.0);
+    auto conn = std::make_unique<ConnThread>();
+    ConnThread* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      connections_.push_back(std::move(conn));
+    }
+    raw->thread =
+        std::thread(&HttpServer::ServeConnection, this, fd, raw);
+  }
+}
+
+void HttpServer::ServeConnection(int fd, ConnThread* self) {
+  const int active = active_connections_.fetch_add(1) + 1;
+  db_->metrics().SetGauge("server_connections_active", active);
+
+  HttpRequestParser parser(options_.limits);
+  char buf[4096];
+  bool close_conn = false;
+  while (!close_conn) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;  // peer closed (covers truncated frames)
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Idle poll tick: drop idle connections once draining.
+        if (draining_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      if (errno == EINTR) continue;
+      break;
+    }
+    parser.Feed(buf, static_cast<size_t>(n));
+    while (parser.state() == HttpRequestParser::State::kDone) {
+      const HttpRequest& request = parser.request();
+      // In-flight requests complete even during drain; the connection
+      // just refuses to linger for another one.
+      const bool want_close =
+          draining_.load(std::memory_order_acquire) ||
+          HeaderValueIs(request, "Connection", "close") ||
+          (request.version == "HTTP/1.0" &&
+           !HeaderValueIs(request, "Connection", "keep-alive"));
+      const HttpResponse response = handler_.Handle(request);
+      if (!SendAll(fd, SerializeHttpResponse(response, want_close))) {
+        close_conn = true;
+        break;
+      }
+      parser.ConsumeRequest();
+      if (want_close) close_conn = true;
+    }
+    if (parser.state() == HttpRequestParser::State::kError) {
+      db_->metrics().Add("server_http_errors_total", 1.0);
+      const HttpResponse response = QueryHandler::MakeErrorResponse(
+          parser.error_status(),
+          Status::InvalidArgument(parser.error_message()));
+      SendAll(fd, SerializeHttpResponse(response, /*close_connection=*/true));
+      break;
+    }
+  }
+  ::close(fd);
+  const int remaining = active_connections_.fetch_sub(1) - 1;
+  db_->metrics().SetGauge("server_connections_active", remaining);
+  self->done.store(true, std::memory_order_release);
+}
+
+void HttpServer::ReapFinished(bool join_all) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (auto it = connections_.begin(); it != connections_.end();) {
+    ConnThread& conn = **it;
+    if (join_all || conn.done.load(std::memory_order_acquire)) {
+      if (conn.thread.joinable()) conn.thread.join();
+      it = connections_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void HttpServer::BeginDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  handler_.BeginDrain();
+  // Wake the accept thread: shutdown() makes a blocked accept() return
+  // without racing the fd's lifetime (the fd closes in Stop()).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void HttpServer::Stop(std::chrono::milliseconds drain_timeout) {
+  if (!running_.exchange(false)) return;
+  BeginDrain();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // In-flight queries get `drain_timeout` to finish; connection threads
+  // notice the drain flag within one poll interval after that.
+  handler_.WaitIdle(drain_timeout);
+  ReapFinished(/*join_all=*/true);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+}  // namespace agora

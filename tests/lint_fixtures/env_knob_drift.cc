@@ -1,0 +1,17 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// an AGORA_* environment knob read via getenv() but absent from
+// docs/OPERATIONS.md is documentation drift — operators discover knobs
+// through the runbook, not by grepping the source.
+// lint-as: src/server/env_knob_fixture.cc
+// expect-violation: env-doc-drift
+
+#include <cstdlib>
+
+namespace agora {
+
+int ReadGhostKnob() {
+  const char* raw = std::getenv("AGORA_LINT_FIXTURE_GHOST_KNOB");
+  return raw == nullptr ? 0 : 1;
+}
+
+}  // namespace agora

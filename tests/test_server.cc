@@ -1,0 +1,561 @@
+// The HTTP front end, tested at three layers:
+//
+//  * wire layer (no sockets): the incremental request parser against
+//    malformed, oversized, truncated and pipelined frames;
+//  * route layer (no sockets): dispatch, the Status -> HTTP mapping,
+//    request-body validation;
+//  * full server (real sockets on an ephemeral loopback port):
+//    concurrent sessions whose responses must be byte-identical to
+//    embedded execution, per-query timeouts firing mid-query, admission
+//    rejections, and graceful drain finishing in-flight work.
+//
+// Everything here carries the "server" ctest label; the TSan tree runs
+// it to race-check the connection threads against drain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/database.h"
+#include "server/bootstrap.h"
+#include "server/http.h"
+#include "server/http_client.h"
+#include "server/json_util.h"
+#include "server/query_handler.h"
+#include "server/server.h"
+
+namespace agora {
+namespace {
+
+// ---------------------------------------------------------------------
+// Wire layer: HttpRequestParser
+// ---------------------------------------------------------------------
+
+HttpRequestParser::State FeedAll(HttpRequestParser* parser,
+                                 const std::string& bytes) {
+  return parser->Feed(bytes.data(), bytes.size());
+}
+
+TEST(HttpParserTest, ParsesSimpleGet) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n"),
+            HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().method, "GET");
+  EXPECT_EQ(parser.request().target, "/healthz");
+  EXPECT_EQ(parser.request().version, "HTTP/1.1");
+  ASSERT_NE(parser.request().FindHeader("host"), nullptr);
+  EXPECT_EQ(*parser.request().FindHeader("HOST"), "x");
+  EXPECT_TRUE(parser.request().body.empty());
+}
+
+TEST(HttpParserTest, ParsesBodyFedOneByteAtATime) {
+  const std::string wire =
+      "POST /query HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+  HttpRequestParser parser;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    ASSERT_EQ(parser.Feed(&wire[i], 1), HttpRequestParser::State::kNeedMore)
+        << "byte " << i;
+  }
+  ASSERT_EQ(parser.Feed(&wire[wire.size() - 1], 1),
+            HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().body, "hello");
+}
+
+TEST(HttpParserTest, KeepAliveRetainsPipelinedRequest) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n"),
+            HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().target, "/a");
+  parser.ConsumeRequest();
+  ASSERT_EQ(parser.state(), HttpRequestParser::State::kDone);
+  EXPECT_EQ(parser.request().target, "/b");
+  parser.ConsumeRequest();
+  EXPECT_EQ(parser.state(), HttpRequestParser::State::kNeedMore);
+}
+
+TEST(HttpParserTest, MalformedRequestLineIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "NONSENSE\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, MalformedHeaderIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, BadContentLengthIs400) {
+  HttpRequestParser parser;
+  ASSERT_EQ(
+      FeedAll(&parser, "POST /q HTTP/1.1\r\nContent-Length: banana\r\n\r\n"),
+      HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 400);
+}
+
+TEST(HttpParserTest, UnsupportedVersionIs505) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser, "GET / HTTP/2.0\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 505);
+}
+
+TEST(HttpParserTest, ChunkedEncodingIsRejectedNotMisread) {
+  HttpRequestParser parser;
+  ASSERT_EQ(FeedAll(&parser,
+                    "POST /q HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 501);
+}
+
+TEST(HttpParserTest, OversizedHeadersAre431) {
+  HttpParserLimits limits;
+  limits.max_header_bytes = 128;
+  HttpRequestParser parser(limits);
+  std::string wire = "GET / HTTP/1.1\r\nX-Big: ";
+  wire.append(512, 'a');
+  ASSERT_EQ(FeedAll(&parser, wire), HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 431);
+}
+
+TEST(HttpParserTest, OversizedBodyIs413BeforeTheBodyArrives) {
+  HttpParserLimits limits;
+  limits.max_body_bytes = 64;
+  HttpRequestParser parser(limits);
+  // The declared length alone triggers the rejection; no body bytes sent.
+  ASSERT_EQ(FeedAll(&parser, "POST /q HTTP/1.1\r\nContent-Length: 999\r\n\r\n"),
+            HttpRequestParser::State::kError);
+  EXPECT_EQ(parser.error_status(), 413);
+}
+
+TEST(HttpParserTest, SerializeRoundTrips) {
+  HttpResponse response;
+  response.status = 404;
+  response.headers.emplace_back("Content-Type", "application/json");
+  response.body = "{}";
+  const std::string wire = SerializeHttpResponse(response, true);
+  EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+// ---------------------------------------------------------------------
+// JSON layer
+// ---------------------------------------------------------------------
+
+TEST(JsonUtilTest, ParsesNestedDocument) {
+  auto doc = ParseJson(
+      R"({"sql": "SELECT 1", "timeout_ms": 250, "opts": {"x": [1, 2, true, null]}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->Find("sql")->string_value, "SELECT 1");
+  EXPECT_EQ(doc->Find("timeout_ms")->number_value, 250.0);
+  const JsonValue* x = doc->Find("opts")->Find("x");
+  ASSERT_NE(x, nullptr);
+  ASSERT_EQ(x->array_items.size(), 4u);
+  EXPECT_TRUE(x->array_items[3].is_null());
+}
+
+TEST(JsonUtilTest, DecodesEscapes) {
+  auto doc = ParseJson(R"({"s": "a\"b\\c\ndA"})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->Find("s")->string_value, "a\"b\\c\ndA");
+}
+
+TEST(JsonUtilTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("{\"a\": }").ok());
+  EXPECT_FALSE(ParseJson("[1, 2,]").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+}
+
+TEST(JsonUtilTest, EscapesControlCharacters) {
+  std::string out;
+  AppendJsonString(&out, "a\"b\\c\n\x01");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\n\\u0001\"");
+}
+
+// ---------------------------------------------------------------------
+// Route layer: QueryHandler without sockets
+// ---------------------------------------------------------------------
+
+class QueryHandlerTest : public ::testing::Test {
+ protected:
+  QueryHandlerTest() : handler_(&db_, {}) {
+    auto r1 = db_.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)");
+    auto r2 = db_.Execute(
+        "INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, NULL)");
+    EXPECT_TRUE(r1.ok() && r2.ok());
+  }
+
+  HttpResponse Post(const std::string& target, const std::string& body) {
+    HttpRequest request;
+    request.method = "POST";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    request.body = body;
+    return handler_.Handle(request);
+  }
+
+  HttpResponse Get(const std::string& target) {
+    HttpRequest request;
+    request.method = "GET";
+    request.target = target;
+    request.version = "HTTP/1.1";
+    return handler_.Handle(request);
+  }
+
+  Database db_;
+  QueryHandler handler_;
+};
+
+TEST_F(QueryHandlerTest, QueryReturnsRowsMatchingEmbeddedExecution) {
+  const std::string sql = "SELECT a, b FROM t ORDER BY a";
+  HttpResponse response = Post("/query", "{\"sql\": \"" + sql + "\"}");
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto embedded = db_.Execute(sql);
+  ASSERT_TRUE(embedded.ok());
+  EXPECT_EQ(response.body, QueryHandler::SerializeResultJson(*embedded));
+  EXPECT_NE(response.body.find("\"row_count\": 3"), std::string::npos);
+}
+
+TEST_F(QueryHandlerTest, BadJsonBodyIs400) {
+  EXPECT_EQ(Post("/query", "this is not json").status, 400);
+  EXPECT_EQ(Post("/query", "[1, 2, 3]").status, 400);
+  EXPECT_EQ(Post("/query", "{\"sql\": 42}").status, 400);
+  EXPECT_EQ(Post("/query", "{}").status, 400);
+  EXPECT_EQ(Post("/query", "{\"sql\": \"SELECT 1\", \"timeout_ms\": -5}")
+                .status,
+            400);
+}
+
+TEST_F(QueryHandlerTest, SqlErrorsMapToHttpStatuses) {
+  // Parse error -> 400.
+  EXPECT_EQ(Post("/query", R"({"sql": "SELEC nope"})").status, 400);
+  // Unknown table -> NotFound -> 404.
+  EXPECT_EQ(Post("/query", R"({"sql": "SELECT * FROM ghost"})").status, 404);
+  // The error document names the Status code.
+  HttpResponse response = Post("/query", R"({"sql": "SELEC nope"})");
+  EXPECT_NE(response.body.find("ParseError"), std::string::npos);
+}
+
+TEST_F(QueryHandlerTest, UnknownRouteIs404WrongMethodIs405) {
+  EXPECT_EQ(Get("/nope").status, 404);
+  EXPECT_EQ(Get("/query").status, 405);
+  EXPECT_EQ(Post("/metrics", "").status, 405);
+  EXPECT_EQ(Post("/healthz", "").status, 405);
+}
+
+TEST_F(QueryHandlerTest, HealthzFlipsTo503OnDrain) {
+  EXPECT_EQ(Get("/healthz").status, 200);
+  handler_.BeginDrain();
+  EXPECT_EQ(Get("/healthz").status, 503);
+  EXPECT_EQ(Post("/query", R"({"sql": "SELECT 1"})").status, 503);
+  // Metrics stay scrapeable during drain.
+  EXPECT_EQ(Get("/metrics").status, 200);
+}
+
+TEST_F(QueryHandlerTest, MetricsEndpointSpeaksPrometheus) {
+  Post("/query", R"({"sql": "SELECT 1"})");
+  HttpResponse response = Get("/metrics");
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("# TYPE agora_server_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(
+      response.body.find("# TYPE agora_server_request_seconds histogram"),
+      std::string::npos);
+  EXPECT_NE(response.body.find("agora_server_request_seconds_bucket"),
+            std::string::npos);
+}
+
+TEST(StatusMappingTest, CoversEveryCategory) {
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::ParseError("x")), 400);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::BindError("x")), 400);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::TypeError("x")), 400);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::InvalidArgument("x")),
+            400);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::OutOfRange("x")), 400);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::NotFound("x")), 404);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::AlreadyExists("x")),
+            409);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::Aborted("x")), 409);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::DeadlineExceeded("x")),
+            408);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::ResourceExhausted("x")),
+            503);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::Unimplemented("x")),
+            501);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::IoError("x")), 500);
+  EXPECT_EQ(QueryHandler::HttpStatusForStatus(Status::Internal("x")), 500);
+}
+
+// ---------------------------------------------------------------------
+// Full server over real sockets
+// ---------------------------------------------------------------------
+
+/// Server fixture: a small data set served on an ephemeral loopback
+/// port. `slow_join_sql` runs long enough (tens of ms at least) for
+/// timeout and drain tests to catch it mid-flight.
+class HttpServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions options = {}) {
+    options.port = 0;  // ephemeral
+    ASSERT_TRUE(db_ == nullptr);
+    db_ = std::make_unique<Database>();
+    ASSERT_TRUE(db_->Execute("CREATE TABLE t (k BIGINT, v BIGINT)").ok());
+    // 6000 rows over 6 keys: the self-join below emits 6M rows, which
+    // takes long enough to be interrupted but finishes in seconds.
+    for (int batch = 0; batch < 6; ++batch) {
+      std::string insert = "INSERT INTO t VALUES ";
+      for (int i = 0; i < 1000; ++i) {
+        const int row = batch * 1000 + i;
+        if (i > 0) insert += ", ";
+        insert += "(" + std::to_string(row % 6) + ", " +
+                  std::to_string(row) + ")";
+      }
+      ASSERT_TRUE(db_->Execute(insert).ok());
+    }
+    server_ = std::make_unique<HttpServer>(db_.get(), options);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) server_->Stop();
+  }
+
+  static std::string QueryBody(const std::string& sql, int64_t timeout_ms = 0) {
+    std::string body = "{\"sql\": " + JsonQuote(sql);
+    if (timeout_ms > 0) {
+      body += ", \"timeout_ms\": " + std::to_string(timeout_ms);
+    }
+    body += "}";
+    return body;
+  }
+
+  const std::string slow_join_sql_ =
+      "SELECT COUNT(*) AS n FROM t a JOIN t b ON a.k = b.k";
+
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<HttpServer> server_;
+};
+
+TEST_F(HttpServerTest, ServesQueriesByteIdenticalToEmbedded) {
+  StartServer();
+  const std::string sql = "SELECT k, COUNT(*) AS c FROM t GROUP BY k ORDER BY k";
+  auto embedded = db_->Execute(sql);
+  ASSERT_TRUE(embedded.ok());
+  const std::string expected = QueryHandler::SerializeResultJson(*embedded);
+
+  HttpClient client("127.0.0.1", server_->port());
+  auto response = client.Post("/query", QueryBody(sql));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+  EXPECT_EQ(response->body, expected);
+}
+
+TEST_F(HttpServerTest, ConcurrentSessionsAllByteIdentical) {
+  StartServer();
+  const std::vector<std::string> workload = {
+      "SELECT k, COUNT(*) AS c FROM t GROUP BY k ORDER BY k",
+      "SELECT COUNT(*) AS n FROM t",
+      "SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY k",
+      "SELECT v FROM t WHERE k = 3 ORDER BY v LIMIT 5",
+  };
+  // Reference bytes from embedded execution, before any HTTP traffic.
+  std::vector<std::string> expected;
+  for (const auto& sql : workload) {
+    auto result = db_->Execute(sql);
+    ASSERT_TRUE(result.ok()) << sql;
+    expected.push_back(QueryHandler::SerializeResultJson(*result));
+  }
+
+  constexpr int kClients = 8;
+  constexpr int kRequestsPerClient = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      HttpClient client("127.0.0.1", server_->port());
+      for (int r = 0; r < kRequestsPerClient; ++r) {
+        const size_t q = (c + r) % workload.size();
+        auto response = client.Post("/query", QueryBody(workload[q]));
+        if (!response.ok() || response->status != 200 ||
+            response->body != expected[q]) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST_F(HttpServerTest, TimeoutFiresMidQueryAndEngineSurvives) {
+  StartServer();
+  HttpClient client("127.0.0.1", server_->port());
+  auto slow = client.Post("/query", QueryBody(slow_join_sql_,
+                                              /*timeout_ms=*/30));
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(slow->status, 408) << slow->body;
+  EXPECT_NE(slow->body.find("DeadlineExceeded"), std::string::npos);
+
+  // The engine must stay fully usable after the cancelled query.
+  auto after = client.Post("/query", QueryBody("SELECT COUNT(*) AS n FROM t"));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->status, 200);
+  EXPECT_NE(after->body.find("[6000]"), std::string::npos) << after->body;
+
+  // And the cancellation is visible in the metrics.
+  EXPECT_GE(db_->metrics().CounterValue("server_queries_timed_out_total", ""),
+            1.0);
+}
+
+TEST_F(HttpServerTest, AdmissionRejectsBeyondQueueWith503) {
+  ServerOptions options;
+  options.max_concurrent_queries = 1;
+  options.max_queued_queries = 0;
+  StartServer(options);
+
+  std::thread holder([&] {
+    HttpClient client("127.0.0.1", server_->port());
+    auto response = client.Post("/query", QueryBody(slow_join_sql_));
+    EXPECT_TRUE(response.ok() && response->status == 200)
+        << (response.ok() ? response->body : response.status().ToString());
+  });
+  // Wait until the slow query is actually admitted.
+  while (server_->handler().admission().active() == 0) {
+    std::this_thread::yield();
+  }
+  HttpClient client("127.0.0.1", server_->port());
+  auto rejected = client.Post("/query", QueryBody("SELECT 1"));
+  ASSERT_TRUE(rejected.ok());
+  EXPECT_EQ(rejected->status, 503) << rejected->body;
+  EXPECT_NE(rejected->body.find("ResourceExhausted"), std::string::npos);
+  holder.join();
+  EXPECT_GE(db_->metrics().CounterValue("server_queries_rejected_total", ""),
+            1.0);
+}
+
+TEST_F(HttpServerTest, OversizedBodyOverTheWireIs413) {
+  ServerOptions options;
+  options.limits.max_body_bytes = 1024;
+  StartServer(options);
+  HttpClient client("127.0.0.1", server_->port());
+  std::string huge = "{\"sql\": \"SELECT ";
+  huge.append(4096, '1');
+  huge += "\"}";
+  auto response = client.Post("/query", huge);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 413);
+}
+
+TEST_F(HttpServerTest, TruncatedFrameLeavesServerHealthy) {
+  StartServer();
+  {
+    // Half a request, then the client vanishes.
+    HttpClient rude("127.0.0.1", server_->port());
+    ASSERT_TRUE(
+        rude.SendRaw("POST /query HTTP/1.1\r\nContent-Length: 999\r\n\r\n{")
+            .ok());
+  }
+  HttpClient client("127.0.0.1", server_->port());
+  auto response = client.Get("/healthz");
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->status, 200);
+}
+
+TEST_F(HttpServerTest, MalformedWireRequestsGetStructuredErrors) {
+  StartServer();
+  struct Case {
+    const char* wire;
+    int expected_status;
+  };
+  const Case cases[] = {
+      {"NONSENSE\r\n\r\n", 400},
+      {"GET / HTTP/9.9\r\n\r\n", 505},
+      {"POST /query HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n", 501},
+  };
+  for (const Case& c : cases) {
+    HttpClient client("127.0.0.1", server_->port());
+    auto response = client.SendRawAndRead(c.wire);
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_EQ(response->status, c.expected_status) << c.wire;
+  }
+}
+
+TEST_F(HttpServerTest, DrainFinishesInFlightQueryAndRejectsNewOnes) {
+  StartServer();
+  std::atomic<bool> in_flight_done{false};
+  std::atomic<int> in_flight_status{0};
+  std::string in_flight_body;
+  std::thread slow([&] {
+    HttpClient client("127.0.0.1", server_->port());
+    auto response = client.Post("/query", QueryBody(slow_join_sql_));
+    if (response.ok()) {
+      in_flight_status = response->status;
+      in_flight_body = response->body;
+    }
+    in_flight_done = true;
+  });
+  // Wait for the query to be admitted, then start the drain under it.
+  while (server_->handler().admission().active() == 0) {
+    std::this_thread::yield();
+  }
+  server_->BeginDrain();
+
+  // New queries are refused while the old one keeps running.
+  HttpClient late("127.0.0.1", server_->port());
+  auto rejected = late.Post("/query", QueryBody("SELECT 1"));
+  if (rejected.ok()) {
+    EXPECT_EQ(rejected->status, 503);
+  }  // else: listener already closed — equally acceptable during drain
+
+  slow.join();
+  ASSERT_TRUE(in_flight_done.load());
+  EXPECT_EQ(in_flight_status.load(), 200) << in_flight_body;
+  // 6000 rows over 6 keys -> 6 * 1000^2 joined rows.
+  EXPECT_NE(in_flight_body.find("[6000000]"), std::string::npos)
+      << in_flight_body;
+  server_->Stop();
+  EXPECT_FALSE(server_->running());
+}
+
+TEST_F(HttpServerTest, StopIsIdempotentAndEngineOutlivesServer) {
+  StartServer();
+  server_->Stop();
+  server_->Stop();
+  auto result = db_->Execute("SELECT COUNT(*) AS n FROM t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->Get(0, 0).int64_value(), 6000);
+}
+
+// ---------------------------------------------------------------------
+// Served bootstrap: mixed TPC-H + hybrid catalog
+// ---------------------------------------------------------------------
+
+TEST(BootstrapTest, ServesTpchAndHybridFromOneCatalog) {
+  auto data = MakeServedData(/*tpch_sf=*/0.001, /*hybrid_docs=*/64,
+                             /*dim=*/8);
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  Database* db = data->db();
+  auto relational = db->Execute("SELECT COUNT(*) AS n FROM lineitem");
+  ASSERT_TRUE(relational.ok()) << relational.status().ToString();
+  EXPECT_GT(relational->Get(0, 0).int64_value(), 0);
+  auto hybrid = db->Execute("SELECT COUNT(*) AS n FROM docs");
+  ASSERT_TRUE(hybrid.ok()) << hybrid.status().ToString();
+  EXPECT_EQ(hybrid->Get(0, 0).int64_value(), 64);
+}
+
+}  // namespace
+}  // namespace agora
