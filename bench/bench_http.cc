@@ -10,6 +10,11 @@
 //       Boots an in-process server on an ephemeral port, runs the
 //       closed loop, writes BENCH_http.json. Exit 1 on any failed
 //       request or byte divergence.
+//   bench_http --sweep-clients=1,2,4,8 [--requests=25] [...]
+//       Same server and workload, but runs the closed loop once per
+//       client count and writes one results[] entry per count — the
+//       throughput-scaling series for the engine's reader/writer
+//       concurrency (admitted SELECTs execute in parallel).
 //   bench_http --connect=127.0.0.1:7878 --smoke
 //       CI smoke client against an externally booted agora_serve:
 //       waits for the port, runs three queries, scrapes /metrics.
@@ -44,6 +49,7 @@ struct Options {
   int requests_per_client = 25;
   double tpch_sf = 0.01;
   size_t hybrid_docs = 2000;
+  std::vector<int> sweep_clients;  // non-empty = one loop per count
   std::string connect;  // "host:port"; empty = in-process server
   bool smoke = false;
 };
@@ -80,48 +86,34 @@ double Percentile(std::vector<double>* sorted, double p) {
   return (*sorted)[idx];
 }
 
-int RunClosedLoop(const Options& options) {
-  std::printf("[http] booting in-process server: tpch sf=%.3f, docs=%zu\n",
-              options.tpch_sf, options.hybrid_docs);
-  auto data = MakeServedData(options.tpch_sf, options.hybrid_docs);
-  if (!data.ok()) {
-    std::printf("[http] bootstrap failed: %s\n",
-                data.status().ToString().c_str());
-    return 1;
-  }
-  ServerOptions server_options;
-  server_options.port = 0;
-  server_options.max_connections = options.clients + 8;
-  HttpServer server(data->db(), server_options);
-  Status started = server.Start();
-  if (!started.ok()) {
-    std::printf("[http] %s\n", started.ToString().c_str());
-    return 1;
-  }
+/// One closed-loop run at a fixed client count, condensed for one
+/// results[] entry.
+struct SweepPoint {
+  int clients = 0;
+  size_t requests_ok = 0;
+  int failures = 0;
+  int divergences = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double aggregate_qps = 0;
+  double wall_s = 0;
+};
 
-  const std::vector<std::string> workload = MixedWorkload();
-  std::vector<std::string> expected;
-  for (const auto& sql : workload) {
-    auto result = data->db()->Execute(sql);
-    if (!result.ok()) {
-      std::printf("[http] embedded reference failed: %s -> %s\n", sql.c_str(),
-                  result.status().ToString().c_str());
-      return 1;
-    }
-    expected.push_back(QueryHandler::SerializeResultJson(*result));
-  }
-
-  std::printf("[http] closed loop: %d clients x %d requests, %zu queries\n",
-              options.clients, options.requests_per_client, workload.size());
-  std::vector<ClientStats> stats(options.clients);
+/// Runs `clients` closed-loop threads against the already-booted server,
+/// each issuing `requests_per_client` requests from the shared workload
+/// and byte-comparing every response against the embedded reference.
+SweepPoint RunOnePoint(int port, int clients, int requests_per_client,
+                       const std::vector<std::string>& workload,
+                       const std::vector<std::string>& expected) {
+  std::vector<ClientStats> stats(clients);
   std::vector<std::thread> threads;
-  threads.reserve(options.clients);
+  threads.reserve(clients);
   const auto wall_start = std::chrono::steady_clock::now();
-  for (int c = 0; c < options.clients; ++c) {
+  for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientStats& mine = stats[c];
-      HttpClient client("127.0.0.1", server.port());
-      for (int r = 0; r < options.requests_per_client; ++r) {
+      HttpClient client("127.0.0.1", port);
+      for (int r = 0; r < requests_per_client; ++r) {
         const size_t q = static_cast<size_t>(c + r) % workload.size();
         const std::string body = "{\"sql\": " + JsonQuote(workload[q]) + "}";
         const auto t0 = std::chrono::steady_clock::now();
@@ -141,27 +133,81 @@ int RunClosedLoop(const Options& options) {
     });
   }
   for (auto& t : threads) t.join();
-  const double wall_s =
+
+  SweepPoint point;
+  point.clients = clients;
+  point.wall_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  server.Stop();
-
   std::vector<double> all;
-  int failures = 0, divergences = 0;
   for (const auto& s : stats) {
     all.insert(all.end(), s.latencies_ms.begin(), s.latencies_ms.end());
-    failures += s.failures;
-    divergences += s.divergences;
+    point.failures += s.failures;
+    point.divergences += s.divergences;
   }
   std::sort(all.begin(), all.end());
-  const double p50 = Percentile(&all, 0.50);
-  const double p99 = Percentile(&all, 0.99);
-  const double throughput = wall_s > 0.0 ? all.size() / wall_s : 0.0;
+  point.requests_ok = all.size();
+  point.p50_ms = Percentile(&all, 0.50);
+  point.p99_ms = Percentile(&all, 0.99);
+  point.aggregate_qps = point.wall_s > 0.0 ? all.size() / point.wall_s : 0.0;
+  return point;
+}
 
-  std::printf("[http] %zu ok, %d failed, %d divergent | p50 %.2f ms, "
-              "p99 %.2f ms, %.1f req/s\n",
-              all.size(), failures, divergences, p50, p99, throughput);
+int RunClosedLoop(const Options& options) {
+  std::printf("[http] booting in-process server: tpch sf=%.3f, docs=%zu\n",
+              options.tpch_sf, options.hybrid_docs);
+  auto data = MakeServedData(options.tpch_sf, options.hybrid_docs);
+  if (!data.ok()) {
+    std::printf("[http] bootstrap failed: %s\n",
+                data.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<int> counts = options.sweep_clients;
+  if (counts.empty()) counts.push_back(options.clients);
+  const int max_clients = *std::max_element(counts.begin(), counts.end());
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.max_connections = max_clients + 8;
+  // The sweep measures engine concurrency, so the admission cap must not
+  // be the bottleneck: let every swept client hold the engine at once.
+  server_options.max_concurrent_queries = std::max(4, max_clients);
+  server_options.max_queued_queries = std::max(16, max_clients * 4);
+  HttpServer server(data->db(), server_options);
+  Status started = server.Start();
+  if (!started.ok()) {
+    std::printf("[http] %s\n", started.ToString().c_str());
+    return 1;
+  }
+
+  const std::vector<std::string> workload = MixedWorkload();
+  std::vector<std::string> expected;
+  for (const auto& sql : workload) {
+    auto result = data->db()->Execute(sql);
+    if (!result.ok()) {
+      std::printf("[http] embedded reference failed: %s -> %s\n", sql.c_str(),
+                  result.status().ToString().c_str());
+      return 1;
+    }
+    expected.push_back(QueryHandler::SerializeResultJson(*result));
+  }
+
+  std::vector<SweepPoint> points;
+  for (int clients : counts) {
+    std::printf("[http] closed loop: %d clients x %d requests, %zu queries\n",
+                clients, options.requests_per_client, workload.size());
+    SweepPoint point = RunOnePoint(server.port(), clients,
+                                   options.requests_per_client, workload,
+                                   expected);
+    std::printf("[http] clients=%d: %zu ok, %d failed, %d divergent | "
+                "p50 %.2f ms, p99 %.2f ms, %.1f req/s\n",
+                point.clients, point.requests_ok, point.failures,
+                point.divergences, point.p50_ms, point.p99_ms,
+                point.aggregate_qps);
+    points.push_back(point);
+  }
+  server.Stop();
 
   const char* path = "BENCH_http.json";
   std::FILE* out = std::fopen(path, "w");
@@ -171,33 +217,54 @@ int RunClosedLoop(const Options& options) {
     std::fprintf(out, "{\n  \"experiment\": \"http_serving\",\n");
     std::fprintf(out, "  \"pool_threads\": %zu,\n",
                  ThreadPool::Global()->size());
-    std::fprintf(out, "  \"clients\": %d,\n", options.clients);
+    std::fprintf(out, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(out, "  \"requests_per_client\": %d,\n",
                  options.requests_per_client);
     std::fprintf(out, "  \"tpch_sf\": %.4f,\n", options.tpch_sf);
     std::fprintf(out, "  \"hybrid_docs\": %zu,\n", options.hybrid_docs);
     std::fprintf(out, "  \"results\": [\n");
-    std::fprintf(out,
-                 "    {\"requests_ok\": %zu, \"requests_failed\": %d, "
-                 "\"responses_divergent\": %d, \"p50_ms\": %.4f, "
-                 "\"p99_ms\": %.4f, \"throughput_rps\": %.2f, "
-                 "\"wall_seconds\": %.3f}\n",
-                 all.size(), failures, divergences, p50, p99, throughput,
-                 wall_s);
+    for (size_t i = 0; i < points.size(); ++i) {
+      const SweepPoint& p = points[i];
+      std::fprintf(out,
+                   "    {\"clients\": %d, \"requests_ok\": %zu, "
+                   "\"requests_failed\": %d, \"responses_divergent\": %d, "
+                   "\"p50_ms\": %.4f, \"p99_ms\": %.4f, "
+                   "\"aggregate_qps\": %.2f, \"wall_seconds\": %.3f}%s\n",
+                   p.clients, p.requests_ok, p.failures, p.divergences,
+                   p.p50_ms, p.p99_ms, p.aggregate_qps, p.wall_s,
+                   i + 1 < points.size() ? "," : "");
+    }
     std::fprintf(out, "  ]\n}\n");
     std::fclose(out);
     std::printf("[http] results written to %s\n", path);
   }
 
+  int failures = 0, divergences = 0;
+  size_t ok = 0;
+  for (const SweepPoint& p : points) {
+    failures += p.failures;
+    divergences += p.divergences;
+    ok += p.requests_ok;
+  }
   if (failures > 0 || divergences > 0) {
     std::printf("[http verdict] FAILED: %d failed requests, %d divergent "
                 "responses (served bytes must match embedded execution).\n",
                 failures, divergences);
     return 1;
   }
-  std::printf("[http verdict] all %zu responses byte-identical to embedded "
-              "execution under %d concurrent clients.\n",
-              all.size(), options.clients);
+  if (points.size() > 1) {
+    const double base = points.front().aggregate_qps;
+    const double peak = points.back().aggregate_qps;
+    std::printf("[http verdict] all %zu responses byte-identical across the "
+                "sweep; %.1f -> %.1f req/s (%0.2fx) from %d to %d clients.\n",
+                ok, base, peak, base > 0 ? peak / base : 0.0,
+                points.front().clients, points.back().clients);
+  } else {
+    std::printf("[http verdict] all %zu responses byte-identical to embedded "
+                "execution under %d concurrent clients.\n",
+                ok, points.front().clients);
+  }
   return 0;
 }
 
@@ -271,6 +338,18 @@ int Run(int argc, char** argv) {
     };
     if (const char* v = value("--clients")) {
       options.clients = std::atoi(v);
+    } else if (const char* v = value("--sweep-clients")) {
+      options.sweep_clients.clear();
+      for (const char* p = v; *p != '\0';) {
+        int n = std::atoi(p);
+        if (n > 0) options.sweep_clients.push_back(n);
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+      if (options.sweep_clients.empty()) {
+        std::printf("--sweep-clients needs a comma list, e.g. 1,2,4,8\n");
+        return 2;
+      }
     } else if (const char* v = value("--requests")) {
       options.requests_per_client = std::atoi(v);
     } else if (const char* v = value("--tpch-sf")) {
@@ -282,8 +361,8 @@ int Run(int argc, char** argv) {
     } else if (std::strcmp(arg, "--smoke") == 0) {
       options.smoke = true;
     } else {
-      std::printf("usage: bench_http [--clients=N] [--requests=N] "
-                  "[--tpch-sf=F] [--hybrid-docs=N] | "
+      std::printf("usage: bench_http [--clients=N | --sweep-clients=1,2,4,8] "
+                  "[--requests=N] [--tpch-sf=F] [--hybrid-docs=N] | "
                   "--connect=host:port --smoke\n");
       return 2;
     }

@@ -35,6 +35,17 @@ cannot express (docs/ANALYSIS.md has the full rationale):
                           WriteCsvFile, SpillManager), which own error
                           handling, temp-file cleanup, and the spill IO
                           accounting.
+  catalog-mutation-outside-ddl
+                          In src/engine/database.cc, mutating catalog_
+                          (CreateTable/RegisterTable/DropTable/
+                          AttachSearchIndexes) is only legal inside the
+                          writer-locked statement handlers
+                          (Execute{CreateTable,DropTable,CreateIndex,
+                          Insert,Update,Delete,Copy}). The catalog's
+                          internal lock makes any single call safe, but a
+                          mutation reached from a read path breaks the
+                          reader/writer contract the HTTP front end
+                          relies on for concurrent SELECTs.
   metrics-doc-drift       Every counter name registered in
                           src/engine/database.cc must be documented in
                           docs/METRICS.md (the enforced metric contract).
@@ -77,6 +88,7 @@ RULES = (
     "expr-per-row-value",
     "raw-new-delete",
     "file-io-outside-storage",
+    "catalog-mutation-outside-ddl",
     "metrics-doc-drift",
     "env-doc-drift",
     "compile-commands",
@@ -97,6 +109,20 @@ METRIC_NAME_RE = re.compile(
 # that wraps it (EnvInt("AGORA_PORT", ...) in src/server/server.cc).
 ENV_KNOB_RE = re.compile(r'(?:getenv|\bEnv[A-Z]\w*)\s*\(\s*"(AGORA_[A-Z0-9_]+)"')
 ENV_CALL_RE = re.compile(r"\bgetenv\s*\(|\bEnv[A-Z]\w*\s*\(")
+
+# Statement handlers that run under the server's writer lock and are the
+# only legal sites for catalog_ mutation in src/engine/database.cc.
+CATALOG_WRITER_FNS = frozenset((
+    "ExecuteCreateTable", "ExecuteDropTable", "ExecuteCreateIndex",
+    "ExecuteInsert", "ExecuteUpdate", "ExecuteDelete", "ExecuteCopy",
+))
+CATALOG_MUTATION_RE = re.compile(
+    r"\bcatalog_\s*\.\s*"
+    r"(CreateTable|RegisterTable|DropTable|AttachSearchIndexes)\s*\(")
+# A function-definition opener: unindented line ending in an identifier
+# followed by '(' (return type and qualifiers before it). Heuristic, but
+# database.cc is clang-formatted so definitions always start at column 0.
+FN_DEF_RE = re.compile(r"^[A-Za-z_][^;={}]*?\b(\w+)\s*\(")
 
 
 class Finding:
@@ -202,6 +228,8 @@ def line_findings(rel_path, raw_text):
     in_exec = rel_path.startswith("src/exec/")
     in_opt = rel_path.startswith("src/optimizer/")
     in_expr = rel_path.startswith("src/expr/")
+    in_database_cc = rel_path == "src/engine/database.cc"
+    current_fn = None  # enclosing function, tracked for in_database_cc
     file_io_applies = (rel_path.startswith("src/")
                        and not rel_path.startswith("src/storage/")
                        and not rel_path.startswith("src/txn/"))
@@ -256,6 +284,19 @@ def line_findings(rel_path, raw_text):
                 add(lineno, "raw-new-delete",
                     "raw `delete` in operator/optimizer code; ownership "
                     "belongs to smart pointers or the Arena")
+        if in_database_cc:
+            if line and not line[0].isspace():
+                m = FN_DEF_RE.match(line)
+                if m:
+                    current_fn = m.group(1)
+            m = CATALOG_MUTATION_RE.search(line)
+            if m and current_fn not in CATALOG_WRITER_FNS:
+                add(lineno, "catalog-mutation-outside-ddl",
+                    f"catalog_.{m.group(1)}() outside the writer-locked "
+                    "DDL/DML handlers "
+                    f"(in {current_fn or 'file scope'}); concurrent SELECTs "
+                    "rely on catalog mutations staying behind the server's "
+                    "writer lock")
         if file_io_applies and file_io_re.search(line):
             add(lineno, "file-io-outside-storage",
                 "direct file IO outside src/storage//src/txn; go through "

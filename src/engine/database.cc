@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 
 #include "common/timer.h"
@@ -91,7 +92,7 @@ Database::Database(DatabaseOptions options)
 Result<QueryResult> Database::Execute(const std::string& sql,
                                       const QueryControl* control) {
   AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
-  ++statements_executed_;
+  statements_executed_.fetch_add(1, std::memory_order_relaxed);
   metrics_.Add("statements_total", 1.0);
   if (auto* select = std::get_if<SelectStatement>(&stmt.node)) {
     return ExecuteSelect(*select, stmt.explain, stmt.analyze, control);
@@ -120,6 +121,33 @@ Result<QueryResult> Database::Execute(const std::string& sql,
   return Status::Internal("unhandled statement kind");
 }
 
+bool Database::IsReadOnlyStatement(const std::string& sql) {
+  // Leading-keyword sniff: skip whitespace and SQL line comments, then
+  // compare the first token case-insensitively. SELECT and EXPLAIN (the
+  // latter wraps only SELECTs here) never mutate engine state; anything
+  // unrecognized classifies as a write, which is always safe.
+  size_t i = 0;
+  while (i < sql.size()) {
+    if (std::isspace(static_cast<unsigned char>(sql[i]))) {
+      ++i;
+    } else if (sql.compare(i, 2, "--") == 0) {
+      while (i < sql.size() && sql[i] != '\n') ++i;
+    } else {
+      break;
+    }
+  }
+  size_t end = i;
+  while (end < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[end]))) {
+    ++end;
+  }
+  std::string keyword = sql.substr(i, end - i);
+  for (char& c : keyword) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return keyword == "SELECT" || keyword == "EXPLAIN";
+}
+
 Result<std::string> Database::Explain(const std::string& sql) {
   AGORA_ASSIGN_OR_RETURN(Statement stmt, ParseStatement(sql));
   auto* select = std::get_if<SelectStatement>(&stmt.node);
@@ -144,7 +172,10 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
   // digging deeper before the first chunk.
   Status admit = memory_root_->CheckBudget("admission");
   if (!admit.ok()) {
-    cumulative_stats_.mem_budget_rejections += 1;
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      cumulative_stats_.mem_budget_rejections += 1;
+    }
     metrics_.Add("mem_budget_rejections_total", 1.0);
     return admit;
   }
@@ -172,10 +203,7 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
       std::make_shared<MemoryTracker>("query", memory_root_);
   context.memory = query_tracker;
   if (query_tracker->budget_limited()) {
-    if (spill_ == nullptr) {
-      spill_ = std::make_unique<SpillManager>(spill_dir_);
-    }
-    context.spill = spill_.get();
+    context.spill = EnsureSpillManager();
   }
   context.spill_partitions = spill_partitions_;
   ScopedMemoryTracker tracker_scope(query_tracker);
@@ -200,7 +228,10 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
     context.stats.mem_bytes_reserved_peak =
         std::max(context.stats.mem_bytes_reserved_peak,
                  query_tracker->peak());
-    cumulative_stats_.Merge(context.stats);
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      cumulative_stats_.Merge(context.stats);
+    }
     return collected.status();
   }
   Chunk data = std::move(collected).value();
@@ -210,10 +241,21 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
   std::vector<OperatorProfileNode> profile =
       CollectProfile(root.get(), context.stats);
   // Accumulate into the database-wide counters.
-  cumulative_stats_.Merge(context.stats);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    cumulative_stats_.Merge(context.stats);
+  }
   RecordQueryMetrics(context.stats, profile, seconds, data.num_rows());
   return QueryResult(plan->schema(), std::move(data), context.stats,
                      std::move(profile));
+}
+
+SpillManager* Database::EnsureSpillManager() {
+  std::lock_guard<std::mutex> lock(spill_mu_);
+  if (spill_ == nullptr) {
+    spill_ = std::make_unique<SpillManager>(spill_dir_);
+  }
+  return spill_.get();
 }
 
 void Database::RecordQueryMetrics(

@@ -1,7 +1,9 @@
 #ifndef AGORA_ENGINE_DATABASE_H_
 #define AGORA_ENGINE_DATABASE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/deadline.h"
@@ -72,9 +74,21 @@ class QueryResult {
 ///   db.Execute("CREATE TABLE t (a BIGINT, b VARCHAR)");
 ///   auto result = db.Execute("SELECT a, COUNT(*) FROM t GROUP BY a");
 ///
-/// Not thread-safe; wrap with external synchronization or use one
-/// Database per thread. (The txn module provides the concurrent MVCC
-/// key-value store.)
+/// Concurrency model (see docs/SERVER.md "Concurrency" for the server
+/// view):
+///
+///  - Read statements (SELECT, EXPLAIN) are safe to Execute() from any
+///    number of threads concurrently, including while another thread
+///    runs catalog DDL (CREATE/DROP TABLE, CREATE INDEX). Queries
+///    resolve tables through the catalog's reader lock into shared_ptr
+///    snapshots, so a SELECT racing a DROP TABLE either binds before the
+///    drop (and runs to completion against the pinned snapshot) or fails
+///    cleanly with NotFound — never a crash or a torn read.
+///  - Data-mutating statements (INSERT, UPDATE, DELETE, COPY) mutate
+///    column storage in place and require external writer exclusion:
+///    no reads or writes may overlap them. The HTTP front end provides
+///    this with a reader/writer lock (src/server/query_handler.h);
+///    embedded users running DML from multiple threads must do the same.
 class Database {
  public:
   explicit Database(DatabaseOptions options = {});
@@ -113,16 +127,32 @@ class Database {
 
   /// Number of statements executed since construction (the ORM experiment
   /// counts round trips with this).
-  int64_t statements_executed() const { return statements_executed_; }
+  int64_t statements_executed() const {
+    return statements_executed_.load(std::memory_order_relaxed);
+  }
 
-  /// Cumulative execution stats across all statements. Kept for direct
-  /// struct access; the MetricsRegistry subsumes these counters under
-  /// stable exported names (see docs/METRICS.md).
-  const ExecStats& cumulative_stats() const { return cumulative_stats_; }
+  /// Cumulative execution stats across all statements, returned as a
+  /// consistent copy (concurrent queries merge under a lock). Kept for
+  /// direct struct access; the MetricsRegistry subsumes these counters
+  /// under stable exported names (see docs/METRICS.md).
+  ExecStats cumulative_stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return cumulative_stats_;
+  }
   void ResetCumulativeStats() {
-    cumulative_stats_.Reset();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      cumulative_stats_.Reset();
+    }
     metrics_.Reset();
   }
+
+  /// True when `sql`'s leading keyword marks a statement that never
+  /// mutates engine state (SELECT, or EXPLAIN in any form). The server
+  /// front end uses this to run read statements under the shared side of
+  /// its reader/writer lock. Cheap (no parse); unknown statements
+  /// classify as writes, which is always safe.
+  static bool IsReadOnlyStatement(const std::string& sql);
 
   /// Engine-wide named counters and gauges, updated once per executed
   /// query (never double-counted by EXPLAIN ANALYZE re-renders).
@@ -172,6 +202,7 @@ class Database {
   /// TMPDIR, then /tmp). Takes effect on the next budgeted query; tests
   /// point this at a scratch dir to assert temp-file cleanup.
   void set_spill_dir(std::string dir) {
+    std::lock_guard<std::mutex> lock(spill_mu_);
     spill_dir_ = std::move(dir);
     spill_.reset();
   }
@@ -194,13 +225,18 @@ class Database {
                           const std::vector<OperatorProfileNode>& profile,
                           double seconds, size_t result_rows);
 
+  /// Returns the (lazily created) spill manager under spill_mu_.
+  SpillManager* EnsureSpillManager();
+
   DatabaseOptions options_;
   Catalog catalog_;
   Optimizer optimizer_;
-  int64_t statements_executed_ = 0;
+  std::atomic<int64_t> statements_executed_{0};
+  mutable std::mutex stats_mu_;      // guards cumulative_stats_
   ExecStats cumulative_stats_;
   MetricsRegistry metrics_;
   std::shared_ptr<MemoryTracker> memory_root_;
+  std::mutex spill_mu_;              // guards spill_ creation + spill_dir_
   std::unique_ptr<SpillManager> spill_;  // created on first budgeted query
   std::string spill_dir_;
   size_t spill_partitions_ = 8;

@@ -109,37 +109,54 @@ Status PhysicalHybridSearch::RunPostFilter() {
   size_t fetch = k_ * std::max<size_t>(exec_.overfetch, 1);
   for (size_t attempt = 0;; ++attempt) {
     std::vector<Neighbor> vector_hits;
-    if (has_vec_) {
-      switch (index_choice_) {
-        case VectorIndexChoice::kIvf: {
-          size_t scanned = 0;
-          AGORA_ASSIGN_OR_RETURN(
-              vector_hits,
-              ivf_index_->SearchWithProbes(vec_query_, fetch,
-                                           ivf_index_->options().nprobe,
-                                           &scanned));
-          context_->stats.vector_distances += static_cast<int64_t>(scanned);
-          break;
-        }
-        case VectorIndexChoice::kHnsw: {
-          AGORA_ASSIGN_OR_RETURN(vector_hits,
-                                 hnsw_index_->Search(vec_query_, fetch));
-          context_->stats.vector_distances +=
-              static_cast<int64_t>(vector_hits.size());
-          break;
-        }
-        default: {
-          AGORA_ASSIGN_OR_RETURN(vector_hits,
-                                 flat_index_->Search(vec_query_, fetch));
-          context_->stats.vector_distances += static_cast<int64_t>(n);
-          break;
-        }
-      }
-    }
     std::vector<SearchHit> keyword_hits;
-    if (has_text_) {
-      keyword_hits = text_index_->Search(text_query_, fetch);
+    // The two index probes are independent reads of immutable indexes;
+    // run them as sibling tasks on the shared pool (mirroring the
+    // pre-filter bitmap's morsel rule, inline when parallelism is off or
+    // only one component exists). Each task writes only its own hit
+    // vector plus a task-local distance counter folded in after Wait(),
+    // so results and stats are identical at every worker count.
+    const bool parallel = context_->enable_parallel && has_vec_ &&
+                          has_text_ && n >= context_->parallel_min_rows;
+    int64_t vec_distances = 0;
+    TaskGroup group(parallel ? context_->pool : nullptr);
+    if (has_vec_) {
+      group.Spawn([this, fetch, n, &vector_hits, &vec_distances]() -> Status {
+        switch (index_choice_) {
+          case VectorIndexChoice::kIvf: {
+            size_t scanned = 0;
+            AGORA_ASSIGN_OR_RETURN(
+                vector_hits,
+                ivf_index_->SearchWithProbes(vec_query_, fetch,
+                                             ivf_index_->options().nprobe,
+                                             &scanned));
+            vec_distances = static_cast<int64_t>(scanned);
+            break;
+          }
+          case VectorIndexChoice::kHnsw: {
+            AGORA_ASSIGN_OR_RETURN(vector_hits,
+                                   hnsw_index_->Search(vec_query_, fetch));
+            vec_distances = static_cast<int64_t>(vector_hits.size());
+            break;
+          }
+          default: {
+            AGORA_ASSIGN_OR_RETURN(vector_hits,
+                                   flat_index_->Search(vec_query_, fetch));
+            vec_distances = static_cast<int64_t>(n);
+            break;
+          }
+        }
+        return Status::OK();
+      });
     }
+    if (has_text_) {
+      group.Spawn([this, fetch, &keyword_hits]() -> Status {
+        keyword_hits = text_index_->Search(text_query_, fetch);
+        return Status::OK();
+      });
+    }
+    AGORA_RETURN_IF_ERROR(group.Wait());
+    context_->stats.vector_distances += vec_distances;
 
     if (filter_ != nullptr) {
       // Evaluate the predicate only on candidate rows. Candidate ids are

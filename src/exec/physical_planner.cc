@@ -100,7 +100,7 @@ bool FindIndexableEquality(const ExprPtr& predicate, const Table& table,
     if (lit->value().is_null()) continue;
     size_t base_col =
         projection.empty() ? ref->index() : projection[ref->index()];
-    const HashIndex* index = table.GetHashIndex(base_col);
+    std::shared_ptr<const HashIndex> index = table.GetHashIndex(base_col);
     if (index == nullptr) continue;
     // The stored hash must match the probe hash: require identical types.
     if (lit->value().type() != table.schema().field(base_col).type) continue;

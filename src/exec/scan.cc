@@ -42,9 +42,11 @@ Status PhysicalScan::OpenImpl() {
   morsel_cursor_.store(0, std::memory_order_relaxed);
   if (use_zone_maps_ && !table_->HasZoneMaps()) {
     // Zone maps were requested by the planner but not built yet; build
-    // them now (idempotent, amortized across queries on static tables).
+    // them now (idempotent, amortized across queries on static tables;
+    // concurrent scans building at once swap in identical sets).
     table_->BuildZoneMaps();
   }
+  zone_map_snapshot_ = use_zone_maps_ ? table_->zone_maps() : nullptr;
   if (predicate_ != nullptr) {
     scan_view_ = table_->GetChunkView(projection_);
   }
@@ -58,9 +60,11 @@ Status PhysicalScan::ScanBlock(size_t start, size_t count, Chunk* out,
 
   // Zone-map pruning: skip the block if any range constraint proves it
   // empty of matches.
-  if (use_zone_maps_ && !ranges_.empty()) {
+  if (use_zone_maps_ && !ranges_.empty() && zone_map_snapshot_ != nullptr) {
     for (const ColumnRangeConstraint& r : ranges_) {
-      const ZoneMap* zm = table_->GetZoneMap(r.column);
+      auto it = zone_map_snapshot_->find(r.column);
+      const ZoneMap* zm =
+          it == zone_map_snapshot_->end() ? nullptr : &it->second;
       if (zm != nullptr && block < zm->blocks.size() &&
           !zm->BlockMayMatch(block, r.lo, r.hi)) {
         stats->blocks_skipped++;
@@ -172,7 +176,7 @@ PhysicalIndexScan::PhysicalIndexScan(std::shared_ptr<Table> table,
 Status PhysicalIndexScan::OpenImpl() {
   next_match_ = 0;
   matches_.clear();
-  const HashIndex* index = table_->GetHashIndex(key_column_);
+  std::shared_ptr<const HashIndex> index = table_->GetHashIndex(key_column_);
   if (index == nullptr) {
     return Status::Internal("index scan planned but index is missing on '" +
                             table_->name() + "'");

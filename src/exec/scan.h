@@ -82,6 +82,10 @@ class PhysicalScan : public PhysicalOperator {
   ExprPtr predicate_;               // bound against the projected schema
   std::vector<ColumnRangeConstraint> ranges_;  // base-table column indexes
   bool use_zone_maps_;
+  /// Zone-map snapshot captured once in Open: every block of this scan
+  /// prunes against one consistent set even if a concurrent query
+  /// rebuilds the table's maps mid-scan.
+  std::shared_ptr<const ZoneMapSet> zone_map_snapshot_;
   size_t next_row_ = 0;                  // serial pull cursor
   std::atomic<size_t> morsel_cursor_{0};  // parallel claim cursor
   /// Zero-copy whole-table view (built in Open when a predicate is

@@ -159,7 +159,8 @@ double CardinalityEstimator::EstimateSelectivity(
 }
 
 double CardinalityEstimator::EstimateScanRows(const LogicalScan& scan) const {
-  const TableStats& stats = cache_->Get(*scan.table());
+  std::shared_ptr<const TableStats> stats_snapshot = cache_->Get(*scan.table());
+  const TableStats& stats = *stats_snapshot;
   double rows = static_cast<double>(stats.row_count);
   if (scan.pushed_predicate() != nullptr) {
     const std::vector<size_t>& projection = scan.projection();

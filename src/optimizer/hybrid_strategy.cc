@@ -57,7 +57,9 @@ double CostPostFilter(double rows, double selectivity, size_t k,
 
 void ResolveOne(LogicalScoreFusion* fusion, const OptimizerOptions& options,
                 CardinalityEstimator* estimator) {
-  const TableStats& stats = estimator->stats_cache()->Get(*fusion->table());
+  std::shared_ptr<const TableStats> stats_snapshot =
+      estimator->stats_cache()->Get(*fusion->table());
+  const TableStats& stats = *stats_snapshot;
   double rows = static_cast<double>(std::max<int64_t>(stats.row_count, 1));
   double selectivity = 1.0;
   if (fusion->filter() != nullptr) {

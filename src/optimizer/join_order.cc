@@ -193,9 +193,10 @@ class JoinOrderer {
     size_t local = column - region.offsets[static_cast<size_t>(leaf_idx)];
     size_t base = scan.projection().empty() ? local
                                             : scan.projection()[local];
-    const TableStats& stats = estimator_->stats_cache()->Get(*scan.table());
-    if (base >= stats.columns.size()) return fallback;
-    double ndv = static_cast<double>(stats.columns[base].ndv);
+    std::shared_ptr<const TableStats> stats =
+        estimator_->stats_cache()->Get(*scan.table());
+    if (base >= stats->columns.size()) return fallback;
+    double ndv = static_cast<double>(stats->columns[base].ndv);
     return std::max(1.0, std::min(ndv, fallback));
   }
 

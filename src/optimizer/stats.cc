@@ -37,14 +37,22 @@ TableStats ComputeTableStats(const Table& table) {
   return stats;
 }
 
-const TableStats& StatsCache::Get(const Table& table) {
-  auto it = cache_.find(&table);
-  if (it != cache_.end() && it->second.row_count == table.num_rows()) {
-    return it->second.stats;
+std::shared_ptr<const TableStats> StatsCache::Get(const Table& table) {
+  size_t rows = table.num_rows();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(&table);
+    if (it != cache_.end() && it->second.row_count == rows) {
+      return it->second.stats;
+    }
   }
-  Entry entry{table.num_rows(), ComputeTableStats(table)};
-  auto [pos, inserted] = cache_.insert_or_assign(&table, std::move(entry));
-  return pos->second.stats;
+  // Compute outside the lock: a full stats pass is expensive, and two
+  // queries racing a cold table both computing identical stats beats one
+  // of them blocking every other planner on the cache mutex.
+  auto stats = std::make_shared<const TableStats>(ComputeTableStats(table));
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.insert_or_assign(&table, Entry{rows, stats});
+  return stats;
 }
 
 }  // namespace agora

@@ -2,6 +2,7 @@
 #define AGORA_OPTIMIZER_STATS_H_
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -29,17 +30,22 @@ struct TableStats {
 TableStats ComputeTableStats(const Table& table);
 
 /// Cache keyed by table identity + row count (stale entries recompute
-/// after appends). Owned by the Optimizer; not thread-safe.
+/// after appends). Owned by the Optimizer; thread-safe — concurrent
+/// planners may Get() while another thread populates an entry (two
+/// racing misses may both compute; last insert wins, both results are
+/// identical). Entries are shared_ptr snapshots, so a caller's stats
+/// stay valid while a concurrent recompute replaces the cache entry.
 class StatsCache {
  public:
   /// Returns cached stats for `table`, computing them on first use.
-  const TableStats& Get(const Table& table);
+  std::shared_ptr<const TableStats> Get(const Table& table);
 
  private:
   struct Entry {
     size_t row_count;
-    TableStats stats;
+    std::shared_ptr<const TableStats> stats;
   };
+  std::mutex mu_;
   std::unordered_map<const Table*, Entry> cache_;
 };
 

@@ -676,7 +676,7 @@ Result<bool> Binder::TryBindHybrid(const SelectStatement& sel,
   }
   auto* scan = static_cast<LogicalScan*>(plan->get());
   const std::string& alias = scan->alias();
-  const TableSearchIndexes* indexes =
+  std::shared_ptr<const TableSearchIndexes> indexes =
       catalog_.GetSearchIndexes(scan->table()->name());
   if (indexes == nullptr) {
     return Status::BindError("table '" + scan->table()->name() +

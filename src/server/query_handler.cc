@@ -55,28 +55,67 @@ HttpResponse JsonResponse(int status, std::string body) {
 
 }  // namespace
 
-void DeadlineLock::Lock() {
+void DeadlineSharedLock::Lock() {
   std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !held_; });
-  held_ = true;
+  ++writers_waiting_;
+  cv_.wait(lock, [this] { return !writer_ && readers_ == 0; });
+  --writers_waiting_;
+  writer_ = true;
 }
 
-bool DeadlineLock::TryLockUntil(
+bool DeadlineSharedLock::TryLockUntil(
     std::chrono::steady_clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_until(lock, deadline, [this] { return !held_; })) {
+  ++writers_waiting_;
+  bool ok = cv_.wait_until(
+      lock, deadline, [this] { return !writer_ && readers_ == 0; });
+  --writers_waiting_;
+  if (!ok) {
+    // This may have been the only waiting writer holding readers back;
+    // re-wake them now that the claim is withdrawn.
+    lock.unlock();
+    cv_.notify_all();
     return false;
   }
-  held_ = true;
+  writer_ = true;
   return true;
 }
 
-void DeadlineLock::Unlock() {
+void DeadlineSharedLock::Unlock() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    held_ = false;
+    writer_ = false;
   }
-  cv_.notify_one();
+  cv_.notify_all();
+}
+
+void DeadlineSharedLock::LockShared() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return !writer_ && writers_waiting_ == 0; });
+  ++readers_;
+}
+
+bool DeadlineSharedLock::TryLockSharedUntil(
+    std::chrono::steady_clock::time_point deadline) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!cv_.wait_until(lock, deadline, [this] {
+        return !writer_ && writers_waiting_ == 0;
+      })) {
+    return false;
+  }
+  ++readers_;
+  return true;
+}
+
+void DeadlineSharedLock::UnlockShared() {
+  bool last = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    last = (--readers_ == 0);
+  }
+  // Only the last reader out can unblock a writer; intermediate exits
+  // change nothing any waiter is watching.
+  if (last) cv_.notify_all();
 }
 
 int QueryHandler::HttpStatusForStatus(const Status& status) {
@@ -256,14 +295,20 @@ HttpResponse QueryHandler::HandleQuery(const HttpRequest& request) {
   metrics.Add("server_queries_admitted_total", 1.0);
   metrics.SetGauge("server_queries_active", admission_.active());
 
-  // The engine runs one query at a time (it parallelizes internally);
-  // admitted requests queue on the deadline lock under their own
+  // Read statements (SELECT/EXPLAIN) take the shared side and run
+  // concurrently up to the admission cap; everything else takes the
+  // exclusive side and serializes. Waiters are bounded by their own
   // deadline.
+  const bool read_only = Database::IsReadOnlyStatement(sql->string_value);
   Result<QueryResult> result =
       Status::Internal("query did not run");  // overwritten below
   bool engine_acquired = true;
   if (control.has_deadline()) {
-    engine_acquired = engine_mu_.TryLockUntil(control.deadline());
+    engine_acquired = read_only
+                          ? engine_mu_.TryLockSharedUntil(control.deadline())
+                          : engine_mu_.TryLockUntil(control.deadline());
+  } else if (read_only) {
+    engine_mu_.LockShared();
   } else {
     engine_mu_.Lock();
   }
@@ -272,7 +317,11 @@ HttpResponse QueryHandler::HandleQuery(const HttpRequest& request) {
         "query deadline expired while waiting for the engine");
   } else {
     result = db_->Execute(sql->string_value, &control);
-    engine_mu_.Unlock();
+    if (read_only) {
+      engine_mu_.UnlockShared();
+    } else {
+      engine_mu_.Unlock();
+    }
   }
   admission_.Release();
   metrics.SetGauge("server_queries_active", admission_.active());

@@ -8,13 +8,18 @@
 // (HttpRequest in, HttpResponse out) so the whole API surface
 // unit-tests without opening a port.
 //
-// The embedded Database is not thread-safe (it parallelizes each query
-// internally across the morsel pool), so the handler serializes
-// Execute() behind a deadline-aware lock: concurrent requests queue for
-// the engine, each bounded by its own deadline. The AdmissionController
-// caps how many requests may hold or wait for the engine at once;
-// everything beyond that is rejected immediately with 503 instead of
-// piling onto the lock.
+// The embedded Database runs read statements (SELECT, EXPLAIN)
+// concurrently — the catalog hands queries shared_ptr snapshots under a
+// reader lock — but data-mutating statements (INSERT/UPDATE/DELETE/COPY)
+// mutate column storage in place and need exclusion. The handler
+// provides it with a deadline-aware reader/writer lock: read statements
+// take the shared side and truly overlap (the admission cap
+// AGORA_MAX_CONCURRENT_QUERIES is real parallelism), writes take the
+// exclusive side and serialize against everything. Each waiter is
+// bounded by its own deadline. The AdmissionController caps how many
+// requests may hold or wait for the engine at once; everything beyond
+// that is rejected immediately with 503 instead of piling onto the
+// lock.
 
 #include <atomic>
 #include <chrono>
@@ -42,22 +47,39 @@ struct QueryHandlerOptions {
   int64_t max_timeout_ms = 0;
 };
 
-/// Mutex + condition variable behaving like std::timed_mutex, built
-/// from primitives TSan models completely (glibc's timed_mutex takes
-/// the lock via pthread_mutex_clocklock, which some libtsan builds do
-/// not intercept — every unlock then reports "unlock of an unlocked
-/// mutex" even though the code is balanced).
-class DeadlineLock {
+/// Reader/writer lock with deadline-bounded acquisition, built from a
+/// mutex + condition variable — primitives TSan models completely
+/// (glibc's timed locks go via pthread_*_clocklock, which some libtsan
+/// builds do not intercept — every unlock then reports "unlock of an
+/// unlocked mutex" even though the code is balanced; std::shared_mutex
+/// has no timed acquisition at all).
+///
+/// Writer-preferring: once a writer is waiting, new readers queue
+/// behind it, so a steady stream of SELECTs cannot starve DML. All
+/// waits are deadline-bounded via the TryLock*Until variants; a waiter
+/// that times out leaves no residue (a timed-out writer clears its
+/// waiting claim and re-wakes queued readers).
+class DeadlineSharedLock {
  public:
+  /// Exclusive side (write statements: DDL/DML/COPY).
   void Lock();
-  /// False iff the deadline passed before the lock became free.
+  /// False iff the deadline passed before exclusivity was available.
   bool TryLockUntil(std::chrono::steady_clock::time_point deadline);
   void Unlock();
+
+  /// Shared side (read statements: SELECT/EXPLAIN). Any number of
+  /// holders; excluded only by a writer (held or waiting).
+  void LockShared();
+  /// False iff the deadline passed before the shared side was free.
+  bool TryLockSharedUntil(std::chrono::steady_clock::time_point deadline);
+  void UnlockShared();
 
  private:
   std::mutex mu_;
   std::condition_variable cv_;
-  bool held_ = false;
+  int readers_ = 0;           // active shared holders
+  bool writer_ = false;       // exclusive holder present
+  int writers_waiting_ = 0;   // blocks new readers (writer preference)
 };
 
 /// Stateless-per-request router over one embedded Database.
@@ -110,7 +132,7 @@ class QueryHandler {
   Database* db_;
   QueryHandlerOptions options_;
   AdmissionController admission_;
-  DeadlineLock engine_mu_;  // Database is single-writer; see file comment
+  DeadlineSharedLock engine_mu_;  // reads shared, writes exclusive; see file comment
   std::atomic<bool> draining_{false};
 };
 

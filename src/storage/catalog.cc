@@ -1,5 +1,7 @@
 #include "storage/catalog.h"
 
+#include <mutex>
+
 #include "common/string_util.h"
 
 namespace agora {
@@ -7,6 +9,7 @@ namespace agora {
 Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
                                                     Schema schema) {
   std::string key = ToLower(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -17,6 +20,7 @@ Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
 
 Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
   std::string key = ToLower(table->name());
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + table->name() +
                                  "' already exists");
@@ -27,7 +31,9 @@ Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
 
 Result<std::shared_ptr<Table>> Catalog::GetTable(
     const std::string& name) const {
-  auto it = tables_.find(ToLower(name));
+  std::string key = ToLower(name);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
@@ -35,40 +41,54 @@ Result<std::shared_ptr<Table>> Catalog::GetTable(
 }
 
 bool Catalog::HasTable(const std::string& name) const {
-  return tables_.count(ToLower(name)) > 0;
+  std::string key = ToLower(name);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_.count(key) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
-  auto it = tables_.find(ToLower(name));
+  std::string key = ToLower(name);
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
   }
   tables_.erase(it);
-  search_indexes_.erase(ToLower(name));
+  search_indexes_.erase(key);
   return Status::OK();
 }
 
 Status Catalog::AttachSearchIndexes(const std::string& table,
                                     TableSearchIndexes indexes) {
   std::string key = ToLower(table);
+  std::unique_lock<std::shared_mutex> lock(mu_);
   if (tables_.count(key) == 0) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
-  search_indexes_[std::move(key)] = std::move(indexes);
+  search_indexes_[std::move(key)] =
+      std::make_shared<const TableSearchIndexes>(std::move(indexes));
   return Status::OK();
 }
 
-const TableSearchIndexes* Catalog::GetSearchIndexes(
+std::shared_ptr<const TableSearchIndexes> Catalog::GetSearchIndexes(
     const std::string& table) const {
-  auto it = search_indexes_.find(ToLower(table));
-  return it == search_indexes_.end() ? nullptr : &it->second;
+  std::string key = ToLower(table);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = search_indexes_.find(key);
+  return it == search_indexes_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
   return names;
+}
+
+size_t Catalog::num_tables() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return tables_.size();
 }
 
 }  // namespace agora

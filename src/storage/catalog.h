@@ -2,6 +2,7 @@
 #define AGORA_STORAGE_CATALOG_H_
 
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -12,8 +13,18 @@
 
 namespace agora {
 
-/// Registry of tables by (lower-cased) name. Owned by the Database facade;
-/// not thread-safe — the engine serializes DDL/DML at a higher level.
+/// Registry of tables by (lower-cased) name. Owned by the Database facade.
+///
+/// Concurrency: a reader/writer lock with snapshot semantics. Lookups
+/// (GetTable, GetSearchIndexes, ...) take the shared side and hand back
+/// shared_ptr handles, so a query that resolved its tables keeps them
+/// alive even when a concurrent DROP TABLE removes the catalog entry —
+/// the query finishes on its snapshot and the table is freed when the
+/// last handle drops. DDL (CreateTable, DropTable, AttachSearchIndexes)
+/// takes the exclusive side. This makes the *name registry* safe under
+/// concurrent readers; mutating a table's *data* in place (INSERT/
+/// UPDATE/DELETE/COPY) still needs exclusive access at a higher level —
+/// see the Database class comment for the full statement-level contract.
 class Catalog {
  public:
   Catalog() = default;
@@ -27,7 +38,8 @@ class Catalog {
   /// Registers an externally-built table (e.g. the TPC-H generator output).
   Status RegisterTable(std::shared_ptr<Table> table);
 
-  /// Looks up a table; NotFound if absent.
+  /// Looks up a table; NotFound if absent. The returned handle is a
+  /// snapshot: it stays valid across a concurrent DropTable.
   Result<std::shared_ptr<Table>> GetTable(const std::string& name) const;
 
   bool HasTable(const std::string& name) const;
@@ -37,7 +49,7 @@ class Catalog {
   /// Names of all registered tables (unordered).
   std::vector<std::string> TableNames() const;
 
-  size_t num_tables() const { return tables_.size(); }
+  size_t num_tables() const;
 
   /// Attaches hybrid-search access paths (inverted/vector indexes) to a
   /// registered table, enabling MATCH()/KNN() in SQL over it. The index
@@ -46,12 +58,17 @@ class Catalog {
   Status AttachSearchIndexes(const std::string& table,
                              TableSearchIndexes indexes);
 
-  /// Search access paths for `table`; null when none are attached.
-  const TableSearchIndexes* GetSearchIndexes(const std::string& table) const;
+  /// Search access paths for `table`; null when none are attached. Like
+  /// GetTable, the handle is a snapshot that outlives a concurrent
+  /// re-attachment or DropTable.
+  std::shared_ptr<const TableSearchIndexes> GetSearchIndexes(
+      const std::string& table) const;
 
  private:
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
-  std::unordered_map<std::string, TableSearchIndexes> search_indexes_;
+  std::unordered_map<std::string, std::shared_ptr<const TableSearchIndexes>>
+      search_indexes_;
 };
 
 }  // namespace agora

@@ -34,8 +34,7 @@ Status Table::AppendRow(const std::vector<Value>& row) {
     }
   }
   ++num_rows_;
-  zone_maps_.clear();
-  indexes_.clear();
+  InvalidateDerived();
   return Status::OK();
 }
 
@@ -60,8 +59,7 @@ Status Table::AppendChunk(const Chunk& chunk) {
     for (size_t r = 0; r < rows; ++r) columns_[c].AppendFrom(src, r);
   }
   num_rows_ += rows;
-  zone_maps_.clear();
-  indexes_.clear();
+  InvalidateDerived();
   return Status::OK();
 }
 
@@ -76,8 +74,7 @@ Status Table::RetainRows(const std::vector<uint32_t>& keep) {
     col = col.Gather(keep);
   }
   num_rows_ = keep.size();
-  zone_maps_.clear();
-  indexes_.clear();
+  InvalidateDerived();
   return Status::OK();
 }
 
@@ -91,8 +88,7 @@ Status Table::SetCell(size_t row, size_t column, const Value& v) {
     AGORA_ASSIGN_OR_RETURN(coerced, v.CastTo(want));
   }
   columns_[column].SetValue(row, coerced);
-  zone_maps_.clear();
-  indexes_.clear();
+  InvalidateDerived();
   return Status::OK();
 }
 
@@ -139,7 +135,9 @@ std::vector<Value> Table::GetRow(size_t row) const {
 }
 
 void Table::BuildZoneMaps() {
-  zone_maps_.clear();
+  // Build off to the side: concurrent scans keep pruning against their
+  // snapshot (or none) until the finished set is swapped in below.
+  auto maps = std::make_shared<ZoneMapSet>();
   size_t num_blocks = (num_rows_ + kChunkSize - 1) / kChunkSize;
   for (size_t c = 0; c < columns_.size(); ++c) {
     TypeId t = columns_[c].type();
@@ -162,25 +160,44 @@ void Table::BuildZoneMaps() {
         }
       }
     }
-    zone_maps_.emplace(c, std::move(zm));
+    maps->emplace(c, std::move(zm));
   }
+  std::lock_guard<std::mutex> lock(index_mu_);
+  zone_maps_ = std::move(maps);
 }
 
-const ZoneMap* Table::GetZoneMap(size_t column) const {
-  auto it = zone_maps_.find(column);
-  return it == zone_maps_.end() ? nullptr : &it->second;
+bool Table::HasZoneMaps() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return zone_maps_ != nullptr && !zone_maps_->empty();
+}
+
+std::shared_ptr<const ZoneMapSet> Table::zone_maps() const {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  return zone_maps_;
+}
+
+std::shared_ptr<const ZoneMap> Table::GetZoneMap(size_t column) const {
+  std::shared_ptr<const ZoneMapSet> maps = zone_maps();
+  if (maps == nullptr) return nullptr;
+  auto it = maps->find(column);
+  if (it == maps->end()) return nullptr;
+  // Aliasing constructor: the handle keeps the whole set alive.
+  return std::shared_ptr<const ZoneMap>(std::move(maps), &it->second);
 }
 
 Status Table::BuildHashIndex(const std::string& index_name, size_t column) {
   if (column >= columns_.size()) {
     return Status::InvalidArgument("index column out of range");
   }
-  auto index = std::make_unique<HashIndex>(index_name, column);
+  // Build off to the side first: concurrent readers keep probing the old
+  // snapshot (or none) until the finished index is swapped in below.
+  auto index = std::make_shared<HashIndex>(index_name, column);
   const ColumnVector& col = columns_[column];
   for (size_t r = 0; r < num_rows_; ++r) {
     if (col.IsNull(r)) continue;
     index->Insert(col.HashRow(r), static_cast<int64_t>(r));
   }
+  std::lock_guard<std::mutex> lock(index_mu_);
   // Replace an existing index on the same column.
   for (auto& idx : indexes_) {
     if (idx->column() == column) {
@@ -192,11 +209,18 @@ Status Table::BuildHashIndex(const std::string& index_name, size_t column) {
   return Status::OK();
 }
 
-const HashIndex* Table::GetHashIndex(size_t column) const {
+std::shared_ptr<const HashIndex> Table::GetHashIndex(size_t column) const {
+  std::lock_guard<std::mutex> lock(index_mu_);
   for (const auto& idx : indexes_) {
-    if (idx->column() == column) return idx.get();
+    if (idx->column() == column) return idx;
   }
   return nullptr;
+}
+
+void Table::InvalidateDerived() {
+  std::lock_guard<std::mutex> lock(index_mu_);
+  zone_maps_.reset();
+  indexes_.clear();
 }
 
 std::shared_ptr<Table> Table::SortedCopy(const std::string& new_name,

@@ -2,6 +2,7 @@
 #define AGORA_STORAGE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -32,6 +33,11 @@ struct ZoneMap {
     return e.max >= lo && e.min <= hi;
   }
 };
+
+/// All of one table's zone maps, keyed by column index. Published as an
+/// immutable shared_ptr snapshot so scans can keep pruning against the
+/// set they opened with while a concurrent rebuild swaps in a new one.
+using ZoneMapSet = std::unordered_map<size_t, ZoneMap>;
 
 /// Secondary hash index mapping a column's value hash to row ids.
 /// Collisions are resolved by re-checking the stored value on probe.
@@ -67,6 +73,16 @@ class HashIndex {
 
 /// An in-memory columnar table: one ColumnVector per field plus optional
 /// zone maps and secondary indexes. Append-only; row ids are positions.
+///
+/// Concurrency: concurrent readers (GetChunk/GetChunkView/GetRow/
+/// GetHashIndex/zone_maps) are safe with each other and with
+/// BuildHashIndex/BuildZoneMaps — the derived-structure registries are
+/// internally locked and hand out shared_ptr snapshots, so a SELECT
+/// racing CREATE INDEX (or a sibling scan's lazy zone-map build) either
+/// probes the old structure or the new one, never a torn one. Mutating
+/// table *data* (AppendRow/AppendChunk/RetainRows/SetCell) is NOT safe
+/// under concurrent readers; the engine's writer lock provides that
+/// exclusion (see the Database class comment).
 class Table {
  public:
   Table(std::string name, Schema schema);
@@ -108,16 +124,28 @@ class Table {
 
   // -- Physical design knobs (E4) ---------------------------------------
 
-  /// Builds per-block min/max zone maps for every numeric column.
+  /// Builds per-block min/max zone maps for every numeric column. Safe
+  /// under concurrent readers: the set is built off to the side and
+  /// swapped in under the derived-structure lock (two scans lazily
+  /// building at once produce identical sets; last swap wins).
   void BuildZoneMaps();
-  bool HasZoneMaps() const { return !zone_maps_.empty(); }
-  /// Zone map for `column`, or nullptr if absent / non-numeric.
-  const ZoneMap* GetZoneMap(size_t column) const;
+  bool HasZoneMaps() const;
+  /// Snapshot of all zone maps (nullptr if never built / invalidated).
+  /// The snapshot stays valid — pruning against the state it was built
+  /// from — even if the maps are concurrently rebuilt or invalidated.
+  std::shared_ptr<const ZoneMapSet> zone_maps() const;
+  /// Zone map for `column`, or nullptr if absent / non-numeric. The
+  /// handle aliases the snapshot, so it outlives concurrent rebuilds.
+  std::shared_ptr<const ZoneMap> GetZoneMap(size_t column) const;
 
   /// Builds (or rebuilds) a hash index named `index_name` on `column`.
+  /// Safe under concurrent readers: the new index is built off to the
+  /// side and swapped into the registry under the index lock.
   Status BuildHashIndex(const std::string& index_name, size_t column);
-  /// Index on `column`, or nullptr.
-  const HashIndex* GetHashIndex(size_t column) const;
+  /// Snapshot handle to the index on `column`, or nullptr. The handle
+  /// stays valid (probing the state it was built from) even if the index
+  /// is concurrently rebuilt or invalidated.
+  std::shared_ptr<const HashIndex> GetHashIndex(size_t column) const;
 
   /// Returns a copy of this table physically sorted by `column` ascending
   /// (NULLs first). Demonstrates physical/logical independence: same schema
@@ -133,9 +161,16 @@ class Table {
   std::vector<ColumnVector> columns_;
   size_t num_rows_ = 0;
 
-  // column index -> zone map (numeric columns only once built)
-  std::unordered_map<size_t, ZoneMap> zone_maps_;
-  std::vector<std::unique_ptr<HashIndex>> indexes_;
+  /// Drops derived structures after a data mutation (caller holds writer
+  /// exclusion for the data; the index registry still locks internally so
+  /// concurrent snapshot holders stay safe).
+  void InvalidateDerived();
+
+  // Derived structures: guarded by index_mu_ so lookups can race
+  // rebuilds; everything handed out is a shared_ptr snapshot.
+  mutable std::mutex index_mu_;
+  std::shared_ptr<const ZoneMapSet> zone_maps_;  // null until built
+  std::vector<std::shared_ptr<HashIndex>> indexes_;
 };
 
 }  // namespace agora

@@ -1,0 +1,42 @@
+// Golden violation fixture for catalog-mutation-outside-ddl: a read
+// path mutating catalog_ in src/engine/database.cc. The catalog's
+// internal lock makes the single call safe, but a mutation reachable
+// from a SELECT breaks the reader/writer contract the HTTP front end
+// relies on (read statements share the engine lock).
+// lint-as: src/engine/database.cc
+// expect-violation: catalog-mutation-outside-ddl
+
+#include "engine/database.h"
+
+namespace agora {
+
+Result<QueryResult> Database::ExecuteSelect(const SelectStatement& select,
+                                            bool explain, bool analyze,
+                                            const QueryControl* control) {
+  // BAD: a read-statement handler mutating the catalog; SELECTs run
+  // under the shared side of the server lock, so this races concurrent
+  // readers' name resolution in ways the snapshot contract never
+  // promises to survive.
+  Status dropped = catalog_.DropTable("scratch");
+  (void)dropped;
+  return QueryResult();
+}
+
+Result<QueryResult> Database::ExecuteDropTable(
+    const DropTableStatement& stmt) {
+  // Fine: ExecuteDropTable is a writer-locked DDL handler.
+  Status status = catalog_.DropTable(stmt.table);
+  (void)status;
+  return QueryResult();
+}
+
+Result<QueryResult> Database::ExecuteCreateTable(
+    const CreateTableStatement& stmt) {
+  // Fine, and demonstrates the suppression form for justified cases:
+  // agora-lint: allow(catalog-mutation-outside-ddl) writer-locked helper
+  auto table = catalog_.CreateTable(stmt.table, Schema({}));
+  (void)table;
+  return QueryResult();
+}
+
+}  // namespace agora

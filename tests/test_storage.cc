@@ -128,7 +128,7 @@ TEST_F(TableTest, RowTypeCoercionAndErrors) {
 TEST_F(TableTest, ZoneMapsBoundBlocks) {
   table_->BuildZoneMaps();
   ASSERT_TRUE(table_->HasZoneMaps());
-  const ZoneMap* zm = table_->GetZoneMap(0);
+  std::shared_ptr<const ZoneMap> zm = table_->GetZoneMap(0);
   ASSERT_NE(zm, nullptr);
   ASSERT_EQ(zm->blocks.size(), (5000 + kChunkSize - 1) / kChunkSize);
   // Block 0 holds keys [0, 2047].
@@ -150,7 +150,7 @@ TEST_F(TableTest, ZoneMapsInvalidatedByAppend) {
 
 TEST_F(TableTest, HashIndexProbe) {
   ASSERT_TRUE(table_->BuildHashIndex("idx_k", 0).ok());
-  const HashIndex* index = table_->GetHashIndex(0);
+  std::shared_ptr<const HashIndex> index = table_->GetHashIndex(0);
   ASSERT_NE(index, nullptr);
   uint64_t hash = table_->column(0).HashRow(123);
   auto candidates = index->Probe(hash);
