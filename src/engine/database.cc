@@ -97,6 +97,14 @@ Result<QueryResult> Database::Execute(const std::string& sql,
   if (auto* select = std::get_if<SelectStatement>(&stmt.node)) {
     return ExecuteSelect(*select, stmt.explain, stmt.analyze, control);
   }
+  if (stmt.explain) {
+    // The parser accepts EXPLAIN before every statement kind but only the
+    // SELECT path implements it. Reject the rest instead of silently
+    // executing the wrapped statement: the server runs EXPLAIN on the
+    // shared side of its reader/writer lock, so "explaining" an INSERT
+    // must never reach a mutating handler.
+    return Status::InvalidArgument("EXPLAIN supports SELECT only");
+  }
   if (auto* create = std::get_if<CreateTableStatement>(&stmt.node)) {
     return ExecuteCreateTable(*create);
   }
@@ -123,29 +131,41 @@ Result<QueryResult> Database::Execute(const std::string& sql,
 
 bool Database::IsReadOnlyStatement(const std::string& sql) {
   // Leading-keyword sniff: skip whitespace and SQL line comments, then
-  // compare the first token case-insensitively. SELECT and EXPLAIN (the
-  // latter wraps only SELECTs here) never mutate engine state; anything
+  // compare tokens case-insensitively. Only SELECT — bare or wrapped in
+  // EXPLAIN [ANALYZE] — classifies as read-only. The parser accepts
+  // EXPLAIN before every statement kind (Execute() rejects the non-SELECT
+  // ones), so "EXPLAIN INSERT ..." must classify as a write here rather
+  // than ride the shared side of the server's engine lock. Anything
   // unrecognized classifies as a write, which is always safe.
   size_t i = 0;
-  while (i < sql.size()) {
-    if (std::isspace(static_cast<unsigned char>(sql[i]))) {
-      ++i;
-    } else if (sql.compare(i, 2, "--") == 0) {
-      while (i < sql.size() && sql[i] != '\n') ++i;
-    } else {
-      break;
+  auto next_keyword = [&sql, &i]() {
+    while (i < sql.size()) {
+      if (std::isspace(static_cast<unsigned char>(sql[i]))) {
+        ++i;
+      } else if (sql.compare(i, 2, "--") == 0) {
+        while (i < sql.size() && sql[i] != '\n') ++i;
+      } else {
+        break;
+      }
     }
+    size_t end = i;
+    while (end < sql.size() &&
+           std::isalpha(static_cast<unsigned char>(sql[end]))) {
+      ++end;
+    }
+    std::string keyword = sql.substr(i, end - i);
+    i = end;
+    for (char& c : keyword) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return keyword;
+  };
+  std::string keyword = next_keyword();
+  if (keyword == "EXPLAIN") {
+    keyword = next_keyword();
+    if (keyword == "ANALYZE") keyword = next_keyword();
   }
-  size_t end = i;
-  while (end < sql.size() &&
-         std::isalpha(static_cast<unsigned char>(sql[end]))) {
-    ++end;
-  }
-  std::string keyword = sql.substr(i, end - i);
-  for (char& c : keyword) {
-    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
-  }
-  return keyword == "SELECT" || keyword == "EXPLAIN";
+  return keyword == "SELECT";
 }
 
 Result<std::string> Database::Explain(const std::string& sql) {
@@ -373,10 +393,18 @@ Result<QueryResult> Database::ExecuteCreateTable(
 
 Result<QueryResult> Database::ExecuteDropTable(
     const DropTableStatement& stmt) {
+  // Capture the id before the catalog releases its reference so the
+  // planner's stats cache can drop the dead entry. Housekeeping only:
+  // ids are never reused, so a stale entry could not be served to a
+  // successor table either way.
+  Result<std::shared_ptr<Table>> table = catalog_.GetTable(stmt.table);
   Status status = catalog_.DropTable(stmt.table);
   if (!status.ok() && !(stmt.if_exists &&
                         status.code() == StatusCode::kNotFound)) {
     return status;
+  }
+  if (table.ok()) {
+    optimizer_.estimator().stats_cache()->Evict(table.value()->id());
   }
   return QueryResult();
 }

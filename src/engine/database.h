@@ -77,8 +77,9 @@ class QueryResult {
 /// Concurrency model (see docs/SERVER.md "Concurrency" for the server
 /// view):
 ///
-///  - Read statements (SELECT, EXPLAIN) are safe to Execute() from any
-///    number of threads concurrently, including while another thread
+///  - Read statements (SELECT, bare or wrapped in EXPLAIN [ANALYZE])
+///    are safe to Execute() from any number of threads concurrently,
+///    including while another thread
 ///    runs catalog DDL (CREATE/DROP TABLE, CREATE INDEX). Queries
 ///    resolve tables through the catalog's reader lock into shared_ptr
 ///    snapshots, so a SELECT racing a DROP TABLE either binds before the
@@ -147,8 +148,10 @@ class Database {
     metrics_.Reset();
   }
 
-  /// True when `sql`'s leading keyword marks a statement that never
-  /// mutates engine state (SELECT, or EXPLAIN in any form). The server
+  /// True when `sql`'s leading keywords mark a statement that never
+  /// mutates engine state: SELECT, bare or wrapped in EXPLAIN [ANALYZE].
+  /// EXPLAIN before anything else classifies as a write (Execute()
+  /// rejects it, but it must not ride the shared lock). The server
   /// front end uses this to run read statements under the shared side of
   /// its reader/writer lock. Cheap (no parse); unknown statements
   /// classify as writes, which is always safe.

@@ -41,7 +41,7 @@ std::shared_ptr<const TableStats> StatsCache::Get(const Table& table) {
   size_t rows = table.num_rows();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    auto it = cache_.find(&table);
+    auto it = cache_.find(table.id());
     if (it != cache_.end() && it->second.row_count == rows) {
       return it->second.stats;
     }
@@ -51,8 +51,13 @@ std::shared_ptr<const TableStats> StatsCache::Get(const Table& table) {
   // of them blocking every other planner on the cache mutex.
   auto stats = std::make_shared<const TableStats>(ComputeTableStats(table));
   std::lock_guard<std::mutex> lock(mu_);
-  cache_.insert_or_assign(&table, Entry{rows, stats});
+  cache_.insert_or_assign(table.id(), Entry{rows, stats});
   return stats;
+}
+
+void StatsCache::Evict(uint64_t table_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.erase(table_id);
 }
 
 }  // namespace agora

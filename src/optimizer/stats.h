@@ -30,15 +30,24 @@ struct TableStats {
 TableStats ComputeTableStats(const Table& table);
 
 /// Cache keyed by table identity + row count (stale entries recompute
-/// after appends). Owned by the Optimizer; thread-safe — concurrent
-/// planners may Get() while another thread populates an entry (two
-/// racing misses may both compute; last insert wins, both results are
-/// identical). Entries are shared_ptr snapshots, so a caller's stats
-/// stay valid while a concurrent recompute replaces the cache entry.
+/// after appends). Identity is Table::id(), never a pointer: ids are
+/// never reused, so a table created after a concurrent DROP TABLE can
+/// never be served the dropped table's statistics even if it lands on
+/// the same heap address. Owned by the Optimizer; thread-safe —
+/// concurrent planners may Get() while another thread populates an
+/// entry (two racing misses may both compute; last insert wins, both
+/// results are identical). Entries are shared_ptr snapshots, so a
+/// caller's stats stay valid while a concurrent recompute replaces the
+/// cache entry.
 class StatsCache {
  public:
   /// Returns cached stats for `table`, computing them on first use.
   std::shared_ptr<const TableStats> Get(const Table& table);
+
+  /// Drops the entry for table id `table_id`, if any. Called when a
+  /// table is dropped so the cache does not grow with dead entries;
+  /// correctness never depends on it (ids are not reused).
+  void Evict(uint64_t table_id);
 
  private:
   struct Entry {
@@ -46,7 +55,7 @@ class StatsCache {
     std::shared_ptr<const TableStats> stats;
   };
   std::mutex mu_;
-  std::unordered_map<const Table*, Entry> cache_;
+  std::unordered_map<uint64_t, Entry> cache_;
 };
 
 }  // namespace agora

@@ -295,7 +295,7 @@ HttpResponse QueryHandler::HandleQuery(const HttpRequest& request) {
   metrics.Add("server_queries_admitted_total", 1.0);
   metrics.SetGauge("server_queries_active", admission_.active());
 
-  // Read statements (SELECT/EXPLAIN) take the shared side and run
+  // Read statements (SELECT, bare or explained) take the shared side and run
   // concurrently up to the admission cap; everything else takes the
   // exclusive side and serializes. Waiters are bounded by their own
   // deadline.

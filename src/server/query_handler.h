@@ -8,8 +8,8 @@
 // (HttpRequest in, HttpResponse out) so the whole API surface
 // unit-tests without opening a port.
 //
-// The embedded Database runs read statements (SELECT, EXPLAIN)
-// concurrently — the catalog hands queries shared_ptr snapshots under a
+// The embedded Database runs read statements (SELECT, bare or under
+// EXPLAIN [ANALYZE]) concurrently — the catalog hands queries shared_ptr snapshots under a
 // reader lock — but data-mutating statements (INSERT/UPDATE/DELETE/COPY)
 // mutate column storage in place and need exclusion. The handler
 // provides it with a deadline-aware reader/writer lock: read statements
@@ -67,7 +67,7 @@ class DeadlineSharedLock {
   bool TryLockUntil(std::chrono::steady_clock::time_point deadline);
   void Unlock();
 
-  /// Shared side (read statements: SELECT/EXPLAIN). Any number of
+  /// Shared side (read statements: SELECT, plain or explained). Any number of
   /// holders; excluded only by a writer (held or waiting).
   void LockShared();
   /// False iff the deadline passed before the shared side was free.

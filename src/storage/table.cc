@@ -1,12 +1,19 @@
 #include "storage/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <numeric>
 
 namespace agora {
 
+namespace {
+std::atomic<uint64_t> next_table_id{1};
+}  // namespace
+
 Table::Table(std::string name, Schema schema)
-    : name_(std::move(name)), schema_(std::move(schema)) {
+    : id_(next_table_id.fetch_add(1, std::memory_order_relaxed)),
+      name_(std::move(name)),
+      schema_(std::move(schema)) {
   columns_.reserve(schema_.num_fields());
   for (const Field& f : schema_.fields()) {
     columns_.emplace_back(f.type);

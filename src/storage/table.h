@@ -87,6 +87,12 @@ class Table {
  public:
   Table(std::string name, Schema schema);
 
+  /// Process-unique id assigned at construction and never reused, even
+  /// after the table is dropped and its memory recycled. Caches that
+  /// outlive a DROP TABLE (e.g. the optimizer's StatsCache) key on this
+  /// instead of the heap address, which a successor table may reuse.
+  uint64_t id() const { return id_; }
+
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
@@ -156,6 +162,7 @@ class Table {
   size_t MemoryBytes() const;
 
  private:
+  uint64_t id_;
   std::string name_;
   Schema schema_;
   std::vector<ColumnVector> columns_;

@@ -290,6 +290,16 @@ TEST(IsReadOnlyStatement, ClassifiesLeadingKeyword) {
   EXPECT_TRUE(Database::IsReadOnlyStatement("\n-- comment\nSELECT 1"));
   EXPECT_TRUE(Database::IsReadOnlyStatement("EXPLAIN SELECT 1"));
   EXPECT_TRUE(Database::IsReadOnlyStatement("explain analyze select 1"));
+  EXPECT_TRUE(Database::IsReadOnlyStatement(
+      "EXPLAIN ANALYZE\n-- comment\nSELECT 1"));
+  // EXPLAIN wrapping anything but SELECT must classify as a write: the
+  // parser accepts it, and routing it to the shared lock on the EXPLAIN
+  // keyword alone would let the wrapped statement race readers.
+  EXPECT_FALSE(Database::IsReadOnlyStatement("EXPLAIN INSERT INTO t VALUES (1)"));
+  EXPECT_FALSE(Database::IsReadOnlyStatement("explain analyze update t SET a = 1"));
+  EXPECT_FALSE(Database::IsReadOnlyStatement("EXPLAIN DROP TABLE t"));
+  EXPECT_FALSE(Database::IsReadOnlyStatement("EXPLAIN"));
+  EXPECT_FALSE(Database::IsReadOnlyStatement("EXPLAIN ANALYZE"));
   EXPECT_FALSE(Database::IsReadOnlyStatement("INSERT INTO t VALUES (1)"));
   EXPECT_FALSE(Database::IsReadOnlyStatement("UPDATE t SET a = 1"));
   EXPECT_FALSE(Database::IsReadOnlyStatement("DELETE FROM t"));
@@ -298,6 +308,26 @@ TEST(IsReadOnlyStatement, ClassifiesLeadingKeyword) {
   EXPECT_FALSE(Database::IsReadOnlyStatement("COPY t FROM 'x.csv'"));
   EXPECT_FALSE(Database::IsReadOnlyStatement(""));
   EXPECT_FALSE(Database::IsReadOnlyStatement("   -- only a comment"));
+}
+
+// EXPLAIN on a non-SELECT must fail without executing the wrapped
+// statement — the engine-side guarantee backing the classification
+// above (an "explained" INSERT must never mutate storage).
+TEST(IsReadOnlyStatement, ExplainNonSelectIsRejectedWithoutExecuting) {
+  Database db;
+  ASSERT_TRUE(db.Execute("CREATE TABLE t (a BIGINT)").ok());
+  for (const std::string& sql :
+       {std::string("EXPLAIN INSERT INTO t VALUES (1)"),
+        std::string("EXPLAIN ANALYZE DELETE FROM t"),
+        std::string("EXPLAIN DROP TABLE t")}) {
+    auto result = db.Execute(sql);
+    ASSERT_FALSE(result.ok()) << sql;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument) << sql;
+  }
+  // Nothing was inserted and the table still exists.
+  auto count = db.Execute("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value().Get(0, 0).ToString(), "0");
 }
 
 }  // namespace
