@@ -58,6 +58,22 @@ cannot express (docs/ANALYSIS.md has the full rationale):
   compile-commands        Every src/*.cc must appear in the build tree's
                           compile_commands.json, so clang-tidy and editors
                           see the same translation units this lint does.
+  unannotated-mutex       Every mutex member under src/ (std::mutex,
+                          std::shared_mutex, or the annotated agora
+                          Mutex/SharedMutex wrappers) must be referenced
+                          by at least one AGORA_* thread-safety
+                          annotation (AGORA_GUARDED_BY, AGORA_ACQUIRE,
+                          ...), so the clang -Wthread-safety leg actually
+                          covers it; an unannotated mutex is a lock the
+                          analysis silently ignores. See docs/ANALYSIS.md
+                          "Compile-time lock discipline".
+  manual-lock-unlock      Bare .lock()/.unlock()/.try_lock() calls are
+                          banned in src/ outside the wrapper layer
+                          (src/common/mutex.h): manual pairing is exactly
+                          the bug class the RAII guards + capability
+                          annotations eliminate, and the thread-safety
+                          analysis cannot see through an unannotated
+                          manual call.
 
 A finding can be suppressed for one line with a justification comment,
 either trailing the offending line or on a comment-only line directly
@@ -92,11 +108,38 @@ RULES = (
     "metrics-doc-drift",
     "env-doc-drift",
     "compile-commands",
+    "unannotated-mutex",
+    "manual-lock-unlock",
 )
 
 # Files exempt from the Open/Next wrapper rule: the wrapper itself and the
 # header that declares the protocol.
 OPEN_NEXT_EXEMPT = ("src/exec/physical_op.cc", "src/exec/physical_op.h")
+
+# The annotated wrapper layer is the one place allowed to touch the raw
+# primitives' lock()/unlock() members directly.
+MANUAL_LOCK_EXEMPT = ("src/common/mutex.h",)
+
+# A mutex-typed data member: optionally `mutable`, a std mutex flavor or
+# one of the annotated agora wrappers, then the member name. `\s+` after
+# the type keeps MutexLock/ReaderMutexLock guard locals from matching;
+# requiring `;`, `{` or `=` next keeps references (`SharedMutex& mu_`)
+# and parameters out.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?"
+    r"(?:std\s*::\s*(?:shared_|recursive_|timed_|shared_timed_)?mutex"
+    r"|Mutex|SharedMutex)\s+(\w+)\s*(?:;|\{|=)")
+
+# Identifiers referenced inside any AGORA_* annotation's parentheses
+# (AGORA_GUARDED_BY(mu_), AGORA_ACQUIRE(mu), AGORA_EXCLUDES(a, b), ...).
+ANNOTATION_ARG_RE = re.compile(r"\bAGORA_[A-Z_]+\s*\(([^()]*)\)")
+
+# A manual lock-primitive call: member access followed by one of the
+# std lock-management verbs. The RAII guards (MutexLock & friends) and
+# the capitalized wrapper methods (Lock/Unlock) do not match.
+MANUAL_LOCK_RE = re.compile(
+    r"(?:\.|->)\s*(lock|unlock|lock_shared|unlock_shared|"
+    r"try_lock(?:_shared|_for|_until)?)\s*\(")
 
 ALLOW_RE = re.compile(r"agora-lint:\s*allow\(([a-z-]+)\)")
 LINT_AS_RE = re.compile(r"//\s*lint-as:\s*(\S+)")
@@ -229,6 +272,15 @@ def line_findings(rel_path, raw_text):
     in_opt = rel_path.startswith("src/optimizer/")
     in_expr = rel_path.startswith("src/expr/")
     in_database_cc = rel_path == "src/engine/database.cc"
+    in_src = rel_path.startswith("src/")
+    manual_lock_applies = in_src and rel_path not in MANUAL_LOCK_EXEMPT
+    # Names referenced by any thread-safety annotation anywhere in the
+    # file; a mutex member must show up here (or carry an allow) so the
+    # clang -Wthread-safety leg actually checks it.
+    annotated_names = set()
+    if in_src:
+        for args in ANNOTATION_ARG_RE.findall("\n".join(stripped_lines)):
+            annotated_names.update(re.findall(r"\w+", args))
     current_fn = None  # enclosing function, tracked for in_database_cc
     file_io_applies = (rel_path.startswith("src/")
                        and not rel_path.startswith("src/storage/")
@@ -297,6 +349,23 @@ def line_findings(rel_path, raw_text):
                     f"(in {current_fn or 'file scope'}); concurrent SELECTs "
                     "rely on catalog mutations staying behind the server's "
                     "writer lock")
+        if in_src:
+            m = MUTEX_MEMBER_RE.match(line)
+            if m and m.group(1) not in annotated_names:
+                add(lineno, "unannotated-mutex",
+                    f"mutex member '{m.group(1)}' is referenced by no "
+                    "AGORA_* thread-safety annotation; add "
+                    "AGORA_GUARDED_BY/AGORA_ACQUIRE coverage so the "
+                    "-Wthread-safety leg checks it (conventions: "
+                    "docs/ANALYSIS.md)")
+        if manual_lock_applies:
+            m = MANUAL_LOCK_RE.search(line)
+            if m:
+                add(lineno, "manual-lock-unlock",
+                    f"manual .{m.group(1)}() call; use the RAII guards "
+                    "(MutexLock/ReaderMutexLock/WriterMutexLock or a "
+                    "scoped capability) so acquire/release pairing is "
+                    "machine-checked")
         if file_io_applies and file_io_re.search(line):
             add(lineno, "file-io-outside-storage",
                 "direct file IO outside src/storage//src/txn; go through "

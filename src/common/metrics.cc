@@ -107,19 +107,19 @@ void MetricsRegistry::Add(std::string_view name, double delta) {
 void MetricsRegistry::Add(std::string_view name, std::string_view label,
                           double delta) {
   assert(ValidMetricName(name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_[std::string(name)][std::string(label)] += delta;
 }
 
 void MetricsRegistry::SetGauge(std::string_view name, double value) {
   assert(ValidMetricName(name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   gauges_[std::string(name)] = value;
 }
 
 double MetricsRegistry::CounterValue(std::string_view name,
                                      std::string_view label) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(std::string(name));
   if (it == counters_.end()) return 0.0;
   auto jt = it->second.find(std::string(label));
@@ -128,7 +128,7 @@ double MetricsRegistry::CounterValue(std::string_view name,
 
 void MetricsRegistry::Observe(std::string_view name, double value) {
   assert(ValidMetricName(name));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Histogram& h = histograms_[std::string(name)];
   size_t bucket = kHistogramBuckets - 1;  // +Inf
   for (size_t i = 0; i < kHistogramBuckets - 1; ++i) {
@@ -143,20 +143,20 @@ void MetricsRegistry::Observe(std::string_view name, double value) {
 }
 
 int64_t MetricsRegistry::HistogramCount(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(std::string(name));
   return it == histograms_.end() ? 0 : it->second.count;
 }
 
 double MetricsRegistry::HistogramSum(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(std::string(name));
   return it == histograms_.end() ? 0.0 : it->second.sum;
 }
 
 std::vector<int64_t> MetricsRegistry::HistogramBucketCounts(
     std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(std::string(name));
   if (it == histograms_.end()) return {};
   std::vector<int64_t> cumulative(kHistogramBuckets, 0);
@@ -169,13 +169,13 @@ std::vector<int64_t> MetricsRegistry::HistogramBucketCounts(
 }
 
 double MetricsRegistry::GaugeValue(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(std::string(name));
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
 std::vector<std::string> MetricsRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, series] : counters_) names.push_back(name);
@@ -186,7 +186,7 @@ std::vector<std::string> MetricsRegistry::Names() const {
 }
 
 std::string MetricsRegistry::Snapshot(MetricsFormat format) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::string out;
   if (format == MetricsFormat::kJson) {
     out = "{\n  \"counters\": {";
@@ -278,7 +278,7 @@ std::string MetricsRegistry::Snapshot(MetricsFormat format) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   counters_.clear();
   gauges_.clear();
   histograms_.clear();

@@ -31,10 +31,12 @@
 #include <chrono>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace agora {
 
@@ -174,11 +176,12 @@ class MetricsRegistry {
     int64_t count = 0;
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // name -> (label -> value); "" is the unlabeled series.
-  std::map<std::string, std::map<std::string, double>> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, Histogram> histograms_;
+  std::map<std::string, std::map<std::string, double>> counters_
+      AGORA_GUARDED_BY(mu_);
+  std::map<std::string, double> gauges_ AGORA_GUARDED_BY(mu_);
+  std::map<std::string, Histogram> histograms_ AGORA_GUARDED_BY(mu_);
 };
 
 }  // namespace agora

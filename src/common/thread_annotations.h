@@ -1,0 +1,104 @@
+#ifndef AGORA_COMMON_THREAD_ANNOTATIONS_H_
+#define AGORA_COMMON_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros (AGORA_GUARDED_BY and
+// friends). Annotating which mutex guards which member turns the lock
+// discipline into a compile-time invariant: the `-Wthread-safety` CI leg
+// (see CMake option AGORA_THREAD_SAFETY and docs/ANALYSIS.md,
+// "Compile-time lock discipline") rejects any access to a guarded member
+// without the right capability held, on every build, for every
+// interleaving — not just the schedules TSan happens to observe.
+//
+// Conventions:
+//  - Every mutex member in src/ is either referenced by at least one
+//    AGORA_GUARDED_BY / AGORA_ACQUIRE annotation or carries an
+//    `// agora-lint: allow(unannotated-mutex) <reason>` (enforced by
+//    scripts/agora_lint.py).
+//  - Lock and unlock through the RAII guards in common/mutex.h
+//    (MutexLock / ReaderMutexLock / WriterMutexLock); bare
+//    `.lock()`/`.unlock()` calls are lint-banned in src/
+//    (`manual-lock-unlock`).
+//  - Private helpers that expect the caller to hold a lock say so with
+//    AGORA_REQUIRES instead of a comment.
+//
+// On GCC (and any non-clang compiler) every macro expands to nothing, so
+// the tier-1 GCC build is untouched; tests/test_thread_annotations.cc
+// asserts that expansion stays empty.
+
+#if defined(__clang__)
+#define AGORA_TS_ATTR_(x) __attribute__((x))
+#else
+#define AGORA_TS_ATTR_(x)  // no-op off clang
+#endif
+
+/// Marks a class as a lockable capability (mutexes, locks). `x` names the
+/// capability kind in diagnostics, e.g. "mutex".
+#define AGORA_CAPABILITY(x) AGORA_TS_ATTR_(capability(x))
+
+/// Marks an RAII type whose constructor acquires and destructor releases
+/// a capability.
+#define AGORA_SCOPED_CAPABILITY AGORA_TS_ATTR_(scoped_lockable)
+
+/// Data member readable only with `x` held (shared or exclusive) and
+/// writable only with `x` held exclusively.
+#define AGORA_GUARDED_BY(x) AGORA_TS_ATTR_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x` (the pointer itself
+/// may be read freely).
+#define AGORA_PT_GUARDED_BY(x) AGORA_TS_ATTR_(pt_guarded_by(x))
+
+/// Documents (and checks) lock acquisition order between two mutexes.
+#define AGORA_ACQUIRED_BEFORE(...) AGORA_TS_ATTR_(acquired_before(__VA_ARGS__))
+#define AGORA_ACQUIRED_AFTER(...) AGORA_TS_ATTR_(acquired_after(__VA_ARGS__))
+
+/// Function requires the capability to be held (exclusively / shared) on
+/// entry, and does not release it.
+#define AGORA_REQUIRES(...) AGORA_TS_ATTR_(requires_capability(__VA_ARGS__))
+#define AGORA_REQUIRES_SHARED(...) \
+  AGORA_TS_ATTR_(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability (exclusively / shared) and holds it
+/// past return.
+#define AGORA_ACQUIRE(...) AGORA_TS_ATTR_(acquire_capability(__VA_ARGS__))
+#define AGORA_ACQUIRE_SHARED(...) \
+  AGORA_TS_ATTR_(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases a held capability. _GENERIC releases whichever mode
+/// (shared or exclusive) is currently held — for guards usable in both.
+#define AGORA_RELEASE(...) AGORA_TS_ATTR_(release_capability(__VA_ARGS__))
+#define AGORA_RELEASE_SHARED(...) \
+  AGORA_TS_ATTR_(release_shared_capability(__VA_ARGS__))
+#define AGORA_RELEASE_GENERIC(...) \
+  AGORA_TS_ATTR_(release_generic_capability(__VA_ARGS__))
+
+/// Function acquires the capability only when it returns `b`.
+#define AGORA_TRY_ACQUIRE(b, ...) \
+  AGORA_TS_ATTR_(try_acquire_capability(b, __VA_ARGS__))
+#define AGORA_TRY_ACQUIRE_SHARED(b, ...) \
+  AGORA_TS_ATTR_(try_acquire_shared_capability(b, __VA_ARGS__))
+
+/// Function must NOT be called with the capability held (deadlock guard
+/// for non-reentrant locks).
+#define AGORA_EXCLUDES(...) AGORA_TS_ATTR_(locks_excluded(__VA_ARGS__))
+
+/// Runtime assertion that the calling thread holds the capability;
+/// teaches the analysis about invariants it cannot derive.
+#define AGORA_ASSERT_CAPABILITY(x) AGORA_TS_ATTR_(assert_capability(x))
+#define AGORA_ASSERT_SHARED_CAPABILITY(x) \
+  AGORA_TS_ATTR_(assert_shared_capability(x))
+
+/// Function returns a reference to the mutex guarding its result.
+#define AGORA_RETURN_CAPABILITY(x) AGORA_TS_ATTR_(lock_returned(x))
+
+/// Turns the analysis off for one function. Last resort — prefer precise
+/// annotations. Use AGORA_TS_SUPPRESS so the waiver carries its reason.
+#define AGORA_NO_THREAD_SAFETY_ANALYSIS \
+  AGORA_TS_ATTR_(no_thread_safety_analysis)
+
+/// Suppression that forces a written justification at the site:
+///   int Frob() AGORA_TS_SUPPRESS("init-time only; no concurrent access");
+/// The string is compiled away; the policy (docs/ANALYSIS.md) is that
+/// blanket suppressions without a reason do not pass review.
+#define AGORA_TS_SUPPRESS(reason) AGORA_NO_THREAD_SAFETY_ANALYSIS
+
+#endif  // AGORA_COMMON_THREAD_ANNOTATIONS_H_

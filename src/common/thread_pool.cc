@@ -32,10 +32,10 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     stop_ = true;
   }
-  wake_cv_.notify_all();
+  wake_cv_.NotifyAll();
   for (std::thread& t : threads_) t.join();
 }
 
@@ -48,14 +48,14 @@ void ThreadPool::Submit(std::function<void()> task) {
              queues_.size();
   }
   {
-    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    MutexLock lock(queues_[target]->mu);
     queues_[target]->tasks.push_back(std::move(task));
   }
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     ++pending_;
   }
-  wake_cv_.notify_one();
+  wake_cv_.NotifyOne();
 }
 
 std::function<void()> ThreadPool::TakeTask(size_t home) {
@@ -64,7 +64,7 @@ std::function<void()> ThreadPool::TakeTask(size_t home) {
   // Own deque first (LIFO back: most recently pushed, cache-warm) ...
   {
     WorkerQueue& q = *queues_[home];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.back());
       q.tasks.pop_back();
@@ -74,14 +74,14 @@ std::function<void()> ThreadPool::TakeTask(size_t home) {
   // remaining work under divide-and-conquer submission orders).
   for (size_t i = 1; task == nullptr && i < n; ++i) {
     WorkerQueue& q = *queues_[(home + i) % n];
-    std::lock_guard<std::mutex> lock(q.mu);
+    MutexLock lock(q.mu);
     if (!q.tasks.empty()) {
       task = std::move(q.tasks.front());
       q.tasks.pop_front();
     }
   }
   if (task != nullptr) {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     --pending_;
   }
   return task;
@@ -105,8 +105,10 @@ void ThreadPool::WorkerLoop(size_t id) {
       task();
       continue;
     }
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait(lock, [this] { return stop_ || pending_ > 0; });
+    MutexLock lock(wake_mu_);
+    // Explicit wait loop: guarded reads of stop_/pending_ must stay out
+    // of a lambda so the thread-safety analysis sees wake_mu_ held.
+    while (!stop_ && pending_ == 0) wake_cv_.Wait(lock);
     if (stop_ && pending_ == 0) return;  // drained; safe to exit
   }
 }
@@ -127,7 +129,7 @@ size_t ThreadPool::DefaultThreadCount() {
 
 void TaskGroup::Spawn(std::function<Status()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++outstanding_;
   }
   auto wrapped = [this, fn = std::move(fn)]() {
@@ -148,14 +150,14 @@ void TaskGroup::Spawn(std::function<Status()> fn) {
 }
 
 void TaskGroup::Record(Status status, std::exception_ptr exception) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (exception != nullptr && first_exception_ == nullptr) {
     first_exception_ = exception;
   }
   if (!status.ok() && first_error_.ok()) {
     first_error_ = std::move(status);
   }
-  if (--outstanding_ == 0) cv_.notify_all();
+  if (--outstanding_ == 0) cv_.NotifyAll();
 }
 
 Status TaskGroup::Wait() {
@@ -163,8 +165,8 @@ Status TaskGroup::Wait() {
   // instead of blocking a thread.
   while (pool_ != nullptr && pool_->TryRunOneTask()) {
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) cv_.Wait(lock);
   if (first_exception_ != nullptr) {
     std::exception_ptr e = first_exception_;
     first_exception_ = nullptr;
@@ -176,8 +178,8 @@ Status TaskGroup::Wait() {
 void TaskGroup::WaitNoStatus() {
   while (pool_ != nullptr && pool_->TryRunOneTask()) {
   }
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return outstanding_ == 0; });
+  MutexLock lock(mu_);
+  while (outstanding_ != 0) cv_.Wait(lock);
 }
 
 }  // namespace agora

@@ -2,17 +2,17 @@
 #define AGORA_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 
 namespace agora {
 
@@ -55,8 +55,8 @@ class ThreadPool {
 
  private:
   struct WorkerQueue {
-    std::mutex mu;
-    std::deque<std::function<void()>> tasks;
+    Mutex mu;
+    std::deque<std::function<void()>> tasks AGORA_GUARDED_BY(mu);
   };
 
   void WorkerLoop(size_t id);
@@ -66,10 +66,10 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
-  bool stop_ = false;
-  size_t pending_ = 0;  // queued-but-untaken tasks, guarded by wake_mu_
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  bool stop_ AGORA_GUARDED_BY(wake_mu_) = false;
+  size_t pending_ AGORA_GUARDED_BY(wake_mu_) = 0;  // queued-but-untaken tasks
   std::atomic<size_t> next_queue_{0};
 };
 
@@ -96,15 +96,15 @@ class TaskGroup {
   Status Wait();
 
  private:
-  void Record(Status status, std::exception_ptr exception);
+  void Record(Status status, std::exception_ptr exception) AGORA_EXCLUDES(mu_);
   void WaitNoStatus();
 
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  int outstanding_ = 0;
-  Status first_error_;
-  std::exception_ptr first_exception_;
+  Mutex mu_;
+  CondVar cv_;
+  int outstanding_ AGORA_GUARDED_BY(mu_) = 0;
+  Status first_error_ AGORA_GUARDED_BY(mu_);
+  std::exception_ptr first_exception_ AGORA_GUARDED_BY(mu_);
 };
 
 }  // namespace agora

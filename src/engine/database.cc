@@ -193,7 +193,7 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
   Status admit = memory_root_->CheckBudget("admission");
   if (!admit.ok()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       cumulative_stats_.mem_budget_rejections += 1;
     }
     metrics_.Add("mem_budget_rejections_total", 1.0);
@@ -225,7 +225,8 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
   if (query_tracker->budget_limited()) {
     context.spill = EnsureSpillManager();
   }
-  context.spill_partitions = spill_partitions_;
+  context.spill_partitions =
+      spill_partitions_.load(std::memory_order_relaxed);
   ScopedMemoryTracker tracker_scope(query_tracker);
   AGORA_ASSIGN_OR_RETURN(
       PhysicalOpPtr root,
@@ -249,7 +250,7 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
         std::max(context.stats.mem_bytes_reserved_peak,
                  query_tracker->peak());
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       cumulative_stats_.Merge(context.stats);
     }
     return collected.status();
@@ -262,7 +263,7 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
       CollectProfile(root.get(), context.stats);
   // Accumulate into the database-wide counters.
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     cumulative_stats_.Merge(context.stats);
   }
   RecordQueryMetrics(context.stats, profile, seconds, data.num_rows());
@@ -271,7 +272,7 @@ Result<QueryResult> Database::ExecutePlan(const LogicalOpPtr& plan,
 }
 
 SpillManager* Database::EnsureSpillManager() {
-  std::lock_guard<std::mutex> lock(spill_mu_);
+  MutexLock lock(spill_mu_);
   if (spill_ == nullptr) {
     spill_ = std::make_unique<SpillManager>(spill_dir_);
   }

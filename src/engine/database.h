@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/deadline.h"
@@ -16,6 +15,8 @@
 #include "plan/logical_plan.h"
 #include "sql/ast.h"
 #include "storage/catalog.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/spill.h"
 
 namespace agora {
@@ -137,12 +138,12 @@ class Database {
   /// direct struct access; the MetricsRegistry subsumes these counters
   /// under stable exported names (see docs/METRICS.md).
   ExecStats cumulative_stats() const {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     return cumulative_stats_;
   }
   void ResetCumulativeStats() {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       cumulative_stats_.Reset();
     }
     metrics_.Reset();
@@ -199,13 +200,15 @@ class Database {
   /// Partition count for budgeted (spill-capable) joins/aggregates.
   /// Results are byte-identical at every value (tests sweep it); it only
   /// moves the spill granularity.
-  void set_spill_partitions(size_t n) { spill_partitions_ = n; }
+  void set_spill_partitions(size_t n) {
+    spill_partitions_.store(n, std::memory_order_relaxed);
+  }
 
   /// Directory for spill temp files (empty = AGORA_SPILL_DIR, then
   /// TMPDIR, then /tmp). Takes effect on the next budgeted query; tests
   /// point this at a scratch dir to assert temp-file cleanup.
   void set_spill_dir(std::string dir) {
-    std::lock_guard<std::mutex> lock(spill_mu_);
+    MutexLock lock(spill_mu_);
     spill_dir_ = std::move(dir);
     spill_.reset();
   }
@@ -228,21 +231,27 @@ class Database {
                           const std::vector<OperatorProfileNode>& profile,
                           double seconds, size_t result_rows);
 
-  /// Returns the (lazily created) spill manager under spill_mu_.
-  SpillManager* EnsureSpillManager();
+  /// Returns the (lazily created) spill manager under spill_mu_. The
+  /// returned SpillManager is internally synchronized, so only the
+  /// pointer slot needs the lock.
+  SpillManager* EnsureSpillManager() AGORA_EXCLUDES(spill_mu_);
 
   DatabaseOptions options_;
   Catalog catalog_;
   Optimizer optimizer_;
   std::atomic<int64_t> statements_executed_{0};
-  mutable std::mutex stats_mu_;      // guards cumulative_stats_
-  ExecStats cumulative_stats_;
+  mutable Mutex stats_mu_;
+  ExecStats cumulative_stats_ AGORA_GUARDED_BY(stats_mu_);
   MetricsRegistry metrics_;
   std::shared_ptr<MemoryTracker> memory_root_;
-  std::mutex spill_mu_;              // guards spill_ creation + spill_dir_
-  std::unique_ptr<SpillManager> spill_;  // created on first budgeted query
-  std::string spill_dir_;
-  size_t spill_partitions_ = 8;
+  Mutex spill_mu_;  // guards lazy spill_ creation + the directory it uses
+  // Created on first budgeted query.
+  std::unique_ptr<SpillManager> spill_ AGORA_GUARDED_BY(spill_mu_);
+  std::string spill_dir_ AGORA_GUARDED_BY(spill_mu_);
+  // Read by every budgeted query while set_spill_partitions may race in
+  // from a test/operator thread; atomic, not mutex-guarded, because a
+  // torn-free stale read is fine (it only moves spill granularity).
+  std::atomic<size_t> spill_partitions_{8};
 };
 
 }  // namespace agora

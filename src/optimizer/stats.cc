@@ -40,7 +40,7 @@ TableStats ComputeTableStats(const Table& table) {
 std::shared_ptr<const TableStats> StatsCache::Get(const Table& table) {
   size_t rows = table.num_rows();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(table.id());
     if (it != cache_.end() && it->second.row_count == rows) {
       return it->second.stats;
@@ -50,13 +50,13 @@ std::shared_ptr<const TableStats> StatsCache::Get(const Table& table) {
   // queries racing a cold table both computing identical stats beats one
   // of them blocking every other planner on the cache mutex.
   auto stats = std::make_shared<const TableStats>(ComputeTableStats(table));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.insert_or_assign(table.id(), Entry{rows, stats});
   return stats;
 }
 
 void StatsCache::Evict(uint64_t table_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.erase(table_id);
 }
 

@@ -2,10 +2,11 @@
 #define AGORA_OPTIMIZER_STATS_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "storage/table.h"
 
 namespace agora {
@@ -54,8 +55,8 @@ class StatsCache {
     size_t row_count;
     std::shared_ptr<const TableStats> stats;
   };
-  std::mutex mu_;
-  std::unordered_map<uint64_t, Entry> cache_;
+  Mutex mu_;
+  std::unordered_map<uint64_t, Entry> cache_ AGORA_GUARDED_BY(mu_);
 };
 
 }  // namespace agora

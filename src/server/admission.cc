@@ -4,7 +4,7 @@ namespace agora {
 
 AdmissionController::Outcome AdmissionController::Admit(
     std::chrono::steady_clock::time_point deadline, bool has_deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (draining_) return Outcome::kDraining;
   if (active_ < max_concurrent_) {
     ++active_;
@@ -12,26 +12,29 @@ AdmissionController::Outcome AdmissionController::Admit(
   }
   if (queued_ >= max_queued_) return Outcome::kQueueFull;
   ++queued_;
-  Outcome outcome = Outcome::kAdmitted;
-  auto ready = [this] { return draining_ || active_ < max_concurrent_; };
-  while (true) {
+  bool timed_out = false;
+  // Explicit wait loop rather than a lambda predicate: the guarded reads
+  // of draining_/active_ stay in this function, where the thread-safety
+  // analysis can see mu_ held.
+  while (!draining_ && active_ >= max_concurrent_) {
     if (has_deadline) {
-      if (!cv_.wait_until(lock, deadline, ready)) {
-        outcome = Outcome::kTimedOut;
+      if (!cv_.WaitUntil(lock, deadline) && !draining_ &&
+          active_ >= max_concurrent_) {
+        timed_out = true;
         break;
       }
     } else {
-      cv_.wait(lock, ready);
+      cv_.Wait(lock);
     }
-    if (draining_) {
-      outcome = Outcome::kDraining;
-      break;
-    }
-    if (active_ < max_concurrent_) {
-      ++active_;
-      break;
-    }
-    // Lost the race to another waiter; go back to waiting.
+  }
+  Outcome outcome;
+  if (timed_out) {
+    outcome = Outcome::kTimedOut;
+  } else if (draining_) {
+    outcome = Outcome::kDraining;
+  } else {
+    ++active_;
+    outcome = Outcome::kAdmitted;
   }
   --queued_;
   return outcome;
@@ -39,33 +42,37 @@ AdmissionController::Outcome AdmissionController::Admit(
 
 void AdmissionController::Release() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --active_;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void AdmissionController::BeginDrain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 int AdmissionController::active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return active_;
 }
 
 int AdmissionController::queued() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queued_;
 }
 
 bool AdmissionController::WaitIdle(std::chrono::milliseconds timeout) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return cv_.wait_for(lock, timeout, [this] { return active_ == 0; });
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  MutexLock lock(mu_);
+  while (active_ != 0) {
+    if (!cv_.WaitUntil(lock, deadline) && active_ != 0) return false;
+  }
+  return true;
 }
 
 }  // namespace agora

@@ -12,8 +12,9 @@
 // each may charge.
 
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace agora {
 
@@ -36,31 +37,31 @@ class AdmissionController {
   /// passes (when `has_deadline`), or drain begins. On kAdmitted the
   /// caller must pair with Release().
   Outcome Admit(std::chrono::steady_clock::time_point deadline,
-                bool has_deadline);
+                bool has_deadline) AGORA_EXCLUDES(mu_);
 
   /// Returns the slot taken by a successful Admit().
-  void Release();
+  void Release() AGORA_EXCLUDES(mu_);
 
   /// Rejects all future Admit() calls (and wakes queued waiters) with
   /// kDraining. In-flight slots drain naturally via Release().
-  void BeginDrain();
+  void BeginDrain() AGORA_EXCLUDES(mu_);
 
   /// Blocks until every admitted query has released its slot. Returns
   /// false if `timeout` elapses first.
-  bool WaitIdle(std::chrono::milliseconds timeout);
+  bool WaitIdle(std::chrono::milliseconds timeout) AGORA_EXCLUDES(mu_);
 
-  int active() const;
-  int queued() const;
+  int active() const AGORA_EXCLUDES(mu_);
+  int queued() const AGORA_EXCLUDES(mu_);
   int max_concurrent() const { return max_concurrent_; }
 
  private:
   const int max_concurrent_;
   const int max_queued_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  int active_ = 0;
-  int queued_ = 0;
-  bool draining_ = false;
+  mutable Mutex mu_;
+  CondVar cv_;
+  int active_ AGORA_GUARDED_BY(mu_) = 0;
+  int queued_ AGORA_GUARDED_BY(mu_) = 0;
+  bool draining_ AGORA_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace agora

@@ -55,26 +55,36 @@ HttpResponse JsonResponse(int status, std::string body) {
 
 }  // namespace
 
+// Wait loops are written out explicitly (no lambda predicates): the
+// thread-safety analysis treats a lambda as a separate function that
+// holds no capabilities, so guarded reads of writer_/readers_ must stay
+// in the enclosing function where mu_ is visibly held.
+
 void DeadlineSharedLock::Lock() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++writers_waiting_;
-  cv_.wait(lock, [this] { return !writer_ && readers_ == 0; });
+  while (writer_ || readers_ != 0) cv_.Wait(lock);
   --writers_waiting_;
   writer_ = true;
 }
 
 bool DeadlineSharedLock::TryLockUntil(
     std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++writers_waiting_;
-  bool ok = cv_.wait_until(
-      lock, deadline, [this] { return !writer_ && readers_ == 0; });
+  bool timed_out = false;
+  while (writer_ || readers_ != 0) {
+    if (!cv_.WaitUntil(lock, deadline) && (writer_ || readers_ != 0)) {
+      timed_out = true;
+      break;
+    }
+  }
   --writers_waiting_;
-  if (!ok) {
+  if (timed_out) {
     // This may have been the only waiting writer holding readers back;
     // re-wake them now that the claim is withdrawn.
-    lock.unlock();
-    cv_.notify_all();
+    lock.Unlock();
+    cv_.NotifyAll();
     return false;
   }
   writer_ = true;
@@ -83,25 +93,26 @@ bool DeadlineSharedLock::TryLockUntil(
 
 void DeadlineSharedLock::Unlock() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     writer_ = false;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 void DeadlineSharedLock::LockShared() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return !writer_ && writers_waiting_ == 0; });
+  MutexLock lock(mu_);
+  while (writer_ || writers_waiting_ != 0) cv_.Wait(lock);
   ++readers_;
 }
 
 bool DeadlineSharedLock::TryLockSharedUntil(
     std::chrono::steady_clock::time_point deadline) {
-  std::unique_lock<std::mutex> lock(mu_);
-  if (!cv_.wait_until(lock, deadline, [this] {
-        return !writer_ && writers_waiting_ == 0;
-      })) {
-    return false;
+  MutexLock lock(mu_);
+  while (writer_ || writers_waiting_ != 0) {
+    if (!cv_.WaitUntil(lock, deadline) &&
+        (writer_ || writers_waiting_ != 0)) {
+      return false;
+    }
   }
   ++readers_;
   return true;
@@ -110,12 +121,12 @@ bool DeadlineSharedLock::TryLockSharedUntil(
 void DeadlineSharedLock::UnlockShared() {
   bool last = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     last = (--readers_ == 0);
   }
   // Only the last reader out can unblock a writer; intermediate exits
   // change nothing any waiter is watching.
-  if (last) cv_.notify_all();
+  if (last) cv_.NotifyAll();
 }
 
 int QueryHandler::HttpStatusForStatus(const Status& status) {
@@ -298,30 +309,19 @@ HttpResponse QueryHandler::HandleQuery(const HttpRequest& request) {
   // Read statements (SELECT, bare or explained) take the shared side and run
   // concurrently up to the admission cap; everything else takes the
   // exclusive side and serializes. Waiters are bounded by their own
-  // deadline.
+  // deadline, expressed through the scoped guards so the thread-safety
+  // analysis checks the pairing.
   const bool read_only = Database::IsReadOnlyStatement(sql->string_value);
-  Result<QueryResult> result =
-      Status::Internal("query did not run");  // overwritten below
-  bool engine_acquired = true;
-  if (control.has_deadline()) {
-    engine_acquired = read_only
-                          ? engine_mu_.TryLockSharedUntil(control.deadline())
-                          : engine_mu_.TryLockUntil(control.deadline());
-  } else if (read_only) {
-    engine_mu_.LockShared();
+  Result<QueryResult> result = Status::DeadlineExceeded(
+      "query deadline expired while waiting for the engine");
+  if (read_only) {
+    DeadlineReadGuard engine(engine_mu_, control.has_deadline(),
+                             admit_deadline);
+    if (engine.held()) result = db_->Execute(sql->string_value, &control);
   } else {
-    engine_mu_.Lock();
-  }
-  if (!engine_acquired) {
-    result = Status::DeadlineExceeded(
-        "query deadline expired while waiting for the engine");
-  } else {
-    result = db_->Execute(sql->string_value, &control);
-    if (read_only) {
-      engine_mu_.UnlockShared();
-    } else {
-      engine_mu_.Unlock();
-    }
+    DeadlineWriteGuard engine(engine_mu_, control.has_deadline(),
+                              admit_deadline);
+    if (engine.held()) result = db_->Execute(sql->string_value, &control);
   }
   admission_.Release();
   metrics.SetGauge("server_queries_active", admission_.active());

@@ -153,7 +153,7 @@ void HttpServer::AcceptLoop() {
     auto conn = std::make_unique<ConnThread>();
     ConnThread* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       connections_.push_back(std::move(conn));
     }
     raw->thread =
@@ -214,7 +214,7 @@ void HttpServer::ServeConnection(int fd, ConnThread* self) {
 }
 
 void HttpServer::ReapFinished(bool join_all) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   for (auto it = connections_.begin(); it != connections_.end();) {
     ConnThread& conn = **it;
     if (join_all || conn.done.load(std::memory_order_acquire)) {

@@ -20,9 +20,10 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <thread>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "engine/database.h"
 #include "server/http.h"
 #include "server/query_handler.h"
@@ -102,7 +103,7 @@ class HttpServer {
 
   void AcceptLoop();
   void ServeConnection(int fd, ConnThread* self);
-  void ReapFinished(bool join_all);
+  void ReapFinished(bool join_all) AGORA_EXCLUDES(conn_mu_);
 
   Database* db_;
   ServerOptions options_;
@@ -113,8 +114,11 @@ class HttpServer {
   std::atomic<bool> draining_{false};
   std::atomic<int> active_connections_{0};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::list<std::unique_ptr<ConnThread>> connections_;
+  Mutex conn_mu_;
+  // The list structure is guarded; each ConnThread's fields are owned by
+  // the connection thread itself (`done` is the atomic handshake).
+  std::list<std::unique_ptr<ConnThread>> connections_
+      AGORA_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace agora

@@ -1,7 +1,5 @@
 #include "storage/catalog.h"
 
-#include <mutex>
-
 #include "common/string_util.h"
 
 namespace agora {
@@ -9,7 +7,7 @@ namespace agora {
 Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
                                                     Schema schema) {
   std::string key = ToLower(name);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
@@ -20,7 +18,7 @@ Result<std::shared_ptr<Table>> Catalog::CreateTable(const std::string& name,
 
 Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
   std::string key = ToLower(table->name());
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   if (tables_.count(key) > 0) {
     return Status::AlreadyExists("table '" + table->name() +
                                  "' already exists");
@@ -32,7 +30,7 @@ Status Catalog::RegisterTable(std::shared_ptr<Table> table) {
 Result<std::shared_ptr<Table>> Catalog::GetTable(
     const std::string& name) const {
   std::string key = ToLower(name);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -42,13 +40,13 @@ Result<std::shared_ptr<Table>> Catalog::GetTable(
 
 bool Catalog::HasTable(const std::string& name) const {
   std::string key = ToLower(name);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return tables_.count(key) > 0;
 }
 
 Status Catalog::DropTable(const std::string& name) {
   std::string key = ToLower(name);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   auto it = tables_.find(key);
   if (it == tables_.end()) {
     return Status::NotFound("table '" + name + "' does not exist");
@@ -61,7 +59,7 @@ Status Catalog::DropTable(const std::string& name) {
 Status Catalog::AttachSearchIndexes(const std::string& table,
                                     TableSearchIndexes indexes) {
   std::string key = ToLower(table);
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  WriterMutexLock lock(mu_);
   if (tables_.count(key) == 0) {
     return Status::NotFound("table '" + table + "' does not exist");
   }
@@ -73,13 +71,13 @@ Status Catalog::AttachSearchIndexes(const std::string& table,
 std::shared_ptr<const TableSearchIndexes> Catalog::GetSearchIndexes(
     const std::string& table) const {
   std::string key = ToLower(table);
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   auto it = search_indexes_.find(key);
   return it == search_indexes_.end() ? nullptr : it->second;
 }
 
 std::vector<std::string> Catalog::TableNames() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tables_.size());
   for (const auto& [key, table] : tables_) names.push_back(table->name());
@@ -87,7 +85,7 @@ std::vector<std::string> Catalog::TableNames() const {
 }
 
 size_t Catalog::num_tables() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  ReaderMutexLock lock(mu_);
   return tables_.size();
 }
 

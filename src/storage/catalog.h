@@ -2,12 +2,13 @@
 #define AGORA_STORAGE_CATALOG_H_
 
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "search/search_types.h"
 #include "storage/table.h"
 
@@ -65,10 +66,11 @@ class Catalog {
       const std::string& table) const;
 
  private:
-  mutable std::shared_mutex mu_;
-  std::unordered_map<std::string, std::shared_ptr<Table>> tables_;
+  mutable SharedMutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Table>> tables_
+      AGORA_GUARDED_BY(mu_);
   std::unordered_map<std::string, std::shared_ptr<const TableSearchIndexes>>
-      search_indexes_;
+      search_indexes_ AGORA_GUARDED_BY(mu_);
 };
 
 }  // namespace agora

@@ -198,7 +198,7 @@ SpillManager::SpillManager(std::string dir)
 SpillManager::~SpillManager() = default;
 
 Result<std::unique_ptr<SpillFile>> SpillManager::Create() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!free_.empty()) {
     std::unique_ptr<SpillFile> file = std::move(free_.back());
     free_.pop_back();
@@ -227,7 +227,7 @@ Result<std::unique_ptr<SpillFile>> SpillManager::Create() {
 
 void SpillManager::Recycle(std::unique_ptr<SpillFile> file) {
   if (file == nullptr) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   free_.push_back(std::move(file));
 }
 

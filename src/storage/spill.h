@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "storage/chunk.h"
 
 namespace agora {
@@ -88,14 +89,17 @@ class SpillManager {
   void Recycle(std::unique_ptr<SpillFile> file);
 
   const std::string& dir() const { return dir_; }
-  int64_t files_created() const { return files_created_; }
+  int64_t files_created() const {
+    MutexLock lock(mu_);
+    return files_created_;
+  }
 
  private:
-  std::mutex mu_;
+  mutable Mutex mu_;
   std::string dir_;
-  uint64_t next_id_ = 0;
-  int64_t files_created_ = 0;
-  std::vector<std::unique_ptr<SpillFile>> free_;
+  uint64_t next_id_ AGORA_GUARDED_BY(mu_) = 0;
+  int64_t files_created_ AGORA_GUARDED_BY(mu_) = 0;
+  std::vector<std::unique_ptr<SpillFile>> free_ AGORA_GUARDED_BY(mu_);
 };
 
 }  // namespace agora

@@ -169,17 +169,17 @@ void Table::BuildZoneMaps() {
     }
     maps->emplace(c, std::move(zm));
   }
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   zone_maps_ = std::move(maps);
 }
 
 bool Table::HasZoneMaps() const {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   return zone_maps_ != nullptr && !zone_maps_->empty();
 }
 
 std::shared_ptr<const ZoneMapSet> Table::zone_maps() const {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   return zone_maps_;
 }
 
@@ -204,7 +204,7 @@ Status Table::BuildHashIndex(const std::string& index_name, size_t column) {
     if (col.IsNull(r)) continue;
     index->Insert(col.HashRow(r), static_cast<int64_t>(r));
   }
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   // Replace an existing index on the same column.
   for (auto& idx : indexes_) {
     if (idx->column() == column) {
@@ -217,7 +217,7 @@ Status Table::BuildHashIndex(const std::string& index_name, size_t column) {
 }
 
 std::shared_ptr<const HashIndex> Table::GetHashIndex(size_t column) const {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   for (const auto& idx : indexes_) {
     if (idx->column() == column) return idx;
   }
@@ -225,7 +225,7 @@ std::shared_ptr<const HashIndex> Table::GetHashIndex(size_t column) const {
 }
 
 void Table::InvalidateDerived() {
-  std::lock_guard<std::mutex> lock(index_mu_);
+  MutexLock lock(index_mu_);
   zone_maps_.reset();
   indexes_.clear();
 }

@@ -2,12 +2,13 @@
 #define AGORA_STORAGE_TABLE_H_
 
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "storage/chunk.h"
 #include "storage/column_vector.h"
 #include "types/schema.h"
@@ -175,9 +176,11 @@ class Table {
 
   // Derived structures: guarded by index_mu_ so lookups can race
   // rebuilds; everything handed out is a shared_ptr snapshot.
-  mutable std::mutex index_mu_;
-  std::shared_ptr<const ZoneMapSet> zone_maps_;  // null until built
-  std::vector<std::shared_ptr<HashIndex>> indexes_;
+  mutable Mutex index_mu_;
+  // Null until built.
+  std::shared_ptr<const ZoneMapSet> zone_maps_ AGORA_GUARDED_BY(index_mu_);
+  std::vector<std::shared_ptr<HashIndex>> indexes_
+      AGORA_GUARDED_BY(index_mu_);
 };
 
 }  // namespace agora

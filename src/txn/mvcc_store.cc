@@ -57,7 +57,7 @@ void Transaction::Abort() {
 }
 
 Status MvccStore::EnableWal(WalOptions options) {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   if (wal_ != nullptr) {
     return Status::InvalidArgument("WAL is already enabled");
   }
@@ -82,7 +82,7 @@ Status MvccStore::EnableWal(WalOptions options) {
 }
 
 Status MvccStore::Checkpoint() {
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   if (wal_ == nullptr) {
     return Status::InvalidArgument("Checkpoint requires an attached WAL");
   }
@@ -123,7 +123,7 @@ Status MvccStore::Checkpoint() {
 Transaction MvccStore::Begin() {
   uint64_t begin_ts = clock_.load(std::memory_order_acquire);
   {
-    std::lock_guard<std::mutex> lock(active_mutex_);
+    MutexLock lock(active_mutex_);
     active_begin_ts_.insert(begin_ts);
   }
   return Transaction(this, begin_ts);
@@ -141,7 +141,7 @@ std::optional<std::string> MvccStore::Get(const std::string& key) {
 
 std::optional<std::string> MvccStore::Read(const std::string& key,
                                            uint64_t ts) const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   auto it = chains_.find(key);
   if (it == chains_.end()) return std::nullopt;
   const std::vector<Version>& chain = it->second;
@@ -157,7 +157,7 @@ Status MvccStore::CommitWrites(
     const std::unordered_map<std::string, std::optional<std::string>>&
         writes) {
   if (writes.empty()) return Status::OK();  // read-only
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   // First-committer-wins validation.
   for (const auto& [key, value] : writes) {
     auto it = chains_.find(key);
@@ -178,7 +178,7 @@ Status MvccStore::CommitWrites(
 }
 
 void MvccStore::EndTransaction(uint64_t begin_ts) {
-  std::lock_guard<std::mutex> lock(active_mutex_);
+  MutexLock lock(active_mutex_);
   auto it = active_begin_ts_.find(begin_ts);
   if (it != active_begin_ts_.end()) active_begin_ts_.erase(it);
 }
@@ -186,12 +186,12 @@ void MvccStore::EndTransaction(uint64_t begin_ts) {
 size_t MvccStore::GarbageCollect() {
   uint64_t min_active;
   {
-    std::lock_guard<std::mutex> lock(active_mutex_);
+    MutexLock lock(active_mutex_);
     min_active = active_begin_ts_.empty()
                      ? clock_.load(std::memory_order_acquire)
                      : *active_begin_ts_.begin();
   }
-  std::unique_lock<std::shared_mutex> lock(mutex_);
+  WriterMutexLock lock(mutex_);
   size_t reclaimed = 0;
   for (auto& [key, chain] : chains_) {
     // Keep the newest version with commit_ts <= min_active and everything
@@ -213,12 +213,12 @@ size_t MvccStore::GarbageCollect() {
 }
 
 size_t MvccStore::num_keys() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   return chains_.size();
 }
 
 size_t MvccStore::num_versions() const {
-  std::shared_lock<std::shared_mutex> lock(mutex_);
+  ReaderMutexLock lock(mutex_);
   size_t total = 0;
   for (const auto& [key, chain] : chains_) total += chain.size();
   return total;

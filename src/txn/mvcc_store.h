@@ -4,15 +4,15 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
+#include "common/thread_annotations.h"
 #include "txn/wal.h"
 
 namespace agora {
@@ -88,8 +88,13 @@ class MvccStore {
   /// (none with `sync_each_commit`).
   Status EnableWal(WalOptions options);
 
-  /// True if a WAL is attached.
-  bool wal_enabled() const { return wal_ != nullptr; }
+  /// True if a WAL is attached. Takes the shared side: wal_ is written
+  /// under the exclusive lock (EnableWal/Checkpoint), so an unlocked
+  /// read here would race them.
+  bool wal_enabled() const {
+    ReaderMutexLock lock(mutex_);
+    return wal_ != nullptr;
+  }
 
   /// Compacts the WAL: rewrites it as one snapshot commit holding only
   /// the latest committed version of every live key (history and
@@ -132,15 +137,20 @@ class MvccStore {
           writes);
   void EndTransaction(uint64_t begin_ts);
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, std::vector<Version>> chains_;
-  std::unique_ptr<WriteAheadLog> wal_;
+  // mutex_ and active_mutex_ are never held together (GarbageCollect
+  // reads the active set, releases active_mutex_, then takes mutex_), so
+  // no ordering between them can deadlock.
+  mutable SharedMutex mutex_;
+  std::unordered_map<std::string, std::vector<Version>> chains_
+      AGORA_GUARDED_BY(mutex_);
+  std::unique_ptr<WriteAheadLog> wal_ AGORA_GUARDED_BY(mutex_)
+      AGORA_PT_GUARDED_BY(mutex_);
   std::atomic<uint64_t> clock_{0};
   std::atomic<uint64_t> commits_{0};
   std::atomic<uint64_t> aborts_{0};
 
-  std::mutex active_mutex_;
-  std::multiset<uint64_t> active_begin_ts_;
+  Mutex active_mutex_;
+  std::multiset<uint64_t> active_begin_ts_ AGORA_GUARDED_BY(active_mutex_);
 };
 
 }  // namespace agora

@@ -1,0 +1,22 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// bare .lock()/.unlock() calls outside the RAII guard layer
+// (src/common/mutex.h) are banned in src/ — manual pairing is the bug
+// class the scoped guards plus capability annotations eliminate, and the
+// thread-safety analysis cannot see through an unannotated manual call.
+// lint-as: src/server/bad_manual_lock.cc
+// expect-violation: manual-lock-unlock
+
+#include <mutex>
+
+namespace agora {
+
+extern std::mutex g_registry_mu;
+extern int g_registry_entries;
+
+void BumpRegistry() {
+  g_registry_mu.lock();  // must fire: manual acquire
+  ++g_registry_entries;
+  g_registry_mu.unlock();  // must fire: manual release
+}
+
+}  // namespace agora

@@ -1,0 +1,44 @@
+// Golden violation fixture for scripts/agora_lint.py (never compiled):
+// a mutex member under src/ that no AGORA_* thread-safety annotation
+// references is a lock the clang -Wthread-safety leg silently ignores.
+// Both std primitives and the annotated agora wrappers are covered;
+// `good_mu_` shows the passing shape and `cold_mu_` the allow escape.
+// lint-as: src/engine/bad_mutex.h
+// expect-violation: unannotated-mutex
+
+#include <mutex>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace agora {
+
+class BadCounter {
+ public:
+  void Bump();
+
+ private:
+  std::mutex bad_mu_;  // never named in any annotation: must fire
+  int count_ = 0;
+};
+
+class GoodCounter {
+ public:
+  void Bump();
+
+ private:
+  mutable Mutex good_mu_;
+  int count_ AGORA_GUARDED_BY(good_mu_) = 0;
+};
+
+class ColdPathCounter {
+ public:
+  void Bump();
+
+ private:
+  // agora-lint: allow(unannotated-mutex) init-time only; demo of escape
+  Mutex cold_mu_;
+  int count_ = 0;
+};
+
+}  // namespace agora

@@ -237,13 +237,26 @@ TEST(DeadlineSharedLock, ReadersShareTheLock) {
 TEST(DeadlineSharedLock, WriterExcludedWhileReaderHolds) {
   DeadlineSharedLock lock;
   lock.LockShared();
-  EXPECT_FALSE(lock.TryLockUntil(std::chrono::steady_clock::now() +
-                                 std::chrono::milliseconds(20)));
+  // The competing writer runs on its own thread (as in production), which
+  // also keeps each thread's acquisitions balanced for the thread-safety
+  // analysis.
+  std::atomic<bool> writer_got_in{false};
+  std::thread writer([&] {
+    const bool ok = lock.TryLockUntil(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(20));
+    if (ok) {
+      writer_got_in.store(true, std::memory_order_release);
+      lock.Unlock();
+    }
+  });
+  writer.join();
+  EXPECT_FALSE(writer_got_in.load());
   lock.UnlockShared();
   // Free now: the exclusive side must succeed immediately.
-  EXPECT_TRUE(lock.TryLockUntil(std::chrono::steady_clock::now() +
-                                std::chrono::milliseconds(20)));
-  lock.Unlock();
+  const bool acquired = lock.TryLockUntil(std::chrono::steady_clock::now() +
+                                          std::chrono::milliseconds(20));
+  EXPECT_TRUE(acquired);
+  if (acquired) lock.Unlock();
 }
 
 TEST(DeadlineSharedLock, WaitingWriterBlocksNewReaders) {
@@ -257,29 +270,56 @@ TEST(DeadlineSharedLock, WaitingWriterBlocksNewReaders) {
   // Give the writer time to register its claim, then verify writer
   // preference: a new reader with a deadline times out behind it.
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  EXPECT_FALSE(
-      lock.TryLockSharedUntil(std::chrono::steady_clock::now() +
-                              std::chrono::milliseconds(20)));
+  std::atomic<bool> late_reader_got_in{false};
+  std::thread late_reader([&] {
+    const bool ok =
+        lock.TryLockSharedUntil(std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(20));
+    if (ok) {
+      late_reader_got_in.store(true, std::memory_order_release);
+      lock.UnlockShared();
+    }
+  });
+  late_reader.join();
+  EXPECT_FALSE(late_reader_got_in.load());
   lock.UnlockShared();
   writer.join();
   // With the writer gone, readers get in again.
-  EXPECT_TRUE(
+  const bool acquired =
       lock.TryLockSharedUntil(std::chrono::steady_clock::now() +
-                              std::chrono::milliseconds(20)));
-  lock.UnlockShared();
+                              std::chrono::milliseconds(20));
+  EXPECT_TRUE(acquired);
+  if (acquired) lock.UnlockShared();
 }
 
 TEST(DeadlineSharedLock, TimedOutWriterLeavesNoResidue) {
   DeadlineSharedLock lock;
   lock.LockShared();
   // Writer times out behind the reader...
-  EXPECT_FALSE(lock.TryLockUntil(std::chrono::steady_clock::now() +
-                                 std::chrono::milliseconds(10)));
+  std::atomic<bool> writer_got_in{false};
+  std::thread writer([&] {
+    const bool ok = lock.TryLockUntil(std::chrono::steady_clock::now() +
+                                      std::chrono::milliseconds(10));
+    if (ok) {
+      writer_got_in.store(true, std::memory_order_release);
+      lock.Unlock();
+    }
+  });
+  writer.join();
+  EXPECT_FALSE(writer_got_in.load());
   // ...and must not leave a phantom waiting claim that blocks readers.
-  EXPECT_TRUE(
-      lock.TryLockSharedUntil(std::chrono::steady_clock::now() +
-                              std::chrono::milliseconds(20)));
-  lock.UnlockShared();
+  std::atomic<bool> second_reader_got_in{false};
+  std::thread second_reader([&] {
+    const bool ok =
+        lock.TryLockSharedUntil(std::chrono::steady_clock::now() +
+                                std::chrono::milliseconds(20));
+    if (ok) {
+      second_reader_got_in.store(true, std::memory_order_release);
+      lock.UnlockShared();
+    }
+  });
+  second_reader.join();
+  EXPECT_TRUE(second_reader_got_in.load());
   lock.UnlockShared();
 }
 
